@@ -1,0 +1,26 @@
+//! Criterion benchmarks of the **figures 7–9** generator: the
+//! equivalent-window-ratio sweep for each representative program across the
+//! configured memory differentials.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dae_bench::bench_config;
+use dae_core::equivalent_window_figure;
+use dae_workloads::PerfectProgram;
+use std::hint::black_box;
+
+fn bench_ewr_figures(c: &mut Criterion) {
+    let config = bench_config();
+    let mut group = c.benchmark_group("figures_equivalent_window_ratio");
+    group.sample_size(10);
+    for program in PerfectProgram::REPRESENTATIVE {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(program.name()),
+            &program,
+            |b, &program| b.iter(|| black_box(equivalent_window_figure(program, &config))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ewr_figures);
+criterion_main!(benches);

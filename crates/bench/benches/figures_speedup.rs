@@ -1,0 +1,26 @@
+//! Criterion benchmarks of the **figures 4–6** generator: the speedup-vs-
+//! window-size sweep for each representative program (DM and SWSM at memory
+//! differentials of 0 and 60).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dae_bench::bench_config;
+use dae_core::speedup_figure;
+use dae_workloads::PerfectProgram;
+use std::hint::black_box;
+
+fn bench_speedup_figures(c: &mut Criterion) {
+    let config = bench_config();
+    let mut group = c.benchmark_group("figures_speedup");
+    group.sample_size(10);
+    for program in PerfectProgram::REPRESENTATIVE {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(program.name()),
+            &program,
+            |b, &program| b.iter(|| black_box(speedup_figure(program, &config, &[0, 60]))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_speedup_figures);
+criterion_main!(benches);

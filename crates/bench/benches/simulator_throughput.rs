@@ -1,0 +1,47 @@
+//! Criterion benchmarks of the simulators themselves: how fast the DM, the
+//! SWSM and the scalar reference execute each representative workload's
+//! trace.  These are the building blocks every table and figure is made of,
+//! so their cost determines how long the experiment binaries take.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dae_core::{dm_cycles, scalar_cycles, swsm_cycles, WindowSpec};
+use dae_workloads::PerfectProgram;
+use std::hint::black_box;
+
+fn bench_machines(c: &mut Criterion) {
+    let iterations = 300;
+    let mut group = c.benchmark_group("simulator_throughput");
+    for program in PerfectProgram::REPRESENTATIVE {
+        let trace = program.workload().trace(iterations);
+        group.bench_with_input(
+            BenchmarkId::new("dm_w32_md60", program.name()),
+            &trace,
+            |b, trace| b.iter(|| black_box(dm_cycles(trace, WindowSpec::Entries(32), 60))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("swsm_w32_md60", program.name()),
+            &trace,
+            |b, trace| b.iter(|| black_box(swsm_cycles(trace, WindowSpec::Entries(32), 60))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("scalar_md60", program.name()),
+            &trace,
+            |b, trace| b.iter(|| black_box(scalar_cycles(trace, 60))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_window_scaling(c: &mut Criterion) {
+    let trace = PerfectProgram::Flo52q.workload().trace(300);
+    let mut group = c.benchmark_group("dm_window_scaling");
+    for window in [8usize, 32, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(window), &window, |b, &w| {
+            b.iter(|| black_box(dm_cycles(&trace, WindowSpec::Entries(w), 60)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_machines, bench_window_scaling);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion benchmark of the **Table 1** generator (latency-hiding
+//! effectiveness of the whole suite) at a reduced scale, plus the
+//! per-program LHE measurement it is built from.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dae_bench::bench_config;
+use dae_core::{dm_cycles, table1, WindowSpec};
+use dae_workloads::PerfectProgram;
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let config = bench_config();
+    c.bench_function("table1_suite_lhe", |b| {
+        b.iter(|| black_box(table1(&config, 60)))
+    });
+}
+
+fn bench_single_lhe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lhe_single_program");
+    for program in PerfectProgram::REPRESENTATIVE {
+        let trace = program.workload().trace(200);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(program.name()),
+            &trace,
+            |b, trace| {
+                b.iter(|| {
+                    let perfect = dm_cycles(trace, WindowSpec::Entries(32), 0);
+                    let actual = dm_cycles(trace, WindowSpec::Entries(32), 60);
+                    black_box(perfect as f64 / actual as f64)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1, bench_single_lhe);
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! Ablation B: sensitivity to the idealisations.
+//!
+//! The paper's environment is deliberately idealised (unlimited functional
+//! units, unlimited decoupled-memory buffering, conventional retirement).
+//! This ablation re-runs the core DM-vs-SWSM comparison with those
+//! idealisations removed one at a time and reports how the headline result
+//! (the DM/SWSM execution-time ratio at a 32-entry window and MD = 60)
+//! changes:
+//!
+//! * free-at-issue window slots instead of in-order retirement;
+//! * restricted functional units (2 integer, 2 floating point, 2 memory
+//!   ports per unit) — the paper's companion "restricted issue" study;
+//! * a finite decoupled memory / prefetch buffer (64 entries).
+//!
+//! ```text
+//! cargo run --release -p dae-bench --bin ablation_resources
+//! ```
+
+use dae_bench::paper_config;
+use dae_core::TextTable;
+use dae_machines::{DecoupledMachine, DmConfig, SuperscalarMachine, SwsmConfig};
+use dae_mem::{DecoupledMemoryConfig, PrefetchBufferConfig};
+use dae_ooo::{FuConfig, RetirePolicy};
+use dae_workloads::PerfectProgram;
+
+struct Variant {
+    name: &'static str,
+    dm: DmConfig,
+    swsm: SwsmConfig,
+}
+
+fn variants(window: usize, md: u64) -> Vec<Variant> {
+    let base_dm = DmConfig::paper(window, md);
+    let base_swsm = SwsmConfig::paper(window, md);
+
+    let mut free_dm = base_dm;
+    free_dm.au.retire = RetirePolicy::FreeAtIssue;
+    free_dm.du.retire = RetirePolicy::FreeAtIssue;
+    let mut free_swsm = base_swsm;
+    free_swsm.unit.retire = RetirePolicy::FreeAtIssue;
+
+    let mut limited_fu_dm = base_dm;
+    limited_fu_dm.au.fu = FuConfig::restricted(2, 2, 2);
+    limited_fu_dm.du.fu = FuConfig::restricted(2, 2, 2);
+    let mut limited_fu_swsm = base_swsm;
+    limited_fu_swsm.unit.fu = FuConfig::restricted(4, 4, 4);
+
+    let mut finite_buffers_dm = base_dm;
+    finite_buffers_dm.decoupled_memory = DecoupledMemoryConfig {
+        capacity: Some(64),
+        bypass: None,
+    };
+    let mut finite_buffers_swsm = base_swsm;
+    finite_buffers_swsm.prefetch_buffer = PrefetchBufferConfig { capacity: Some(64) };
+
+    vec![
+        Variant {
+            name: "idealised (paper)",
+            dm: base_dm,
+            swsm: base_swsm,
+        },
+        Variant {
+            name: "free-at-issue windows",
+            dm: free_dm,
+            swsm: free_swsm,
+        },
+        Variant {
+            name: "restricted FUs (2/2/2 per unit, 4/4/4 SWSM)",
+            dm: limited_fu_dm,
+            swsm: limited_fu_swsm,
+        },
+        Variant {
+            name: "finite buffers (64 entries)",
+            dm: finite_buffers_dm,
+            swsm: finite_buffers_swsm,
+        },
+    ]
+}
+
+fn main() {
+    let config = paper_config();
+    let window = 32;
+    let md = 60;
+
+    println!("Resource-sensitivity ablation: DM vs SWSM at a {window}-entry window, MD = {md}\n");
+
+    let mut table = TextTable::new(vec![
+        "variant".into(),
+        "program".into(),
+        "DM cycles".into(),
+        "SWSM cycles".into(),
+        "SWSM / DM".into(),
+    ]);
+
+    for program in PerfectProgram::REPRESENTATIVE {
+        let trace = program.workload().trace(config.iterations);
+        for variant in variants(window, md) {
+            let dm = DecoupledMachine::new(variant.dm).run(&trace).cycles();
+            let swsm = SuperscalarMachine::new(variant.swsm).run(&trace).cycles();
+            table.push_row(vec![
+                variant.name.to_string(),
+                program.name().to_string(),
+                dm.to_string(),
+                swsm.to_string(),
+                format!("{:.2}", swsm as f64 / dm as f64),
+            ]);
+        }
+    }
+
+    println!("{table}");
+    println!(
+        "\nThe DM's advantage (SWSM/DM > 1) should survive every de-idealisation; its size\n\
+         changes, which is exactly what the ablation is meant to expose."
+    );
+}

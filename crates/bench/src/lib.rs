@@ -1,0 +1,117 @@
+//! # dae-bench — benchmark harness and experiment binaries
+//!
+//! This crate hosts two things:
+//!
+//! * **Criterion benchmarks** (in `benches/`) that measure the throughput of
+//!   the simulators themselves and the cost of regenerating each table and
+//!   figure of the paper — `cargo bench -p dae-bench`;
+//! * **experiment binaries** (in `src/bin/`) that regenerate the paper's
+//!   tables and figures and print them in the same rows/series shape the
+//!   paper reports — for example:
+//!
+//!   ```text
+//!   cargo run --release -p dae-bench --bin table1_lhe
+//!   cargo run --release -p dae-bench --bin fig_speedup -- flo52q
+//!   cargo run --release -p dae-bench --bin fig_ewr -- mdg
+//!   cargo run --release -p dae-bench --bin claim_window_ratio
+//!   cargo run --release -p dae-bench --bin ablation_complexity
+//!   cargo run --release -p dae-bench --bin ablation_resources
+//!   cargo run --release -p dae-bench --bin ablation_bypass
+//!   ```
+//!
+//! This library part only provides the small amount of shared plumbing the
+//! binaries and benches need (argument parsing and the experiment
+//! configurations used at "paper scale" and "bench scale").
+
+use dae_core::ExperimentConfig;
+use dae_workloads::PerfectProgram;
+
+/// The experiment configuration used by the figure/table binaries: full
+/// window grids, all memory differentials, medium-length traces.
+#[must_use]
+pub fn paper_config() -> ExperimentConfig {
+    ExperimentConfig {
+        iterations: 800,
+        ..ExperimentConfig::paper_scale()
+    }
+}
+
+/// A lighter configuration used by the criterion benches so that a bench
+/// iteration stays in the tens-of-milliseconds range.
+#[must_use]
+pub fn bench_config() -> ExperimentConfig {
+    ExperimentConfig {
+        iterations: 200,
+        dm_windows: vec![8, 32, 128],
+        swsm_windows: vec![8, 32, 128],
+        equivalence_search_windows: vec![8, 16, 32, 64, 128, 256],
+        memory_differentials: vec![0, 60],
+        ..ExperimentConfig::quick()
+    }
+}
+
+/// Resolves an optional program name to a [`PerfectProgram`].
+///
+/// # Errors
+///
+/// Returns a message listing the valid names when `name` is not recognised.
+pub fn resolve_program(
+    name: Option<&str>,
+    fallback: PerfectProgram,
+) -> Result<PerfectProgram, String> {
+    match name {
+        None => Ok(fallback),
+        Some(name) => PerfectProgram::from_name(name).ok_or_else(|| {
+            format!(
+                "unknown program '{name}'; expected one of: {}",
+                PerfectProgram::ALL
+                    .iter()
+                    .map(|p| p.name())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        }),
+    }
+}
+
+/// Parses the first command-line argument as a PERFECT program name,
+/// defaulting to `fallback` when absent, and exiting with a helpful message
+/// when the name is unknown.
+#[must_use]
+pub fn program_from_args(fallback: PerfectProgram) -> PerfectProgram {
+    let arg = std::env::args().nth(1);
+    match resolve_program(arg.as_deref(), fallback) {
+        Ok(program) => program,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configs_are_consistent() {
+        let paper = paper_config();
+        let bench = bench_config();
+        assert!(paper.iterations > bench.iterations);
+        assert!(paper.memory_differentials.len() >= bench.memory_differentials.len());
+        assert!(!bench.dm_windows.is_empty());
+    }
+
+    #[test]
+    fn program_resolution() {
+        assert_eq!(
+            resolve_program(None, PerfectProgram::Track),
+            Ok(PerfectProgram::Track)
+        );
+        assert_eq!(
+            resolve_program(Some("mdg"), PerfectProgram::Track),
+            Ok(PerfectProgram::Mdg)
+        );
+        assert!(resolve_program(Some("nosuch"), PerfectProgram::Track).is_err());
+    }
+}

@@ -1,0 +1,268 @@
+//! Convenience layer for running the paper's machines over workloads.
+
+use crate::WindowCurve;
+use dae_isa::Cycle;
+use dae_machines::{
+    DecoupledMachine, DmConfig, ScalarConfig, ScalarReference, SuperscalarMachine, SwsmConfig,
+};
+use dae_trace::Trace;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A window size: a finite number of entries or the paper's idealised
+/// unlimited window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum WindowSpec {
+    /// A finite window with this many entries (per unit, for the DM).
+    Entries(usize),
+    /// An unlimited window.
+    Unlimited,
+}
+
+impl WindowSpec {
+    /// The finite size, if any.
+    #[must_use]
+    pub fn entries(self) -> Option<usize> {
+        match self {
+            WindowSpec::Entries(n) => Some(n),
+            WindowSpec::Unlimited => None,
+        }
+    }
+}
+
+impl fmt::Display for WindowSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WindowSpec::Entries(n) => write!(f, "{n}"),
+            WindowSpec::Unlimited => write!(f, "inf"),
+        }
+    }
+}
+
+/// Which machine to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Machine {
+    /// The access decoupled machine.
+    Decoupled,
+    /// The single-window superscalar machine.
+    Superscalar,
+    /// The scalar reference.
+    Scalar,
+}
+
+impl fmt::Display for Machine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Machine::Decoupled => "DM",
+            Machine::Superscalar => "SWSM",
+            Machine::Scalar => "scalar",
+        };
+        f.write_str(name)
+    }
+}
+
+/// The DM configuration used by the experiments for a given window and
+/// memory differential (the paper's issue widths, everything else
+/// idealised).
+#[must_use]
+pub fn dm_config(window: WindowSpec, memory_differential: Cycle) -> DmConfig {
+    match window {
+        WindowSpec::Entries(w) => DmConfig::paper(w, memory_differential),
+        WindowSpec::Unlimited => DmConfig::paper_unlimited(memory_differential),
+    }
+}
+
+/// The SWSM configuration used by the experiments for a given window and
+/// memory differential.
+#[must_use]
+pub fn swsm_config(window: WindowSpec, memory_differential: Cycle) -> SwsmConfig {
+    match window {
+        WindowSpec::Entries(w) => SwsmConfig::paper(w, memory_differential),
+        WindowSpec::Unlimited => SwsmConfig::paper_unlimited(memory_differential),
+    }
+}
+
+/// Execution time of the DM on `trace`.
+#[must_use]
+pub fn dm_cycles(trace: &Trace, window: WindowSpec, memory_differential: Cycle) -> Cycle {
+    DecoupledMachine::new(dm_config(window, memory_differential))
+        .run(trace)
+        .cycles()
+}
+
+/// Execution time of the SWSM on `trace`.
+#[must_use]
+pub fn swsm_cycles(trace: &Trace, window: WindowSpec, memory_differential: Cycle) -> Cycle {
+    SuperscalarMachine::new(swsm_config(window, memory_differential))
+        .run(trace)
+        .cycles()
+}
+
+/// Execution time of the scalar reference on `trace` (computed analytically;
+/// the simulated machine agrees — see the `dae-machines` tests).
+#[must_use]
+pub fn scalar_cycles(trace: &Trace, memory_differential: Cycle) -> Cycle {
+    ScalarReference::new(ScalarConfig::new(memory_differential)).analytic_cycles(trace)
+}
+
+/// Execution time of `machine` on `trace` (windows are ignored by the scalar
+/// reference).
+#[must_use]
+pub fn machine_cycles(
+    machine: Machine,
+    trace: &Trace,
+    window: WindowSpec,
+    memory_differential: Cycle,
+) -> Cycle {
+    match machine {
+        Machine::Decoupled => dm_cycles(trace, window, memory_differential),
+        Machine::Superscalar => swsm_cycles(trace, window, memory_differential),
+        Machine::Scalar => scalar_cycles(trace, memory_differential),
+    }
+}
+
+/// Sweeps the SWSM over `windows` at a fixed memory differential, producing
+/// the curve used by the equivalent-window-ratio experiments.
+#[must_use]
+pub fn swsm_window_curve(trace: &Trace, windows: &[usize], memory_differential: Cycle) -> WindowCurve {
+    WindowCurve::new(
+        windows
+            .iter()
+            .map(|&w| (w, swsm_cycles(trace, WindowSpec::Entries(w), memory_differential)))
+            .collect(),
+    )
+}
+
+/// Sweeps the DM over `windows` at a fixed memory differential.
+#[must_use]
+pub fn dm_window_curve(trace: &Trace, windows: &[usize], memory_differential: Cycle) -> WindowCurve {
+    WindowCurve::new(
+        windows
+            .iter()
+            .map(|&w| (w, dm_cycles(trace, WindowSpec::Entries(w), memory_differential)))
+            .collect(),
+    )
+}
+
+/// Shared knobs of the experiment generators: how long the traces are and
+/// which grids are swept.  The defaults trade a few percent of fidelity for
+/// run time; `ExperimentConfig::paper_scale` uses the workloads' full
+/// default traces.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Iterations each workload kernel is expanded for.
+    pub iterations: u64,
+    /// The DM window sizes swept by the figures (per unit).
+    pub dm_windows: Vec<usize>,
+    /// The SWSM window sizes swept by the figures.
+    pub swsm_windows: Vec<usize>,
+    /// The SWSM window grid searched when computing equivalent window
+    /// ratios (extends well beyond the plotted range so large ratios can be
+    /// resolved).
+    pub equivalence_search_windows: Vec<usize>,
+    /// The memory differentials swept by the equivalent-window figures.
+    pub memory_differentials: Vec<Cycle>,
+}
+
+impl ExperimentConfig {
+    /// A fast configuration suitable for tests and continuous integration.
+    #[must_use]
+    pub fn quick() -> Self {
+        ExperimentConfig {
+            iterations: 300,
+            dm_windows: vec![8, 16, 32, 48, 64, 96, 128],
+            swsm_windows: vec![8, 16, 32, 48, 64, 96, 128],
+            equivalence_search_windows: vec![8, 16, 24, 32, 48, 64, 96, 128, 192, 256, 384, 512],
+            memory_differentials: vec![0, 20, 40, 60],
+        }
+    }
+
+    /// The configuration used to regenerate the paper's tables and figures.
+    #[must_use]
+    pub fn paper_scale() -> Self {
+        ExperimentConfig {
+            iterations: 1200,
+            dm_windows: vec![4, 8, 16, 24, 32, 48, 64, 80, 96, 128],
+            swsm_windows: vec![4, 8, 16, 24, 32, 48, 64, 80, 96, 128],
+            equivalence_search_windows: vec![
+                8, 16, 24, 32, 48, 64, 80, 96, 128, 160, 192, 256, 320, 384, 448, 512, 640, 768,
+            ],
+            memory_differentials: vec![0, 10, 20, 30, 40, 50, 60],
+        }
+    }
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig::quick()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dae_workloads::stream;
+
+    fn small_trace() -> Trace {
+        stream().trace(150)
+    }
+
+    #[test]
+    fn window_spec_display_and_entries() {
+        assert_eq!(format!("{}", WindowSpec::Entries(32)), "32");
+        assert_eq!(format!("{}", WindowSpec::Unlimited), "inf");
+        assert_eq!(WindowSpec::Entries(32).entries(), Some(32));
+        assert_eq!(WindowSpec::Unlimited.entries(), None);
+    }
+
+    #[test]
+    fn machine_cycles_dispatches_to_each_machine() {
+        let trace = small_trace();
+        let dm = machine_cycles(Machine::Decoupled, &trace, WindowSpec::Entries(32), 20);
+        let swsm = machine_cycles(Machine::Superscalar, &trace, WindowSpec::Entries(32), 20);
+        let scalar = machine_cycles(Machine::Scalar, &trace, WindowSpec::Entries(32), 20);
+        assert!(dm > 0 && swsm > 0 && scalar > 0);
+        assert!(dm < scalar);
+        assert!(swsm < scalar);
+        assert_eq!(dm, dm_cycles(&trace, WindowSpec::Entries(32), 20));
+        assert_eq!(swsm, swsm_cycles(&trace, WindowSpec::Entries(32), 20));
+        assert_eq!(scalar, scalar_cycles(&trace, 20));
+    }
+
+    #[test]
+    fn curves_are_monotone_for_streaming_code() {
+        let trace = small_trace();
+        for curve in [
+            dm_window_curve(&trace, &[8, 16, 32, 64], 60),
+            swsm_window_curve(&trace, &[8, 16, 32, 64], 60),
+        ] {
+            for pair in curve.points().windows(2) {
+                assert!(pair[1].1 <= pair[0].1, "bigger windows should not be slower");
+            }
+        }
+    }
+
+    #[test]
+    fn unlimited_windows_are_at_least_as_fast_as_finite_ones() {
+        let trace = small_trace();
+        assert!(dm_cycles(&trace, WindowSpec::Unlimited, 60) <= dm_cycles(&trace, WindowSpec::Entries(16), 60));
+        assert!(
+            swsm_cycles(&trace, WindowSpec::Unlimited, 60)
+                <= swsm_cycles(&trace, WindowSpec::Entries(16), 60)
+        );
+    }
+
+    #[test]
+    fn experiment_configs_have_sane_grids() {
+        for cfg in [ExperimentConfig::quick(), ExperimentConfig::paper_scale()] {
+            assert!(cfg.iterations > 0);
+            assert!(!cfg.dm_windows.is_empty());
+            assert!(!cfg.memory_differentials.is_empty());
+            assert!(cfg.memory_differentials.contains(&0));
+            assert!(cfg.memory_differentials.contains(&60));
+            assert!(
+                cfg.equivalence_search_windows.last().unwrap() >= cfg.dm_windows.last().unwrap()
+            );
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! # dae-core — the experiment API of the reproduction
+//!
+//! This crate ties the workload models, the trace lowerings and the machine
+//! simulators together into the experiments of Jones & Topham's MICRO-30
+//! paper:
+//!
+//! * [`metrics`](crate::speedup) — speedup, latency-hiding effectiveness and
+//!   the equivalent window ratio (with interpolation over window sweeps);
+//! * [`experiment`](crate::ExperimentConfig) — one-call simulation helpers
+//!   (`dm_cycles`, `swsm_cycles`, `scalar_cycles`, window sweeps) and the
+//!   shared sweep grids;
+//! * [`experiments`](crate::table1) — generators for every table and figure
+//!   of the paper's evaluation: [`table1`], [`speedup_figure`] (figures
+//!   4–6), [`equivalent_window_figure`] (figures 7–9) and
+//!   [`window_ratio_claim`] (the §5 headline claim);
+//! * [`report`](crate::TextTable) — aligned text tables and CSV export so
+//!   the experiment binaries print exactly the rows/series the paper
+//!   reports.
+//!
+//! ## Example
+//!
+//! ```
+//! use dae_core::{dm_cycles, swsm_cycles, scalar_cycles, speedup, WindowSpec};
+//! use dae_workloads::PerfectProgram;
+//!
+//! let trace = PerfectProgram::Track.workload().trace(100);
+//! let reference = scalar_cycles(&trace, 60);
+//! let dm = speedup(reference, dm_cycles(&trace, WindowSpec::Entries(32), 60));
+//! let swsm = speedup(reference, swsm_cycles(&trace, WindowSpec::Entries(32), 60));
+//! // At a realistic window and a large memory differential the decoupled
+//! // machine is ahead (the paper's central result).
+//! assert!(dm > swsm);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod experiment;
+mod experiments;
+mod metrics;
+mod report;
+
+pub use experiment::{
+    dm_config, dm_cycles, dm_window_curve, machine_cycles, scalar_cycles, swsm_config,
+    swsm_cycles, swsm_window_curve, ExperimentConfig, Machine, WindowSpec,
+};
+pub use experiments::{
+    equivalent_window_figure, speedup_figure, table1, window_ratio_claim, EwrFigure, EwrSeries,
+    SpeedupFigure, SpeedupSeries, Table1, Table1Row, WindowRatioClaim,
+};
+pub use metrics::{
+    equivalent_window_ratio, latency_hiding_effectiveness, speedup, WindowCurve,
+};
+pub use report::{fmt_metric, TextTable};
+
+/// A convenience prelude re-exporting the types most examples need.
+pub mod prelude {
+    pub use crate::{
+        dm_cycles, equivalent_window_figure, scalar_cycles, speedup, speedup_figure, swsm_cycles,
+        table1, window_ratio_claim, ExperimentConfig, Machine, WindowSpec,
+    };
+    pub use dae_machines::{
+        DecoupledMachine, DmConfig, ScalarConfig, ScalarReference, SuperscalarMachine, SwsmConfig,
+    };
+    pub use dae_workloads::{PerfectProgram, Workload};
+}

@@ -1,0 +1,165 @@
+//! Error types for kernel construction and validation.
+
+use crate::{OpKind, StmtId};
+use std::error::Error;
+use std::fmt;
+
+/// The reasons a [`Kernel`](crate::Kernel) can fail validation.
+///
+/// Kernels are pure dataflow descriptions of one loop iteration, so the
+/// validity conditions are structural: every operand must name an existing
+/// statement, intra-iteration references must point *backwards* (a single
+/// iteration is a DAG in statement order), loop-carried references must have
+/// a non-zero distance, memory statements must carry an address
+/// specification, and operands must reference statements that actually
+/// produce a value (stores do not).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum KernelError {
+    /// The kernel contains no statements.
+    Empty,
+    /// An operand of `stmt` refers to statement `referenced`, which does not
+    /// exist.
+    UnknownStatement {
+        /// The statement holding the bad operand.
+        stmt: StmtId,
+        /// The referenced (non-existent) statement.
+        referenced: StmtId,
+    },
+    /// An intra-iteration operand of `stmt` refers to `referenced`, which is
+    /// not strictly earlier in statement order.
+    ForwardReference {
+        /// The statement holding the bad operand.
+        stmt: StmtId,
+        /// The referenced statement (same or later position).
+        referenced: StmtId,
+    },
+    /// A loop-carried operand of `stmt` has distance zero.
+    ZeroCarryDistance {
+        /// The statement holding the bad operand.
+        stmt: StmtId,
+    },
+    /// An operand of `stmt` consumes the value of `referenced`, but that
+    /// statement is a store and produces no value.
+    ValuelessProducer {
+        /// The statement holding the bad operand.
+        stmt: StmtId,
+        /// The referenced store statement.
+        referenced: StmtId,
+        /// The operation kind of the referenced statement.
+        op: OpKind,
+    },
+    /// A load or store statement has no address specification.
+    MissingAddress {
+        /// The memory statement without an address.
+        stmt: StmtId,
+    },
+    /// A non-memory statement carries an address specification.
+    UnexpectedAddress {
+        /// The offending statement.
+        stmt: StmtId,
+        /// Its operation kind.
+        op: OpKind,
+    },
+    /// An indirect address specification names an operand index that does not
+    /// exist on the statement.
+    BadIndexOperand {
+        /// The memory statement.
+        stmt: StmtId,
+        /// The out-of-range operand index.
+        index: usize,
+        /// The number of operands the statement actually has.
+        operands: usize,
+    },
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::Empty => write!(f, "kernel has no statements"),
+            KernelError::UnknownStatement { stmt, referenced } => write!(
+                f,
+                "statement {stmt} references unknown statement {referenced}"
+            ),
+            KernelError::ForwardReference { stmt, referenced } => write!(
+                f,
+                "statement {stmt} has an intra-iteration reference to statement {referenced} which is not earlier"
+            ),
+            KernelError::ZeroCarryDistance { stmt } => write!(
+                f,
+                "statement {stmt} has a loop-carried operand with distance zero"
+            ),
+            KernelError::ValuelessProducer {
+                stmt,
+                referenced,
+                op,
+            } => write!(
+                f,
+                "statement {stmt} consumes statement {referenced} which is a {op} and produces no value"
+            ),
+            KernelError::MissingAddress { stmt } => {
+                write!(f, "memory statement {stmt} has no address specification")
+            }
+            KernelError::UnexpectedAddress { stmt, op } => write!(
+                f,
+                "statement {stmt} is a {op} but carries an address specification"
+            ),
+            KernelError::BadIndexOperand {
+                stmt,
+                index,
+                operands,
+            } => write!(
+                f,
+                "statement {stmt} names operand {index} as its address index but only has {operands} operands"
+            ),
+        }
+    }
+}
+
+impl Error for KernelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_never_empty() {
+        let errors = [
+            KernelError::Empty,
+            KernelError::UnknownStatement {
+                stmt: 1,
+                referenced: 9,
+            },
+            KernelError::ForwardReference {
+                stmt: 1,
+                referenced: 2,
+            },
+            KernelError::ZeroCarryDistance { stmt: 3 },
+            KernelError::ValuelessProducer {
+                stmt: 4,
+                referenced: 2,
+                op: OpKind::Store,
+            },
+            KernelError::MissingAddress { stmt: 5 },
+            KernelError::UnexpectedAddress {
+                stmt: 6,
+                op: OpKind::FpAdd,
+            },
+            KernelError::BadIndexOperand {
+                stmt: 7,
+                index: 3,
+                operands: 1,
+            },
+        ];
+        for err in errors {
+            assert!(!format!("{err}").is_empty());
+            assert!(!format!("{err:?}").is_empty());
+        }
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<KernelError>();
+    }
+}

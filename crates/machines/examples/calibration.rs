@@ -1,0 +1,59 @@
+//! Calibration probe: prints the headline quantities of the paper for every
+//! PERFECT workload model, so the synthetic kernels can be checked against
+//! the qualitative behaviour reported in the paper.
+//!
+//! Run with `cargo run --release -p dae-machines --example calibration`.
+
+use dae_machines::{DecoupledMachine, DmConfig, ScalarReference, ScalarConfig, SuperscalarMachine, SwsmConfig};
+use dae_workloads::PerfectProgram;
+
+fn main() {
+    let iters = 600;
+
+    println!("== LHE at md=60 (unlimited window and selected windows) ==");
+    println!("{:<8} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}", "prog", "w8", "w16", "w32", "w64", "w128", "inf");
+    for program in PerfectProgram::ALL {
+        let trace = program.workload().trace(iters);
+        let mut row = format!("{:<8}", program.name());
+        for window in [Some(8usize), Some(16), Some(32), Some(64), Some(128), None] {
+            let (near_cfg, far_cfg) = match window {
+                Some(w) => (DmConfig::paper(w, 0), DmConfig::paper(w, 60)),
+                None => (DmConfig::paper_unlimited(0), DmConfig::paper_unlimited(60)),
+            };
+            let near = DecoupledMachine::new(near_cfg).run(&trace).cycles() as f64;
+            let far = DecoupledMachine::new(far_cfg).run(&trace).cycles() as f64;
+            row += &format!(" {:>6.3}", near / far);
+        }
+        println!("{row}");
+    }
+
+    println!("\n== DM vs SWSM speedups vs scalar (FLO52Q / MDG / TRACK) ==");
+    for program in PerfectProgram::REPRESENTATIVE {
+        let trace = program.workload().trace(iters);
+        for md in [0u64, 60] {
+            let scalar = ScalarReference::new(ScalarConfig::new(md)).analytic_cycles(&trace) as f64;
+            print!("{:<8} md={:<3}", program.name(), md);
+            for w in [8usize, 16, 32, 48, 64, 96, 128] {
+                let dm = DecoupledMachine::new(DmConfig::paper(w, md)).run(&trace).cycles() as f64;
+                let sw = SuperscalarMachine::new(SwsmConfig::paper(w, md)).run(&trace).cycles() as f64;
+                print!("  w{w}: {:.1}/{:.1}", scalar / dm, scalar / sw);
+            }
+            println!();
+        }
+    }
+
+    println!("\n== Equivalent window ratio (md=60, DM window 32) ==");
+    for program in PerfectProgram::REPRESENTATIVE {
+        let trace = program.workload().trace(iters);
+        let dm = DecoupledMachine::new(DmConfig::paper(32, 60)).run(&trace).cycles();
+        let mut ratio = None;
+        for w in 8..=1024usize {
+            let sw = SuperscalarMachine::new(SwsmConfig::paper(w, 60)).run(&trace).cycles();
+            if sw <= dm {
+                ratio = Some(w as f64 / 32.0);
+                break;
+            }
+        }
+        println!("{:<8} dm32 cycles={} equivalent ratio={:?}", program.name(), dm, ratio);
+    }
+}

@@ -1,0 +1,361 @@
+//! The access decoupled machine (DM).
+
+use crate::{DmConfig, DmResult, EswStats, ExecutionSummary};
+use dae_isa::Cycle;
+use dae_mem::DecoupledMemory;
+use dae_ooo::{ExecContext, UnitSim};
+use dae_trace::{partition, ExecKind, MachineInst, Trace};
+
+/// The access decoupled machine of the paper (figure 1): two out-of-order
+/// superscalar units — the Address Unit executing the access stream and the
+/// Data Unit executing the compute stream — joined by the decoupled memory.
+///
+/// The AU runs ahead of the DU ("slips"), sending load addresses to the
+/// memory system long before the DU needs the values; the decoupled memory
+/// buffers returned values until the DU requests them with a single-cycle
+/// latency.  Cross-unit register traffic travels over explicit copy
+/// instructions with a configurable transfer latency.
+///
+/// # Example
+///
+/// ```
+/// use dae_isa::{KernelBuilder, Operand};
+/// use dae_machines::{DecoupledMachine, DmConfig};
+/// use dae_trace::expand;
+///
+/// let mut b = KernelBuilder::new("scale");
+/// let i = b.induction();
+/// let x = b.load_strided(&[Operand::Local(i)], 0, 8);
+/// let y = b.fp_mul(&[Operand::Local(x), Operand::Invariant(0)]);
+/// b.store_strided(&[Operand::Local(y), Operand::Local(i)], 0x10000, 8);
+/// let trace = expand(&b.build()?, 200);
+///
+/// let machine = DecoupledMachine::new(DmConfig::paper(32, 60));
+/// let result = machine.run(&trace);
+/// // The AU prefetches far ahead: execution time is a small multiple of the
+/// // iteration count, not of the 60-cycle memory latency.
+/// assert!(result.cycles() < 1_000);
+/// assert!(result.esw.max_slip > 32);
+/// # Ok::<(), dae_isa::KernelError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DecoupledMachine {
+    config: DmConfig,
+}
+
+/// Execution context for one unit of the DM: resolves cross-unit
+/// dependences against the other unit's completion times and talks to the
+/// decoupled memory.
+struct DmUnitContext<'a> {
+    other_completions: &'a [Option<Cycle>],
+    transfer_latency: Cycle,
+    memory: &'a mut DecoupledMemory,
+    consumers_remaining: &'a mut [u32],
+}
+
+impl ExecContext for DmUnitContext<'_> {
+    fn cross_ready_at(&self, idx: usize) -> Option<Cycle> {
+        self.other_completions[idx].map(|t| t + self.transfer_latency)
+    }
+
+    fn data_ready(&self, inst: &MachineInst, now: Cycle) -> bool {
+        match inst.kind {
+            ExecKind::LoadConsume => {
+                let tag = inst.tag.expect("load consume carries a tag");
+                self.memory.data_ready(tag, now)
+            }
+            ExecKind::LoadRequest => self.memory.can_accept(),
+            _ => true,
+        }
+    }
+
+    fn execute_memory(&mut self, inst: &MachineInst, now: Cycle) -> Cycle {
+        let tag = inst.tag.expect("memory instruction carries a tag");
+        match inst.kind {
+            ExecKind::LoadRequest => {
+                self.memory.request_load(tag, inst.addr.unwrap_or(0), now);
+                now + 1
+            }
+            ExecKind::LoadConsume => {
+                let remaining = &mut self.consumers_remaining[tag as usize];
+                *remaining = remaining.saturating_sub(1);
+                if *remaining == 0 {
+                    self.memory.consume(tag, now + 1);
+                }
+                now + 1
+            }
+            ExecKind::StoreOp => {
+                self.memory.request_store(inst.addr.unwrap_or(0), now);
+                now + 1
+            }
+            ExecKind::LoadBlocking => {
+                // The DM lowering never produces blocking loads, but handle
+                // the kind anyway for robustness.
+                now + 1 + self.memory.differential()
+            }
+            ExecKind::Arith | ExecKind::CopySend => unreachable!("handled by the unit"),
+        }
+    }
+}
+
+impl DecoupledMachine {
+    /// Creates a decoupled machine with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    #[must_use]
+    pub fn new(config: DmConfig) -> Self {
+        config
+            .validate()
+            .unwrap_or_else(|msg| panic!("invalid DM configuration: {msg}"));
+        DecoupledMachine { config }
+    }
+
+    /// The machine configuration.
+    #[must_use]
+    pub fn config(&self) -> &DmConfig {
+        &self.config
+    }
+
+    /// Runs `trace` to completion and returns the detailed result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation exceeds a generous safety bound on the cycle
+    /// count, which would indicate a deadlock bug rather than a slow
+    /// program.
+    #[must_use]
+    pub fn run(&self, trace: &Trace) -> DmResult {
+        let program = partition(trace, self.config.partition_mode);
+        let partition_stats = program.stats;
+        let machine_instructions = program.au.len() + program.du.len();
+
+        // How many LoadConsume instructions read each transaction, so the
+        // decoupled-memory entry can be released after its last consumer.
+        let mut consumers_remaining = vec![0u32; program.transactions as usize];
+        for inst in program.au.iter().chain(program.du.iter()) {
+            if inst.kind == ExecKind::LoadConsume {
+                consumers_remaining[inst.tag.expect("tagged") as usize] += 1;
+            }
+        }
+
+        let mut au = UnitSim::new(program.au, self.config.au, self.config.latencies);
+        let mut du = UnitSim::new(program.du, self.config.du, self.config.latencies);
+        let mut memory = DecoupledMemory::new(
+            self.config.memory_differential,
+            self.config.decoupled_memory,
+        );
+
+        let mut esw_sum: u128 = 0;
+        let mut esw_max: usize = 0;
+        let mut slip_sum: u128 = 0;
+        let mut slip_max: usize = 0;
+        let mut samples: u64 = 0;
+
+        let safety_bound = safety_bound(
+            machine_instructions,
+            self.config.memory_differential,
+            self.config.latencies.max_arith_latency(),
+        );
+
+        let mut now: Cycle = 0;
+        while !(au.is_done() && du.is_done()) {
+            {
+                let mut ctx = DmUnitContext {
+                    other_completions: du.completions(),
+                    transfer_latency: self.config.transfer_latency,
+                    memory: &mut memory,
+                    consumers_remaining: &mut consumers_remaining,
+                };
+                au.step(now, &mut ctx);
+            }
+            {
+                let mut ctx = DmUnitContext {
+                    other_completions: au.completions(),
+                    transfer_latency: self.config.transfer_latency,
+                    memory: &mut memory,
+                    consumers_remaining: &mut consumers_remaining,
+                };
+                du.step(now, &mut ctx);
+            }
+
+            if let (Some(oldest_du), Some(youngest_au)) = (
+                du.oldest_inflight_trace_pos(),
+                au.youngest_dispatched_trace_pos(),
+            ) {
+                if youngest_au >= oldest_du {
+                    let esw = youngest_au - oldest_du + 1;
+                    let slip = youngest_au - oldest_du;
+                    esw_sum += esw as u128;
+                    slip_sum += slip as u128;
+                    esw_max = esw_max.max(esw);
+                    slip_max = slip_max.max(slip);
+                    samples += 1;
+                }
+            }
+
+            now += 1;
+            assert!(
+                now < safety_bound,
+                "DM simulation exceeded {safety_bound} cycles — likely a deadlock"
+            );
+        }
+
+        let cycles = au.max_completion().max(du.max_completion());
+        DmResult {
+            summary: ExecutionSummary {
+                cycles,
+                trace_instructions: trace.len(),
+                machine_instructions,
+            },
+            au: *au.stats(),
+            du: *du.stats(),
+            esw: EswStats {
+                max_esw: esw_max,
+                avg_esw: if samples == 0 { 0.0 } else { esw_sum as f64 / samples as f64 },
+                max_slip: slip_max,
+                avg_slip: if samples == 0 { 0.0 } else { slip_sum as f64 / samples as f64 },
+                samples,
+            },
+            partition: partition_stats,
+            memory: memory.stats(),
+        }
+    }
+}
+
+/// A generous upper bound on how long any legitimate simulation can take:
+/// every instruction fully serialised at the worst-case latency, doubled,
+/// plus slack.
+pub(crate) fn safety_bound(instructions: usize, md: Cycle, max_latency: Cycle) -> Cycle {
+    (instructions as Cycle + 16) * (md + max_latency + 4) * 2 + 10_000
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dae_isa::{KernelBuilder, Operand};
+    use dae_trace::expand;
+
+    fn streaming_trace(iters: u64) -> Trace {
+        // y[i] = a*x[i] + y[i]: independent iterations, decouples perfectly.
+        let mut b = KernelBuilder::new("daxpy");
+        let i = b.induction();
+        let x = b.load_strided(&[Operand::Local(i)], 0, 8);
+        let y = b.load_strided(&[Operand::Local(i)], 0x100_000, 8);
+        let ax = b.fp_mul(&[Operand::Local(x), Operand::Invariant(0)]);
+        let s = b.fp_add(&[Operand::Local(ax), Operand::Local(y)]);
+        b.store_strided(&[Operand::Local(s), Operand::Local(i)], 0x100_000, 8);
+        expand(&b.build().unwrap(), iters)
+    }
+
+    fn pointer_chase_trace(iters: u64) -> Trace {
+        // Each load's address depends on the previous load's *value*: the
+        // serial chain runs through memory and no decoupling is possible.
+        let mut b = KernelBuilder::new("chase");
+        let p_id = b.len();
+        let p = b.load_indirect(
+            &[Operand::Carried {
+                stmt: p_id,
+                distance: 1,
+            }],
+            0x100_000,
+            1 << 16,
+            0,
+        );
+        assert_eq!(p, p_id);
+        b.fp_add_carried_self(&[Operand::Local(p)]);
+        expand(&b.build().unwrap(), iters)
+    }
+
+    #[test]
+    fn zero_md_equals_fast_execution() {
+        let trace = streaming_trace(100);
+        let result = DecoupledMachine::new(DmConfig::paper(32, 0)).run(&trace);
+        // 6 architectural instructions per iteration, combined width 9 and a
+        // short dependence chain: a few cycles per iteration at most.
+        assert!(result.cycles() < 400, "cycles = {}", result.cycles());
+        assert_eq!(result.summary.trace_instructions, 600);
+        assert!(result.summary.ipc() > 1.5);
+    }
+
+    #[test]
+    fn large_md_is_mostly_hidden_for_streaming_code() {
+        let trace = streaming_trace(200);
+        let near = DecoupledMachine::new(DmConfig::paper(64, 0)).run(&trace);
+        let far = DecoupledMachine::new(DmConfig::paper(64, 60)).run(&trace);
+        // Latency hiding: the md=60 run should cost far less than one full
+        // memory latency per iteration more than the md=0 run.
+        let slowdown = far.cycles() as f64 / near.cycles() as f64;
+        assert!(
+            slowdown < 2.5,
+            "expected most of the latency to be hidden, slowdown = {slowdown:.2}"
+        );
+    }
+
+    #[test]
+    fn pointer_chasing_cannot_hide_latency() {
+        let trace = pointer_chase_trace(50);
+        let near = DecoupledMachine::new(DmConfig::paper(32, 0)).run(&trace);
+        let far = DecoupledMachine::new(DmConfig::paper(32, 60)).run(&trace);
+        // Every iteration must wait for the previous load: the md=60 run pays
+        // close to the full differential per iteration.
+        assert!(far.cycles() > near.cycles() + 50 * 40);
+    }
+
+    #[test]
+    fn au_slips_ahead_of_du() {
+        let trace = streaming_trace(300);
+        let result = DecoupledMachine::new(DmConfig::paper(16, 60)).run(&trace);
+        assert!(result.esw.samples > 0);
+        assert!(
+            result.esw.max_slip > 16,
+            "AU should run ahead of the DU by more than one window: slip = {}",
+            result.esw.max_slip
+        );
+        assert!(result.esw.avg_esw > 16.0);
+        assert!(result.esw.max_esw >= result.esw.max_slip);
+    }
+
+    #[test]
+    fn bigger_windows_never_hurt_streaming_code() {
+        let trace = streaming_trace(150);
+        let small = DecoupledMachine::new(DmConfig::paper(4, 60)).run(&trace);
+        let medium = DecoupledMachine::new(DmConfig::paper(16, 60)).run(&trace);
+        let large = DecoupledMachine::new(DmConfig::paper(64, 60)).run(&trace);
+        assert!(medium.cycles() <= small.cycles());
+        assert!(large.cycles() <= medium.cycles());
+    }
+
+    #[test]
+    fn unlimited_window_is_a_lower_bound() {
+        let trace = streaming_trace(100);
+        let limited = DecoupledMachine::new(DmConfig::paper(8, 60)).run(&trace);
+        let unlimited = DecoupledMachine::new(DmConfig::paper_unlimited(60)).run(&trace);
+        assert!(unlimited.cycles() <= limited.cycles());
+    }
+
+    #[test]
+    fn result_counters_are_consistent() {
+        let trace = streaming_trace(50);
+        let result = DecoupledMachine::new(DmConfig::paper(32, 20)).run(&trace);
+        assert_eq!(result.summary.trace_instructions, trace.len());
+        assert_eq!(
+            result.summary.machine_instructions as u64,
+            result.au.dispatched + result.du.dispatched
+        );
+        assert_eq!(result.au.dispatched, result.au.issued);
+        assert_eq!(result.du.dispatched, result.du.issued);
+        assert_eq!(result.partition.loads, 100);
+    }
+
+    #[test]
+    fn memory_counters_match_the_partition() {
+        let trace = streaming_trace(40);
+        let result = DecoupledMachine::new(DmConfig::paper(32, 20)).run(&trace);
+        assert_eq!(result.memory.load_requests, 80);
+        assert_eq!(result.memory.consumed, 80);
+        // Store address + store data both notify the decoupled memory.
+        assert_eq!(result.memory.store_requests, 80);
+    }
+}

@@ -1,0 +1,151 @@
+//! Simulation results.
+
+use dae_isa::Cycle;
+use dae_mem::{DecoupledMemoryStats, PrefetchBufferStats};
+use dae_ooo::UnitStats;
+use dae_trace::{PartitionStats, SwsmStats};
+use serde::{Deserialize, Serialize};
+
+/// The part of a simulation result every machine shares.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecutionSummary {
+    /// Total execution time in cycles.
+    pub cycles: Cycle,
+    /// Architectural (trace) instructions executed.
+    pub trace_instructions: usize,
+    /// Lowered machine instructions executed (includes prefetches, copies,
+    /// request/consume pairs).
+    pub machine_instructions: usize,
+}
+
+impl ExecutionSummary {
+    /// Architectural instructions completed per cycle.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.trace_instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Lowered machine instructions completed per cycle.
+    #[must_use]
+    pub fn machine_ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.machine_instructions as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// Slippage / effective-single-window statistics of a decoupled-machine run.
+///
+/// The *effective single window* (ESW, §3 of the paper) is the span of
+/// architectural program order between the oldest instruction still held by
+/// the DU and the youngest instruction already fetched by the AU: the window
+/// a single-window machine would need to cover the same set of in-flight
+/// instructions.  Because the AU slips ahead of the DU, the ESW can be much
+/// larger than the sum of the two physical windows.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EswStats {
+    /// Largest effective single window observed (architectural
+    /// instructions).
+    pub max_esw: usize,
+    /// Mean effective single window over the sampled cycles.
+    pub avg_esw: f64,
+    /// Largest AU-ahead-of-DU slip observed, in architectural instructions.
+    pub max_slip: usize,
+    /// Mean slip over the sampled cycles.
+    pub avg_slip: f64,
+    /// Number of cycles sampled (cycles in which both units had work in
+    /// flight).
+    pub samples: u64,
+}
+
+/// Result of running the access decoupled machine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DmResult {
+    /// Shared execution summary.
+    pub summary: ExecutionSummary,
+    /// Address-unit pipeline statistics.
+    pub au: UnitStats,
+    /// Data-unit pipeline statistics.
+    pub du: UnitStats,
+    /// Slippage / effective-single-window statistics.
+    pub esw: EswStats,
+    /// Structure of the partitioned program.
+    pub partition: PartitionStats,
+    /// Decoupled-memory counters.
+    pub memory: DecoupledMemoryStats,
+}
+
+impl DmResult {
+    /// Total execution time in cycles.
+    #[must_use]
+    pub fn cycles(&self) -> Cycle {
+        self.summary.cycles
+    }
+}
+
+/// Result of running the single-window superscalar machine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SwsmResult {
+    /// Shared execution summary.
+    pub summary: ExecutionSummary,
+    /// Pipeline statistics.
+    pub unit: UnitStats,
+    /// Structure of the prefetch-expanded program.
+    pub lowering: SwsmStats,
+    /// Prefetch-buffer counters.
+    pub buffer: PrefetchBufferStats,
+}
+
+impl SwsmResult {
+    /// Total execution time in cycles.
+    #[must_use]
+    pub fn cycles(&self) -> Cycle {
+        self.summary.cycles
+    }
+}
+
+/// Result of running the scalar reference machine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScalarResult {
+    /// Shared execution summary.
+    pub summary: ExecutionSummary,
+    /// Pipeline statistics.
+    pub unit: UnitStats,
+}
+
+impl ScalarResult {
+    /// Total execution time in cycles.
+    #[must_use]
+    pub fn cycles(&self) -> Cycle {
+        self.summary.cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_rates_handle_zero_cycles() {
+        let s = ExecutionSummary::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.machine_ipc(), 0.0);
+    }
+
+    #[test]
+    fn ipc_rates_compute_expected_values() {
+        let s = ExecutionSummary {
+            cycles: 100,
+            trace_instructions: 250,
+            machine_instructions: 325,
+        };
+        assert!((s.ipc() - 2.5).abs() < 1e-12);
+        assert!((s.machine_ipc() - 3.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,188 @@
+//! The scalar reference machine (the speedup denominator).
+
+use crate::{ExecutionSummary, ScalarConfig, ScalarResult};
+use dae_isa::Cycle;
+use dae_mem::FixedLatencyMemory;
+use dae_ooo::{ExecContext, UnitConfig, UnitSim};
+use dae_trace::{lower_scalar, ExecKind, MachineInst, Trace};
+
+/// The scalar reference: a single-issue, in-order machine with a one-entry
+/// window and no prefetching, so every load exposes the full memory
+/// differential.
+///
+/// The paper plots "speedup" without stating the baseline (it lives in the
+/// companion technical report); this reproduction uses the scalar reference
+/// at the *same* memory differential as the machine under test, which leaves
+/// every comparative claim between the DM and the SWSM unchanged (see
+/// DESIGN.md).
+///
+/// # Example
+///
+/// ```
+/// use dae_isa::{KernelBuilder, Operand};
+/// use dae_machines::{ScalarConfig, ScalarReference};
+/// use dae_trace::expand;
+///
+/// let mut b = KernelBuilder::new("sum");
+/// let i = b.induction();
+/// let x = b.load_strided(&[Operand::Local(i)], 0, 8);
+/// b.fp_add_carried_self(&[Operand::Local(x)]);
+/// let trace = expand(&b.build()?, 10);
+///
+/// let result = ScalarReference::new(ScalarConfig::new(60)).run(&trace);
+/// // Each iteration pays 1 (int) + 61 (load) + 2 (fp) cycles, fully serial.
+/// assert_eq!(result.cycles(), 640);
+/// # Ok::<(), dae_isa::KernelError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScalarReference {
+    config: ScalarConfig,
+}
+
+struct ScalarContext {
+    memory: FixedLatencyMemory,
+}
+
+impl ExecContext for ScalarContext {
+    fn execute_memory(&mut self, inst: &MachineInst, now: Cycle) -> Cycle {
+        let addr = inst.addr.unwrap_or(0);
+        match inst.kind {
+            ExecKind::LoadBlocking => self.memory.request_load(addr, now),
+            ExecKind::StoreOp => {
+                self.memory.request_store(addr, now);
+                now + 1
+            }
+            ExecKind::LoadRequest | ExecKind::LoadConsume => now + 1,
+            ExecKind::Arith | ExecKind::CopySend => unreachable!("handled by the unit"),
+        }
+    }
+}
+
+impl ScalarReference {
+    /// Creates a scalar reference machine.
+    #[must_use]
+    pub fn new(config: ScalarConfig) -> Self {
+        ScalarReference { config }
+    }
+
+    /// The machine configuration.
+    #[must_use]
+    pub fn config(&self) -> &ScalarConfig {
+        &self.config
+    }
+
+    /// Runs `trace` to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation exceeds the deadlock safety bound.
+    #[must_use]
+    pub fn run(&self, trace: &Trace) -> ScalarResult {
+        let program = lower_scalar(trace);
+        let machine_instructions = program.insts.len();
+        let unit_config = UnitConfig {
+            window_size: Some(1),
+            issue_width: 1,
+            dispatch_width: Some(1),
+            ..UnitConfig::default()
+        };
+        let mut unit = UnitSim::new(program.insts, unit_config, self.config.latencies);
+        let mut ctx = ScalarContext {
+            memory: FixedLatencyMemory::new(self.config.memory_differential),
+        };
+
+        let safety_bound = crate::dm::safety_bound(
+            machine_instructions,
+            self.config.memory_differential,
+            self.config.latencies.max_arith_latency(),
+        );
+
+        let mut now: Cycle = 0;
+        while !unit.is_done() {
+            unit.step(now, &mut ctx);
+            now += 1;
+            assert!(
+                now < safety_bound,
+                "scalar simulation exceeded {safety_bound} cycles — likely a deadlock"
+            );
+        }
+
+        ScalarResult {
+            summary: ExecutionSummary {
+                cycles: unit.max_completion(),
+                trace_instructions: trace.len(),
+                machine_instructions,
+            },
+            unit: *unit.stats(),
+        }
+    }
+
+    /// The analytic execution time of the scalar reference: the sum of every
+    /// instruction's latency, with loads costing `1 + MD`.
+    ///
+    /// Useful for tests (the simulated result must match) and for cheap
+    /// speedup denominators in large sweeps.
+    #[must_use]
+    pub fn analytic_cycles(&self, trace: &Trace) -> Cycle {
+        trace
+            .iter()
+            .map(|inst| {
+                if inst.op.is_load() {
+                    self.config.latencies.latency_of(inst.op) + self.config.memory_differential
+                } else {
+                    self.config.latencies.latency_of(inst.op)
+                }
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dae_isa::{KernelBuilder, Operand};
+    use dae_trace::expand;
+
+    fn small_trace(iters: u64) -> Trace {
+        let mut b = KernelBuilder::new("axpy");
+        let i = b.induction();
+        let x = b.load_strided(&[Operand::Local(i)], 0, 8);
+        let y = b.fp_mul(&[Operand::Local(x), Operand::Invariant(0)]);
+        b.store_strided(&[Operand::Local(y), Operand::Local(i)], 0x1000, 8);
+        expand(&b.build().unwrap(), iters)
+    }
+
+    #[test]
+    fn simulated_time_matches_the_analytic_sum_of_latencies() {
+        for md in [0, 10, 60] {
+            let trace = small_trace(25);
+            let machine = ScalarReference::new(ScalarConfig::new(md));
+            let result = machine.run(&trace);
+            assert_eq!(result.cycles(), machine.analytic_cycles(&trace), "md={md}");
+        }
+    }
+
+    #[test]
+    fn analytic_cycles_formula() {
+        let trace = small_trace(10);
+        let machine = ScalarReference::new(ScalarConfig::new(60));
+        // Per iteration: 1 (int) + 61 (load) + 2 (fmul) + 1 (store) = 65.
+        assert_eq!(machine.analytic_cycles(&trace), 650);
+    }
+
+    #[test]
+    fn the_scalar_reference_never_overlaps_anything() {
+        let trace = small_trace(30);
+        let result = ScalarReference::new(ScalarConfig::new(20)).run(&trace);
+        assert!(result.summary.ipc() < 1.0);
+        assert_eq!(result.unit.occupancy_max, 1);
+    }
+
+    #[test]
+    fn zero_length_traces_are_handled() {
+        let trace = small_trace(0);
+        let result = ScalarReference::new(ScalarConfig::new(60)).run(&trace);
+        assert_eq!(result.cycles(), 0);
+        assert_eq!(result.summary.trace_instructions, 0);
+    }
+}

@@ -1,0 +1,249 @@
+//! The single-window superscalar machine (SWSM).
+
+use crate::{ExecutionSummary, SwsmConfig, SwsmResult};
+use dae_isa::Cycle;
+use dae_mem::PrefetchBuffer;
+use dae_ooo::{ExecContext, UnitSim};
+use dae_trace::{expand_swsm, ExecKind, MachineInst, Trace};
+
+/// The single-window out-of-order superscalar machine of the paper
+/// (figure 2), with the hybrid prefetch scheme: every memory operation is a
+/// prefetch instruction (which fills the fully associative prefetch buffer)
+/// followed by an access instruction (a single-cycle buffer hit once the
+/// data has arrived).
+///
+/// Unlike the decoupled machine, the full issue width is available to a
+/// single instruction window every cycle — but prefetches, accesses and
+/// compute all compete for the same window slots, which is exactly the
+/// effect the paper studies.
+///
+/// # Example
+///
+/// ```
+/// use dae_isa::{KernelBuilder, Operand};
+/// use dae_machines::{SuperscalarMachine, SwsmConfig};
+/// use dae_trace::expand;
+///
+/// let mut b = KernelBuilder::new("scale");
+/// let i = b.induction();
+/// let x = b.load_strided(&[Operand::Local(i)], 0, 8);
+/// let y = b.fp_mul(&[Operand::Local(x), Operand::Invariant(0)]);
+/// b.store_strided(&[Operand::Local(y), Operand::Local(i)], 0x10000, 8);
+/// let trace = expand(&b.build()?, 200);
+///
+/// let machine = SuperscalarMachine::new(SwsmConfig::paper(64, 60));
+/// let result = machine.run(&trace);
+/// assert!(result.cycles() > 0);
+/// assert_eq!(result.lowering.prefetches, 400);
+/// # Ok::<(), dae_isa::KernelError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SuperscalarMachine {
+    config: SwsmConfig,
+}
+
+struct SwsmContext<'a> {
+    buffer: &'a mut PrefetchBuffer,
+    memory_differential: Cycle,
+}
+
+impl ExecContext for SwsmContext<'_> {
+    fn data_ready(&self, inst: &MachineInst, now: Cycle) -> bool {
+        match inst.kind {
+            ExecKind::LoadConsume => {
+                let addr = inst.addr.unwrap_or(0);
+                match self.buffer.available_at(addr) {
+                    // Prefetched: wait until the data has actually arrived,
+                    // then the access is a single-cycle buffer hit.
+                    Some(arrival) => arrival <= now,
+                    // Evicted or never prefetched (only possible with a
+                    // finite buffer): the access is free to issue and will
+                    // pay the full memory latency itself.
+                    None => true,
+                }
+            }
+            _ => true,
+        }
+    }
+
+    fn execute_memory(&mut self, inst: &MachineInst, now: Cycle) -> Cycle {
+        let addr = inst.addr.unwrap_or(0);
+        match inst.kind {
+            ExecKind::LoadRequest => {
+                self.buffer.prefetch(addr, now);
+                now + 1
+            }
+            ExecKind::LoadConsume => match self.buffer.access(addr, now) {
+                Some(_arrival) => now + 1,
+                None => now + 1 + self.memory_differential,
+            },
+            ExecKind::StoreOp => now + 1,
+            ExecKind::LoadBlocking => now + 1 + self.memory_differential,
+            ExecKind::Arith | ExecKind::CopySend => unreachable!("handled by the unit"),
+        }
+    }
+}
+
+impl SuperscalarMachine {
+    /// Creates a superscalar machine with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    #[must_use]
+    pub fn new(config: SwsmConfig) -> Self {
+        config
+            .validate()
+            .unwrap_or_else(|msg| panic!("invalid SWSM configuration: {msg}"));
+        SuperscalarMachine { config }
+    }
+
+    /// The machine configuration.
+    #[must_use]
+    pub fn config(&self) -> &SwsmConfig {
+        &self.config
+    }
+
+    /// Runs `trace` to completion and returns the detailed result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation exceeds the deadlock safety bound.
+    #[must_use]
+    pub fn run(&self, trace: &Trace) -> SwsmResult {
+        let program = expand_swsm(trace);
+        let lowering = program.stats;
+        let machine_instructions = program.insts.len();
+
+        let mut unit = UnitSim::new(program.insts, self.config.unit, self.config.latencies);
+        let mut buffer = PrefetchBuffer::new(
+            self.config.memory_differential,
+            self.config.prefetch_buffer,
+        );
+
+        let safety_bound = crate::dm::safety_bound(
+            machine_instructions,
+            self.config.memory_differential,
+            self.config.latencies.max_arith_latency(),
+        );
+
+        let mut now: Cycle = 0;
+        while !unit.is_done() {
+            let mut ctx = SwsmContext {
+                buffer: &mut buffer,
+                memory_differential: self.config.memory_differential,
+            };
+            unit.step(now, &mut ctx);
+            now += 1;
+            assert!(
+                now < safety_bound,
+                "SWSM simulation exceeded {safety_bound} cycles — likely a deadlock"
+            );
+        }
+
+        SwsmResult {
+            summary: ExecutionSummary {
+                cycles: unit.max_completion(),
+                trace_instructions: trace.len(),
+                machine_instructions,
+            },
+            unit: *unit.stats(),
+            lowering,
+            buffer: buffer.stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dae_isa::{KernelBuilder, Operand};
+    use dae_mem::PrefetchBufferConfig;
+    use dae_trace::expand;
+
+    fn streaming_trace(iters: u64) -> Trace {
+        let mut b = KernelBuilder::new("daxpy");
+        let i = b.induction();
+        let x = b.load_strided(&[Operand::Local(i)], 0, 8);
+        let y = b.load_strided(&[Operand::Local(i)], 0x100_000, 8);
+        let ax = b.fp_mul(&[Operand::Local(x), Operand::Invariant(0)]);
+        let s = b.fp_add(&[Operand::Local(ax), Operand::Local(y)]);
+        b.store_strided(&[Operand::Local(s), Operand::Local(i)], 0x100_000, 8);
+        expand(&b.build().unwrap(), iters)
+    }
+
+    #[test]
+    fn bigger_windows_hide_more_of_the_latency() {
+        // The SWSM's prefetching ability is bounded by its window: the
+        // window must hold every instruction between a prefetch and its
+        // access for the prefetch to run ahead.  A 128-entry window hides a
+        // good part of a 60-cycle differential; an 8-entry window hides very
+        // little.  (It takes a window of several hundred entries to hide it
+        // completely — exactly the paper's point.)
+        let trace = streaming_trace(200);
+        let near = SuperscalarMachine::new(SwsmConfig::paper(128, 0)).run(&trace);
+        let far_small = SuperscalarMachine::new(SwsmConfig::paper(8, 60)).run(&trace);
+        let far_large = SuperscalarMachine::new(SwsmConfig::paper(128, 60)).run(&trace);
+        let slowdown_small = far_small.cycles() as f64 / near.cycles() as f64;
+        let slowdown_large = far_large.cycles() as f64 / near.cycles() as f64;
+        assert!(
+            slowdown_large < 6.0,
+            "a 128-entry window should hide a useful part of the latency, slowdown = {slowdown_large:.2}"
+        );
+        assert!(
+            slowdown_small > 2.0 * slowdown_large,
+            "an 8-entry window should hide far less: {slowdown_small:.2} vs {slowdown_large:.2}"
+        );
+    }
+
+    #[test]
+    fn small_windows_expose_the_latency() {
+        let trace = streaming_trace(100);
+        let small = SuperscalarMachine::new(SwsmConfig::paper(4, 60)).run(&trace);
+        let large = SuperscalarMachine::new(SwsmConfig::paper(128, 60)).run(&trace);
+        assert!(
+            small.cycles() > 2 * large.cycles(),
+            "small window {} vs large window {}",
+            small.cycles(),
+            large.cycles()
+        );
+    }
+
+    #[test]
+    fn every_access_hits_the_unbounded_buffer() {
+        let trace = streaming_trace(80);
+        let result = SuperscalarMachine::new(SwsmConfig::paper(64, 30)).run(&trace);
+        // 2 loads per iteration hit; stores never query the buffer.
+        assert_eq!(result.buffer.hits, 160);
+        assert_eq!(result.buffer.misses, 0);
+        assert_eq!(result.buffer.prefetches, 240);
+    }
+
+    #[test]
+    fn a_tiny_buffer_causes_misses_but_still_terminates() {
+        let trace = streaming_trace(80);
+        let mut cfg = SwsmConfig::paper(64, 30);
+        cfg.prefetch_buffer = PrefetchBufferConfig { capacity: Some(2) };
+        let result = SuperscalarMachine::new(cfg).run(&trace);
+        assert!(result.buffer.misses > 0, "evictions should cause misses");
+        let unbounded = SuperscalarMachine::new(SwsmConfig::paper(64, 30)).run(&trace);
+        assert!(result.cycles() >= unbounded.cycles());
+    }
+
+    #[test]
+    fn result_counters_are_consistent() {
+        let trace = streaming_trace(50);
+        let result = SuperscalarMachine::new(SwsmConfig::paper(32, 20)).run(&trace);
+        assert_eq!(result.summary.trace_instructions, trace.len());
+        assert_eq!(result.summary.machine_instructions as u64, result.unit.dispatched);
+        assert_eq!(result.unit.dispatched, result.unit.issued);
+        assert!((result.lowering.expansion_ratio() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_md_runs_fast() {
+        let trace = streaming_trace(100);
+        let result = SuperscalarMachine::new(SwsmConfig::paper(64, 0)).run(&trace);
+        assert!(result.summary.ipc() > 1.5, "ipc = {}", result.summary.ipc());
+    }
+}

@@ -1,0 +1,96 @@
+//! Determinism and configuration-independence checks for the machine models.
+//!
+//! The simulators must be pure functions of (trace, configuration): repeated
+//! runs give bit-identical results, results do not depend on unrelated
+//! configuration fields, and the detailed statistics are reproducible enough
+//! to be quoted in EXPERIMENTS.md.
+
+use dae_machines::{
+    DecoupledMachine, DmConfig, ScalarConfig, ScalarReference, SuperscalarMachine, SwsmConfig,
+};
+use dae_workloads::{PerfectProgram, reduction, stream};
+
+#[test]
+fn repeated_runs_are_bit_identical() {
+    for program in [PerfectProgram::Adm, PerfectProgram::Mdg, PerfectProgram::Track] {
+        let trace = program.workload().trace(150);
+        let dm_config = DmConfig::paper(32, 60);
+        let first = DecoupledMachine::new(dm_config).run(&trace);
+        let second = DecoupledMachine::new(dm_config).run(&trace);
+        assert_eq!(first, second, "{program}: DM runs must be deterministic");
+
+        let swsm_config = SwsmConfig::paper(32, 60);
+        let first = SuperscalarMachine::new(swsm_config).run(&trace);
+        let second = SuperscalarMachine::new(swsm_config).run(&trace);
+        assert_eq!(first, second, "{program}: SWSM runs must be deterministic");
+    }
+}
+
+#[test]
+fn trace_regeneration_is_deterministic() {
+    for program in PerfectProgram::ALL {
+        let a = program.workload().trace(100);
+        let b = program.workload().trace(100);
+        assert_eq!(a, b, "{program}: regenerated traces must be identical");
+    }
+}
+
+#[test]
+fn machines_reuse_is_safe() {
+    // A machine value can be reused across traces and the results only
+    // depend on the trace passed in.
+    let machine = DecoupledMachine::new(DmConfig::paper(16, 40));
+    let stream_trace = stream().trace(120);
+    let reduction_trace = reduction().trace(120);
+    let s1 = machine.run(&stream_trace);
+    let r1 = machine.run(&reduction_trace);
+    let s2 = machine.run(&stream_trace);
+    assert_eq!(s1, s2);
+    assert_ne!(s1.summary.cycles, 0);
+    assert_ne!(r1.summary.cycles, 0);
+}
+
+#[test]
+fn unrelated_configuration_fields_do_not_change_results() {
+    let trace = PerfectProgram::Qcd.workload().trace(120);
+
+    // The transfer latency only matters when cross-unit copies exist; QCD has
+    // none, so changing it must not change the result.
+    let baseline = DecoupledMachine::new(DmConfig::paper(32, 60)).run(&trace);
+    let mut config = DmConfig::paper(32, 60);
+    config.transfer_latency = 5;
+    let with_slow_copies = DecoupledMachine::new(config).run(&trace);
+    assert_eq!(baseline.summary.cycles, with_slow_copies.summary.cycles);
+
+    // TRACK does have loss-of-decoupling copies, so there the transfer
+    // latency must matter.
+    let track = PerfectProgram::Track.workload().trace(120);
+    let fast = DecoupledMachine::new(DmConfig::paper(32, 60)).run(&track);
+    let mut slow_config = DmConfig::paper(32, 60);
+    slow_config.transfer_latency = 8;
+    let slow = DecoupledMachine::new(slow_config).run(&track);
+    assert!(slow.summary.cycles >= fast.summary.cycles);
+}
+
+#[test]
+fn scalar_reference_is_insensitive_to_everything_but_md_and_latencies() {
+    let trace = PerfectProgram::Dyfesm.workload().trace(100);
+    let a = ScalarReference::new(ScalarConfig::new(60)).run(&trace);
+    let b = ScalarReference::new(ScalarConfig::new(60)).run(&trace);
+    assert_eq!(a, b);
+    let faster_memory = ScalarReference::new(ScalarConfig::new(10)).run(&trace);
+    assert!(faster_memory.cycles() < a.cycles());
+}
+
+#[test]
+fn detailed_statistics_are_stable_across_runs() {
+    let trace = PerfectProgram::Flo52q.workload().trace(200);
+    let config = DmConfig::paper(24, 60);
+    let first = DecoupledMachine::new(config).run(&trace);
+    let second = DecoupledMachine::new(config).run(&trace);
+    assert_eq!(first.esw, second.esw);
+    assert_eq!(first.memory, second.memory);
+    assert_eq!(first.au, second.au);
+    assert_eq!(first.du, second.du);
+    assert_eq!(first.partition, second.partition);
+}

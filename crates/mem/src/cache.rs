@@ -1,0 +1,323 @@
+//! A small set-associative cache model and a two-level hierarchy.
+//!
+//! The paper deliberately models the memory system as a flat fixed cost
+//! ("the memory differential") and notes that in practice first and second
+//! level caches would reduce the average access time.  The ablation
+//! experiments in `dae-bench` use this module to replace the flat cost with
+//! a simple hierarchy and check that the paper's qualitative conclusions are
+//! insensitive to that choice.
+
+use dae_isa::{Address, Cycle};
+use serde::{Deserialize, Serialize};
+
+/// Geometry of a single cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Number of sets (must be a power of two).
+    pub sets: usize,
+    /// Associativity (ways per set).
+    pub ways: usize,
+    /// Line size in bytes (must be a power of two).
+    pub line_bytes: u64,
+}
+
+impl CacheConfig {
+    /// A small L1-like configuration: 8 KiB, 2-way, 32-byte lines.
+    #[must_use]
+    pub fn small_l1() -> Self {
+        CacheConfig {
+            sets: 128,
+            ways: 2,
+            line_bytes: 32,
+        }
+    }
+
+    /// A larger L2-like configuration: 256 KiB, 4-way, 64-byte lines.
+    #[must_use]
+    pub fn small_l2() -> Self {
+        CacheConfig {
+            sets: 1024,
+            ways: 4,
+            line_bytes: 64,
+        }
+    }
+
+    /// Total capacity in bytes.
+    #[must_use]
+    pub fn capacity_bytes(&self) -> u64 {
+        self.sets as u64 * self.ways as u64 * self.line_bytes
+    }
+}
+
+/// Hit / miss counters of a [`Cache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Hits.
+    pub hits: u64,
+    /// Misses.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]` (zero when there were no accesses).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// A set-associative cache with LRU replacement, tracking only tags.
+///
+/// # Example
+///
+/// ```
+/// use dae_mem::{Cache, CacheConfig};
+///
+/// let mut cache = Cache::new(CacheConfig::small_l1());
+/// assert!(!cache.access(0x1000)); // cold miss
+/// assert!(cache.access(0x1004));  // same line hits
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    /// `sets x ways` tags; `None` is an empty way.  Most recently used ways
+    /// are kept at the front of each set's vector.
+    sets: Vec<Vec<u64>>,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` or `line_bytes` is not a power of two, or if `ways`
+    /// is zero.
+    #[must_use]
+    pub fn new(config: CacheConfig) -> Self {
+        assert!(config.sets.is_power_of_two(), "sets must be a power of two");
+        assert!(
+            config.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        assert!(config.ways > 0, "associativity must be non-zero");
+        Cache {
+            config,
+            sets: vec![Vec::with_capacity(config.ways); config.sets],
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache geometry.
+    #[must_use]
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Accesses `addr`, returning `true` on a hit.  The line is installed on
+    /// a miss (no distinction between loads and stores; the model is
+    /// write-allocate).
+    pub fn access(&mut self, addr: Address) -> bool {
+        self.stats.accesses += 1;
+        let line = addr / self.config.line_bytes;
+        let set_idx = (line as usize) & (self.config.sets - 1);
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|&t| t == line) {
+            set.remove(pos);
+            set.insert(0, line);
+            self.stats.hits += 1;
+            true
+        } else {
+            set.insert(0, line);
+            if set.len() > self.config.ways {
+                set.pop();
+            }
+            self.stats.misses += 1;
+            false
+        }
+    }
+
+    /// Counters accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+/// Latencies of a two-level hierarchy terminating in main memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HierarchyLatency {
+    /// Extra cycles for an L1 hit (beyond the register-access cycle).
+    pub l1_hit: Cycle,
+    /// Extra cycles for an L2 hit.
+    pub l2_hit: Cycle,
+    /// Extra cycles for a main-memory access (the paper's MD).
+    pub memory: Cycle,
+}
+
+impl Default for HierarchyLatency {
+    fn default() -> Self {
+        // The paper motivates MD = 60 as "comparable to the cost of a second
+        // level cache miss"; an L2 hit is roughly a third of that.
+        HierarchyLatency {
+            l1_hit: 2,
+            l2_hit: 20,
+            memory: 60,
+        }
+    }
+}
+
+/// A two-level cache hierarchy producing a per-access latency.
+///
+/// Used by the ablation that replaces the paper's flat memory differential
+/// with a locality-sensitive cost.
+#[derive(Debug, Clone)]
+pub struct MemoryHierarchy {
+    l1: Cache,
+    l2: Cache,
+    latency: HierarchyLatency,
+}
+
+impl MemoryHierarchy {
+    /// Creates a hierarchy with the given cache geometries and latencies.
+    #[must_use]
+    pub fn new(l1: CacheConfig, l2: CacheConfig, latency: HierarchyLatency) -> Self {
+        MemoryHierarchy {
+            l1: Cache::new(l1),
+            l2: Cache::new(l2),
+            latency,
+        }
+    }
+
+    /// A hierarchy with the default small geometries and latencies.
+    #[must_use]
+    pub fn small() -> Self {
+        MemoryHierarchy::new(
+            CacheConfig::small_l1(),
+            CacheConfig::small_l2(),
+            HierarchyLatency::default(),
+        )
+    }
+
+    /// The extra latency (beyond the register-access cycle) of an access to
+    /// `addr`, updating both levels.
+    pub fn access_latency(&mut self, addr: Address) -> Cycle {
+        if self.l1.access(addr) {
+            self.latency.l1_hit
+        } else if self.l2.access(addr) {
+            self.latency.l2_hit
+        } else {
+            self.latency.memory
+        }
+    }
+
+    /// The L1 counters.
+    #[must_use]
+    pub fn l1_stats(&self) -> CacheStats {
+        self.l1.stats()
+    }
+
+    /// The L2 counters.
+    #[must_use]
+    pub fn l2_stats(&self) -> CacheStats {
+        self.l2.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_line_hits_after_cold_miss() {
+        let mut c = Cache::new(CacheConfig::small_l1());
+        assert!(!c.access(0x1000));
+        assert!(c.access(0x101f), "same 32-byte line");
+        assert!(!c.access(0x1020), "next line misses");
+        let st = c.stats();
+        assert_eq!(st.accesses, 3);
+        assert_eq!(st.hits, 1);
+        assert_eq!(st.misses, 2);
+        assert!((st.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conflict_misses_respect_associativity() {
+        // 2-way cache: three lines mapping to the same set cause the first to
+        // be evicted.
+        let cfg = CacheConfig {
+            sets: 4,
+            ways: 2,
+            line_bytes: 16,
+        };
+        let mut c = Cache::new(cfg);
+        let set_stride = 16 * 4; // lines that differ by sets*line_bytes share a set
+        c.access(0);
+        c.access(set_stride);
+        c.access(2 * set_stride); // evicts line 0
+        assert!(!c.access(0), "evicted line misses again");
+        assert!(c.access(2 * set_stride));
+    }
+
+    #[test]
+    fn lru_keeps_recently_used_lines() {
+        let cfg = CacheConfig {
+            sets: 1,
+            ways: 2,
+            line_bytes: 8,
+        };
+        let mut c = Cache::new(cfg);
+        c.access(0x00);
+        c.access(0x08);
+        c.access(0x00); // touch: 0x08 is now LRU
+        c.access(0x10); // evicts 0x08
+        assert!(c.access(0x00));
+        assert!(!c.access(0x08));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_sets_panic() {
+        let _ = Cache::new(CacheConfig {
+            sets: 3,
+            ways: 1,
+            line_bytes: 32,
+        });
+    }
+
+    #[test]
+    fn capacity_bytes_is_consistent() {
+        assert_eq!(CacheConfig::small_l1().capacity_bytes(), 8 * 1024);
+        assert_eq!(CacheConfig::small_l2().capacity_bytes(), 256 * 1024);
+    }
+
+    #[test]
+    fn hierarchy_latency_reflects_where_the_line_lives() {
+        let mut h = MemoryHierarchy::small();
+        let lat = HierarchyLatency::default();
+        // Cold: full memory latency.
+        assert_eq!(h.access_latency(0x4000), lat.memory);
+        // Now both levels hold the line: L1 hit.
+        assert_eq!(h.access_latency(0x4000), lat.l1_hit);
+        assert!(h.l1_stats().hits >= 1);
+        assert!(h.l2_stats().accesses >= 1);
+    }
+
+    #[test]
+    fn streaming_through_a_big_array_misses_mostly() {
+        let mut h = MemoryHierarchy::small();
+        let mut total = 0u64;
+        let accesses = 4096u64;
+        for i in 0..accesses {
+            total += h.access_latency(i * 64 * 17); // strided, no reuse
+        }
+        let avg = total as f64 / accesses as f64;
+        assert!(avg > 40.0, "average latency {avg} should approach memory");
+    }
+}

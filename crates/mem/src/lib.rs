@@ -1,0 +1,38 @@
+//! # dae-mem — memory-system models
+//!
+//! The paper abstracts the memory system to a single number, the **memory
+//! differential (MD)**: the extra cycles a memory access costs over a
+//! register access.  Everything interesting happens in the structures that
+//! sit *between* the processor and that fixed-cost memory:
+//!
+//! * [`FixedLatencyMemory`] — the memory system itself (every access costs
+//!   `1 + MD` cycles) with simple bandwidth accounting;
+//! * [`DecoupledMemory`] — the buffer between the Address Unit and Data Unit
+//!   of the access decoupled machine: the AU sends addresses, the values come
+//!   back MD cycles later and are held until the DU (or the AU itself, for
+//!   self loads) requests them in a single cycle.  An optional *bypass*
+//!   captures temporal locality by short-circuiting requests for recently
+//!   fetched addresses (the paper's future-work suggestion);
+//! * [`PrefetchBuffer`] — the SWSM's fully associative prefetch buffer with
+//!   optional capacity limits and LRU replacement;
+//! * [`Cache`] — a small set-associative cache model used by the ablation
+//!   experiments that replace the flat memory differential with a
+//!   hierarchy.
+//!
+//! All structures are driven by the machine models in `dae-machines`; they
+//! are purely bookkeeping (which data is present *when*), never holders of
+//! simulated data values.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cache;
+mod decoupled;
+mod fixed;
+mod prefetch;
+
+pub use cache::{Cache, CacheConfig, CacheStats, HierarchyLatency, MemoryHierarchy};
+pub use decoupled::{BypassConfig, DecoupledMemory, DecoupledMemoryConfig, DecoupledMemoryStats};
+pub use fixed::{FixedLatencyMemory, MemoryStats};
+pub use prefetch::{PrefetchBuffer, PrefetchBufferConfig, PrefetchBufferStats};

@@ -1,0 +1,207 @@
+//! The SWSM's fully associative prefetch buffer.
+
+use dae_isa::{Address, Cycle};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+
+/// Configuration of a [`PrefetchBuffer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PrefetchBufferConfig {
+    /// Maximum number of entries; `None` models the paper's idealised
+    /// (unbounded) buffer, `Some(n)` enables LRU replacement for the
+    /// finite-capacity ablation.
+    pub capacity: Option<usize>,
+}
+
+/// Counters of a [`PrefetchBuffer`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrefetchBufferStats {
+    /// Prefetches inserted.
+    pub prefetches: u64,
+    /// Access lookups that found their line present (arrived or in flight).
+    pub hits: u64,
+    /// Access lookups that missed (entry evicted or never prefetched).
+    pub misses: u64,
+    /// Entries evicted by LRU replacement.
+    pub evictions: u64,
+    /// Highest number of simultaneously resident entries.
+    pub peak_occupancy: usize,
+}
+
+/// The fully associative buffer that the SWSM's prefetch instructions fill
+/// and its access instructions read with a single-cycle latency (§2 of the
+/// paper).
+///
+/// Entries are keyed by effective address.  An access that finds its address
+/// present must still wait until the data has *arrived* (the prefetch may
+/// still be in flight); an access that misses — only possible with a finite
+/// capacity — goes to memory itself and pays the full differential.
+///
+/// # Example
+///
+/// ```
+/// use dae_mem::{PrefetchBuffer, PrefetchBufferConfig};
+///
+/// let mut buf = PrefetchBuffer::new(60, PrefetchBufferConfig::default());
+/// buf.prefetch(0x200, 4);
+/// assert_eq!(buf.available_at(0x200), Some(65));
+/// assert_eq!(buf.available_at(0x999), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PrefetchBuffer {
+    differential: Cycle,
+    config: PrefetchBufferConfig,
+    /// Arrival cycle per resident address.
+    entries: HashMap<Address, Cycle>,
+    /// LRU order, least recently used at the front.
+    lru: VecDeque<Address>,
+    stats: PrefetchBufferStats,
+}
+
+impl PrefetchBuffer {
+    /// Creates a prefetch buffer for a machine with the given memory
+    /// differential.
+    #[must_use]
+    pub fn new(differential: Cycle, config: PrefetchBufferConfig) -> Self {
+        PrefetchBuffer {
+            differential,
+            config,
+            entries: HashMap::new(),
+            lru: VecDeque::new(),
+            stats: PrefetchBufferStats::default(),
+        }
+    }
+
+    /// The configured memory differential.
+    #[must_use]
+    pub fn differential(&self) -> Cycle {
+        self.differential
+    }
+
+    /// Current number of resident entries.
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Records a prefetch of `addr` issued at cycle `issue`; the data
+    /// arrives `1 + MD` cycles later.  Returns the arrival cycle.
+    pub fn prefetch(&mut self, addr: Address, issue: Cycle) -> Cycle {
+        self.stats.prefetches += 1;
+        let arrival = issue + 1 + self.differential;
+        if self.entries.insert(addr, arrival).is_none() {
+            self.lru.push_back(addr);
+        } else {
+            self.touch(addr);
+        }
+        if let Some(cap) = self.config.capacity {
+            while self.entries.len() > cap {
+                if let Some(victim) = self.lru.pop_front() {
+                    self.entries.remove(&victim);
+                    self.stats.evictions += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        self.stats.peak_occupancy = self.stats.peak_occupancy.max(self.entries.len());
+        arrival
+    }
+
+    /// The arrival cycle of the data for `addr`, if the address is resident
+    /// (the data may still be in flight).
+    #[must_use]
+    pub fn available_at(&self, addr: Address) -> Option<Cycle> {
+        self.entries.get(&addr).copied()
+    }
+
+    /// Performs an access lookup at cycle `now`, updating hit/miss counters
+    /// and LRU order.  Returns the arrival cycle of the data if the address
+    /// is resident.
+    pub fn access(&mut self, addr: Address, _now: Cycle) -> Option<Cycle> {
+        match self.entries.get(&addr).copied() {
+            Some(arrival) => {
+                self.stats.hits += 1;
+                self.touch(addr);
+                Some(arrival)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Counters accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> PrefetchBufferStats {
+        self.stats
+    }
+
+    fn touch(&mut self, addr: Address) {
+        if let Some(pos) = self.lru.iter().position(|&a| a == addr) {
+            self.lru.remove(pos);
+            self.lru.push_back(addr);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefetched_data_arrives_after_the_differential() {
+        let mut buf = PrefetchBuffer::new(40, PrefetchBufferConfig::default());
+        assert_eq!(buf.prefetch(0x80, 10), 51);
+        assert_eq!(buf.available_at(0x80), Some(51));
+        assert_eq!(buf.available_at(0x88), None);
+    }
+
+    #[test]
+    fn access_counts_hits_and_misses() {
+        let mut buf = PrefetchBuffer::new(10, PrefetchBufferConfig::default());
+        buf.prefetch(0x40, 0);
+        assert_eq!(buf.access(0x40, 20), Some(11));
+        assert_eq!(buf.access(0x99, 20), None);
+        let st = buf.stats();
+        assert_eq!(st.hits, 1);
+        assert_eq!(st.misses, 1);
+        assert_eq!(st.prefetches, 1);
+    }
+
+    #[test]
+    fn unlimited_buffer_never_evicts() {
+        let mut buf = PrefetchBuffer::new(5, PrefetchBufferConfig::default());
+        for i in 0..500u64 {
+            buf.prefetch(i * 8, i);
+        }
+        assert_eq!(buf.occupancy(), 500);
+        assert_eq!(buf.stats().evictions, 0);
+        assert_eq!(buf.stats().peak_occupancy, 500);
+    }
+
+    #[test]
+    fn finite_buffer_evicts_least_recently_used() {
+        let mut buf = PrefetchBuffer::new(5, PrefetchBufferConfig { capacity: Some(2) });
+        buf.prefetch(0x00, 0);
+        buf.prefetch(0x08, 1);
+        // Touch 0x00 so 0x08 becomes the LRU victim.
+        buf.access(0x00, 10);
+        buf.prefetch(0x10, 2);
+        assert!(buf.available_at(0x00).is_some());
+        assert!(buf.available_at(0x08).is_none(), "LRU entry evicted");
+        assert!(buf.available_at(0x10).is_some());
+        assert_eq!(buf.stats().evictions, 1);
+        assert_eq!(buf.occupancy(), 2);
+    }
+
+    #[test]
+    fn re_prefetching_updates_arrival_without_duplicating() {
+        let mut buf = PrefetchBuffer::new(10, PrefetchBufferConfig::default());
+        buf.prefetch(0x40, 0);
+        buf.prefetch(0x40, 100);
+        assert_eq!(buf.occupancy(), 1);
+        assert_eq!(buf.available_at(0x40), Some(111));
+    }
+}

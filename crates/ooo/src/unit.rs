@@ -1,0 +1,544 @@
+//! The out-of-order unit simulator.
+
+use crate::{FuClass, FuPool, RetirePolicy, UnitConfig, UnitStats};
+use dae_isa::{Cycle, LatencyModel};
+use dae_trace::{Dep, ExecKind, MachineInst};
+use std::collections::VecDeque;
+
+/// Machine-specific behaviour the unit delegates to its owner.
+///
+/// A [`UnitSim`] knows how to dispatch, select and retire; it does *not*
+/// know what a load means on the machine it is part of.  The machine models
+/// in `dae-machines` implement this trait to supply:
+///
+/// * the completion times of cross-unit dependences (decoupled machine
+///   only), already including the cross-unit transfer latency;
+/// * the data-arrival gate for `LoadConsume` instructions (decoupled memory
+///   or prefetch buffer); and
+/// * the execution of memory instructions themselves.
+pub trait ExecContext {
+    /// The cycle at which the cross-unit dependence `idx` (an index into the
+    /// other unit's stream) is satisfied, including any transfer latency.
+    /// `None` if the producer has not been issued yet.
+    ///
+    /// Units that never see cross dependences (SWSM, scalar) may keep the
+    /// default implementation, which panics.
+    fn cross_ready_at(&self, idx: usize) -> Option<Cycle> {
+        let _ = idx;
+        unreachable!("this machine has no cross-unit dependences")
+    }
+
+    /// Machine-specific readiness gate evaluated in addition to operand
+    /// availability — e.g. "has the decoupled memory received the data for
+    /// this tag yet?".  Defaults to always ready.
+    fn data_ready(&self, inst: &MachineInst, now: Cycle) -> bool {
+        let _ = (inst, now);
+        true
+    }
+
+    /// Executes a memory-kind instruction (`LoadRequest`, `LoadConsume`,
+    /// `LoadBlocking`, `StoreOp`) issued at `now` and returns its completion
+    /// cycle, performing any side effects on the memory structures.
+    fn execute_memory(&mut self, inst: &MachineInst, now: Cycle) -> Cycle;
+}
+
+/// A trivial [`ExecContext`] for streams without memory instructions or
+/// cross dependences; useful in tests and for purely arithmetic studies.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoMemoryContext;
+
+impl ExecContext for NoMemoryContext {
+    fn execute_memory(&mut self, _inst: &MachineInst, now: Cycle) -> Cycle {
+        now + 1
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct WindowEntry {
+    /// Index into the unit's instruction stream.
+    idx: usize,
+    issued: bool,
+}
+
+/// A cycle-level simulator of one out-of-order unit.
+///
+/// Per cycle ([`UnitSim::step`]):
+///
+/// 1. **retire** — release window slots according to the
+///    [`RetirePolicy`];
+/// 2. **dispatch** — insert the next instructions of the stream, in program
+///    order, while slots and dispatch bandwidth remain;
+/// 3. **select & issue** — scan the window oldest-first and issue up to
+///    `issue_width` ready instructions (operands complete, machine-specific
+///    data present, functional unit available).  Arithmetic and copies
+///    complete after their fixed latency; memory instructions are delegated
+///    to the [`ExecContext`].
+///
+/// The unit is [`done`](UnitSim::is_done) once the whole stream has been
+/// dispatched and every window slot has been released; the final execution
+/// time is the maximum completion cycle observed.
+///
+/// # Example
+///
+/// ```
+/// use dae_isa::{LatencyModel, OpKind};
+/// use dae_ooo::{NoMemoryContext, UnitConfig, UnitSim};
+/// use dae_trace::{Dep, MachineInst};
+///
+/// // A chain of three dependent 1-cycle integer operations.
+/// let stream = vec![
+///     MachineInst::arith(0, OpKind::IntAlu, vec![]),
+///     MachineInst::arith(1, OpKind::IntAlu, vec![Dep::Local(0)]),
+///     MachineInst::arith(2, OpKind::IntAlu, vec![Dep::Local(1)]),
+/// ];
+/// let mut unit = UnitSim::new(stream, UnitConfig::new(8, 4), LatencyModel::paper_default());
+/// let mut ctx = NoMemoryContext;
+/// let mut cycle = 0;
+/// while !unit.is_done() {
+///     unit.step(cycle, &mut ctx);
+///     cycle += 1;
+/// }
+/// assert_eq!(unit.max_completion(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct UnitSim {
+    stream: Vec<MachineInst>,
+    config: UnitConfig,
+    latencies: LatencyModel,
+    fu: FuPool,
+    window: VecDeque<WindowEntry>,
+    dispatch_ptr: usize,
+    completions: Vec<Option<Cycle>>,
+    max_completion: Cycle,
+    stats: UnitStats,
+}
+
+impl UnitSim {
+    /// Creates a unit that will execute `stream` under `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`UnitConfig::validate`]).
+    #[must_use]
+    pub fn new(stream: Vec<MachineInst>, config: UnitConfig, latencies: LatencyModel) -> Self {
+        config
+            .validate()
+            .unwrap_or_else(|msg| panic!("invalid unit configuration: {msg}"));
+        let len = stream.len();
+        UnitSim {
+            stream,
+            config,
+            latencies,
+            fu: FuPool::new(config.fu),
+            window: VecDeque::new(),
+            dispatch_ptr: 0,
+            completions: vec![None; len],
+            max_completion: 0,
+            stats: UnitStats::default(),
+        }
+    }
+
+    /// The instruction stream being executed.
+    #[must_use]
+    pub fn stream(&self) -> &[MachineInst] {
+        &self.stream
+    }
+
+    /// The unit configuration.
+    #[must_use]
+    pub fn config(&self) -> &UnitConfig {
+        &self.config
+    }
+
+    /// Returns `true` once the stream has been fully dispatched and every
+    /// window slot has been released.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.dispatch_ptr == self.stream.len() && self.window.is_empty()
+    }
+
+    /// The completion cycle of stream instruction `idx`, if it has issued.
+    #[must_use]
+    pub fn completion(&self, idx: usize) -> Option<Cycle> {
+        self.completions.get(idx).copied().flatten()
+    }
+
+    /// The completion cycles of every instruction (indexed by stream
+    /// position).
+    #[must_use]
+    pub fn completions(&self) -> &[Option<Cycle>] {
+        &self.completions
+    }
+
+    /// The largest completion cycle observed so far.
+    #[must_use]
+    pub fn max_completion(&self) -> Cycle {
+        self.max_completion
+    }
+
+    /// Counters accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> &UnitStats {
+        &self.stats
+    }
+
+    /// Total rejected issue attempts due to functional-unit limits.
+    #[must_use]
+    pub fn fu_rejections(&self) -> u64 {
+        self.fu.rejections()
+    }
+
+    /// Current window occupancy.
+    #[must_use]
+    pub fn window_occupancy(&self) -> usize {
+        self.window.len()
+    }
+
+    /// The architectural trace position of the oldest instruction still
+    /// holding a window slot (used for effective-single-window and slippage
+    /// measurements).
+    #[must_use]
+    pub fn oldest_inflight_trace_pos(&self) -> Option<usize> {
+        self.window.front().map(|e| self.stream[e.idx].trace_pos)
+    }
+
+    /// The architectural trace position of the most recently dispatched
+    /// instruction.
+    #[must_use]
+    pub fn youngest_dispatched_trace_pos(&self) -> Option<usize> {
+        if self.dispatch_ptr == 0 {
+            None
+        } else {
+            Some(self.stream[self.dispatch_ptr - 1].trace_pos)
+        }
+    }
+
+    /// Executes one machine cycle.
+    pub fn step<C: ExecContext>(&mut self, now: Cycle, ctx: &mut C) {
+        self.stats.cycles += 1;
+        self.stats.issue_slots += self.config.issue_width as u64;
+        self.fu.begin_cycle();
+
+        self.retire(now);
+        self.dispatch();
+        self.issue(now, ctx);
+
+        self.stats.occupancy_sum += self.window.len() as u64;
+        self.stats.occupancy_max = self.stats.occupancy_max.max(self.window.len());
+    }
+
+    fn retire(&mut self, now: Cycle) {
+        match self.config.retire {
+            RetirePolicy::InOrderAtComplete => {
+                while let Some(front) = self.window.front() {
+                    let done = self.completions[front.idx].is_some_and(|t| t <= now);
+                    if done {
+                        self.window.pop_front();
+                        self.stats.retired += 1;
+                    } else {
+                        break;
+                    }
+                }
+            }
+            RetirePolicy::FreeAtIssue => {
+                let before = self.window.len();
+                self.window.retain(|e| !e.issued);
+                self.stats.retired += (before - self.window.len()) as u64;
+            }
+        }
+    }
+
+    fn dispatch(&mut self) {
+        let mut dispatched = 0;
+        let dispatch_width = self.config.effective_dispatch_width();
+        let mut blocked_by_full_window = false;
+        while self.dispatch_ptr < self.stream.len() && dispatched < dispatch_width {
+            let has_space = match self.config.window_size {
+                Some(cap) => self.window.len() < cap,
+                None => true,
+            };
+            if !has_space {
+                blocked_by_full_window = true;
+                break;
+            }
+            self.window.push_back(WindowEntry {
+                idx: self.dispatch_ptr,
+                issued: false,
+            });
+            self.dispatch_ptr += 1;
+            dispatched += 1;
+            self.stats.dispatched += 1;
+        }
+        if blocked_by_full_window {
+            self.stats.window_full_cycles += 1;
+        }
+    }
+
+    fn issue<C: ExecContext>(&mut self, now: Cycle, ctx: &mut C) {
+        let mut issued_this_cycle = 0;
+        let had_unissued = self.window.iter().any(|e| !e.issued);
+        for slot in 0..self.window.len() {
+            if issued_this_cycle >= self.config.issue_width {
+                break;
+            }
+            let entry = self.window[slot];
+            if entry.issued {
+                continue;
+            }
+            if !self.is_ready(entry.idx, now, ctx) {
+                continue;
+            }
+            let class = FuClass::of(&self.stream[entry.idx]);
+            if !self.fu.try_acquire(class) {
+                continue;
+            }
+            let completion = self.execute(entry.idx, now, ctx);
+            self.completions[entry.idx] = Some(completion);
+            self.max_completion = self.max_completion.max(completion);
+            self.window[slot].issued = true;
+            issued_this_cycle += 1;
+            self.stats.issued += 1;
+        }
+        if had_unissued && issued_this_cycle == 0 {
+            self.stats.starved_cycles += 1;
+        }
+    }
+
+    fn is_ready<C: ExecContext>(&self, idx: usize, now: Cycle, ctx: &C) -> bool {
+        let inst = &self.stream[idx];
+        let operands_ready = inst.deps.iter().all(|dep| match *dep {
+            Dep::Local(i) => self.completions[i].is_some_and(|t| t <= now),
+            Dep::Cross(i) => ctx.cross_ready_at(i).is_some_and(|t| t <= now),
+        });
+        operands_ready && ctx.data_ready(inst, now)
+    }
+
+    fn execute<C: ExecContext>(&mut self, idx: usize, now: Cycle, ctx: &mut C) -> Cycle {
+        let inst = &self.stream[idx];
+        match inst.kind {
+            ExecKind::Arith => now + self.latencies.latency_of(inst.op),
+            ExecKind::CopySend => now + 1,
+            ExecKind::LoadRequest
+            | ExecKind::LoadConsume
+            | ExecKind::LoadBlocking
+            | ExecKind::StoreOp => ctx.execute_memory(inst, now),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dae_isa::OpKind;
+    use dae_trace::Dep;
+
+    fn run(unit: &mut UnitSim) -> Cycle {
+        let mut ctx = NoMemoryContext;
+        run_with(unit, &mut ctx)
+    }
+
+    fn run_with<C: ExecContext>(unit: &mut UnitSim, ctx: &mut C) -> Cycle {
+        let mut cycle = 0;
+        while !unit.is_done() {
+            unit.step(cycle, ctx);
+            cycle += 1;
+            assert!(cycle < 1_000_000, "simulation did not terminate");
+        }
+        unit.max_completion()
+    }
+
+    fn chain(n: usize, op: OpKind) -> Vec<MachineInst> {
+        (0..n)
+            .map(|i| {
+                let deps = if i == 0 { vec![] } else { vec![Dep::Local(i - 1)] };
+                MachineInst::arith(i, op, deps)
+            })
+            .collect()
+    }
+
+    fn independent(n: usize, op: OpKind) -> Vec<MachineInst> {
+        (0..n).map(|i| MachineInst::arith(i, op, vec![])).collect()
+    }
+
+    #[test]
+    fn dependent_chain_is_serialised() {
+        let mut unit = UnitSim::new(chain(10, OpKind::IntAlu), UnitConfig::new(16, 4), LatencyModel::paper_default());
+        assert_eq!(run(&mut unit), 10);
+        let mut fp = UnitSim::new(chain(10, OpKind::FpAdd), UnitConfig::new(16, 4), LatencyModel::paper_default());
+        assert_eq!(run(&mut fp), 20);
+    }
+
+    #[test]
+    fn independent_work_is_limited_by_issue_width() {
+        let mut unit = UnitSim::new(
+            independent(40, OpKind::IntAlu),
+            UnitConfig::new(64, 4),
+            LatencyModel::paper_default(),
+        );
+        // 40 independent 1-cycle ops at width 4: 10 issue cycles.
+        assert_eq!(run(&mut unit), 10);
+        assert!((unit.stats().ipc() - 40.0 / unit.stats().cycles as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn window_size_one_behaves_like_a_scalar_machine() {
+        let mut unit = UnitSim::new(
+            independent(10, OpKind::FpMul),
+            UnitConfig::new(1, 4),
+            LatencyModel::paper_default(),
+        );
+        // Each multiply occupies the single slot until it completes (2 cycles).
+        assert_eq!(run(&mut unit), 20);
+    }
+
+    #[test]
+    fn unlimited_window_matches_dataflow_limit() {
+        let mut insts = independent(30, OpKind::IntAlu);
+        // Add a final instruction depending on the last independent one.
+        insts.push(MachineInst::arith(30, OpKind::FpAdd, vec![Dep::Local(29)]));
+        let mut unit = UnitSim::new(
+            insts,
+            UnitConfig {
+                issue_width: 64,
+                ..UnitConfig::unlimited_window(64)
+            },
+            LatencyModel::paper_default(),
+        );
+        // All 30 int ops issue in cycle 0, fp add issues at cycle 1, done at 3.
+        assert_eq!(run(&mut unit), 3);
+    }
+
+    #[test]
+    fn in_order_retirement_blocks_dispatch_behind_a_slow_op() {
+        // One slow divide followed by many independent 1-cycle ops, window 2:
+        // the divide occupies the front slot, so only one op can be resident
+        // with it at a time.
+        let mut insts = vec![MachineInst::arith(0, OpKind::FpDiv, vec![])];
+        insts.extend((1..9).map(|i| MachineInst::arith(i, OpKind::IntAlu, vec![])));
+        let in_order = UnitSim::new(
+            insts.clone(),
+            UnitConfig::new(2, 4),
+            LatencyModel::paper_default(),
+        );
+        let free = UnitSim::new(
+            insts,
+            UnitConfig {
+                retire: RetirePolicy::FreeAtIssue,
+                ..UnitConfig::new(2, 4)
+            },
+            LatencyModel::paper_default(),
+        );
+        let mut in_order = in_order;
+        let mut free = free;
+        let t_in_order = run(&mut in_order);
+        let t_free = run(&mut free);
+        assert!(
+            t_free < t_in_order,
+            "free-at-issue ({t_free}) should beat in-order retirement ({t_in_order})"
+        );
+    }
+
+    #[test]
+    fn fu_limits_throttle_issue() {
+        let cfg = UnitConfig {
+            fu: crate::FuConfig::restricted(1, 1, 1),
+            ..UnitConfig::new(64, 8)
+        };
+        let mut unit = UnitSim::new(independent(20, OpKind::IntAlu), cfg, LatencyModel::paper_default());
+        // One integer unit: one op per cycle.
+        assert_eq!(run(&mut unit), 20);
+        assert!(unit.fu_rejections() > 0);
+    }
+
+    #[test]
+    fn memory_instructions_are_delegated_to_the_context() {
+        struct FixedMd(Cycle);
+        impl ExecContext for FixedMd {
+            fn execute_memory(&mut self, inst: &MachineInst, now: Cycle) -> Cycle {
+                match inst.kind {
+                    ExecKind::LoadBlocking => now + 1 + self.0,
+                    _ => now + 1,
+                }
+            }
+        }
+        let insts = vec![
+            MachineInst::memory(0, OpKind::Load, ExecKind::LoadBlocking, vec![], 0, Some(0)),
+            MachineInst::arith(1, OpKind::FpAdd, vec![Dep::Local(0)]),
+        ];
+        let mut unit = UnitSim::new(insts, UnitConfig::new(8, 2), LatencyModel::paper_default());
+        let mut ctx = FixedMd(60);
+        assert_eq!(run_with(&mut unit, &mut ctx), 63);
+    }
+
+    #[test]
+    fn data_ready_gate_delays_issue() {
+        struct GateAt(Cycle);
+        impl ExecContext for GateAt {
+            fn data_ready(&self, inst: &MachineInst, now: Cycle) -> bool {
+                inst.kind != ExecKind::LoadConsume || now >= self.0
+            }
+            fn execute_memory(&mut self, _inst: &MachineInst, now: Cycle) -> Cycle {
+                now + 1
+            }
+        }
+        let insts = vec![MachineInst::memory(
+            0,
+            OpKind::Load,
+            ExecKind::LoadConsume,
+            vec![],
+            0,
+            Some(0),
+        )];
+        let mut unit = UnitSim::new(insts, UnitConfig::new(4, 2), LatencyModel::paper_default());
+        let mut ctx = GateAt(25);
+        assert_eq!(run_with(&mut unit, &mut ctx), 26);
+        assert!(unit.stats().starved_cycles >= 24);
+    }
+
+    #[test]
+    fn stats_track_dispatch_issue_retire_counts() {
+        let mut unit = UnitSim::new(
+            independent(25, OpKind::IntAlu),
+            UnitConfig::new(8, 4),
+            LatencyModel::paper_default(),
+        );
+        run(&mut unit);
+        let st = unit.stats();
+        assert_eq!(st.dispatched, 25);
+        assert_eq!(st.issued, 25);
+        assert_eq!(st.retired, 25);
+        assert!(st.occupancy_max <= 8);
+        assert!(st.issue_utilization() <= 1.0);
+    }
+
+    #[test]
+    fn trace_position_probes_track_window_contents() {
+        let insts = vec![
+            MachineInst::arith(10, OpKind::FpDiv, vec![]),
+            MachineInst::arith(11, OpKind::IntAlu, vec![]),
+            MachineInst::arith(12, OpKind::IntAlu, vec![]),
+        ];
+        let mut unit = UnitSim::new(insts, UnitConfig::new(4, 4), LatencyModel::paper_default());
+        let mut ctx = NoMemoryContext;
+        unit.step(0, &mut ctx);
+        assert_eq!(unit.oldest_inflight_trace_pos(), Some(10));
+        assert_eq!(unit.youngest_dispatched_trace_pos(), Some(12));
+        assert!(!unit.is_done());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid unit configuration")]
+    fn invalid_configuration_panics() {
+        let _ = UnitSim::new(vec![], UnitConfig::new(8, 0), LatencyModel::paper_default());
+    }
+
+    #[test]
+    fn empty_stream_is_immediately_done() {
+        let unit = UnitSim::new(vec![], UnitConfig::new(8, 4), LatencyModel::paper_default());
+        assert!(unit.is_done());
+        assert_eq!(unit.max_completion(), 0);
+        assert_eq!(unit.oldest_inflight_trace_pos(), None);
+        assert_eq!(unit.youngest_dispatched_trace_pos(), None);
+    }
+}

@@ -1,0 +1,163 @@
+//! Property-based tests of the out-of-order unit: on randomly generated
+//! dependence chains the simulator must respect the dataflow limit, the
+//! serial upper bound, and resource monotonicity, under every retirement
+//! policy.
+
+use dae_isa::{Cycle, LatencyModel, OpKind};
+use dae_ooo::{ExecContext, FuConfig, NoMemoryContext, RetirePolicy, UnitConfig, UnitSim};
+use dae_trace::{Dep, ExecKind, MachineInst};
+use proptest::prelude::*;
+
+/// Builds a random arithmetic-only stream: each instruction depends on up to
+/// two uniformly chosen earlier instructions.
+fn random_stream(ops: &[(u8, u8, u8)]) -> Vec<MachineInst> {
+    ops.iter()
+        .enumerate()
+        .map(|(i, &(kind, da, db))| {
+            let op = match kind % 4 {
+                0 => OpKind::IntAlu,
+                1 => OpKind::FpAdd,
+                2 => OpKind::FpMul,
+                _ => OpKind::FpDiv,
+            };
+            let mut deps = Vec::new();
+            if i > 0 {
+                deps.push(Dep::Local(da as usize % i));
+                if db % 3 == 0 {
+                    deps.push(Dep::Local(db as usize % i));
+                }
+            }
+            MachineInst::arith(i, op, deps)
+        })
+        .collect()
+}
+
+fn run(stream: Vec<MachineInst>, config: UnitConfig) -> (Cycle, u64) {
+    let mut unit = UnitSim::new(stream, config, LatencyModel::paper_default());
+    let mut ctx = NoMemoryContext;
+    let mut cycle = 0;
+    while !unit.is_done() {
+        unit.step(cycle, &mut ctx);
+        cycle += 1;
+        assert!(cycle < 1_000_000, "runaway simulation");
+    }
+    (unit.max_completion(), unit.stats().issued)
+}
+
+/// The dataflow limit of an arithmetic stream: longest dependence chain.
+fn dataflow_limit(stream: &[MachineInst]) -> Cycle {
+    let latencies = LatencyModel::paper_default();
+    let mut finish = vec![0u64; stream.len()];
+    for (i, inst) in stream.iter().enumerate() {
+        let ready = inst.deps.iter().map(|d| finish[d.index()]).max().unwrap_or(0);
+        finish[i] = ready + latencies.latency_of(inst.op);
+    }
+    finish.into_iter().max().unwrap_or(0)
+}
+
+/// The fully serial upper bound: the sum of all latencies.
+fn serial_bound(stream: &[MachineInst]) -> Cycle {
+    let latencies = LatencyModel::paper_default();
+    stream.iter().map(|i| latencies.latency_of(i.op)).sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Execution time always sits between the dataflow limit and the serial
+    /// bound, for both retirement policies.
+    #[test]
+    fn execution_time_is_bounded(
+        ops in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..80),
+        window in 1usize..64,
+        width in 1usize..12,
+    ) {
+        let stream = random_stream(&ops);
+        let lower = dataflow_limit(&stream);
+        let upper = serial_bound(&stream);
+        for retire in [RetirePolicy::InOrderAtComplete, RetirePolicy::FreeAtIssue] {
+            let config = UnitConfig { retire, ..UnitConfig::new(window, width) };
+            let (cycles, issued) = run(stream.clone(), config);
+            prop_assert_eq!(issued as usize, stream.len());
+            prop_assert!(cycles >= lower, "cycles {cycles} below dataflow limit {lower}");
+            prop_assert!(cycles <= upper, "cycles {cycles} above serial bound {upper}");
+        }
+    }
+
+    /// Widening the machine (bigger window, more issue slots, free-at-issue
+    /// retirement, unlimited FUs) never slows it down.
+    #[test]
+    fn more_resources_never_hurt(
+        ops in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..60),
+        window in 1usize..32,
+        width in 1usize..8,
+    ) {
+        let stream = random_stream(&ops);
+        let base = UnitConfig::new(window, width);
+        let (base_cycles, _) = run(stream.clone(), base);
+
+        let wider_window = UnitConfig::new(window * 4, width);
+        prop_assert!(run(stream.clone(), wider_window).0 <= base_cycles);
+
+        let wider_issue = UnitConfig::new(window, width + 4);
+        prop_assert!(run(stream.clone(), wider_issue).0 <= base_cycles);
+
+        let unlimited = UnitConfig { issue_width: width, ..UnitConfig::unlimited_window(width) };
+        prop_assert!(run(stream.clone(), unlimited).0 <= base_cycles);
+
+        let free = UnitConfig { retire: RetirePolicy::FreeAtIssue, ..base };
+        prop_assert!(run(stream.clone(), free).0 <= base_cycles);
+    }
+
+    /// A single-FU machine degenerates to (at least) one cycle per
+    /// instruction, and restricted FUs never beat unlimited ones.
+    #[test]
+    fn functional_unit_limits_behave(
+        ops in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..50),
+    ) {
+        let stream = random_stream(&ops);
+        let unlimited = UnitConfig::new(64, 8);
+        let restricted = UnitConfig { fu: FuConfig::restricted(1, 1, 1), ..unlimited };
+        let (fast, _) = run(stream.clone(), unlimited);
+        let (slow, _) = run(stream.clone(), restricted);
+        prop_assert!(slow >= fast);
+        prop_assert!(slow >= stream.len() as u64 / 2, "one ALU and one FPU bound throughput");
+    }
+
+    /// A data-ready gate that opens at cycle G delays completion to at least
+    /// G + 1 but never changes the number of instructions executed.
+    #[test]
+    fn readiness_gates_delay_but_do_not_drop_work(gate in 1u64..200, trailing in 1usize..20) {
+        struct GateAt(Cycle);
+        impl ExecContext for GateAt {
+            fn data_ready(&self, inst: &MachineInst, now: Cycle) -> bool {
+                inst.kind != ExecKind::LoadConsume || now >= self.0
+            }
+            fn execute_memory(&mut self, _inst: &MachineInst, now: Cycle) -> Cycle {
+                now + 1
+            }
+        }
+        let mut stream = vec![MachineInst::memory(
+            0,
+            OpKind::Load,
+            ExecKind::LoadConsume,
+            vec![],
+            0,
+            Some(0x40),
+        )];
+        for i in 0..trailing {
+            stream.push(MachineInst::arith(i + 1, OpKind::IntAlu, vec![Dep::Local(i)]));
+        }
+        let mut unit = UnitSim::new(stream.clone(), UnitConfig::new(8, 2), LatencyModel::paper_default());
+        let mut ctx = GateAt(gate);
+        let mut cycle = 0;
+        while !unit.is_done() {
+            unit.step(cycle, &mut ctx);
+            cycle += 1;
+            prop_assert!(cycle < 100_000);
+        }
+        prop_assert!(unit.max_completion() >= gate + 1);
+        prop_assert_eq!(unit.max_completion(), gate + 1 + trailing as u64);
+        prop_assert_eq!(unit.stats().issued as usize, stream.len());
+    }
+}

@@ -1,0 +1,204 @@
+//! Automatic access / compute classification of a trace.
+
+use crate::{DepRole, Trace};
+use dae_isa::{OpKind, UnitClass};
+
+/// Classifies every instruction of `trace` as access (AU) or compute (DU)
+/// using the standard decoupled access/execute partition rule:
+///
+/// 1. loads and stores always belong to the access stream;
+/// 2. floating point operations always belong to the compute stream (if a
+///    floating point value feeds an address, the value is *copied* to the
+///    AU rather than moving the computation, which is exactly the
+///    loss-of-decoupling situation the paper discusses);
+/// 3. an integer operation belongs to the access stream if its value
+///    (transitively, through integer operations only) feeds an address
+///    operand of some memory operation — i.e. it is part of the backward
+///    slice of an address; otherwise it is data manipulation and belongs to
+///    the compute stream.
+///
+/// The result is index-aligned with the trace.
+///
+/// # Example
+///
+/// ```
+/// use dae_isa::{KernelBuilder, Operand, UnitClass};
+/// use dae_trace::{classify, expand};
+///
+/// let mut b = KernelBuilder::new("axpy");
+/// let i = b.induction();
+/// let x = b.load_strided(&[Operand::Local(i)], 0, 8);
+/// let y = b.fp_mul(&[Operand::Local(x), Operand::Invariant(0)]);
+/// b.store_strided(&[Operand::Local(y), Operand::Local(i)], 0x1000, 8);
+/// let trace = expand(&b.build()?, 2);
+///
+/// let classes = classify(&trace);
+/// assert_eq!(classes[0], UnitClass::Access);   // induction feeds addresses
+/// assert_eq!(classes[1], UnitClass::Access);   // load
+/// assert_eq!(classes[2], UnitClass::Compute);  // fp multiply
+/// assert_eq!(classes[3], UnitClass::Access);   // store
+/// # Ok::<(), dae_isa::KernelError>(())
+/// ```
+#[must_use]
+pub fn classify(trace: &Trace) -> Vec<UnitClass> {
+    let n = trace.len();
+    // `feeds_address[i]` is true when instruction i's value is (transitively,
+    // through integer operations) consumed to form an effective address.
+    let mut feeds_address = vec![false; n];
+
+    // Walk consumers before producers (reverse program order): dependences
+    // always point backwards, so by the time we reach a producer every one of
+    // its consumers has already propagated its requirement.
+    for inst in trace.insts().iter().rev() {
+        let propagate_data = inst.op == OpKind::IntAlu && feeds_address[inst.id];
+        for dep in &inst.deps {
+            let marks = match dep.role {
+                DepRole::Address => true,
+                DepRole::Data => propagate_data,
+            };
+            if marks {
+                feeds_address[dep.producer] = true;
+            }
+        }
+    }
+
+    trace
+        .iter()
+        .map(|inst| match inst.op {
+            OpKind::Load | OpKind::Store => UnitClass::Access,
+            OpKind::FpAdd | OpKind::FpMul | OpKind::FpDiv => UnitClass::Compute,
+            OpKind::IntAlu => {
+                if feeds_address[inst.id] {
+                    UnitClass::Access
+                } else {
+                    UnitClass::Compute
+                }
+            }
+        })
+        .collect()
+}
+
+/// How often the automatic classification disagrees with the workload
+/// generator's intended unit tags.
+///
+/// Used by tests and by the workload documentation to demonstrate that the
+/// synthetic kernels have the partition structure they claim to have.
+#[must_use]
+pub fn classification_disagreement(trace: &Trace) -> f64 {
+    if trace.is_empty() {
+        return 0.0;
+    }
+    let classes = classify(trace);
+    let disagreements = trace
+        .iter()
+        .zip(classes.iter())
+        .filter(|(inst, class)| inst.unit_hint != **class)
+        .count();
+    disagreements as f64 / trace.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expand;
+    use dae_isa::{KernelBuilder, Operand};
+
+    #[test]
+    fn memory_is_always_access_and_fp_always_compute() {
+        let mut b = KernelBuilder::new("k");
+        let i = b.induction();
+        let x = b.load_strided(&[Operand::Local(i)], 0, 8);
+        let f = b.fp_div(&[Operand::Local(x)]);
+        b.store_strided(&[Operand::Local(f), Operand::Local(i)], 0x100, 8);
+        let trace = expand(&b.build().unwrap(), 3);
+        let classes = classify(&trace);
+        for inst in trace.iter() {
+            match inst.op {
+                OpKind::Load | OpKind::Store => assert_eq!(classes[inst.id], UnitClass::Access),
+                OpKind::FpAdd | OpKind::FpMul | OpKind::FpDiv => {
+                    assert_eq!(classes[inst.id], UnitClass::Compute)
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn address_arithmetic_chain_is_access() {
+        // i -> scaled -> offset -> load : the whole integer chain feeds an
+        // address and must be classified access.
+        let mut b = KernelBuilder::new("chain");
+        let i = b.induction();
+        let scaled = b.int(&[Operand::Local(i), Operand::Invariant(0)]);
+        let offset = b.int(&[Operand::Local(scaled), Operand::Invariant(1)]);
+        let x = b.load_strided(&[Operand::Local(offset)], 0, 8);
+        b.fp_add(&[Operand::Local(x)]);
+        let trace = expand(&b.build().unwrap(), 2);
+        let classes = classify(&trace);
+        for inst in trace.iter() {
+            if inst.op == OpKind::IntAlu {
+                assert_eq!(classes[inst.id], UnitClass::Access, "inst {}", inst.id);
+            }
+        }
+    }
+
+    #[test]
+    fn pure_data_integer_work_is_compute() {
+        // An integer op that only post-processes a loaded value and feeds a
+        // store's *data* operand is data manipulation, not address work.
+        let mut b = KernelBuilder::new("intdata");
+        let i = b.induction();
+        let x = b.load_strided(&[Operand::Local(i)], 0, 8);
+        let masked = b.int_on(dae_isa::UnitClass::Compute, &[Operand::Local(x)]);
+        b.store_strided(&[Operand::Local(masked), Operand::Local(i)], 0x100, 8);
+        let trace = expand(&b.build().unwrap(), 2);
+        let classes = classify(&trace);
+        for inst in trace.iter() {
+            if inst.op == OpKind::IntAlu && inst.stmt == masked {
+                assert_eq!(classes[inst.id], UnitClass::Compute);
+            }
+        }
+        assert_eq!(classification_disagreement(&trace), 0.0);
+    }
+
+    #[test]
+    fn fp_feeding_an_address_stays_compute() {
+        // A floating point value used (via an integer conversion) to index an
+        // array: the fp op stays on the DU; only the integer conversion moves
+        // to the AU.
+        let mut b = KernelBuilder::new("fpaddr");
+        let i = b.induction();
+        let x = b.load_strided(&[Operand::Local(i)], 0, 8);
+        let f = b.fp_mul(&[Operand::Local(x), Operand::Invariant(0)]);
+        let idx = b.int(&[Operand::Local(f)]);
+        b.load_indirect(&[Operand::Local(idx)], 0x10_000, 1 << 12, 0);
+        let trace = expand(&b.build().unwrap(), 2);
+        let classes = classify(&trace);
+        for inst in trace.iter() {
+            match inst.stmt {
+                s if s == f => assert_eq!(classes[inst.id], UnitClass::Compute),
+                s if s == idx => assert_eq!(classes[inst.id], UnitClass::Access),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn disagreement_is_zero_for_consistently_tagged_kernels() {
+        let mut b = KernelBuilder::new("tagged");
+        let i = b.induction();
+        let x = b.load_strided(&[Operand::Local(i)], 0, 8);
+        let y = b.fp_add(&[Operand::Local(x)]);
+        b.store_strided(&[Operand::Local(y), Operand::Local(i)], 0x200, 8);
+        let trace = expand(&b.build().unwrap(), 10);
+        assert_eq!(classification_disagreement(&trace), 0.0);
+    }
+
+    #[test]
+    fn empty_trace_has_no_disagreement() {
+        let mut b = KernelBuilder::new("empty-ish");
+        b.induction();
+        let trace = expand(&b.build().unwrap(), 0);
+        assert_eq!(classification_disagreement(&trace), 0.0);
+    }
+}

@@ -1,0 +1,152 @@
+//! Dynamic (architectural) instructions.
+
+use dae_isa::{Address, OpKind, UnitClass};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a dynamic instruction: its position in program order within
+/// a [`Trace`](crate::Trace).
+pub type InstId = usize;
+
+/// The role a dependence edge plays at its consumer.
+///
+/// The decoupled-machine partitioner needs to know whether a value feeds an
+/// *address* (in which case its producer belongs to the access stream) or is
+/// consumed as *data*.  Memory operations are the only instructions that
+/// distinguish the two: every operand of a load is an address input, while a
+/// store consumes the value it writes as data and everything else as address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DepRole {
+    /// The value is used to form an effective address.
+    Address,
+    /// The value is consumed as ordinary data.
+    Data,
+}
+
+/// A true data dependence of a dynamic instruction on an earlier one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DepEdge {
+    /// The producing instruction (always earlier in program order).
+    pub producer: InstId,
+    /// How the consumer uses the value.
+    pub role: DepRole,
+}
+
+impl DepEdge {
+    /// An address-role dependence on `producer`.
+    #[must_use]
+    pub fn address(producer: InstId) -> Self {
+        DepEdge {
+            producer,
+            role: DepRole::Address,
+        }
+    }
+
+    /// A data-role dependence on `producer`.
+    #[must_use]
+    pub fn data(producer: InstId) -> Self {
+        DepEdge {
+            producer,
+            role: DepRole::Data,
+        }
+    }
+}
+
+/// One dynamic instruction of the architectural trace.
+///
+/// The trace is the idealised program the paper simulates: only true data
+/// dependences remain (renaming removed false dependences), there are no
+/// branches, and every memory operation carries its effective address.  Each
+/// instruction also carries the workload generator's intended unit class
+/// (`unit_hint`), which the partitioner may use directly or cross-check
+/// against its own classification.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DynInst {
+    /// Program-order position.
+    pub id: InstId,
+    /// Operation kind.
+    pub op: OpKind,
+    /// The unit class the workload generator intended for this instruction.
+    pub unit_hint: UnitClass,
+    /// True data dependences on earlier instructions.
+    pub deps: Vec<DepEdge>,
+    /// Effective address for loads and stores.
+    pub addr: Option<Address>,
+    /// The kernel statement this instruction was expanded from.
+    pub stmt: usize,
+    /// The loop iteration this instruction belongs to.
+    pub iteration: u64,
+}
+
+impl DynInst {
+    /// Returns `true` if this is a load or store.
+    #[must_use]
+    pub fn is_memory(&self) -> bool {
+        self.op.is_memory()
+    }
+
+    /// Iterates over the producers of this instruction's address-role
+    /// dependences.
+    pub fn address_deps(&self) -> impl Iterator<Item = InstId> + '_ {
+        self.deps
+            .iter()
+            .filter(|d| d.role == DepRole::Address)
+            .map(|d| d.producer)
+    }
+
+    /// Iterates over the producers of this instruction's data-role
+    /// dependences.
+    pub fn data_deps(&self) -> impl Iterator<Item = InstId> + '_ {
+        self.deps
+            .iter()
+            .filter(|d| d.role == DepRole::Data)
+            .map(|d| d.producer)
+    }
+
+    /// Iterates over all producers regardless of role.
+    pub fn all_deps(&self) -> impl Iterator<Item = InstId> + '_ {
+        self.deps.iter().map(|d| d.producer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst(id: InstId, op: OpKind, deps: Vec<DepEdge>) -> DynInst {
+        DynInst {
+            id,
+            op,
+            unit_hint: UnitClass::Access,
+            deps,
+            addr: None,
+            stmt: 0,
+            iteration: 0,
+        }
+    }
+
+    #[test]
+    fn dep_role_filters() {
+        let i = inst(
+            3,
+            OpKind::Store,
+            vec![DepEdge::data(1), DepEdge::address(2), DepEdge::address(0)],
+        );
+        assert_eq!(i.address_deps().collect::<Vec<_>>(), vec![2, 0]);
+        assert_eq!(i.data_deps().collect::<Vec<_>>(), vec![1]);
+        assert_eq!(i.all_deps().count(), 3);
+    }
+
+    #[test]
+    fn constructors_set_roles() {
+        assert_eq!(DepEdge::address(5).role, DepRole::Address);
+        assert_eq!(DepEdge::data(5).role, DepRole::Data);
+        assert_eq!(DepEdge::data(5).producer, 5);
+    }
+
+    #[test]
+    fn memory_predicate() {
+        assert!(inst(0, OpKind::Load, vec![]).is_memory());
+        assert!(inst(0, OpKind::Store, vec![]).is_memory());
+        assert!(!inst(0, OpKind::FpAdd, vec![]).is_memory());
+    }
+}

@@ -1,0 +1,301 @@
+//! The lowered ("machine") instruction representation consumed by the
+//! cycle-level simulators.
+//!
+//! An architectural [`Trace`](crate::Trace) is lowered differently for each
+//! machine model of the paper:
+//!
+//! * the **decoupled machine** splits it into an AU stream and a DU stream
+//!   ([`partition`](crate::partition)), turning every load into an address
+//!   *request* on the AU and a data *consume* on the unit that uses the
+//!   value, and inserting explicit copy instructions for cross-unit value
+//!   traffic;
+//! * the **single-window superscalar** expands every memory operation into a
+//!   *prefetch* plus an *access* ([`expand_swsm`](crate::expand_swsm));
+//! * the **scalar reference** keeps loads blocking
+//!   ([`lower_scalar`](crate::lower_scalar)).
+//!
+//! All three produce streams of [`MachineInst`], so the out-of-order unit in
+//! `dae-ooo` and the machines in `dae-machines` share one instruction format.
+
+use dae_isa::{Address, OpKind};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies one memory transaction (a request / consume pair, or a
+/// prefetch / access pair).  Tags are dense indices assigned by the
+/// lowerings, so simulators can use them to index flat arrays.
+pub type MemTag = u32;
+
+/// How a lowered instruction executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExecKind {
+    /// A fixed-latency arithmetic operation (latency given by the
+    /// [`LatencyModel`](dae_isa::LatencyModel) for [`MachineInst::op`]).
+    Arith,
+    /// Sends a load address to the memory system and completes in one cycle;
+    /// the data arrives `memory differential` cycles later under
+    /// [`MachineInst::tag`].  Used for the AU side of a decoupled load and
+    /// for the SWSM prefetch.
+    LoadRequest,
+    /// Consumes the data of a previously requested transaction.  The
+    /// instruction only becomes ready once the data has arrived (the
+    /// simulators gate readiness on the tag) and then completes in one
+    /// cycle, modelling the paper's single-cycle decoupled-memory /
+    /// prefetch-buffer access.
+    LoadConsume,
+    /// A load with no prefetching at all: it issues, travels to memory and
+    /// completes `1 + memory differential` cycles later.  Used by the scalar
+    /// reference machine.
+    LoadBlocking,
+    /// A store-side operation (address generation, data delivery or the
+    /// SWSM store access).  One cycle, fire and forget: nothing ever depends
+    /// on its value.
+    StoreOp,
+    /// Copies a value towards the other unit of the decoupled machine.  One
+    /// cycle on the sending unit; the consumer on the other side sees an
+    /// additional transfer latency.
+    CopySend,
+}
+
+impl ExecKind {
+    /// Returns `true` if this kind produces a value other instructions can
+    /// consume.
+    #[must_use]
+    pub fn produces_value(self) -> bool {
+        !matches!(self, ExecKind::StoreOp | ExecKind::LoadRequest)
+    }
+
+    /// Returns `true` if this instruction interacts with the memory system.
+    #[must_use]
+    pub fn touches_memory(self) -> bool {
+        matches!(
+            self,
+            ExecKind::LoadRequest | ExecKind::LoadConsume | ExecKind::LoadBlocking | ExecKind::StoreOp
+        )
+    }
+}
+
+impl fmt::Display for ExecKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ExecKind::Arith => "arith",
+            ExecKind::LoadRequest => "ld.req",
+            ExecKind::LoadConsume => "ld.use",
+            ExecKind::LoadBlocking => "ld.blk",
+            ExecKind::StoreOp => "store",
+            ExecKind::CopySend => "copy",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A dependence of a lowered instruction.
+///
+/// `Local` names an earlier instruction of the *same* stream; `Cross` names
+/// an instruction of the *other* unit's stream (only produced by the
+/// decoupled-machine partition) and incurs the machine's cross-unit transfer
+/// latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Dep {
+    /// Index of the producer within the same stream.
+    Local(usize),
+    /// Index of the producer within the other unit's stream.
+    Cross(usize),
+}
+
+impl Dep {
+    /// The producer index regardless of which stream it lives in.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            Dep::Local(i) | Dep::Cross(i) => i,
+        }
+    }
+
+    /// Returns `true` for cross-unit dependences.
+    #[must_use]
+    pub fn is_cross(self) -> bool {
+        matches!(self, Dep::Cross(_))
+    }
+}
+
+/// One lowered instruction, as dispatched into an instruction window by the
+/// simulators.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MachineInst {
+    /// Program-order position of the architectural instruction this was
+    /// lowered from (used for slippage and effective-single-window
+    /// accounting).
+    pub trace_pos: usize,
+    /// The architectural operation kind (used for latency lookup and
+    /// statistics).
+    pub op: OpKind,
+    /// How the instruction executes.
+    pub kind: ExecKind,
+    /// True dependences on earlier lowered instructions.
+    pub deps: Vec<Dep>,
+    /// The memory transaction this instruction participates in, if any.
+    pub tag: Option<MemTag>,
+    /// The effective address, for memory instructions.
+    pub addr: Option<Address>,
+}
+
+impl MachineInst {
+    /// Creates an arithmetic instruction.
+    #[must_use]
+    pub fn arith(trace_pos: usize, op: OpKind, deps: Vec<Dep>) -> Self {
+        MachineInst {
+            trace_pos,
+            op,
+            kind: ExecKind::Arith,
+            deps,
+            tag: None,
+            addr: None,
+        }
+    }
+
+    /// Creates a memory-kind instruction.
+    #[must_use]
+    pub fn memory(
+        trace_pos: usize,
+        op: OpKind,
+        kind: ExecKind,
+        deps: Vec<Dep>,
+        tag: MemTag,
+        addr: Option<Address>,
+    ) -> Self {
+        MachineInst {
+            trace_pos,
+            op,
+            kind,
+            deps,
+            tag: Some(tag),
+            addr,
+        }
+    }
+
+    /// Creates a cross-unit copy instruction.
+    #[must_use]
+    pub fn copy(trace_pos: usize, deps: Vec<Dep>) -> Self {
+        MachineInst {
+            trace_pos,
+            op: OpKind::IntAlu,
+            kind: ExecKind::CopySend,
+            deps,
+            tag: None,
+            addr: None,
+        }
+    }
+}
+
+/// Simple aggregate counts over a lowered stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreamStats {
+    /// Number of lowered instructions.
+    pub instructions: usize,
+    /// Arithmetic instructions.
+    pub arith: usize,
+    /// Load requests / prefetches.
+    pub load_requests: usize,
+    /// Load consumes / accesses.
+    pub load_consumes: usize,
+    /// Blocking loads.
+    pub load_blocking: usize,
+    /// Store-side operations.
+    pub stores: usize,
+    /// Cross-unit copies.
+    pub copies: usize,
+    /// Cross-unit dependence edges.
+    pub cross_deps: usize,
+}
+
+/// Computes [`StreamStats`] for a lowered stream.
+#[must_use]
+pub fn stream_stats(stream: &[MachineInst]) -> StreamStats {
+    let mut st = StreamStats {
+        instructions: stream.len(),
+        ..StreamStats::default()
+    };
+    for inst in stream {
+        match inst.kind {
+            ExecKind::Arith => st.arith += 1,
+            ExecKind::LoadRequest => st.load_requests += 1,
+            ExecKind::LoadConsume => st.load_consumes += 1,
+            ExecKind::LoadBlocking => st.load_blocking += 1,
+            ExecKind::StoreOp => st.stores += 1,
+            ExecKind::CopySend => st.copies += 1,
+        }
+        st.cross_deps += inst.deps.iter().filter(|d| d.is_cross()).count();
+    }
+    st
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exec_kind_value_production() {
+        assert!(ExecKind::Arith.produces_value());
+        assert!(ExecKind::LoadConsume.produces_value());
+        assert!(ExecKind::LoadBlocking.produces_value());
+        assert!(ExecKind::CopySend.produces_value());
+        assert!(!ExecKind::StoreOp.produces_value());
+        assert!(!ExecKind::LoadRequest.produces_value());
+    }
+
+    #[test]
+    fn exec_kind_memory_classification() {
+        assert!(ExecKind::LoadRequest.touches_memory());
+        assert!(ExecKind::LoadConsume.touches_memory());
+        assert!(ExecKind::LoadBlocking.touches_memory());
+        assert!(ExecKind::StoreOp.touches_memory());
+        assert!(!ExecKind::Arith.touches_memory());
+        assert!(!ExecKind::CopySend.touches_memory());
+    }
+
+    #[test]
+    fn dep_accessors() {
+        assert_eq!(Dep::Local(4).index(), 4);
+        assert_eq!(Dep::Cross(9).index(), 9);
+        assert!(Dep::Cross(9).is_cross());
+        assert!(!Dep::Local(4).is_cross());
+    }
+
+    #[test]
+    fn stream_stats_count_kinds() {
+        let stream = vec![
+            MachineInst::arith(0, OpKind::IntAlu, vec![]),
+            MachineInst::memory(1, OpKind::Load, ExecKind::LoadRequest, vec![Dep::Local(0)], 0, Some(8)),
+            MachineInst::memory(1, OpKind::Load, ExecKind::LoadConsume, vec![Dep::Cross(1)], 0, Some(8)),
+            MachineInst::copy(2, vec![Dep::Local(2)]),
+            MachineInst::memory(3, OpKind::Store, ExecKind::StoreOp, vec![Dep::Local(3)], 1, Some(16)),
+        ];
+        let st = stream_stats(&stream);
+        assert_eq!(st.instructions, 5);
+        assert_eq!(st.arith, 1);
+        assert_eq!(st.load_requests, 1);
+        assert_eq!(st.load_consumes, 1);
+        assert_eq!(st.copies, 1);
+        assert_eq!(st.stores, 1);
+        assert_eq!(st.cross_deps, 1);
+    }
+
+    #[test]
+    fn display_names_are_short_and_unique() {
+        let kinds = [
+            ExecKind::Arith,
+            ExecKind::LoadRequest,
+            ExecKind::LoadConsume,
+            ExecKind::LoadBlocking,
+            ExecKind::StoreOp,
+            ExecKind::CopySend,
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for k in kinds {
+            let s = format!("{k}");
+            assert!(!s.is_empty());
+            assert!(seen.insert(s));
+        }
+    }
+}

@@ -1,0 +1,589 @@
+//! The decoupled-machine partition: lowering a trace into AU and DU streams.
+
+use crate::{classify, DepRole, ExecKind, Dep, MachineInst, MemTag, Trace};
+use dae_isa::{OpKind, UnitClass};
+use serde::{Deserialize, Serialize};
+
+/// How the partitioner decides which unit an instruction belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum PartitionMode {
+    /// Use the workload generator's per-statement unit tags (the "static
+    /// partition by the compiler" of the paper).
+    #[default]
+    Tagged,
+    /// Ignore the tags and re-derive the partition from the dependence
+    /// structure (the backward slice of addresses) — see
+    /// [`classify`](crate::classify).
+    Automatic,
+}
+
+/// Counters describing the structure of a partitioned program.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartitionStats {
+    /// Architectural instructions in the source trace.
+    pub trace_instructions: usize,
+    /// Lowered instructions on the address unit.
+    pub au_instructions: usize,
+    /// Lowered instructions on the data unit.
+    pub du_instructions: usize,
+    /// Architectural loads.
+    pub loads: usize,
+    /// Loads whose value is consumed (also) by the address unit itself
+    /// ("AU self loads" in the paper — index loads, pointer chasing).
+    pub au_self_loads: usize,
+    /// Loads whose value is consumed by the data unit (the common case the
+    /// decoupled memory exists for).
+    pub du_consumed_loads: usize,
+    /// Architectural stores.
+    pub stores: usize,
+    /// Copy instructions sending a value from the AU to the DU.
+    pub copies_au_to_du: usize,
+    /// Copy instructions sending a value from the DU to the AU.  Each one is
+    /// a *loss-of-decoupling* event: the address unit must wait for compute
+    /// results before it can continue prefetching.
+    pub copies_du_to_au: usize,
+}
+
+impl PartitionStats {
+    /// Total cross-unit copy instructions.
+    #[must_use]
+    pub fn total_copies(&self) -> usize {
+        self.copies_au_to_du + self.copies_du_to_au
+    }
+
+    /// Loss-of-decoupling events per architectural load (a measure of how
+    /// badly a program decouples; 0 for perfectly decoupled code).
+    #[must_use]
+    pub fn loss_of_decoupling_rate(&self) -> f64 {
+        if self.loads == 0 {
+            0.0
+        } else {
+            self.copies_du_to_au as f64 / self.loads as f64
+        }
+    }
+
+    /// Ratio of lowered to architectural instructions (the code expansion
+    /// caused by the request/consume split and the copies).
+    #[must_use]
+    pub fn expansion_ratio(&self) -> f64 {
+        if self.trace_instructions == 0 {
+            0.0
+        } else {
+            (self.au_instructions + self.du_instructions) as f64 / self.trace_instructions as f64
+        }
+    }
+}
+
+/// A trace lowered onto the two units of the access decoupled machine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecoupledProgram {
+    /// The address-unit instruction stream, in program order.
+    pub au: Vec<MachineInst>,
+    /// The data-unit instruction stream, in program order.
+    pub du: Vec<MachineInst>,
+    /// Structural statistics gathered during partitioning.
+    pub stats: PartitionStats,
+    /// The number of memory transactions (tags) issued by the AU.
+    pub transactions: u32,
+}
+
+impl DecoupledProgram {
+    /// The stream for `unit`.
+    #[must_use]
+    pub fn stream(&self, unit: UnitClass) -> &[MachineInst] {
+        match unit {
+            UnitClass::Access => &self.au,
+            UnitClass::Compute => &self.du,
+        }
+    }
+}
+
+/// Where the value of an architectural instruction lives after lowering.
+#[derive(Clone, Copy, Default)]
+struct ValueSites {
+    /// Index (in the AU stream) of a producer of the value, if any.
+    au: Option<usize>,
+    /// Index (in the DU stream) of a producer of the value, if any.
+    du: Option<usize>,
+    /// Index (in the *producing* unit's stream) of a copy instruction that
+    /// already forwards the value to the other unit.
+    copy_to_au: Option<usize>,
+    /// See `copy_to_au`, in the other direction.
+    copy_to_du: Option<usize>,
+}
+
+/// Splits `trace` into AU and DU streams for the decoupled machine.
+///
+/// Lowering rules (section 2 of the paper):
+///
+/// * a **load** becomes a `LoadRequest` on the AU (carrying the address
+///   dependences) plus a `LoadConsume` on every unit that uses the value —
+///   usually the DU (the decoupled memory buffers the value until the DU
+///   asks for it), but also the AU itself for *self loads* such as index
+///   loads;
+/// * a **store** becomes a `StoreOp` on the AU for the address and a
+///   `StoreOp` on the DU for the data;
+/// * arithmetic stays on its assigned unit;
+/// * whenever a value produced on one unit is needed on the other, a
+///   `CopySend` is emitted on the producing unit and the consumer carries a
+///   cross-unit dependence on it.  DU→AU copies are counted as
+///   loss-of-decoupling events.
+///
+/// # Example
+///
+/// ```
+/// use dae_isa::{KernelBuilder, Operand};
+/// use dae_trace::{expand, partition, PartitionMode};
+///
+/// let mut b = KernelBuilder::new("axpy");
+/// let i = b.induction();
+/// let x = b.load_strided(&[Operand::Local(i)], 0, 8);
+/// let y = b.fp_mul(&[Operand::Local(x), Operand::Invariant(0)]);
+/// b.store_strided(&[Operand::Local(y), Operand::Local(i)], 0x1000, 8);
+/// let trace = expand(&b.build()?, 10);
+///
+/// let dm = partition(&trace, PartitionMode::Tagged);
+/// assert_eq!(dm.stats.loads, 10);
+/// assert_eq!(dm.stats.du_consumed_loads, 10);
+/// assert_eq!(dm.stats.copies_du_to_au, 0); // decouples perfectly
+/// # Ok::<(), dae_isa::KernelError>(())
+/// ```
+#[must_use]
+pub fn partition(trace: &Trace, mode: PartitionMode) -> DecoupledProgram {
+    let assignment: Vec<UnitClass> = match mode {
+        PartitionMode::Tagged => trace
+            .iter()
+            .map(|inst| {
+                // Memory operations always live on the AU regardless of tag.
+                if inst.op.is_memory() {
+                    UnitClass::Access
+                } else {
+                    inst.unit_hint
+                }
+            })
+            .collect(),
+        PartitionMode::Automatic => classify(trace),
+    };
+
+    // For every architectural instruction, the set of units that will need
+    // its *value*.  (Address-role consumers need it on the AU; data-role
+    // consumers need it wherever the consumer runs, except stores whose data
+    // side always runs on the DU.)
+    let mut needed_on_au = vec![false; trace.len()];
+    let mut needed_on_du = vec![false; trace.len()];
+    for inst in trace.iter() {
+        for dep in &inst.deps {
+            let target = consumer_unit(inst.op, dep.role, assignment[inst.id]);
+            match target {
+                UnitClass::Access => needed_on_au[dep.producer] = true,
+                UnitClass::Compute => needed_on_du[dep.producer] = true,
+            }
+        }
+    }
+
+    let mut au: Vec<MachineInst> = Vec::with_capacity(trace.len());
+    let mut du: Vec<MachineInst> = Vec::with_capacity(trace.len());
+    let mut sites: Vec<ValueSites> = vec![ValueSites::default(); trace.len()];
+    let mut stats = PartitionStats {
+        trace_instructions: trace.len(),
+        ..PartitionStats::default()
+    };
+    let mut next_tag: MemTag = 0;
+
+    for inst in trace.iter() {
+        match inst.op {
+            OpKind::Load => {
+                stats.loads += 1;
+                let tag = next_tag;
+                next_tag += 1;
+                // Address request on the AU.
+                let addr_deps = resolve_deps(
+                    inst,
+                    DepRole::Address,
+                    UnitClass::Access,
+                    &mut au,
+                    &mut du,
+                    &mut sites,
+                    &mut stats,
+                );
+                let request_idx = au.len();
+                au.push(MachineInst::memory(
+                    inst.id,
+                    OpKind::Load,
+                    ExecKind::LoadRequest,
+                    addr_deps,
+                    tag,
+                    inst.addr,
+                ));
+                // Data consumes on every unit that needs the value.
+                if needed_on_du[inst.id] {
+                    stats.du_consumed_loads += 1;
+                    let idx = du.len();
+                    du.push(MachineInst::memory(
+                        inst.id,
+                        OpKind::Load,
+                        ExecKind::LoadConsume,
+                        vec![Dep::Cross(request_idx)],
+                        tag,
+                        inst.addr,
+                    ));
+                    sites[inst.id].du = Some(idx);
+                }
+                if needed_on_au[inst.id] {
+                    stats.au_self_loads += 1;
+                    let idx = au.len();
+                    au.push(MachineInst::memory(
+                        inst.id,
+                        OpKind::Load,
+                        ExecKind::LoadConsume,
+                        vec![Dep::Local(request_idx)],
+                        tag,
+                        inst.addr,
+                    ));
+                    sites[inst.id].au = Some(idx);
+                }
+            }
+            OpKind::Store => {
+                stats.stores += 1;
+                let tag = next_tag;
+                next_tag += 1;
+                let addr_deps = resolve_deps(
+                    inst,
+                    DepRole::Address,
+                    UnitClass::Access,
+                    &mut au,
+                    &mut du,
+                    &mut sites,
+                    &mut stats,
+                );
+                au.push(MachineInst::memory(
+                    inst.id,
+                    OpKind::Store,
+                    ExecKind::StoreOp,
+                    addr_deps,
+                    tag,
+                    inst.addr,
+                ));
+                let data_deps = resolve_deps(
+                    inst,
+                    DepRole::Data,
+                    UnitClass::Compute,
+                    &mut au,
+                    &mut du,
+                    &mut sites,
+                    &mut stats,
+                );
+                du.push(MachineInst::memory(
+                    inst.id,
+                    OpKind::Store,
+                    ExecKind::StoreOp,
+                    data_deps,
+                    tag,
+                    inst.addr,
+                ));
+            }
+            _ => {
+                let unit = assignment[inst.id];
+                let deps = resolve_all_deps(
+                    inst,
+                    unit,
+                    &mut au,
+                    &mut du,
+                    &mut sites,
+                    &mut stats,
+                );
+                let (stream, site) = match unit {
+                    UnitClass::Access => (&mut au, &mut sites[inst.id].au),
+                    UnitClass::Compute => (&mut du, &mut sites[inst.id].du),
+                };
+                *site = Some(stream.len());
+                stream.push(MachineInst::arith(inst.id, inst.op, deps));
+            }
+        }
+    }
+
+    stats.au_instructions = au.len();
+    stats.du_instructions = du.len();
+
+    DecoupledProgram {
+        au,
+        du,
+        stats,
+        transactions: next_tag,
+    }
+}
+
+/// The unit on which a value consumed by `(consumer_op, role)` is needed.
+fn consumer_unit(consumer_op: OpKind, role: DepRole, consumer_unit: UnitClass) -> UnitClass {
+    match consumer_op {
+        // All load operands form the address: needed on the AU.
+        OpKind::Load => UnitClass::Access,
+        // Store addresses are formed on the AU, store data is delivered by
+        // the DU.
+        OpKind::Store => match role {
+            DepRole::Address => UnitClass::Access,
+            DepRole::Data => UnitClass::Compute,
+        },
+        // Everything else consumes the value wherever it executes.
+        _ => consumer_unit,
+    }
+}
+
+/// Resolves the dependences of `inst` with the given role so that they can be
+/// attached to a lowered instruction running on `target`.
+fn resolve_deps(
+    inst: &crate::DynInst,
+    role: DepRole,
+    target: UnitClass,
+    au: &mut Vec<MachineInst>,
+    du: &mut Vec<MachineInst>,
+    sites: &mut [ValueSites],
+    stats: &mut PartitionStats,
+) -> Vec<Dep> {
+    let producers: Vec<usize> = inst
+        .deps
+        .iter()
+        .filter(|d| d.role == role)
+        .map(|d| d.producer)
+        .collect();
+    producers
+        .into_iter()
+        .map(|p| resolve_value(p, target, au, du, sites, stats))
+        .collect()
+}
+
+/// Resolves every dependence of `inst` (both roles) for a consumer on
+/// `target`.
+fn resolve_all_deps(
+    inst: &crate::DynInst,
+    target: UnitClass,
+    au: &mut Vec<MachineInst>,
+    du: &mut Vec<MachineInst>,
+    sites: &mut [ValueSites],
+    stats: &mut PartitionStats,
+) -> Vec<Dep> {
+    let producers: Vec<usize> = inst.deps.iter().map(|d| d.producer).collect();
+    producers
+        .into_iter()
+        .map(|p| resolve_value(p, target, au, du, sites, stats))
+        .collect()
+}
+
+/// Returns a dependence usable by a consumer on `target` for the value of
+/// architectural instruction `producer`, inserting a cross-unit copy if the
+/// value only exists on the other unit.
+fn resolve_value(
+    producer: usize,
+    target: UnitClass,
+    au: &mut Vec<MachineInst>,
+    du: &mut Vec<MachineInst>,
+    sites: &mut [ValueSites],
+    stats: &mut PartitionStats,
+) -> Dep {
+    let site = sites[producer];
+    match target {
+        UnitClass::Access => {
+            if let Some(idx) = site.au {
+                return Dep::Local(idx);
+            }
+            if let Some(copy_idx) = site.copy_to_au {
+                return Dep::Cross(copy_idx);
+            }
+            let du_idx = site
+                .du
+                .expect("value must exist on at least one unit before it is consumed");
+            // Emit a copy on the DU (the producing unit): a loss of
+            // decoupling, since the AU now waits on compute results.
+            let copy_idx = du.len();
+            du.push(MachineInst::copy(du[du_idx].trace_pos, vec![Dep::Local(du_idx)]));
+            sites[producer].copy_to_au = Some(copy_idx);
+            stats.copies_du_to_au += 1;
+            Dep::Cross(copy_idx)
+        }
+        UnitClass::Compute => {
+            if let Some(idx) = site.du {
+                return Dep::Local(idx);
+            }
+            if let Some(copy_idx) = site.copy_to_du {
+                return Dep::Cross(copy_idx);
+            }
+            let au_idx = site
+                .au
+                .expect("value must exist on at least one unit before it is consumed");
+            let copy_idx = au.len();
+            au.push(MachineInst::copy(au[au_idx].trace_pos, vec![Dep::Local(au_idx)]));
+            sites[producer].copy_to_du = Some(copy_idx);
+            stats.copies_au_to_du += 1;
+            Dep::Cross(copy_idx)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{expand, stream_stats};
+    use dae_isa::{KernelBuilder, Operand};
+
+    fn axpy_trace(iters: u64) -> Trace {
+        let mut b = KernelBuilder::new("axpy");
+        let i = b.induction();
+        let x = b.load_strided(&[Operand::Local(i)], 0, 8);
+        let y = b.load_strided(&[Operand::Local(i)], 0x10_000, 8);
+        let ax = b.fp_mul(&[Operand::Local(x), Operand::Invariant(0)]);
+        let s = b.fp_add(&[Operand::Local(ax), Operand::Local(y)]);
+        b.store_strided(&[Operand::Local(s), Operand::Local(i)], 0x10_000, 8);
+        expand(&b.build().unwrap(), iters)
+    }
+
+    #[test]
+    fn every_load_becomes_request_plus_consume() {
+        let trace = axpy_trace(20);
+        let dm = partition(&trace, PartitionMode::Tagged);
+        let au = stream_stats(&dm.au);
+        let du = stream_stats(&dm.du);
+        assert_eq!(au.load_requests, 40);
+        assert_eq!(du.load_consumes, 40);
+        assert_eq!(au.load_consumes, 0, "no AU self loads in axpy");
+        assert_eq!(dm.stats.loads, 40);
+        assert_eq!(dm.stats.du_consumed_loads, 40);
+        assert_eq!(dm.stats.au_self_loads, 0);
+    }
+
+    #[test]
+    fn stores_appear_on_both_units() {
+        let trace = axpy_trace(20);
+        let dm = partition(&trace, PartitionMode::Tagged);
+        let au = stream_stats(&dm.au);
+        let du = stream_stats(&dm.du);
+        assert_eq!(au.stores, 20);
+        assert_eq!(du.stores, 20);
+        assert_eq!(dm.stats.stores, 20);
+    }
+
+    #[test]
+    fn well_decoupled_code_has_no_du_to_au_copies() {
+        let trace = axpy_trace(50);
+        let dm = partition(&trace, PartitionMode::Tagged);
+        assert_eq!(dm.stats.copies_du_to_au, 0);
+        assert_eq!(dm.stats.loss_of_decoupling_rate(), 0.0);
+    }
+
+    #[test]
+    fn data_dependent_addresses_cause_loss_of_decoupling() {
+        // index = int(fp value); load a[index]   — the DU must feed the AU.
+        let mut b = KernelBuilder::new("lod");
+        let i = b.induction();
+        let x = b.load_strided(&[Operand::Local(i)], 0, 8);
+        let f = b.fp_mul(&[Operand::Local(x), Operand::Invariant(0)]);
+        let idx = b.int_on(dae_isa::UnitClass::Compute, &[Operand::Local(f)]);
+        let g = b.load_indirect(&[Operand::Local(idx)], 0x100_000, 1 << 14, 0);
+        b.fp_add(&[Operand::Local(g)]);
+        let trace = expand(&b.build().unwrap(), 10);
+        let dm = partition(&trace, PartitionMode::Tagged);
+        assert_eq!(dm.stats.copies_du_to_au, 10);
+        assert!(dm.stats.loss_of_decoupling_rate() > 0.0);
+    }
+
+    #[test]
+    fn index_loads_become_au_self_loads() {
+        // load idx[i]; load a[idx]  — the index load's value is needed on the
+        // AU itself.
+        let mut b = KernelBuilder::new("gather");
+        let i = b.induction();
+        let idx = b.load_strided(&[Operand::Local(i)], 0, 8);
+        let g = b.load_indirect(&[Operand::Local(idx)], 0x100_000, 1 << 14, 0);
+        b.fp_add(&[Operand::Local(g)]);
+        let trace = expand(&b.build().unwrap(), 25);
+        let dm = partition(&trace, PartitionMode::Tagged);
+        assert_eq!(dm.stats.au_self_loads, 25);
+        assert_eq!(dm.stats.du_consumed_loads, 25);
+        assert_eq!(dm.stats.copies_du_to_au, 0);
+    }
+
+    #[test]
+    fn au_to_du_copies_are_shared_between_consumers() {
+        // An integer value computed on the AU consumed by two DU statements:
+        // only one copy should be emitted per dynamic value.
+        let mut b = KernelBuilder::new("shared-copy");
+        let i = b.induction();
+        let v = b.int(&[Operand::Local(i)]);
+        let x = b.load_strided(&[Operand::Local(i)], 0, 8);
+        let f1 = b.fp_add(&[Operand::Local(x), Operand::Local(v)]);
+        let _f2 = b.fp_mul(&[Operand::Local(x), Operand::Local(v)]);
+        b.store_strided(&[Operand::Local(f1), Operand::Local(i)], 0x100, 8);
+        let trace = expand(&b.build().unwrap(), 10);
+        let dm = partition(&trace, PartitionMode::Tagged);
+        assert_eq!(dm.stats.copies_au_to_du, 10, "one copy per iteration");
+    }
+
+    #[test]
+    fn cross_deps_reference_valid_indices() {
+        let trace = axpy_trace(30);
+        let dm = partition(&trace, PartitionMode::Tagged);
+        for (unit, other) in [(&dm.au, &dm.du), (&dm.du, &dm.au)] {
+            for inst in unit.iter() {
+                for dep in &inst.deps {
+                    match dep {
+                        Dep::Local(i) => assert!(*i < unit.len()),
+                        Dep::Cross(i) => assert!(*i < other.len()),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn local_deps_point_backwards() {
+        let trace = axpy_trace(30);
+        let dm = partition(&trace, PartitionMode::Tagged);
+        for stream in [&dm.au, &dm.du] {
+            for (pos, inst) in stream.iter().enumerate() {
+                for dep in &inst.deps {
+                    if let Dep::Local(i) = dep {
+                        assert!(*i < pos, "local dep must be earlier in the stream");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trace_positions_are_monotone_per_stream() {
+        let trace = axpy_trace(15);
+        let dm = partition(&trace, PartitionMode::Tagged);
+        for stream in [&dm.au, &dm.du] {
+            for pair in stream.windows(2) {
+                assert!(pair[0].trace_pos <= pair[1].trace_pos);
+            }
+        }
+    }
+
+    #[test]
+    fn automatic_and_tagged_modes_agree_on_clean_kernels() {
+        let trace = axpy_trace(10);
+        let tagged = partition(&trace, PartitionMode::Tagged);
+        let auto = partition(&trace, PartitionMode::Automatic);
+        assert_eq!(tagged.stats, auto.stats);
+        assert_eq!(tagged.au.len(), auto.au.len());
+        assert_eq!(tagged.du.len(), auto.du.len());
+    }
+
+    #[test]
+    fn expansion_ratio_reflects_split_memory_ops() {
+        let trace = axpy_trace(10);
+        let dm = partition(&trace, PartitionMode::Tagged);
+        // 6 architectural instructions per iteration become 9 lowered ones
+        // (2 loads and 1 store each split in two).
+        assert!((dm.stats.expansion_ratio() - 9.0 / 6.0).abs() < 1e-9);
+        assert_eq!(dm.transactions, 30);
+    }
+
+    #[test]
+    fn stream_accessor_matches_fields() {
+        let trace = axpy_trace(5);
+        let dm = partition(&trace, PartitionMode::Tagged);
+        assert_eq!(dm.stream(UnitClass::Access).len(), dm.au.len());
+        assert_eq!(dm.stream(UnitClass::Compute).len(), dm.du.len());
+    }
+}

@@ -1,0 +1,48 @@
+//! The full PERFECT suite: Table 1 of the paper plus the §5 window-ratio
+//! claim for all seven workload models.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example perfect_suite
+//! ```
+
+use dae::core::{table1, window_ratio_claim, ExperimentConfig};
+use dae::workloads::suite;
+
+fn main() {
+    let config = ExperimentConfig {
+        iterations: 800,
+        dm_windows: vec![8, 16, 32, 64, 128, 256],
+        ..ExperimentConfig::quick()
+    };
+
+    println!("The seven PERFECT Club workload models:\n");
+    for workload in suite() {
+        let stats = workload.kernel().stats();
+        println!(
+            "  {:<8} {:2} stmts/iter  {:2} loads  {:2} fp  band {:>8}   {}",
+            workload.name(),
+            stats.statements,
+            stats.loads,
+            stats.fp_ops,
+            workload
+                .meta()
+                .expected_band
+                .map_or_else(|| "-".to_string(), |b| b.to_string()),
+            workload.meta().description
+        );
+    }
+    println!();
+
+    let table = table1(&config, 60);
+    println!("{table}");
+    println!("(Three bands are visible: TRFD/ADM/FLO52Q hide the latency well, DYFESM/QCD/MDG moderately, TRACK poorly.)\n");
+
+    let claim = window_ratio_claim(&config, 32, 60);
+    println!("{claim}");
+    if let Some((min, max)) = claim.range() {
+        println!(
+            "\nAcross the suite the SWSM needs a {min:.1}x to {max:.1}x larger window than the DM for equal performance at MD = 60."
+        );
+    }
+}

@@ -1,0 +1,214 @@
+//! Property-based tests over randomly generated kernels and inputs.
+//!
+//! The random-kernel generator in `dae-workloads` produces arbitrary (but
+//! structurally valid) loop bodies; these properties assert the invariants
+//! that must hold for *any* program: lowering conservation laws, analytical
+//! bounds on execution time, monotonicity in machine resources, and the
+//! basic algebra of the metrics.
+
+use dae::core::{
+    dm_cycles, equivalent_window_ratio, scalar_cycles, swsm_cycles, WindowCurve, WindowSpec,
+};
+use dae::isa::{AddressPattern, LatencyModel};
+use dae::machines::{DecoupledMachine, DmConfig, SuperscalarMachine, SwsmConfig};
+use dae::trace::{
+    classify, dataflow_summary, expand, expand_swsm, lower_scalar, partition, PartitionMode,
+};
+use dae::workloads::random_kernel;
+use proptest::prelude::*;
+
+fn proptest_config() -> ProptestConfig {
+    ProptestConfig {
+        cases: 24,
+        ..ProptestConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(proptest_config())]
+
+    /// Lowering conservation: every architectural instruction appears in
+    /// every lowering, memory operations are split exactly once, and no
+    /// dependence ever points forward.
+    #[test]
+    fn lowerings_conserve_instructions(seed in 0u64..5000, stmts in 6usize..40, iters in 1u64..40) {
+        let kernel = random_kernel(seed, stmts);
+        let trace = expand(&kernel, iters);
+        let stats = trace.stats();
+
+        let scalar = lower_scalar(&trace);
+        prop_assert_eq!(scalar.insts.len(), trace.len());
+
+        let swsm = expand_swsm(&trace);
+        prop_assert_eq!(swsm.insts.len(), trace.len() + stats.loads + stats.stores);
+
+        let dm = partition(&trace, PartitionMode::Tagged);
+        // AU + DU hold: every arithmetic instruction once, every load as a
+        // request plus its consumes, every store twice, plus copies.
+        let expected_min = trace.len() + stats.stores; // loads may have no consumer
+        prop_assert!(dm.au.len() + dm.du.len() >= expected_min);
+        let copies = dm.stats.copies_au_to_du + dm.stats.copies_du_to_au;
+        let consumes = dm.stats.du_consumed_loads + dm.stats.au_self_loads;
+        prop_assert_eq!(
+            dm.au.len() + dm.du.len(),
+            trace.len() + stats.stores + consumes + copies
+        );
+
+        for stream in [&dm.au, &dm.du, &swsm.insts, &scalar.insts] {
+            for (pos, inst) in stream.iter().enumerate() {
+                for dep in &inst.deps {
+                    if !dep.is_cross() {
+                        prop_assert!(dep.index() < pos);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The automatic classifier marks every memory operation as access work
+    /// and every floating point operation as compute work.
+    #[test]
+    fn classification_respects_operation_kinds(seed in 0u64..5000, stmts in 6usize..40) {
+        let kernel = random_kernel(seed, stmts);
+        let trace = expand(&kernel, 10);
+        let classes = classify(&trace);
+        for inst in trace.iter() {
+            if inst.op.is_memory() {
+                prop_assert_eq!(classes[inst.id], dae::isa::UnitClass::Access);
+            }
+            if inst.op.is_fp() {
+                prop_assert_eq!(classes[inst.id], dae::isa::UnitClass::Compute);
+            }
+        }
+    }
+
+    /// Execution-time bounds hold for every machine on every random kernel:
+    /// dataflow limit <= machine <= scalar reference, and memory latency
+    /// never speeds anything up.
+    #[test]
+    fn execution_time_bounds_hold(seed in 0u64..2000, stmts in 6usize..28, md in 0u64..80) {
+        let kernel = random_kernel(seed, stmts);
+        let trace = expand(&kernel, 25);
+        let latencies = LatencyModel::paper_default();
+        let limit = dataflow_summary(&trace, &latencies, 0).critical_path_perfect;
+        let serial = scalar_cycles(&trace, md);
+
+        let dm = dm_cycles(&trace, WindowSpec::Entries(16), md);
+        let swsm = swsm_cycles(&trace, WindowSpec::Entries(16), md);
+        prop_assert!(dm >= limit && dm <= serial, "dm={dm} limit={limit} serial={serial}");
+        prop_assert!(swsm >= limit && swsm <= serial, "swsm={swsm} limit={limit} serial={serial}");
+
+        let dm_zero = dm_cycles(&trace, WindowSpec::Entries(16), 0);
+        let swsm_zero = swsm_cycles(&trace, WindowSpec::Entries(16), 0);
+        prop_assert!(dm >= dm_zero);
+        prop_assert!(swsm >= swsm_zero);
+    }
+
+    /// An unlimited window is never slower than a small one, for either
+    /// machine, on any random kernel.
+    #[test]
+    fn unlimited_windows_dominate_small_ones(seed in 0u64..2000, stmts in 6usize..28) {
+        let kernel = random_kernel(seed, stmts);
+        let trace = expand(&kernel, 25);
+        for md in [0u64, 60] {
+            prop_assert!(
+                dm_cycles(&trace, WindowSpec::Unlimited, md)
+                    <= dm_cycles(&trace, WindowSpec::Entries(8), md)
+            );
+            prop_assert!(
+                swsm_cycles(&trace, WindowSpec::Unlimited, md)
+                    <= swsm_cycles(&trace, WindowSpec::Entries(8), md)
+            );
+        }
+    }
+
+    /// The DM's detailed result is internally consistent on any kernel:
+    /// everything dispatched is issued and retired, and the memory counters
+    /// never exceed the partition's structural counts.
+    #[test]
+    fn dm_results_are_internally_consistent(seed in 0u64..2000, stmts in 6usize..28) {
+        let kernel = random_kernel(seed, stmts);
+        let trace = expand(&kernel, 20);
+        let result = DecoupledMachine::new(DmConfig::paper(16, 40)).run(&trace);
+        prop_assert_eq!(result.au.dispatched, result.au.issued);
+        prop_assert_eq!(result.du.dispatched, result.du.issued);
+        prop_assert_eq!(result.au.retired + result.du.retired, result.au.issued + result.du.issued);
+        prop_assert_eq!(result.memory.load_requests as usize, result.partition.loads);
+        prop_assert!(result.summary.cycles > 0 || trace.is_empty());
+        prop_assert!(result.esw.max_esw >= result.esw.max_slip);
+    }
+
+    /// The SWSM's prefetch buffer sees exactly one prefetch per memory
+    /// operation and only load accesses query it.
+    #[test]
+    fn swsm_buffer_counters_match_the_lowering(seed in 0u64..2000, stmts in 6usize..28) {
+        let kernel = random_kernel(seed, stmts);
+        let trace = expand(&kernel, 20);
+        let stats = trace.stats();
+        let result = SuperscalarMachine::new(SwsmConfig::paper(16, 40)).run(&trace);
+        prop_assert_eq!(result.buffer.prefetches, (stats.loads + stats.stores) as u64);
+        prop_assert_eq!(result.buffer.hits + result.buffer.misses, stats.loads as u64);
+        prop_assert_eq!(result.lowering.prefetches, stats.loads + stats.stores);
+    }
+
+    /// Address patterns are deterministic and stay within their configured
+    /// spans.
+    #[test]
+    fn address_patterns_are_deterministic_and_bounded(
+        base in 0u64..(1 << 40),
+        stride in 1u64..4096,
+        span in 64u64..(1 << 24),
+        iteration in 0u64..100_000
+    ) {
+        let strided = AddressPattern::Strided { base, stride };
+        prop_assert_eq!(strided.address_at(iteration), base + iteration * stride);
+
+        let wrapped = AddressPattern::StridedWrapped { base, stride, span };
+        let w = wrapped.address_at(iteration);
+        prop_assert!(w >= base && w < base + span);
+        prop_assert_eq!(w, wrapped.address_at(iteration));
+
+        let indirect = AddressPattern::Indirect { base, span };
+        let a = indirect.address_at(iteration);
+        prop_assert!(a >= base && a < base + span);
+        prop_assert_eq!(a, indirect.address_at(iteration));
+    }
+
+    /// The window-curve interpolation always returns a window inside the
+    /// measured range and is monotone in the target execution time.
+    #[test]
+    fn window_curve_interpolation_is_sane(
+        mut cycles in proptest::collection::vec(100u64..100_000, 3..8),
+        target_a in 50u64..200_000,
+        target_b in 50u64..200_000
+    ) {
+        // Build a strictly decreasing curve over growing windows.
+        cycles.sort_unstable_by(|a, b| b.cmp(a));
+        cycles.dedup();
+        let points: Vec<(usize, u64)> = cycles
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (8 * (i + 1), c))
+            .collect();
+        prop_assume!(points.len() >= 2);
+        let curve = WindowCurve::new(points.clone());
+
+        let smallest = points.first().unwrap().0 as f64;
+        let largest = points.last().unwrap().0 as f64;
+        for target in [target_a, target_b] {
+            if let Some(window) = curve.window_for_cycles(target) {
+                prop_assert!(window >= smallest - 1e-9 && window <= largest + 1e-9);
+            }
+        }
+        let (lo, hi) = (target_a.min(target_b), target_a.max(target_b));
+        if let (Some(w_lo), Some(w_hi)) = (curve.window_for_cycles(lo), curve.window_for_cycles(hi)) {
+            // A stricter (smaller-cycle) target needs at least as large a window.
+            prop_assert!(w_lo + 1e-9 >= w_hi);
+        }
+
+        // The ratio helper is consistent with the interpolation.
+        if let Some(ratio) = equivalent_window_ratio(16, lo, &curve) {
+            prop_assert!((ratio - curve.window_for_cycles(lo).unwrap() / 16.0).abs() < 1e-9);
+        }
+    }
+}
