@@ -17,7 +17,13 @@ use dae_machines::{DecoupledMachine, DmConfig};
 use dae_mem::{BypassConfig, DecoupledMemoryConfig};
 use dae_workloads::{stencil, PerfectProgram, Workload};
 
-fn run(workload: &Workload, iterations: u64, window: usize, md: u64, bypass: Option<BypassConfig>) -> (u64, u64) {
+fn run(
+    workload: &Workload,
+    iterations: u64,
+    window: usize,
+    md: u64,
+    bypass: Option<BypassConfig>,
+) -> (u64, u64) {
     let trace = workload.trace(iterations);
     let mut config = DmConfig::paper(window, md);
     config.decoupled_memory = DecoupledMemoryConfig {
@@ -40,7 +46,10 @@ fn main() {
     let mut workloads: Vec<Workload> = vec![stencil()];
     workloads.extend([PerfectProgram::Mdg, PerfectProgram::Track].map(|p| p.workload()));
 
-    println!("Decoupled-memory bypass probe ({window}-entry windows, MD = {md}, {} bypass lines)\n", bypass.entries);
+    println!(
+        "Decoupled-memory bypass probe ({window}-entry windows, MD = {md}, {} bypass lines)\n",
+        bypass.entries
+    );
 
     let mut table = TextTable::new(vec![
         "workload".into(),

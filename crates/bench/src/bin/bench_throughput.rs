@@ -1,0 +1,189 @@
+//! Simulator-throughput baseline: event-driven scheduler vs the retained
+//! naive reference, per machine and representative workload.
+//!
+//! Writes `BENCH_simulator_throughput.json` (the committed perf baseline)
+//! and prints a human-readable table.  Three numbers are reported per
+//! point:
+//!
+//! * `event_ns` — the new pipeline: trace lowered once up front (as the
+//!   sweep drivers do), event-driven + time-skipping run loop;
+//! * `reference_ns` — the old pipeline: per-run lowering plus the naive
+//!   cycle-stepped scheduler (`run_reference`), exactly what every sweep
+//!   point cost before this rewrite;
+//! * `sched_reference_ns` — the naive scheduler over the *same*
+//!   pre-lowered program, isolating scheduler-vs-scheduler cost with no
+//!   lowering on either side.
+//!
+//! `pipeline_speedup = reference_ns / event_ns` (the end-to-end win per
+//! sweep point; the enforced 3x DM floor) and
+//! `scheduler_speedup = sched_reference_ns / event_ns` (recorded so a
+//! scheduler regression cannot hide behind lowering cost).  Every
+//! measurement first asserts that both paths produce identical results.
+
+use dae_core::LoweredTrace;
+use dae_machines::{
+    DecoupledMachine, DmConfig, ScalarConfig, ScalarReference, SuperscalarMachine, SwsmConfig,
+};
+use dae_trace::{expand_swsm, lower_scalar, partition, PartitionMode};
+use dae_workloads::PerfectProgram;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const ITERATIONS: u64 = 300;
+const WINDOW: usize = 32;
+const MD: u64 = 60;
+
+fn measure<R>(min_reps: u32, mut f: impl FnMut() -> R) -> f64 {
+    // Warm up once, then take the best of a few timed repetitions.
+    std::hint::black_box(f());
+    let mut best = f64::INFINITY;
+    for _ in 0..min_reps {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t0.elapsed().as_nanos() as f64);
+    }
+    best
+}
+
+struct Measurement {
+    name: String,
+    event_ns: f64,
+    reference_ns: f64,
+    sched_reference_ns: f64,
+}
+
+impl Measurement {
+    fn pipeline_speedup(&self) -> f64 {
+        self.reference_ns / self.event_ns
+    }
+
+    fn scheduler_speedup(&self) -> f64 {
+        self.sched_reference_ns / self.event_ns
+    }
+}
+
+fn main() {
+    let mut results: Vec<Measurement> = Vec::new();
+
+    for program in PerfectProgram::REPRESENTATIVE {
+        let trace = program.workload().trace(ITERATIONS);
+        let lowered = LoweredTrace::new(&trace);
+        let dm_program = partition(&trace, PartitionMode::Tagged);
+        let swsm_program = expand_swsm(&trace);
+        let scalar_program = lower_scalar(&trace);
+
+        let dm = DecoupledMachine::new(DmConfig::paper(WINDOW, MD));
+        assert_eq!(
+            dm.run(&trace),
+            dm.run_reference(&trace),
+            "DM differential check failed for {program}"
+        );
+        results.push(Measurement {
+            name: format!("dm_w{WINDOW}_md{MD}/{}", program.name()),
+            event_ns: measure(5, || {
+                lowered.dm_cycles(dae_core::WindowSpec::Entries(WINDOW), MD)
+            }),
+            reference_ns: measure(5, || dm.run_reference(&trace).cycles()),
+            sched_reference_ns: measure(5, || {
+                dm.run_reference_lowered(&dm_program, trace.len()).cycles()
+            }),
+        });
+
+        let swsm = SuperscalarMachine::new(SwsmConfig::paper(WINDOW, MD));
+        assert_eq!(
+            swsm.run(&trace),
+            swsm.run_reference(&trace),
+            "SWSM differential check failed for {program}"
+        );
+        results.push(Measurement {
+            name: format!("swsm_w{WINDOW}_md{MD}/{}", program.name()),
+            event_ns: measure(5, || {
+                lowered.swsm_cycles(dae_core::WindowSpec::Entries(WINDOW), MD)
+            }),
+            reference_ns: measure(5, || swsm.run_reference(&trace).cycles()),
+            sched_reference_ns: measure(5, || {
+                swsm.run_reference_lowered(&swsm_program, trace.len())
+                    .cycles()
+            }),
+        });
+
+        let scalar = ScalarReference::new(ScalarConfig::new(MD));
+        assert_eq!(
+            scalar.run(&trace),
+            scalar.run_reference(&trace),
+            "scalar differential check failed for {program}"
+        );
+        results.push(Measurement {
+            name: format!("scalar_md{MD}/{}", program.name()),
+            event_ns: measure(5, || {
+                scalar.run_lowered(&scalar_program, trace.len()).cycles()
+            }),
+            reference_ns: measure(5, || scalar.run_reference(&trace).cycles()),
+            sched_reference_ns: measure(5, || {
+                scalar
+                    .run_reference_lowered(&scalar_program, trace.len())
+                    .cycles()
+            }),
+        });
+    }
+
+    println!(
+        "{:<28} {:>12} {:>12} {:>12} {:>9} {:>9}",
+        "benchmark", "event ns", "old-pipe ns", "naive ns", "pipeline", "scheduler"
+    );
+    for m in &results {
+        println!(
+            "{:<28} {:>12.0} {:>12.0} {:>12.0} {:>8.2}x {:>8.2}x",
+            m.name,
+            m.event_ns,
+            m.reference_ns,
+            m.sched_reference_ns,
+            m.pipeline_speedup(),
+            m.scheduler_speedup()
+        );
+    }
+
+    let min_dm_pipeline = results
+        .iter()
+        .filter(|m| m.name.starts_with("dm_"))
+        .map(Measurement::pipeline_speedup)
+        .fold(f64::INFINITY, f64::min);
+    let min_dm_scheduler = results
+        .iter()
+        .filter(|m| m.name.starts_with("dm_"))
+        .map(Measurement::scheduler_speedup)
+        .fold(f64::INFINITY, f64::min);
+    println!(
+        "\nminimum DM speedup at MD = {MD}: pipeline {min_dm_pipeline:.2}x, scheduler-only {min_dm_scheduler:.2}x"
+    );
+
+    let mut json = String::from("{\n  \"benchmarks\": [\n");
+    for (i, m) in results.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{}\", \"event_ns\": {:.0}, \"reference_ns\": {:.0}, \"sched_reference_ns\": {:.0}, \"pipeline_speedup\": {:.3}, \"scheduler_speedup\": {:.3}}}",
+            m.name,
+            m.event_ns,
+            m.reference_ns,
+            m.sched_reference_ns,
+            m.pipeline_speedup(),
+            m.scheduler_speedup()
+        );
+        json.push_str(if i + 1 == results.len() { "\n" } else { ",\n" });
+    }
+    let _ = write!(
+        json,
+        "  ],\n  \"config\": {{\"iterations\": {ITERATIONS}, \"window\": {WINDOW}, \"memory_differential\": {MD}}},\n  \"min_dm_pipeline_speedup\": {min_dm_pipeline:.3},\n  \"min_dm_scheduler_speedup\": {min_dm_scheduler:.3}\n}}\n"
+    );
+    std::fs::write("BENCH_simulator_throughput.json", json).expect("write baseline json");
+    println!("wrote BENCH_simulator_throughput.json");
+
+    assert!(
+        min_dm_pipeline >= 3.0,
+        "DM pipeline speedup regressed below the 3x floor: {min_dm_pipeline:.2}x"
+    );
+    assert!(
+        min_dm_scheduler >= 2.0,
+        "DM scheduler-only speedup regressed below the 2x floor: {min_dm_scheduler:.2}x"
+    );
+}

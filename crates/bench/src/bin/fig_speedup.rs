@@ -25,7 +25,9 @@ fn main() {
     println!("{figure}");
     for md in [0u64, 60] {
         match figure.crossover_window(md) {
-            Some(w) => println!("MD={md}: the SWSM catches the DM at a window of about {w} entries."),
+            Some(w) => {
+                println!("MD={md}: the SWSM catches the DM at a window of about {w} entries.")
+            }
             None => println!("MD={md}: the DM stays ahead over the whole sweep."),
         }
     }

@@ -46,7 +46,6 @@ pub fn bench_config() -> ExperimentConfig {
         swsm_windows: vec![8, 32, 128],
         equivalence_search_windows: vec![8, 16, 32, 64, 128, 256],
         memory_differentials: vec![0, 60],
-        ..ExperimentConfig::quick()
     }
 }
 

@@ -5,7 +5,8 @@ use dae_isa::Cycle;
 use dae_machines::{
     DecoupledMachine, DmConfig, ScalarConfig, ScalarReference, SuperscalarMachine, SwsmConfig,
 };
-use dae_trace::Trace;
+use dae_trace::{expand_swsm, partition, DecoupledProgram, SwsmProgram, Trace};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -82,6 +83,134 @@ pub fn swsm_config(window: WindowSpec, memory_differential: Cycle) -> SwsmConfig
     }
 }
 
+/// A trace lowered once for every machine, so a sweep can run many
+/// (window, memory differential) points without re-partitioning or
+/// re-expanding per point.
+///
+/// Lowering is a third to half of a single simulation's cost, and the
+/// figure sweeps run dozens of points per trace; every experiment generator
+/// builds one of these per program and shares it across its (parallel)
+/// points.  The lowered streams and wakeup lists inside the programs are
+/// reference counted, so cloning into each run is O(1).
+#[derive(Debug, Clone)]
+pub struct LoweredTrace {
+    trace_instructions: usize,
+    dm_program: DecoupledProgram,
+    swsm_program: SwsmProgram,
+    /// `scalar analytic time = scalar_base + loads × MD`.
+    scalar_base: Cycle,
+    scalar_loads: Cycle,
+}
+
+impl LoweredTrace {
+    /// Lowers `trace` for the DM (the paper's tagged partition), the SWSM
+    /// and the scalar reference.
+    #[must_use]
+    pub fn new(trace: &Trace) -> Self {
+        // The scalar analytic time is affine in the memory differential by
+        // construction, so two probes of the one authoritative formula
+        // (`ScalarReference::analytic_cycles`) recover its coefficients —
+        // no second copy of the latency accounting exists here.
+        let scalar_base = ScalarReference::new(ScalarConfig::new(0)).analytic_cycles(trace);
+        let scalar_loads =
+            ScalarReference::new(ScalarConfig::new(1)).analytic_cycles(trace) - scalar_base;
+        LoweredTrace {
+            trace_instructions: trace.len(),
+            dm_program: partition(trace, dae_trace::PartitionMode::Tagged),
+            swsm_program: expand_swsm(trace),
+            scalar_base,
+            scalar_loads,
+        }
+    }
+
+    /// Architectural instructions in the source trace.
+    #[must_use]
+    pub fn trace_instructions(&self) -> usize {
+        self.trace_instructions
+    }
+
+    /// Execution time of the DM at one sweep point.
+    #[must_use]
+    pub fn dm_cycles(&self, window: WindowSpec, memory_differential: Cycle) -> Cycle {
+        DecoupledMachine::new(dm_config(window, memory_differential))
+            .run_lowered(&self.dm_program, self.trace_instructions)
+            .cycles()
+    }
+
+    /// Execution time of the SWSM at one sweep point.
+    #[must_use]
+    pub fn swsm_cycles(&self, window: WindowSpec, memory_differential: Cycle) -> Cycle {
+        SuperscalarMachine::new(swsm_config(window, memory_differential))
+            .run_lowered(&self.swsm_program, self.trace_instructions)
+            .cycles()
+    }
+
+    /// Analytic execution time of the scalar reference (O(1) per point).
+    #[must_use]
+    pub fn scalar_cycles(&self, memory_differential: Cycle) -> Cycle {
+        self.scalar_base + self.scalar_loads * memory_differential
+    }
+
+    /// Execution time of `machine` at one sweep point.
+    #[must_use]
+    pub fn machine_cycles(
+        &self,
+        machine: Machine,
+        window: WindowSpec,
+        memory_differential: Cycle,
+    ) -> Cycle {
+        match machine {
+            Machine::Decoupled => self.dm_cycles(window, memory_differential),
+            Machine::Superscalar => self.swsm_cycles(window, memory_differential),
+            Machine::Scalar => self.scalar_cycles(memory_differential),
+        }
+    }
+
+    /// Runs a list of `(machine, window, MD)` sweep points in parallel,
+    /// returning their execution times in point order.
+    #[must_use]
+    pub fn sweep(&self, points: &[(Machine, WindowSpec, Cycle)]) -> Vec<Cycle> {
+        points
+            .par_iter()
+            .map(|&(machine, window, md)| self.machine_cycles(machine, window, md))
+            .collect()
+    }
+
+    /// Sweeps the SWSM over `windows` at a fixed memory differential (the
+    /// points run in parallel).
+    #[must_use]
+    pub fn swsm_window_curve(&self, windows: &[usize], memory_differential: Cycle) -> WindowCurve {
+        let points: Vec<_> = windows
+            .iter()
+            .map(|&w| {
+                (
+                    Machine::Superscalar,
+                    WindowSpec::Entries(w),
+                    memory_differential,
+                )
+            })
+            .collect();
+        WindowCurve::new(windows.iter().copied().zip(self.sweep(&points)).collect())
+    }
+
+    /// Sweeps the DM over `windows` at a fixed memory differential (the
+    /// points run in parallel).
+    #[must_use]
+    pub fn dm_window_curve(&self, windows: &[usize], memory_differential: Cycle) -> WindowCurve {
+        let points: Vec<_> = windows
+            .iter()
+            .map(|&w| {
+                (
+                    Machine::Decoupled,
+                    WindowSpec::Entries(w),
+                    memory_differential,
+                )
+            })
+            .collect();
+        WindowCurve::new(windows.iter().copied().zip(self.sweep(&points)).collect())
+    }
+}
+
 /// Execution time of the DM on `trace`.
 #[must_use]
 pub fn dm_cycles(trace: &Trace, window: WindowSpec, memory_differential: Cycle) -> Cycle {
@@ -122,26 +251,26 @@ pub fn machine_cycles(
 }
 
 /// Sweeps the SWSM over `windows` at a fixed memory differential, producing
-/// the curve used by the equivalent-window-ratio experiments.
+/// the curve used by the equivalent-window-ratio experiments.  The trace is
+/// lowered once and the points run in parallel.
 #[must_use]
-pub fn swsm_window_curve(trace: &Trace, windows: &[usize], memory_differential: Cycle) -> WindowCurve {
-    WindowCurve::new(
-        windows
-            .iter()
-            .map(|&w| (w, swsm_cycles(trace, WindowSpec::Entries(w), memory_differential)))
-            .collect(),
-    )
+pub fn swsm_window_curve(
+    trace: &Trace,
+    windows: &[usize],
+    memory_differential: Cycle,
+) -> WindowCurve {
+    LoweredTrace::new(trace).swsm_window_curve(windows, memory_differential)
 }
 
-/// Sweeps the DM over `windows` at a fixed memory differential.
+/// Sweeps the DM over `windows` at a fixed memory differential (lowered
+/// once, points in parallel).
 #[must_use]
-pub fn dm_window_curve(trace: &Trace, windows: &[usize], memory_differential: Cycle) -> WindowCurve {
-    WindowCurve::new(
-        windows
-            .iter()
-            .map(|&w| (w, dm_cycles(trace, WindowSpec::Entries(w), memory_differential)))
-            .collect(),
-    )
+pub fn dm_window_curve(
+    trace: &Trace,
+    windows: &[usize],
+    memory_differential: Cycle,
+) -> WindowCurve {
+    LoweredTrace::new(trace).dm_window_curve(windows, memory_differential)
 }
 
 /// Shared knobs of the experiment generators: how long the traces are and
@@ -237,7 +366,10 @@ mod tests {
             swsm_window_curve(&trace, &[8, 16, 32, 64], 60),
         ] {
             for pair in curve.points().windows(2) {
-                assert!(pair[1].1 <= pair[0].1, "bigger windows should not be slower");
+                assert!(
+                    pair[1].1 <= pair[0].1,
+                    "bigger windows should not be slower"
+                );
             }
         }
     }
@@ -245,7 +377,10 @@ mod tests {
     #[test]
     fn unlimited_windows_are_at_least_as_fast_as_finite_ones() {
         let trace = small_trace();
-        assert!(dm_cycles(&trace, WindowSpec::Unlimited, 60) <= dm_cycles(&trace, WindowSpec::Entries(16), 60));
+        assert!(
+            dm_cycles(&trace, WindowSpec::Unlimited, 60)
+                <= dm_cycles(&trace, WindowSpec::Entries(16), 60)
+        );
         assert!(
             swsm_cycles(&trace, WindowSpec::Unlimited, 60)
                 <= swsm_cycles(&trace, WindowSpec::Entries(16), 60)

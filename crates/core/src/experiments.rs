@@ -12,13 +12,39 @@
 //! | §5 claim (SWSM needs a 2–4x larger window at MD = 60) | [`window_ratio_claim`] |
 
 use crate::{
-    dm_cycles, equivalent_window_ratio, fmt_metric, latency_hiding_effectiveness, scalar_cycles,
-    speedup, swsm_cycles, swsm_window_curve, ExperimentConfig, Machine, TextTable, WindowSpec,
+    equivalent_window_ratio, fmt_metric, latency_hiding_effectiveness, speedup, ExperimentConfig,
+    LoweredTrace, Machine, TextTable, WindowCurve, WindowSpec,
 };
 use dae_isa::Cycle;
 use dae_workloads::PerfectProgram;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// Lowers every listed program's trace once, in parallel.
+///
+/// All generators sweep many (window, MD) points per program; lowering
+/// up front and sharing the [`LoweredTrace`] across points is what turns
+/// the sweeps into pure simulation work.
+fn lower_programs(programs: &[PerfectProgram], iterations: u64) -> Vec<LoweredTrace> {
+    programs
+        .to_vec()
+        .into_par_iter()
+        .map(|program| LoweredTrace::new(&program.workload().trace(iterations)))
+        .collect()
+}
+
+/// Runs a flat list of `(program index, machine, window, MD)` points in
+/// parallel against the pre-lowered traces, preserving point order.
+fn run_points(
+    lowered: &[LoweredTrace],
+    points: &[(usize, Machine, WindowSpec, Cycle)],
+) -> Vec<Cycle> {
+    points
+        .par_iter()
+        .map(|&(idx, machine, window, md)| lowered[idx].machine_cycles(machine, window, md))
+        .collect()
+}
 
 // ---------------------------------------------------------------------------
 // Table 1 — latency hiding effectiveness
@@ -57,16 +83,28 @@ pub fn table1(config: &ExperimentConfig, memory_differential: Cycle) -> Table1 {
         .collect();
     windows.push(WindowSpec::Unlimited);
 
+    let lowered = lower_programs(&PerfectProgram::ALL, config.iterations);
+
+    // One flat parallel sweep: every (program, window) at MD = 0 and at the
+    // table's memory differential.
+    let mut points = Vec::with_capacity(lowered.len() * windows.len() * 2);
+    for idx in 0..lowered.len() {
+        for &window in &windows {
+            points.push((idx, Machine::Decoupled, window, 0));
+            points.push((idx, Machine::Decoupled, window, memory_differential));
+        }
+    }
+    let cycles = run_points(&lowered, &points);
+
+    let mut results = cycles.chunks_exact(2);
     let rows = PerfectProgram::ALL
         .iter()
         .map(|&program| {
-            let trace = program.workload().trace(config.iterations);
             let lhe = windows
                 .iter()
                 .map(|&window| {
-                    let perfect = dm_cycles(&trace, window, 0);
-                    let actual = dm_cycles(&trace, window, memory_differential);
-                    (window, latency_hiding_effectiveness(perfect, actual))
+                    let pair = results.next().expect("one result pair per point");
+                    (window, latency_hiding_effectiveness(pair[0], pair[1]))
                 })
                 .collect();
             Table1Row { program, lhe }
@@ -158,10 +196,27 @@ pub fn speedup_figure(
     config: &ExperimentConfig,
     memory_differentials: &[Cycle],
 ) -> SpeedupFigure {
-    let trace = program.workload().trace(config.iterations);
-    let mut series = Vec::new();
+    let lowered = LoweredTrace::new(&program.workload().trace(config.iterations));
+
+    // Flatten every (MD, machine, window) point into one parallel sweep.
+    let mut sweep = Vec::new();
     for &md in memory_differentials {
-        let reference = scalar_cycles(&trace, md);
+        for machine in [Machine::Decoupled, Machine::Superscalar] {
+            let windows = match machine {
+                Machine::Decoupled => &config.dm_windows,
+                _ => &config.swsm_windows,
+            };
+            for &w in windows {
+                sweep.push((machine, WindowSpec::Entries(w), md));
+            }
+        }
+    }
+    let cycles = lowered.sweep(&sweep);
+
+    let mut series = Vec::new();
+    let mut cursor = cycles.into_iter();
+    for &md in memory_differentials {
+        let reference = lowered.scalar_cycles(md);
         for machine in [Machine::Decoupled, Machine::Superscalar] {
             let windows = match machine {
                 Machine::Decoupled => &config.dm_windows,
@@ -170,10 +225,7 @@ pub fn speedup_figure(
             let points = windows
                 .iter()
                 .map(|&w| {
-                    let cycles = match machine {
-                        Machine::Decoupled => dm_cycles(&trace, WindowSpec::Entries(w), md),
-                        _ => swsm_cycles(&trace, WindowSpec::Entries(w), md),
-                    };
+                    let cycles = cursor.next().expect("one result per sweep point");
                     (w, speedup(reference, cycles))
                 })
                 .collect();
@@ -194,7 +246,11 @@ pub fn speedup_figure(
 impl SpeedupFigure {
     /// The series for a machine at a memory differential.
     #[must_use]
-    pub fn series_for(&self, machine: Machine, memory_differential: Cycle) -> Option<&SpeedupSeries> {
+    pub fn series_for(
+        &self,
+        machine: Machine,
+        memory_differential: Cycle,
+    ) -> Option<&SpeedupSeries> {
         self.series
             .iter()
             .find(|s| s.machine == machine && s.memory_differential == memory_differential)
@@ -227,9 +283,10 @@ impl SpeedupFigure {
             headers.push(format!("{} md={}", s.machine, s.memory_differential));
         }
         let mut table = TextTable::new(headers);
-        let windows: Vec<usize> = self.series.first().map_or_else(Vec::new, |s| {
-            s.points.iter().map(|&(w, _)| w).collect()
-        });
+        let windows: Vec<usize> = self
+            .series
+            .first()
+            .map_or_else(Vec::new, |s| s.points.iter().map(|&(w, _)| w).collect());
         for (row_idx, window) in windows.iter().enumerate() {
             let mut cells = vec![window.to_string()];
             for s in &self.series {
@@ -291,15 +348,36 @@ pub struct EwrFigure {
 /// for FLO52Q, 8 for MDG, 9 for TRACK).
 #[must_use]
 pub fn equivalent_window_figure(program: PerfectProgram, config: &ExperimentConfig) -> EwrFigure {
-    let trace = program.workload().trace(config.iterations);
-    let mut series = Vec::new();
+    let lowered = LoweredTrace::new(&program.workload().trace(config.iterations));
+
+    // One parallel sweep covering, per memory differential, the SWSM search
+    // grid and the DM windows.
+    let mut sweep = Vec::new();
     for &md in &config.memory_differentials {
-        let swsm_curve = swsm_window_curve(&trace, &config.equivalence_search_windows, md);
+        for &w in &config.equivalence_search_windows {
+            sweep.push((Machine::Superscalar, WindowSpec::Entries(w), md));
+        }
+        for &w in &config.dm_windows {
+            sweep.push((Machine::Decoupled, WindowSpec::Entries(w), md));
+        }
+    }
+    let cycles = lowered.sweep(&sweep);
+
+    let mut series = Vec::new();
+    let mut cursor = cycles.into_iter();
+    for &md in &config.memory_differentials {
+        let swsm_curve = WindowCurve::new(
+            config
+                .equivalence_search_windows
+                .iter()
+                .map(|&w| (w, cursor.next().expect("one result per sweep point")))
+                .collect(),
+        );
         let points = config
             .dm_windows
             .iter()
             .map(|&w| {
-                let dm = dm_cycles(&trace, WindowSpec::Entries(w), md);
+                let dm = cursor.next().expect("one result per sweep point");
                 (w, equivalent_window_ratio(w, dm, &swsm_curve))
             })
             .collect();
@@ -331,9 +409,10 @@ impl EwrFigure {
             headers.push(format!("md={}", s.memory_differential));
         }
         let mut table = TextTable::new(headers);
-        let windows: Vec<usize> = self.series.first().map_or_else(Vec::new, |s| {
-            s.points.iter().map(|&(w, _)| w).collect()
-        });
+        let windows: Vec<usize> = self
+            .series
+            .first()
+            .map_or_else(Vec::new, |s| s.points.iter().map(|&(w, _)| w).collect());
         for (row_idx, window) in windows.iter().enumerate() {
             let mut cells = vec![window.to_string()];
             for s in &self.series {
@@ -386,15 +465,42 @@ pub fn window_ratio_claim(
     dm_window: usize,
     memory_differential: Cycle,
 ) -> WindowRatioClaim {
+    let lowered = lower_programs(&PerfectProgram::ALL, config.iterations);
+
+    // Per program: one DM point plus the SWSM search grid, all in one flat
+    // parallel sweep.
+    let stride = 1 + config.equivalence_search_windows.len();
+    let mut points = Vec::with_capacity(lowered.len() * stride);
+    for idx in 0..lowered.len() {
+        points.push((
+            idx,
+            Machine::Decoupled,
+            WindowSpec::Entries(dm_window),
+            memory_differential,
+        ));
+        for &w in &config.equivalence_search_windows {
+            points.push((
+                idx,
+                Machine::Superscalar,
+                WindowSpec::Entries(w),
+                memory_differential,
+            ));
+        }
+    }
+    let cycles = run_points(&lowered, &points);
+
     let ratios = PerfectProgram::ALL
         .iter()
-        .map(|&program| {
-            let trace = program.workload().trace(config.iterations);
-            let dm = dm_cycles(&trace, WindowSpec::Entries(dm_window), memory_differential);
-            let curve = swsm_window_curve(
-                &trace,
-                &config.equivalence_search_windows,
-                memory_differential,
+        .zip(cycles.chunks_exact(stride))
+        .map(|(&program, chunk)| {
+            let dm = chunk[0];
+            let curve = WindowCurve::new(
+                config
+                    .equivalence_search_windows
+                    .iter()
+                    .copied()
+                    .zip(chunk[1..].iter().copied())
+                    .collect(),
             );
             (program, equivalent_window_ratio(dm_window, dm, &curve))
         })
@@ -470,7 +576,9 @@ mod tests {
         let text = format!("{table}");
         assert!(text.contains("TRFD") && text.contains("w=inf"));
         assert!(table.to_csv().lines().count() == 8);
-        assert!(table.lhe(PerfectProgram::Track, WindowSpec::Unlimited).is_some());
+        assert!(table
+            .lhe(PerfectProgram::Track, WindowSpec::Unlimited)
+            .is_some());
     }
 
     #[test]

@@ -42,16 +42,14 @@ mod metrics;
 mod report;
 
 pub use experiment::{
-    dm_config, dm_cycles, dm_window_curve, machine_cycles, scalar_cycles, swsm_config,
-    swsm_cycles, swsm_window_curve, ExperimentConfig, Machine, WindowSpec,
+    dm_config, dm_cycles, dm_window_curve, machine_cycles, scalar_cycles, swsm_config, swsm_cycles,
+    swsm_window_curve, ExperimentConfig, LoweredTrace, Machine, WindowSpec,
 };
 pub use experiments::{
     equivalent_window_figure, speedup_figure, table1, window_ratio_claim, EwrFigure, EwrSeries,
     SpeedupFigure, SpeedupSeries, Table1, Table1Row, WindowRatioClaim,
 };
-pub use metrics::{
-    equivalent_window_ratio, latency_hiding_effectiveness, speedup, WindowCurve,
-};
+pub use metrics::{equivalent_window_ratio, latency_hiding_effectiveness, speedup, WindowCurve};
 pub use report::{fmt_metric, TextTable};
 
 /// A convenience prelude re-exporting the types most examples need.

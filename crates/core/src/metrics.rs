@@ -48,7 +48,10 @@ impl WindowCurve {
     /// Panics if `points` is empty or contains duplicate window sizes.
     #[must_use]
     pub fn new(mut points: Vec<(usize, Cycle)>) -> Self {
-        assert!(!points.is_empty(), "a window curve needs at least one point");
+        assert!(
+            !points.is_empty(),
+            "a window curve needs at least one point"
+        );
         points.sort_by_key(|&(w, _)| w);
         for pair in points.windows(2) {
             assert_ne!(pair[0].0, pair[1].0, "duplicate window size {}", pair[0].0);
@@ -94,8 +97,7 @@ impl WindowCurve {
                             // segment between the bracketing points.
                             let span = (prev_cycles - cycles) as f64;
                             let excess = (prev_cycles.saturating_sub(target)) as f64;
-                            prev_window as f64
-                                + (window - prev_window) as f64 * (excess / span)
+                            prev_window as f64 + (window - prev_window) as f64 * (excess / span)
                         }
                     }
                 });

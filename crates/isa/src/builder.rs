@@ -1,8 +1,6 @@
 //! A small DSL for constructing kernels programmatically.
 
-use crate::{
-    AddressSpec, Kernel, KernelError, OpKind, Operand, Statement, StmtId, UnitClass,
-};
+use crate::{AddressSpec, Kernel, KernelError, OpKind, Operand, Statement, StmtId, UnitClass};
 
 /// Incrementally builds a [`Kernel`].
 ///
@@ -302,7 +300,10 @@ mod tests {
         let k = b.build().unwrap();
         assert_eq!(
             k.statements()[i].inputs,
-            vec![Operand::Carried { stmt: i, distance: 1 }]
+            vec![Operand::Carried {
+                stmt: i,
+                distance: 1
+            }]
         );
         assert_eq!(k.statements()[i].unit, UnitClass::Access);
     }

@@ -430,7 +430,10 @@ impl Kernel {
                             });
                         }
                     }
-                    Operand::Carried { stmt: target, distance } => {
+                    Operand::Carried {
+                        stmt: target,
+                        distance,
+                    } => {
                         if target >= self.statements.len() {
                             return Err(KernelError::UnknownStatement {
                                 stmt: id,
@@ -683,7 +686,10 @@ mod tests {
 
     #[test]
     fn strided_addresses_advance_by_stride() {
-        let p = AddressPattern::Strided { base: 100, stride: 8 };
+        let p = AddressPattern::Strided {
+            base: 100,
+            stride: 8,
+        };
         assert_eq!(p.address_at(0), 100);
         assert_eq!(p.address_at(1), 108);
         assert_eq!(p.address_at(10), 180);
@@ -698,7 +704,10 @@ mod tests {
         };
         for i in 0..1000 {
             let a = p.address_at(i);
-            assert!(a >= 0x1000 && a < 0x1000 + 64, "iteration {i} -> {a:#x}");
+            assert!(
+                (0x1000..0x1000 + 64).contains(&a),
+                "iteration {i} -> {a:#x}"
+            );
         }
         // Temporal reuse: the same addresses recur.
         assert_eq!(p.address_at(0), p.address_at(4));
@@ -713,7 +722,7 @@ mod tests {
         for i in 0..1000 {
             let a = p.address_at(i);
             assert_eq!(a, p.address_at(i), "determinism at {i}");
-            assert!(a >= 0x10_0000 && a < 0x10_0000 + (1 << 20));
+            assert!((0x10_0000..0x10_0000 + (1 << 20)).contains(&a));
             assert_eq!(a % 8, 0, "alignment at {i}");
         }
     }

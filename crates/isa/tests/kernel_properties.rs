@@ -4,8 +4,8 @@
 //! error regardless of where it occurs.
 
 use dae_isa::{
-    AddressPattern, AddressSpec, Kernel, KernelBuilder, KernelError, LatencyModel, OpKind,
-    Operand, Statement, UnitClass,
+    AddressPattern, AddressSpec, Kernel, KernelBuilder, KernelError, LatencyModel, OpKind, Operand,
+    Statement, UnitClass,
 };
 use proptest::prelude::*;
 
@@ -66,7 +66,11 @@ fn build(steps: &[Step]) -> Kernel {
                 last_value = b.load_indirect(&[Operand::Local(last_value)], base, span, 0);
             }
             Step::StorePrev { base, stride } => {
-                b.store_strided(&[Operand::Local(last_value), Operand::Local(i)], base, stride);
+                b.store_strided(
+                    &[Operand::Local(last_value), Operand::Local(i)],
+                    base,
+                    stride,
+                );
             }
         }
     }

@@ -4,14 +4,19 @@
 //!
 //! Run with `cargo run --release -p dae-machines --example calibration`.
 
-use dae_machines::{DecoupledMachine, DmConfig, ScalarReference, ScalarConfig, SuperscalarMachine, SwsmConfig};
+use dae_machines::{
+    DecoupledMachine, DmConfig, ScalarConfig, ScalarReference, SuperscalarMachine, SwsmConfig,
+};
 use dae_workloads::PerfectProgram;
 
 fn main() {
     let iters = 600;
 
     println!("== LHE at md=60 (unlimited window and selected windows) ==");
-    println!("{:<8} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}", "prog", "w8", "w16", "w32", "w64", "w128", "inf");
+    println!(
+        "{:<8} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}",
+        "prog", "w8", "w16", "w32", "w64", "w128", "inf"
+    );
     for program in PerfectProgram::ALL {
         let trace = program.workload().trace(iters);
         let mut row = format!("{:<8}", program.name());
@@ -34,8 +39,12 @@ fn main() {
             let scalar = ScalarReference::new(ScalarConfig::new(md)).analytic_cycles(&trace) as f64;
             print!("{:<8} md={:<3}", program.name(), md);
             for w in [8usize, 16, 32, 48, 64, 96, 128] {
-                let dm = DecoupledMachine::new(DmConfig::paper(w, md)).run(&trace).cycles() as f64;
-                let sw = SuperscalarMachine::new(SwsmConfig::paper(w, md)).run(&trace).cycles() as f64;
+                let dm = DecoupledMachine::new(DmConfig::paper(w, md))
+                    .run(&trace)
+                    .cycles() as f64;
+                let sw = SuperscalarMachine::new(SwsmConfig::paper(w, md))
+                    .run(&trace)
+                    .cycles() as f64;
                 print!("  w{w}: {:.1}/{:.1}", scalar / dm, scalar / sw);
             }
             println!();
@@ -45,15 +54,24 @@ fn main() {
     println!("\n== Equivalent window ratio (md=60, DM window 32) ==");
     for program in PerfectProgram::REPRESENTATIVE {
         let trace = program.workload().trace(iters);
-        let dm = DecoupledMachine::new(DmConfig::paper(32, 60)).run(&trace).cycles();
+        let dm = DecoupledMachine::new(DmConfig::paper(32, 60))
+            .run(&trace)
+            .cycles();
         let mut ratio = None;
         for w in 8..=1024usize {
-            let sw = SuperscalarMachine::new(SwsmConfig::paper(w, 60)).run(&trace).cycles();
+            let sw = SuperscalarMachine::new(SwsmConfig::paper(w, 60))
+                .run(&trace)
+                .cycles();
             if sw <= dm {
                 ratio = Some(w as f64 / 32.0);
                 break;
             }
         }
-        println!("{:<8} dm32 cycles={} equivalent ratio={:?}", program.name(), dm, ratio);
+        println!(
+            "{:<8} dm32 cycles={} equivalent ratio={:?}",
+            program.name(),
+            dm,
+            ratio
+        );
     }
 }

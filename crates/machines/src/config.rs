@@ -210,7 +210,9 @@ mod tests {
 
     #[test]
     fn dm_builders_set_windows_and_md() {
-        let cfg = DmConfig::paper(16, 30).with_window(64).with_memory_differential(10);
+        let cfg = DmConfig::paper(16, 30)
+            .with_window(64)
+            .with_memory_differential(10);
         assert_eq!(cfg.au.window_size, Some(64));
         assert_eq!(cfg.du.window_size, Some(64));
         assert_eq!(cfg.memory_differential, 10);
@@ -222,7 +224,9 @@ mod tests {
 
     #[test]
     fn swsm_builders_set_windows_and_md() {
-        let cfg = SwsmConfig::paper(16, 30).with_window(128).with_memory_differential(0);
+        let cfg = SwsmConfig::paper(16, 30)
+            .with_window(128)
+            .with_memory_differential(0);
         assert_eq!(cfg.unit.window_size, Some(128));
         assert_eq!(cfg.unit.issue_width, 9);
         assert_eq!(cfg.memory_differential, 0);

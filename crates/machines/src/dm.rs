@@ -3,8 +3,9 @@
 use crate::{DmConfig, DmResult, EswStats, ExecutionSummary};
 use dae_isa::Cycle;
 use dae_mem::DecoupledMemory;
-use dae_ooo::{ExecContext, UnitSim};
-use dae_trace::{partition, ExecKind, MachineInst, Trace};
+use dae_ooo::{ExecContext, GateWait, NaiveUnitSim, UnitSim};
+use dae_trace::{partition, DecoupledProgram, ExecKind, MachineInst, Trace};
+use std::sync::Arc;
 
 /// The access decoupled machine of the paper (figure 1): two out-of-order
 /// superscalar units — the Address Unit executing the access stream and the
@@ -15,6 +16,14 @@ use dae_trace::{partition, ExecKind, MachineInst, Trace};
 /// buffers returned values until the DU requests them with a single-cycle
 /// latency.  Cross-unit register traffic travels over explicit copy
 /// instructions with a configurable transfer latency.
+///
+/// The run loop is event driven with **time-skipping**: when neither unit
+/// can issue, dispatch or retire before the next pending completion or
+/// memory arrival, the clock jumps straight to that event and the skipped
+/// idle cycles are bulk-accounted, so a 60-cycle memory stall costs one loop
+/// iteration instead of sixty.  [`DecoupledMachine::run_reference`] retains
+/// the original cycle-by-cycle loop over the naive scheduler; the two paths
+/// produce bit-for-bit identical results (see `tests/differential.rs`).
 ///
 /// # Example
 ///
@@ -69,6 +78,35 @@ impl ExecContext for DmUnitContext<'_> {
         }
     }
 
+    fn gate_wait(&self, inst: &MachineInst, now: Cycle) -> GateWait {
+        match inst.kind {
+            ExecKind::LoadConsume => {
+                let tag = inst.tag.expect("load consume carries a tag");
+                match self.memory.arrival(tag) {
+                    Some(arrival) if arrival <= now => GateWait::Open,
+                    // The transaction is in flight; sleep until it lands.
+                    Some(arrival) => GateWait::At(arrival),
+                    // Not requested yet — unreachable in practice because
+                    // the consume's dependence on its request gates the
+                    // evaluation, but stay safe (and naive-exact) if a
+                    // lowering ever breaks that invariant.
+                    None => GateWait::Poll,
+                }
+            }
+            ExecKind::LoadRequest => {
+                if self.memory.can_accept() {
+                    GateWait::Open
+                } else {
+                    // Capacity frees when some consume issues; no crystal
+                    // ball for that, so poll (finite capacities only appear
+                    // in the ablation studies).
+                    GateWait::Poll
+                }
+            }
+            _ => GateWait::Open,
+        }
+    }
+
     fn execute_memory(&mut self, inst: &MachineInst, now: Cycle) -> Cycle {
         let tag = inst.tag.expect("memory instruction carries a tag");
         match inst.kind {
@@ -96,6 +134,65 @@ impl ExecContext for DmUnitContext<'_> {
             ExecKind::Arith | ExecKind::CopySend => unreachable!("handled by the unit"),
         }
     }
+}
+
+/// Accumulates the per-cycle effective-single-window / slippage samples,
+/// including in bulk over skipped idle spans (window contents are frozen
+/// while idle, so the sample repeats verbatim).
+#[derive(Default)]
+struct EswAccumulator {
+    esw_sum: u128,
+    esw_max: usize,
+    slip_sum: u128,
+    slip_max: usize,
+    samples: u64,
+}
+
+impl EswAccumulator {
+    fn sample(&mut self, oldest_du: Option<usize>, youngest_au: Option<usize>, cycles: u64) {
+        if let (Some(oldest_du), Some(youngest_au)) = (oldest_du, youngest_au) {
+            if youngest_au >= oldest_du {
+                let esw = youngest_au - oldest_du + 1;
+                let slip = youngest_au - oldest_du;
+                self.esw_sum += esw as u128 * u128::from(cycles);
+                self.slip_sum += slip as u128 * u128::from(cycles);
+                self.esw_max = self.esw_max.max(esw);
+                self.slip_max = self.slip_max.max(slip);
+                self.samples += cycles;
+            }
+        }
+    }
+
+    fn finish(self) -> EswStats {
+        EswStats {
+            max_esw: self.esw_max,
+            avg_esw: if self.samples == 0 {
+                0.0
+            } else {
+                self.esw_sum as f64 / self.samples as f64
+            },
+            max_slip: self.slip_max,
+            avg_slip: if self.samples == 0 {
+                0.0
+            } else {
+                self.slip_sum as f64 / self.samples as f64
+            },
+            samples: self.samples,
+        }
+    }
+}
+
+/// Per-run preparation shared by both run loops.
+fn consumer_counts(program: &DecoupledProgram) -> Vec<u32> {
+    // How many LoadConsume instructions read each transaction, so the
+    // decoupled-memory entry can be released after its last consumer.
+    let mut consumers_remaining = vec![0u32; program.transactions as usize];
+    for inst in program.au.iter().chain(program.du.iter()) {
+        if inst.kind == ExecKind::LoadConsume {
+            consumers_remaining[inst.tag.expect("tagged") as usize] += 1;
+        }
+    }
+    consumers_remaining
 }
 
 impl DecoupledMachine {
@@ -128,31 +225,188 @@ impl DecoupledMachine {
     #[must_use]
     pub fn run(&self, trace: &Trace) -> DmResult {
         let program = partition(trace, self.config.partition_mode);
+        self.run_lowered(&program, trace.len())
+    }
+
+    /// Runs an already-partitioned program (the sweep drivers lower each
+    /// trace once and reuse it across every window / memory-differential
+    /// point).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation exceeds the deadlock safety bound.
+    #[must_use]
+    pub fn run_lowered(&self, program: &DecoupledProgram, trace_instructions: usize) -> DmResult {
         let partition_stats = program.stats;
         let machine_instructions = program.au.len() + program.du.len();
+        let mut consumers_remaining = consumer_counts(program);
 
-        // How many LoadConsume instructions read each transaction, so the
-        // decoupled-memory entry can be released after its last consumer.
-        let mut consumers_remaining = vec![0u32; program.transactions as usize];
-        for inst in program.au.iter().chain(program.du.iter()) {
-            if inst.kind == ExecKind::LoadConsume {
-                consumers_remaining[inst.tag.expect("tagged") as usize] += 1;
-            }
-        }
+        // Cross wakeup lists: for every producer index of one stream, the
+        // instructions of the *other* stream waiting on it through a
+        // `Dep::Cross` edge.  Prebuilt by the partitioner; each issue
+        // forwards a wakeup to exactly its consumers.
+        let du_waiters_on_au = &program.cross_to_du;
+        let au_waiters_on_du = &program.cross_to_au;
 
-        let mut au = UnitSim::new(program.au, self.config.au, self.config.latencies);
-        let mut du = UnitSim::new(program.du, self.config.du, self.config.latencies);
+        let mut au = UnitSim::with_wakeups(
+            Arc::clone(&program.au),
+            Arc::clone(&program.au_wakeups),
+            self.config.au,
+            self.config.latencies,
+        );
+        let mut du = UnitSim::with_wakeups(
+            Arc::clone(&program.du),
+            Arc::clone(&program.du_wakeups),
+            self.config.du,
+            self.config.latencies,
+        );
         let mut memory = DecoupledMemory::new(
             self.config.memory_differential,
             self.config.decoupled_memory,
         );
 
-        let mut esw_sum: u128 = 0;
-        let mut esw_max: usize = 0;
-        let mut slip_sum: u128 = 0;
-        let mut slip_max: usize = 0;
-        let mut samples: u64 = 0;
+        let mut esw = EswAccumulator::default();
+        let safety_bound = safety_bound(
+            machine_instructions,
+            self.config.memory_differential,
+            self.config.latencies.max_arith_latency(),
+        );
+        let transfer = self.config.transfer_latency;
 
+        let mut now: Cycle = 0;
+        while !(au.is_done() && du.is_done()) {
+            {
+                let mut ctx = DmUnitContext {
+                    other_completions: du.completions(),
+                    transfer_latency: transfer,
+                    memory: &mut memory,
+                    consumers_remaining: &mut consumers_remaining,
+                };
+                au.step(now, &mut ctx);
+            }
+            // Forward this cycle's AU issues as cross-dependence wakeups for
+            // the DU instructions waiting on them.  Data arrivals need no
+            // separate wakeup: a consume is only evaluated once its request
+            // dependence is satisfied, at which point the decoupled memory
+            // can name the arrival cycle (GateWait::At).
+            for i in 0..au.issued_this_step().len() {
+                let (idx, completion) = au.issued_this_step()[i];
+                for &waiter in du_waiters_on_au.of(idx) {
+                    du.schedule_reeval(waiter as usize, completion + transfer);
+                }
+            }
+            {
+                let mut ctx = DmUnitContext {
+                    other_completions: au.completions(),
+                    transfer_latency: transfer,
+                    memory: &mut memory,
+                    consumers_remaining: &mut consumers_remaining,
+                };
+                du.step(now, &mut ctx);
+            }
+            for i in 0..du.issued_this_step().len() {
+                let (idx, completion) = du.issued_this_step()[i];
+                for &waiter in au_waiters_on_du.of(idx) {
+                    au.schedule_reeval(waiter as usize, completion + transfer);
+                }
+            }
+
+            esw.sample(
+                du.oldest_inflight_trace_pos(),
+                au.youngest_dispatched_trace_pos(),
+                1,
+            );
+
+            // Time-skip: jump to the earliest cycle either unit can act.
+            // A unit may report no local activity while parked on the other
+            // unit's progress, so fall back to the other unit's horizon —
+            // and to single-stepping when neither knows (the safety bound
+            // catches genuine deadlocks).
+            let next = match (au.next_activity(now), du.next_activity(now)) {
+                (Some(a), Some(b)) => a.min(b),
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+                (None, None) => now + 1,
+            };
+            debug_assert!(next > now);
+            let idle = next - now - 1;
+            if idle > 0 {
+                au.idle_advance(idle);
+                du.idle_advance(idle);
+                esw.sample(
+                    du.oldest_inflight_trace_pos(),
+                    au.youngest_dispatched_trace_pos(),
+                    idle,
+                );
+            }
+            now = next;
+            assert!(
+                now < safety_bound,
+                "DM simulation exceeded {safety_bound} cycles — likely a deadlock"
+            );
+        }
+
+        let cycles = au.max_completion().max(du.max_completion());
+        DmResult {
+            summary: ExecutionSummary {
+                cycles,
+                trace_instructions,
+                machine_instructions,
+            },
+            au: *au.stats(),
+            du: *du.stats(),
+            esw: esw.finish(),
+            partition: partition_stats,
+            memory: memory.stats(),
+        }
+    }
+
+    /// Runs `trace` on the retained naive reference scheduler with the
+    /// original cycle-by-cycle loop.  Slow; exists as the oracle for the
+    /// differential tests and the baseline for the throughput benchmarks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation exceeds the deadlock safety bound.
+    #[must_use]
+    pub fn run_reference(&self, trace: &Trace) -> DmResult {
+        let program = partition(trace, self.config.partition_mode);
+        self.run_reference_lowered(&program, trace.len())
+    }
+
+    /// [`DecoupledMachine::run_reference`] over an already-partitioned
+    /// program — used by the throughput benchmark to compare scheduler
+    /// against scheduler without per-run lowering on either side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation exceeds the deadlock safety bound.
+    #[must_use]
+    pub fn run_reference_lowered(
+        &self,
+        program: &DecoupledProgram,
+        trace_instructions: usize,
+    ) -> DmResult {
+        let partition_stats = program.stats;
+        let machine_instructions = program.au.len() + program.du.len();
+        let mut consumers_remaining = consumer_counts(program);
+
+        let mut au = NaiveUnitSim::new(
+            Arc::clone(&program.au),
+            self.config.au,
+            self.config.latencies,
+        );
+        let mut du = NaiveUnitSim::new(
+            Arc::clone(&program.du),
+            self.config.du,
+            self.config.latencies,
+        );
+        let mut memory = DecoupledMemory::new(
+            self.config.memory_differential,
+            self.config.decoupled_memory,
+        );
+
+        let mut esw = EswAccumulator::default();
         let safety_bound = safety_bound(
             machine_instructions,
             self.config.memory_differential,
@@ -180,20 +434,11 @@ impl DecoupledMachine {
                 du.step(now, &mut ctx);
             }
 
-            if let (Some(oldest_du), Some(youngest_au)) = (
+            esw.sample(
                 du.oldest_inflight_trace_pos(),
                 au.youngest_dispatched_trace_pos(),
-            ) {
-                if youngest_au >= oldest_du {
-                    let esw = youngest_au - oldest_du + 1;
-                    let slip = youngest_au - oldest_du;
-                    esw_sum += esw as u128;
-                    slip_sum += slip as u128;
-                    esw_max = esw_max.max(esw);
-                    slip_max = slip_max.max(slip);
-                    samples += 1;
-                }
-            }
+                1,
+            );
 
             now += 1;
             assert!(
@@ -206,18 +451,12 @@ impl DecoupledMachine {
         DmResult {
             summary: ExecutionSummary {
                 cycles,
-                trace_instructions: trace.len(),
+                trace_instructions,
                 machine_instructions,
             },
             au: *au.stats(),
             du: *du.stats(),
-            esw: EswStats {
-                max_esw: esw_max,
-                avg_esw: if samples == 0 { 0.0 } else { esw_sum as f64 / samples as f64 },
-                max_slip: slip_max,
-                avg_slip: if samples == 0 { 0.0 } else { slip_sum as f64 / samples as f64 },
-                samples,
-            },
+            esw: esw.finish(),
             partition: partition_stats,
             memory: memory.stats(),
         }
@@ -357,5 +596,17 @@ mod tests {
         assert_eq!(result.memory.consumed, 80);
         // Store address + store data both notify the decoupled memory.
         assert_eq!(result.memory.store_requests, 80);
+    }
+
+    #[test]
+    fn event_driven_run_matches_the_reference_exactly() {
+        for (iters, window, md) in [(60, 16, 60), (60, 8, 0), (40, 32, 20)] {
+            let trace = streaming_trace(iters);
+            let machine = DecoupledMachine::new(DmConfig::paper(window, md));
+            assert_eq!(machine.run(&trace), machine.run_reference(&trace));
+        }
+        let chase = pointer_chase_trace(30);
+        let machine = DecoupledMachine::new(DmConfig::paper(16, 60));
+        assert_eq!(machine.run(&chase), machine.run_reference(&chase));
     }
 }

@@ -3,8 +3,8 @@
 use crate::{ExecutionSummary, ScalarConfig, ScalarResult};
 use dae_isa::Cycle;
 use dae_mem::FixedLatencyMemory;
-use dae_ooo::{ExecContext, UnitConfig, UnitSim};
-use dae_trace::{lower_scalar, ExecKind, MachineInst, Trace};
+use dae_ooo::{ExecContext, NaiveUnitSim, UnitConfig, UnitSim};
+use dae_trace::{lower_scalar, ExecKind, MachineInst, ScalarProgram, Trace};
 
 /// The scalar reference: a single-issue, in-order machine with a one-entry
 /// window and no prefetching, so every load exposes the full memory
@@ -15,6 +15,11 @@ use dae_trace::{lower_scalar, ExecKind, MachineInst, Trace};
 /// at the *same* memory differential as the machine under test, which leaves
 /// every comparative claim between the DM and the SWSM unchanged (see
 /// DESIGN.md).
+///
+/// The run loop time-skips through every blocking-load stall (a 60-cycle
+/// memory wait is one loop iteration), which matters because sweeps
+/// simulate this machine for every (program, MD) point.
+/// [`ScalarReference::run_reference`] keeps the cycle-by-cycle naive loop.
 ///
 /// # Example
 ///
@@ -58,6 +63,15 @@ impl ExecContext for ScalarContext {
     }
 }
 
+fn scalar_unit_config() -> UnitConfig {
+    UnitConfig {
+        window_size: Some(1),
+        issue_width: 1,
+        dispatch_width: Some(1),
+        ..UnitConfig::default()
+    }
+}
+
 impl ScalarReference {
     /// Creates a scalar reference machine.
     #[must_use]
@@ -79,14 +93,87 @@ impl ScalarReference {
     #[must_use]
     pub fn run(&self, trace: &Trace) -> ScalarResult {
         let program = lower_scalar(trace);
+        self.run_lowered(&program, trace.len())
+    }
+
+    /// Runs an already-lowered program (sweep / benchmark path; no
+    /// per-run lowering).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation exceeds the deadlock safety bound.
+    #[must_use]
+    pub fn run_lowered(&self, program: &ScalarProgram, trace_instructions: usize) -> ScalarResult {
         let machine_instructions = program.insts.len();
-        let unit_config = UnitConfig {
-            window_size: Some(1),
-            issue_width: 1,
-            dispatch_width: Some(1),
-            ..UnitConfig::default()
+        let mut unit = UnitSim::with_wakeups(
+            std::sync::Arc::clone(&program.insts),
+            std::sync::Arc::clone(&program.wakeups),
+            scalar_unit_config(),
+            self.config.latencies,
+        );
+        let mut ctx = ScalarContext {
+            memory: FixedLatencyMemory::new(self.config.memory_differential),
         };
-        let mut unit = UnitSim::new(program.insts, unit_config, self.config.latencies);
+
+        let safety_bound = crate::dm::safety_bound(
+            machine_instructions,
+            self.config.memory_differential,
+            self.config.latencies.max_arith_latency(),
+        );
+
+        let mut now: Cycle = 0;
+        while !unit.is_done() {
+            unit.step(now, &mut ctx);
+            let next = unit.next_activity(now).unwrap_or(now + 1);
+            debug_assert!(next > now);
+            unit.idle_advance(next - now - 1);
+            now = next;
+            assert!(
+                now < safety_bound,
+                "scalar simulation exceeded {safety_bound} cycles — likely a deadlock"
+            );
+        }
+
+        ScalarResult {
+            summary: ExecutionSummary {
+                cycles: unit.max_completion(),
+                trace_instructions,
+                machine_instructions,
+            },
+            unit: *unit.stats(),
+        }
+    }
+
+    /// Runs `trace` on the retained naive reference scheduler with the
+    /// original cycle-by-cycle loop (the differential-testing oracle and
+    /// benchmark baseline).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation exceeds the deadlock safety bound.
+    #[must_use]
+    pub fn run_reference(&self, trace: &Trace) -> ScalarResult {
+        let program = lower_scalar(trace);
+        self.run_reference_lowered(&program, trace.len())
+    }
+
+    /// [`ScalarReference::run_reference`] over an already-lowered program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation exceeds the deadlock safety bound.
+    #[must_use]
+    pub fn run_reference_lowered(
+        &self,
+        program: &ScalarProgram,
+        trace_instructions: usize,
+    ) -> ScalarResult {
+        let machine_instructions = program.insts.len();
+        let mut unit = NaiveUnitSim::new(
+            std::sync::Arc::clone(&program.insts),
+            scalar_unit_config(),
+            self.config.latencies,
+        );
         let mut ctx = ScalarContext {
             memory: FixedLatencyMemory::new(self.config.memory_differential),
         };
@@ -110,7 +197,7 @@ impl ScalarReference {
         ScalarResult {
             summary: ExecutionSummary {
                 cycles: unit.max_completion(),
-                trace_instructions: trace.len(),
+                trace_instructions,
                 machine_instructions,
             },
             unit: *unit.stats(),
@@ -184,5 +271,14 @@ mod tests {
         let result = ScalarReference::new(ScalarConfig::new(60)).run(&trace);
         assert_eq!(result.cycles(), 0);
         assert_eq!(result.summary.trace_instructions, 0);
+    }
+
+    #[test]
+    fn event_driven_run_matches_the_reference_exactly() {
+        for md in [0, 10, 60] {
+            let trace = small_trace(40);
+            let machine = ScalarReference::new(ScalarConfig::new(md));
+            assert_eq!(machine.run(&trace), machine.run_reference(&trace));
+        }
     }
 }

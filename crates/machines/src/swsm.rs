@@ -3,8 +3,8 @@
 use crate::{ExecutionSummary, SwsmConfig, SwsmResult};
 use dae_isa::Cycle;
 use dae_mem::PrefetchBuffer;
-use dae_ooo::{ExecContext, UnitSim};
-use dae_trace::{expand_swsm, ExecKind, MachineInst, Trace};
+use dae_ooo::{ExecContext, GateWait, NaiveUnitSim, UnitSim};
+use dae_trace::{expand_swsm, ExecKind, MachineInst, SwsmProgram, Trace};
 
 /// The single-window out-of-order superscalar machine of the paper
 /// (figure 2), with the hybrid prefetch scheme: every memory operation is a
@@ -16,6 +16,11 @@ use dae_trace::{expand_swsm, ExecKind, MachineInst, Trace};
 /// single instruction window every cycle — but prefetches, accesses and
 /// compute all compete for the same window slots, which is exactly the
 /// effect the paper studies.
+///
+/// The run loop is event driven with time-skipping (see
+/// [`DecoupledMachine`](crate::DecoupledMachine) for the scheme);
+/// [`SuperscalarMachine::run_reference`] retains the original
+/// cycle-by-cycle naive loop as the differential-testing oracle.
 ///
 /// # Example
 ///
@@ -45,6 +50,10 @@ pub struct SuperscalarMachine {
 struct SwsmContext<'a> {
     buffer: &'a mut PrefetchBuffer,
     memory_differential: Cycle,
+    /// Whether LRU replacement can evict entries (finite capacity): if so,
+    /// a reported arrival time may be invalidated by an eviction, so closed
+    /// gates fall back to polling.
+    can_evict: bool,
 }
 
 impl ExecContext for SwsmContext<'_> {
@@ -63,6 +72,29 @@ impl ExecContext for SwsmContext<'_> {
                 }
             }
             _ => true,
+        }
+    }
+
+    fn gate_wait(&self, inst: &MachineInst, now: Cycle) -> GateWait {
+        match inst.kind {
+            ExecKind::LoadConsume => {
+                let addr = inst.addr.unwrap_or(0);
+                match self.buffer.available_at(addr) {
+                    Some(arrival) if arrival <= now => GateWait::Open,
+                    Some(_) if self.can_evict => {
+                        // An eviction between now and the arrival would open
+                        // the gate *early* (the access becomes a miss that
+                        // is free to issue), which a timed sleep would skip
+                        // over.  Finite buffers only appear in ablations, so
+                        // polling there keeps the common case fast and the
+                        // rare case naive-exact.
+                        GateWait::Poll
+                    }
+                    Some(arrival) => GateWait::At(arrival),
+                    None => GateWait::Open,
+                }
+            }
+            _ => GateWait::Open,
         }
     }
 
@@ -112,14 +144,29 @@ impl SuperscalarMachine {
     #[must_use]
     pub fn run(&self, trace: &Trace) -> SwsmResult {
         let program = expand_swsm(trace);
+        self.run_lowered(&program, trace.len())
+    }
+
+    /// Runs an already-lowered program (the sweep drivers lower each trace
+    /// once and reuse it across every window / memory-differential point).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation exceeds the deadlock safety bound.
+    #[must_use]
+    pub fn run_lowered(&self, program: &SwsmProgram, trace_instructions: usize) -> SwsmResult {
         let lowering = program.stats;
         let machine_instructions = program.insts.len();
 
-        let mut unit = UnitSim::new(program.insts, self.config.unit, self.config.latencies);
-        let mut buffer = PrefetchBuffer::new(
-            self.config.memory_differential,
-            self.config.prefetch_buffer,
+        let mut unit = UnitSim::with_wakeups(
+            std::sync::Arc::clone(&program.insts),
+            std::sync::Arc::clone(&program.wakeups),
+            self.config.unit,
+            self.config.latencies,
         );
+        let mut buffer =
+            PrefetchBuffer::new(self.config.memory_differential, self.config.prefetch_buffer);
+        let can_evict = self.config.prefetch_buffer.capacity.is_some();
 
         let safety_bound = crate::dm::safety_bound(
             machine_instructions,
@@ -132,6 +179,81 @@ impl SuperscalarMachine {
             let mut ctx = SwsmContext {
                 buffer: &mut buffer,
                 memory_differential: self.config.memory_differential,
+                can_evict,
+            };
+            unit.step(now, &mut ctx);
+            let next = unit.next_activity(now).unwrap_or(now + 1);
+            debug_assert!(next > now);
+            unit.idle_advance(next - now - 1);
+            now = next;
+            assert!(
+                now < safety_bound,
+                "SWSM simulation exceeded {safety_bound} cycles — likely a deadlock"
+            );
+        }
+
+        SwsmResult {
+            summary: ExecutionSummary {
+                cycles: unit.max_completion(),
+                trace_instructions,
+                machine_instructions,
+            },
+            unit: *unit.stats(),
+            lowering,
+            buffer: buffer.stats(),
+        }
+    }
+
+    /// Runs `trace` on the retained naive reference scheduler with the
+    /// original cycle-by-cycle loop (the differential-testing oracle and
+    /// benchmark baseline).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation exceeds the deadlock safety bound.
+    #[must_use]
+    pub fn run_reference(&self, trace: &Trace) -> SwsmResult {
+        let program = expand_swsm(trace);
+        self.run_reference_lowered(&program, trace.len())
+    }
+
+    /// [`SuperscalarMachine::run_reference`] over an already-expanded
+    /// program — used by the throughput benchmark to compare scheduler
+    /// against scheduler without per-run lowering on either side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation exceeds the deadlock safety bound.
+    #[must_use]
+    pub fn run_reference_lowered(
+        &self,
+        program: &SwsmProgram,
+        trace_instructions: usize,
+    ) -> SwsmResult {
+        let lowering = program.stats;
+        let machine_instructions = program.insts.len();
+
+        let mut unit = NaiveUnitSim::new(
+            std::sync::Arc::clone(&program.insts),
+            self.config.unit,
+            self.config.latencies,
+        );
+        let mut buffer =
+            PrefetchBuffer::new(self.config.memory_differential, self.config.prefetch_buffer);
+        let can_evict = self.config.prefetch_buffer.capacity.is_some();
+
+        let safety_bound = crate::dm::safety_bound(
+            machine_instructions,
+            self.config.memory_differential,
+            self.config.latencies.max_arith_latency(),
+        );
+
+        let mut now: Cycle = 0;
+        while !unit.is_done() {
+            let mut ctx = SwsmContext {
+                buffer: &mut buffer,
+                memory_differential: self.config.memory_differential,
+                can_evict,
             };
             unit.step(now, &mut ctx);
             now += 1;
@@ -144,7 +266,7 @@ impl SuperscalarMachine {
         SwsmResult {
             summary: ExecutionSummary {
                 cycles: unit.max_completion(),
-                trace_instructions: trace.len(),
+                trace_instructions,
                 machine_instructions,
             },
             unit: *unit.stats(),
@@ -235,7 +357,10 @@ mod tests {
         let trace = streaming_trace(50);
         let result = SuperscalarMachine::new(SwsmConfig::paper(32, 20)).run(&trace);
         assert_eq!(result.summary.trace_instructions, trace.len());
-        assert_eq!(result.summary.machine_instructions as u64, result.unit.dispatched);
+        assert_eq!(
+            result.summary.machine_instructions as u64,
+            result.unit.dispatched
+        );
         assert_eq!(result.unit.dispatched, result.unit.issued);
         assert!((result.lowering.expansion_ratio() - 1.5).abs() < 1e-9);
     }
@@ -245,5 +370,20 @@ mod tests {
         let trace = streaming_trace(100);
         let result = SuperscalarMachine::new(SwsmConfig::paper(64, 0)).run(&trace);
         assert!(result.summary.ipc() > 1.5, "ipc = {}", result.summary.ipc());
+    }
+
+    #[test]
+    fn event_driven_run_matches_the_reference_exactly() {
+        for (window, md) in [(8, 60), (64, 30), (32, 0)] {
+            let trace = streaming_trace(60);
+            let machine = SuperscalarMachine::new(SwsmConfig::paper(window, md));
+            assert_eq!(machine.run(&trace), machine.run_reference(&trace));
+        }
+        // Finite buffer: the polling fallback must stay exact too.
+        let trace = streaming_trace(50);
+        let mut cfg = SwsmConfig::paper(32, 40);
+        cfg.prefetch_buffer = PrefetchBufferConfig { capacity: Some(4) };
+        let machine = SuperscalarMachine::new(cfg);
+        assert_eq!(machine.run(&trace), machine.run_reference(&trace));
     }
 }

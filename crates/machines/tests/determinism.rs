@@ -8,11 +8,15 @@
 use dae_machines::{
     DecoupledMachine, DmConfig, ScalarConfig, ScalarReference, SuperscalarMachine, SwsmConfig,
 };
-use dae_workloads::{PerfectProgram, reduction, stream};
+use dae_workloads::{reduction, stream, PerfectProgram};
 
 #[test]
 fn repeated_runs_are_bit_identical() {
-    for program in [PerfectProgram::Adm, PerfectProgram::Mdg, PerfectProgram::Track] {
+    for program in [
+        PerfectProgram::Adm,
+        PerfectProgram::Mdg,
+        PerfectProgram::Track,
+    ] {
         let trace = program.workload().trace(150);
         let dm_config = DmConfig::paper(32, 60);
         let first = DecoupledMachine::new(dm_config).run(&trace);

@@ -86,9 +86,12 @@ impl CacheStats {
 #[derive(Debug, Clone)]
 pub struct Cache {
     config: CacheConfig,
-    /// `sets x ways` tags; `None` is an empty way.  Most recently used ways
-    /// are kept at the front of each set's vector.
-    sets: Vec<Vec<u64>>,
+    /// Per set: the resident line tags with the recency stamp of their last
+    /// access.  LRU selection compares stamps instead of maintaining a
+    /// move-to-front vector (the seed shifted entries on every hit).
+    sets: Vec<Vec<(u64, u64)>>,
+    /// Monotone access clock backing the recency stamps.
+    clock: u64,
     stats: CacheStats,
 }
 
@@ -110,6 +113,7 @@ impl Cache {
         Cache {
             config,
             sets: vec![Vec::with_capacity(config.ways); config.sets],
+            clock: 0,
             stats: CacheStats::default(),
         }
     }
@@ -125,19 +129,25 @@ impl Cache {
     /// write-allocate).
     pub fn access(&mut self, addr: Address) -> bool {
         self.stats.accesses += 1;
+        self.clock += 1;
         let line = addr / self.config.line_bytes;
         let set_idx = (line as usize) & (self.config.sets - 1);
         let set = &mut self.sets[set_idx];
-        if let Some(pos) = set.iter().position(|&t| t == line) {
-            set.remove(pos);
-            set.insert(0, line);
+        if let Some(way) = set.iter_mut().find(|(tag, _)| *tag == line) {
+            way.1 = self.clock;
             self.stats.hits += 1;
             true
         } else {
-            set.insert(0, line);
-            if set.len() > self.config.ways {
-                set.pop();
+            if set.len() >= self.config.ways {
+                let victim = set
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, &(_, stamp))| stamp)
+                    .map(|(i, _)| i)
+                    .expect("full set has a victim");
+                set.swap_remove(victim);
             }
+            set.push((line, self.clock));
             self.stats.misses += 1;
             false
         }

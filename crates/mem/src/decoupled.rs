@@ -1,8 +1,9 @@
 //! The decoupled memory: the buffer between the AU and the DU.
 
+use crate::LruMap;
 use dae_isa::{Address, Cycle};
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 
 /// Configuration of the optional bypass in front of the decoupled memory.
 ///
@@ -86,8 +87,9 @@ pub struct DecoupledMemory {
     config: DecoupledMemoryConfig,
     /// Arrival cycle of each outstanding / buffered transaction.
     arrivals: HashMap<u32, Cycle>,
-    /// Recently returned line addresses, most recent at the back.
-    bypass_lines: VecDeque<u64>,
+    /// Recently returned line addresses with recency tracking (LRU
+    /// replacement without queue scans).
+    bypass_lines: LruMap<u64, ()>,
     stats: DecoupledMemoryStats,
 }
 
@@ -100,7 +102,7 @@ impl DecoupledMemory {
             differential,
             config,
             arrivals: HashMap::new(),
-            bypass_lines: VecDeque::new(),
+            bypass_lines: LruMap::new(),
             stats: DecoupledMemoryStats::default(),
         }
     }
@@ -160,7 +162,9 @@ impl DecoupledMemory {
     /// `now`.
     #[must_use]
     pub fn data_ready(&self, tag: u32, now: Cycle) -> bool {
-        self.arrivals.get(&tag).is_some_and(|&arrival| arrival <= now)
+        self.arrivals
+            .get(&tag)
+            .is_some_and(|&arrival| arrival <= now)
     }
 
     /// Hands the value of transaction `tag` to a consuming unit at cycle
@@ -188,7 +192,7 @@ impl DecoupledMemory {
         match self.config.bypass {
             Some(cfg) => {
                 let line = addr / cfg.line_bytes.max(1);
-                self.bypass_lines.contains(&line)
+                self.bypass_lines.contains_key(&line)
             }
             None => false,
         }
@@ -197,12 +201,9 @@ impl DecoupledMemory {
     fn record_bypass_line(&mut self, addr: Address) {
         if let Some(cfg) = self.config.bypass {
             let line = addr / cfg.line_bytes.max(1);
-            if let Some(pos) = self.bypass_lines.iter().position(|&l| l == line) {
-                self.bypass_lines.remove(pos);
-            }
-            self.bypass_lines.push_back(line);
+            self.bypass_lines.insert(line, ());
             while self.bypass_lines.len() > cfg.entries {
-                self.bypass_lines.pop_front();
+                self.bypass_lines.pop_lru();
             }
         }
     }
@@ -244,10 +245,13 @@ mod tests {
 
     #[test]
     fn capacity_limits_acceptance() {
-        let mut dmem = DecoupledMemory::new(50, DecoupledMemoryConfig {
-            capacity: Some(2),
-            bypass: None,
-        });
+        let mut dmem = DecoupledMemory::new(
+            50,
+            DecoupledMemoryConfig {
+                capacity: Some(2),
+                bypass: None,
+            },
+        );
         assert!(dmem.can_accept());
         dmem.request_load(0, 0, 0);
         dmem.request_load(1, 8, 0);
@@ -307,10 +311,13 @@ mod tests {
 
     #[test]
     fn stores_are_counted_but_do_not_occupy() {
-        let mut dmem = DecoupledMemory::new(20, DecoupledMemoryConfig {
-            capacity: Some(1),
-            bypass: None,
-        });
+        let mut dmem = DecoupledMemory::new(
+            20,
+            DecoupledMemoryConfig {
+                capacity: Some(1),
+                bypass: None,
+            },
+        );
         dmem.request_store(0x40, 3);
         dmem.request_store(0x48, 4);
         assert_eq!(dmem.stats().store_requests, 2);

@@ -30,9 +30,11 @@
 mod cache;
 mod decoupled;
 mod fixed;
+mod lru;
 mod prefetch;
 
 pub use cache::{Cache, CacheConfig, CacheStats, HierarchyLatency, MemoryHierarchy};
 pub use decoupled::{BypassConfig, DecoupledMemory, DecoupledMemoryConfig, DecoupledMemoryStats};
 pub use fixed::{FixedLatencyMemory, MemoryStats};
+pub use lru::LruMap;
 pub use prefetch::{PrefetchBuffer, PrefetchBufferConfig, PrefetchBufferStats};

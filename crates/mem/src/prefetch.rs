@@ -1,8 +1,8 @@
 //! The SWSM's fully associative prefetch buffer.
 
+use crate::LruMap;
 use dae_isa::{Address, Cycle};
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, VecDeque};
 
 /// Configuration of a [`PrefetchBuffer`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -51,10 +51,9 @@ pub struct PrefetchBufferStats {
 pub struct PrefetchBuffer {
     differential: Cycle,
     config: PrefetchBufferConfig,
-    /// Arrival cycle per resident address.
-    entries: HashMap<Address, Cycle>,
-    /// LRU order, least recently used at the front.
-    lru: VecDeque<Address>,
+    /// Arrival cycle per resident address, with recency tracking for LRU
+    /// replacement (no per-access queue scans).
+    entries: LruMap<Address, Cycle>,
     stats: PrefetchBufferStats,
 }
 
@@ -66,8 +65,7 @@ impl PrefetchBuffer {
         PrefetchBuffer {
             differential,
             config,
-            entries: HashMap::new(),
-            lru: VecDeque::new(),
+            entries: LruMap::new(),
             stats: PrefetchBufferStats::default(),
         }
     }
@@ -89,15 +87,10 @@ impl PrefetchBuffer {
     pub fn prefetch(&mut self, addr: Address, issue: Cycle) -> Cycle {
         self.stats.prefetches += 1;
         let arrival = issue + 1 + self.differential;
-        if self.entries.insert(addr, arrival).is_none() {
-            self.lru.push_back(addr);
-        } else {
-            self.touch(addr);
-        }
+        self.entries.insert(addr, arrival);
         if let Some(cap) = self.config.capacity {
             while self.entries.len() > cap {
-                if let Some(victim) = self.lru.pop_front() {
-                    self.entries.remove(&victim);
+                if self.entries.pop_lru().is_some() {
                     self.stats.evictions += 1;
                 } else {
                     break;
@@ -122,7 +115,7 @@ impl PrefetchBuffer {
         match self.entries.get(&addr).copied() {
             Some(arrival) => {
                 self.stats.hits += 1;
-                self.touch(addr);
+                self.entries.touch(&addr);
                 Some(arrival)
             }
             None => {
@@ -136,13 +129,6 @@ impl PrefetchBuffer {
     #[must_use]
     pub fn stats(&self) -> PrefetchBufferStats {
         self.stats
-    }
-
-    fn touch(&mut self, addr: Address) {
-        if let Some(pos) = self.lru.iter().position(|&a| a == addr) {
-            self.lru.remove(pos);
-            self.lru.push_back(addr);
-        }
     }
 }
 

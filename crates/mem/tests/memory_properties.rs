@@ -45,7 +45,7 @@ proptest! {
         let mut arrivals = Vec::new();
         for (tag, &(addr, issue)) in requests.iter().enumerate() {
             let arrival = dmem.request_load(tag as u32, addr, issue);
-            prop_assert!(arrival >= issue + 1);
+            prop_assert!(arrival > issue);
             prop_assert!(arrival <= issue + 1 + md);
             prop_assert!(!dmem.data_ready(tag as u32, arrival.saturating_sub(1)));
             prop_assert!(dmem.data_ready(tag as u32, arrival));
@@ -76,7 +76,7 @@ proptest! {
         let mut dmem = DecoupledMemory::new(md, cfg);
         for (tag, &addr) in addrs.iter().enumerate() {
             let arrival = dmem.request_load(tag as u32, addr, tag as u64);
-            prop_assert!(arrival >= tag as u64 + 1);
+            prop_assert!(arrival > tag as u64);
             prop_assert!(arrival <= tag as u64 + 1 + md);
         }
         prop_assert!(dmem.stats().bypass_hits <= dmem.stats().load_requests);

@@ -166,7 +166,10 @@ mod tests {
     #[test]
     fn default_retire_policy_is_in_order() {
         assert_eq!(RetirePolicy::default(), RetirePolicy::InOrderAtComplete);
-        assert_eq!(UnitConfig::default().retire, RetirePolicy::InOrderAtComplete);
+        assert_eq!(
+            UnitConfig::default().retire,
+            RetirePolicy::InOrderAtComplete
+        );
     }
 
     #[test]

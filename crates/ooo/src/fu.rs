@@ -1,8 +1,8 @@
 //! Functional-unit pools and per-cycle issue-port accounting.
 
 use crate::FuConfig;
-use dae_trace::{ExecKind, MachineInst};
 use dae_isa::OpKind;
+use dae_trace::{ExecKind, MachineInst};
 use serde::{Deserialize, Serialize};
 
 /// The three resource classes distinguished by the functional-unit model.

@@ -46,11 +46,13 @@
 mod complexity;
 mod config;
 mod fu;
+mod reference;
 mod stats;
 mod unit;
 
 pub use complexity::IssueLogicModel;
 pub use config::{FuConfig, RetirePolicy, UnitConfig};
 pub use fu::{FuClass, FuPool};
+pub use reference::NaiveUnitSim;
 pub use stats::UnitStats;
-pub use unit::{ExecContext, NoMemoryContext, UnitSim};
+pub use unit::{ExecContext, GateWait, NoMemoryContext, UnitSim};

@@ -1,0 +1,222 @@
+//! Differential property tests: the event-driven scheduler must be
+//! cycle-exact against the retained naive reference on random instruction
+//! streams, across retirement policies, window/issue shapes, functional
+//! unit limits and data gates — both when stepped every cycle and when
+//! driven through `next_activity` / `idle_advance` time-skipping.
+
+use dae_isa::{Cycle, LatencyModel, OpKind};
+use dae_ooo::{
+    ExecContext, FuConfig, NaiveUnitSim, NoMemoryContext, RetirePolicy, UnitConfig, UnitSim,
+};
+use dae_trace::{Dep, ExecKind, MachineInst};
+use proptest::prelude::*;
+
+/// Builds a random stream mixing arithmetic, gated consumes, requests and
+/// stores; each instruction depends on up to two uniformly chosen earlier
+/// instructions.
+fn random_stream(ops: &[(u8, u8, u8)]) -> Vec<MachineInst> {
+    ops.iter()
+        .enumerate()
+        .map(|(i, &(kind, da, db))| {
+            let mut deps = Vec::new();
+            if i > 0 {
+                deps.push(Dep::Local(da as usize % i));
+                if db % 3 == 0 {
+                    deps.push(Dep::Local(db as usize % i));
+                }
+            }
+            match kind % 8 {
+                0 => MachineInst::arith(i, OpKind::IntAlu, deps),
+                1 => MachineInst::arith(i, OpKind::FpAdd, deps),
+                2 => MachineInst::arith(i, OpKind::FpMul, deps),
+                3 => MachineInst::arith(i, OpKind::FpDiv, deps),
+                4 => MachineInst::memory(
+                    i,
+                    OpKind::Load,
+                    ExecKind::LoadConsume,
+                    deps,
+                    i as u32,
+                    Some(i as u64 * 8),
+                ),
+                5 => MachineInst::memory(
+                    i,
+                    OpKind::Load,
+                    ExecKind::LoadRequest,
+                    deps,
+                    i as u32,
+                    Some(i as u64 * 8),
+                ),
+                6 => MachineInst::memory(
+                    i,
+                    OpKind::Store,
+                    ExecKind::StoreOp,
+                    deps,
+                    i as u32,
+                    Some(i as u64 * 8),
+                ),
+                _ => MachineInst::memory(
+                    i,
+                    OpKind::Load,
+                    ExecKind::LoadBlocking,
+                    deps,
+                    i as u32,
+                    Some(i as u64 * 8),
+                ),
+            }
+        })
+        .collect()
+}
+
+/// A context whose data gate opens for each consume at a tag-dependent
+/// cycle, with the naive Poll-style default `gate_wait` — stresses the
+/// event scheduler's poll list against the reference's per-cycle re-check.
+#[derive(Clone, Copy)]
+struct StripedGate {
+    period: Cycle,
+}
+
+impl ExecContext for StripedGate {
+    fn data_ready(&self, inst: &MachineInst, now: Cycle) -> bool {
+        match inst.kind {
+            ExecKind::LoadConsume => {
+                let open_at = Cycle::from(inst.tag.unwrap_or(0) % 7) * self.period;
+                now >= open_at
+            }
+            _ => true,
+        }
+    }
+
+    fn execute_memory(&mut self, inst: &MachineInst, now: Cycle) -> Cycle {
+        match inst.kind {
+            ExecKind::LoadBlocking => now + 1 + 40,
+            _ => now + 1,
+        }
+    }
+}
+
+/// Asserts that the event-driven unit and the naive reference agree on
+/// every observable after running the same stream under the same
+/// configuration: final time, per-instruction completions, the full
+/// statistics block and the FU rejection count.
+fn assert_equivalent<C: ExecContext + Clone>(
+    stream: &[MachineInst],
+    config: UnitConfig,
+    ctx: &C,
+    skip: bool,
+) {
+    let latencies = LatencyModel::paper_default();
+    let mut naive = NaiveUnitSim::new(stream.to_vec(), config, latencies);
+    let mut naive_ctx = ctx.clone();
+    let mut cycle: Cycle = 0;
+    while !naive.is_done() {
+        naive.step(cycle, &mut naive_ctx);
+        cycle += 1;
+        assert!(cycle < 1_000_000, "naive runaway");
+    }
+
+    let mut event = UnitSim::new(stream.to_vec(), config, latencies);
+    let mut event_ctx = ctx.clone();
+    let mut now: Cycle = 0;
+    while !event.is_done() {
+        event.step(now, &mut event_ctx);
+        let next = if skip {
+            event.next_activity(now).unwrap_or(now + 1)
+        } else {
+            now + 1
+        };
+        assert!(next > now, "next_activity must advance");
+        event.idle_advance(next - now - 1);
+        now = next;
+        assert!(now < 1_000_000, "event runaway");
+    }
+
+    assert_eq!(event.stats(), naive.stats(), "stats diverged (skip={skip})");
+    assert_eq!(
+        event.completions(),
+        naive.completions(),
+        "completion times diverged (skip={skip})"
+    );
+    assert_eq!(event.max_completion(), naive.max_completion());
+    assert_eq!(event.fu_rejections(), naive.fu_rejections());
+    assert_eq!(event.stats().cycles, cycle, "total cycle count diverged");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Arithmetic-only streams: every (window, width, retire policy)
+    /// combination agrees with the reference, stepped and time-skipped.
+    #[test]
+    fn arithmetic_streams_are_cycle_exact(
+        ops in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..80),
+        window in 1usize..48,
+        width in 1usize..10,
+    ) {
+        let stream: Vec<_> = random_stream(&ops)
+            .into_iter()
+            .enumerate()
+            .map(|(i, inst)| MachineInst::arith(i, inst.op, inst.deps))
+            .collect();
+        for retire in [RetirePolicy::InOrderAtComplete, RetirePolicy::FreeAtIssue] {
+            let config = UnitConfig { retire, ..UnitConfig::new(window, width) };
+            assert_equivalent(&stream, config, &NoMemoryContext, false);
+            assert_equivalent(&stream, config, &NoMemoryContext, true);
+        }
+    }
+
+    /// Mixed memory/arithmetic streams under a gate context that the event
+    /// scheduler can only poll.
+    #[test]
+    fn gated_memory_streams_are_cycle_exact(
+        ops in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..60),
+        window in 1usize..32,
+        width in 1usize..8,
+        period in 1u64..40,
+    ) {
+        let stream = random_stream(&ops);
+        let ctx = StripedGate { period };
+        for retire in [RetirePolicy::InOrderAtComplete, RetirePolicy::FreeAtIssue] {
+            let config = UnitConfig { retire, ..UnitConfig::new(window, width) };
+            assert_equivalent(&stream, config, &ctx, false);
+            assert_equivalent(&stream, config, &ctx, true);
+        }
+    }
+
+    /// Functional-unit limits: rejection accounting and issue order match.
+    #[test]
+    fn fu_limited_streams_are_cycle_exact(
+        ops in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..60),
+        int_units in 1usize..3,
+        fp_units in 1usize..3,
+        mem_ports in 1usize..3,
+    ) {
+        let stream = random_stream(&ops);
+        let config = UnitConfig {
+            fu: FuConfig::restricted(int_units, fp_units, mem_ports),
+            ..UnitConfig::new(24, 6)
+        };
+        let ctx = StripedGate { period: 5 };
+        assert_equivalent(&stream, config, &ctx, false);
+        assert_equivalent(&stream, config, &ctx, true);
+    }
+
+    /// Unlimited windows and narrow dispatch widths.
+    #[test]
+    fn unusual_shapes_are_cycle_exact(
+        ops in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..60),
+        width in 1usize..6,
+        dispatch in 1usize..4,
+    ) {
+        let stream = random_stream(&ops);
+        let unlimited = UnitConfig {
+            dispatch_width: Some(dispatch),
+            ..UnitConfig::unlimited_window(width)
+        };
+        assert_equivalent(&stream, unlimited, &StripedGate { period: 9 }, true);
+        let narrow = UnitConfig {
+            dispatch_width: Some(dispatch),
+            ..UnitConfig::new(2, width)
+        };
+        assert_equivalent(&stream, narrow, &StripedGate { period: 9 }, true);
+    }
+}

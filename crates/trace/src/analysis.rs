@@ -69,10 +69,7 @@ pub fn dataflow_summary(
     let critical_path = critical_path(trace, latencies, memory_differential);
     let critical_path_perfect = critical_path_inner(trace, latencies, 0);
     let instructions = trace.len();
-    let total_work: Cycle = trace
-        .iter()
-        .map(|inst| latencies.latency_of(inst.op))
-        .sum();
+    let total_work: Cycle = trace.iter().map(|inst| latencies.latency_of(inst.op)).sum();
     let ideal_ilp = if critical_path_perfect == 0 {
         0.0
     } else {
@@ -96,11 +93,7 @@ pub fn dataflow_summary(
 /// The length in cycles of the longest dependence chain of `trace`, charging
 /// each load `1 + memory_differential` cycles.
 #[must_use]
-pub fn critical_path(
-    trace: &Trace,
-    latencies: &LatencyModel,
-    memory_differential: Cycle,
-) -> Cycle {
+pub fn critical_path(trace: &Trace, latencies: &LatencyModel, memory_differential: Cycle) -> Cycle {
     critical_path_inner(trace, latencies, memory_differential)
 }
 
@@ -109,11 +102,7 @@ fn critical_path_inner(trace: &Trace, latencies: &LatencyModel, md: Cycle) -> Cy
     let mut finish: Vec<Cycle> = Vec::with_capacity(trace.len());
     let mut longest = 0;
     for inst in trace.iter() {
-        let ready = inst
-            .all_deps()
-            .map(|p| finish[p])
-            .max()
-            .unwrap_or(0);
+        let ready = inst.all_deps().map(|p| finish[p]).max().unwrap_or(0);
         let cost = match inst.op {
             op if op.is_load() => latencies.latency_of(op) + md,
             op => latencies.latency_of(op),

@@ -55,7 +55,10 @@ pub fn expand(kernel: &Kernel, iterations: u64) -> Trace {
             for (operand_idx, operand) in stmt.inputs.iter().enumerate() {
                 let producer = match *operand {
                     Operand::Local(target) => Some(iter as usize * per_iter + target),
-                    Operand::Carried { stmt: target, distance } => {
+                    Operand::Carried {
+                        stmt: target,
+                        distance,
+                    } => {
                         if iter >= u64::from(distance) {
                             Some((iter - u64::from(distance)) as usize * per_iter + target)
                         } else {
@@ -71,9 +74,7 @@ pub fn expand(kernel: &Kernel, iterations: u64) -> Trace {
                     });
                 }
             }
-            let addr = stmt
-                .address
-                .map(|spec| spec.pattern.address_at(iter));
+            let addr = stmt.address.map(|spec| spec.pattern.address_at(iter));
             insts.push(DynInst {
                 id,
                 op: stmt.op,

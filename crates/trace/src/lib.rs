@@ -56,6 +56,7 @@ mod partition;
 mod scalar;
 mod swsm;
 mod trace;
+mod wakeup;
 
 pub use analysis::{critical_path, dataflow_depths, dataflow_summary, DataflowSummary};
 pub use classify::{classification_disagreement, classify};
@@ -66,3 +67,4 @@ pub use partition::{partition, DecoupledProgram, PartitionMode, PartitionStats};
 pub use scalar::{lower_scalar, ScalarProgram};
 pub use swsm::{expand_swsm, SwsmProgram, SwsmStats};
 pub use trace::{Trace, TraceStats};
+pub use wakeup::WakeupList;

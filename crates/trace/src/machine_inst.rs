@@ -70,7 +70,10 @@ impl ExecKind {
     pub fn touches_memory(self) -> bool {
         matches!(
             self,
-            ExecKind::LoadRequest | ExecKind::LoadConsume | ExecKind::LoadBlocking | ExecKind::StoreOp
+            ExecKind::LoadRequest
+                | ExecKind::LoadConsume
+                | ExecKind::LoadBlocking
+                | ExecKind::StoreOp
         )
     }
 }
@@ -266,10 +269,31 @@ mod tests {
     fn stream_stats_count_kinds() {
         let stream = vec![
             MachineInst::arith(0, OpKind::IntAlu, vec![]),
-            MachineInst::memory(1, OpKind::Load, ExecKind::LoadRequest, vec![Dep::Local(0)], 0, Some(8)),
-            MachineInst::memory(1, OpKind::Load, ExecKind::LoadConsume, vec![Dep::Cross(1)], 0, Some(8)),
+            MachineInst::memory(
+                1,
+                OpKind::Load,
+                ExecKind::LoadRequest,
+                vec![Dep::Local(0)],
+                0,
+                Some(8),
+            ),
+            MachineInst::memory(
+                1,
+                OpKind::Load,
+                ExecKind::LoadConsume,
+                vec![Dep::Cross(1)],
+                0,
+                Some(8),
+            ),
             MachineInst::copy(2, vec![Dep::Local(2)]),
-            MachineInst::memory(3, OpKind::Store, ExecKind::StoreOp, vec![Dep::Local(3)], 1, Some(16)),
+            MachineInst::memory(
+                3,
+                OpKind::Store,
+                ExecKind::StoreOp,
+                vec![Dep::Local(3)],
+                1,
+                Some(16),
+            ),
         ];
         let st = stream_stats(&stream);
         assert_eq!(st.instructions, 5);

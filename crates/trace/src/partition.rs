@@ -1,8 +1,9 @@
 //! The decoupled-machine partition: lowering a trace into AU and DU streams.
 
-use crate::{classify, DepRole, ExecKind, Dep, MachineInst, MemTag, Trace};
+use crate::{classify, Dep, DepRole, ExecKind, MachineInst, MemTag, Trace, WakeupList};
 use dae_isa::{OpKind, UnitClass};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// How the partitioner decides which unit an instruction belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
@@ -75,12 +76,27 @@ impl PartitionStats {
 }
 
 /// A trace lowered onto the two units of the access decoupled machine.
+///
+/// The streams and their wakeup lists are reference counted so that sweep
+/// drivers can lower a trace once and share the result across every
+/// (window, memory-differential) simulation point without re-partitioning
+/// or deep-copying per run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DecoupledProgram {
     /// The address-unit instruction stream, in program order.
-    pub au: Vec<MachineInst>,
+    pub au: Arc<Vec<MachineInst>>,
     /// The data-unit instruction stream, in program order.
-    pub du: Vec<MachineInst>,
+    pub du: Arc<Vec<MachineInst>>,
+    /// Producer → same-stream consumers for the AU stream (the event-driven
+    /// scheduler's wakeup lists, built once per partition).
+    pub au_wakeups: Arc<WakeupList>,
+    /// Producer → same-stream consumers for the DU stream.
+    pub du_wakeups: Arc<WakeupList>,
+    /// AU producer index → DU instructions waiting on it through a
+    /// [`Dep::Cross`] edge.
+    pub cross_to_du: Arc<WakeupList>,
+    /// DU producer index → AU instructions waiting on it.
+    pub cross_to_au: Arc<WakeupList>,
     /// Structural statistics gathered during partitioning.
     pub stats: PartitionStats,
     /// The number of memory transactions (tags) issued by the AU.
@@ -284,14 +300,7 @@ pub fn partition(trace: &Trace, mode: PartitionMode) -> DecoupledProgram {
             }
             _ => {
                 let unit = assignment[inst.id];
-                let deps = resolve_all_deps(
-                    inst,
-                    unit,
-                    &mut au,
-                    &mut du,
-                    &mut sites,
-                    &mut stats,
-                );
+                let deps = resolve_all_deps(inst, unit, &mut au, &mut du, &mut sites, &mut stats);
                 let (stream, site) = match unit {
                     UnitClass::Access => (&mut au, &mut sites[inst.id].au),
                     UnitClass::Compute => (&mut du, &mut sites[inst.id].du),
@@ -305,9 +314,18 @@ pub fn partition(trace: &Trace, mode: PartitionMode) -> DecoupledProgram {
     stats.au_instructions = au.len();
     stats.du_instructions = du.len();
 
+    let au_wakeups = Arc::new(WakeupList::local(&au));
+    let du_wakeups = Arc::new(WakeupList::local(&du));
+    let cross_to_du = Arc::new(WakeupList::cross(&du, au.len()));
+    let cross_to_au = Arc::new(WakeupList::cross(&au, du.len()));
+
     DecoupledProgram {
-        au,
-        du,
+        au: Arc::new(au),
+        du: Arc::new(du),
+        au_wakeups,
+        du_wakeups,
+        cross_to_du,
+        cross_to_au,
         stats,
         transactions: next_tag,
     }
@@ -395,7 +413,10 @@ fn resolve_value(
             // Emit a copy on the DU (the producing unit): a loss of
             // decoupling, since the AU now waits on compute results.
             let copy_idx = du.len();
-            du.push(MachineInst::copy(du[du_idx].trace_pos, vec![Dep::Local(du_idx)]));
+            du.push(MachineInst::copy(
+                du[du_idx].trace_pos,
+                vec![Dep::Local(du_idx)],
+            ));
             sites[producer].copy_to_au = Some(copy_idx);
             stats.copies_du_to_au += 1;
             Dep::Cross(copy_idx)
@@ -411,7 +432,10 @@ fn resolve_value(
                 .au
                 .expect("value must exist on at least one unit before it is consumed");
             let copy_idx = au.len();
-            au.push(MachineInst::copy(au[au_idx].trace_pos, vec![Dep::Local(au_idx)]));
+            au.push(MachineInst::copy(
+                au[au_idx].trace_pos,
+                vec![Dep::Local(au_idx)],
+            ));
             sites[producer].copy_to_du = Some(copy_idx);
             stats.copies_au_to_du += 1;
             Dep::Cross(copy_idx)

@@ -1,15 +1,20 @@
 //! Lowering for the scalar reference machine (no prefetching).
 
-use crate::{Dep, ExecKind, MachineInst, MemTag, Trace};
+use crate::{Dep, ExecKind, MachineInst, MemTag, Trace, WakeupList};
 use dae_isa::OpKind;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// A trace lowered for the scalar reference machine: loads block for the
 /// full memory latency, nothing is prefetched.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScalarProgram {
-    /// The single instruction stream, in program order.
-    pub insts: Vec<MachineInst>,
+    /// The single instruction stream, in program order (reference counted
+    /// so sweep drivers can share one lowering across simulation points).
+    pub insts: Arc<Vec<MachineInst>>,
+    /// Producer → consumers wakeup lists for the event-driven scheduler,
+    /// built once per lowering.
+    pub wakeups: Arc<WakeupList>,
     /// The number of memory transactions.
     pub transactions: u32,
 }
@@ -84,8 +89,10 @@ pub fn lower_scalar(trace: &Trace) -> ScalarProgram {
         }
     }
 
+    let wakeups = Arc::new(WakeupList::local(&insts));
     ScalarProgram {
-        insts,
+        insts: Arc::new(insts),
+        wakeups,
         transactions: next_tag,
     }
 }

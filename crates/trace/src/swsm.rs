@@ -1,9 +1,10 @@
 //! Lowering for the single-window superscalar machine (SWSM): the hybrid
 //! prefetch expansion.
 
-use crate::{DepRole, Dep, ExecKind, MachineInst, MemTag, Trace};
+use crate::{Dep, DepRole, ExecKind, MachineInst, MemTag, Trace, WakeupList};
 use dae_isa::OpKind;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Counters describing an SWSM-lowered program.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -35,8 +36,12 @@ impl SwsmStats {
 /// A trace lowered for the single-window superscalar machine.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SwsmProgram {
-    /// The single instruction stream, in program order.
-    pub insts: Vec<MachineInst>,
+    /// The single instruction stream, in program order (reference counted
+    /// so sweep drivers can share one lowering across simulation points).
+    pub insts: Arc<Vec<MachineInst>>,
+    /// Producer → consumers wakeup lists for the event-driven scheduler,
+    /// built once per lowering.
+    pub wakeups: Arc<WakeupList>,
     /// Structural statistics gathered during lowering.
     pub stats: SwsmStats,
     /// The number of memory transactions (prefetch/access pairs).
@@ -172,8 +177,10 @@ pub fn expand_swsm(trace: &Trace) -> SwsmProgram {
     }
 
     stats.machine_instructions = insts.len();
+    let wakeups = Arc::new(WakeupList::local(&insts));
     SwsmProgram {
-        insts,
+        insts: Arc::new(insts),
+        wakeups,
         stats,
         transactions: next_tag,
     }
@@ -225,7 +232,7 @@ mod tests {
     fn consumers_depend_on_the_access_not_the_prefetch() {
         let trace = scale_trace(3);
         let swsm = expand_swsm(&trace);
-        for inst in &swsm.insts {
+        for inst in swsm.insts.iter() {
             if inst.kind == ExecKind::Arith && inst.op == OpKind::FpMul {
                 // The multiply's only dependence must be a LoadConsume.
                 assert_eq!(inst.deps.len(), 1);

@@ -16,15 +16,26 @@ fn kernel_from_recipe(recipe: &[(u8, u8)]) -> Kernel {
     let mut statements = vec![Statement::arith(
         OpKind::IntAlu,
         UnitClass::Access,
-        vec![Operand::Carried { stmt: 0, distance: 1 }],
+        vec![Operand::Carried {
+            stmt: 0,
+            distance: 1,
+        }],
     )];
     let mut producers = vec![0usize];
     for (idx, &(kind, offset)) in recipe.iter().enumerate() {
         let source = producers[offset as usize % producers.len()];
         let id = statements.len();
         let stmt = match kind % 5 {
-            0 => Statement::arith(OpKind::IntAlu, UnitClass::Access, vec![Operand::Local(source)]),
-            1 => Statement::arith(OpKind::FpAdd, UnitClass::Compute, vec![Operand::Local(source)]),
+            0 => Statement::arith(
+                OpKind::IntAlu,
+                UnitClass::Access,
+                vec![Operand::Local(source)],
+            ),
+            1 => Statement::arith(
+                OpKind::FpAdd,
+                UnitClass::Compute,
+                vec![Operand::Local(source)],
+            ),
             2 => Statement::memory(
                 OpKind::Load,
                 UnitClass::Access,

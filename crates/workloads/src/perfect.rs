@@ -83,7 +83,12 @@ fn chase_load(b: &mut KernelBuilder, distance: u32, span: u64) -> StmtId {
     p
 }
 
-fn workload(kernel: Kernel, band: LatencyHidingBand, iterations: u64, description: &str) -> Workload {
+fn workload(
+    kernel: Kernel,
+    band: LatencyHidingBand,
+    iterations: u64,
+    description: &str,
+) -> Workload {
     let name = kernel.name().to_string();
     Workload::new(
         kernel,
@@ -217,7 +222,12 @@ pub fn dyfesm() -> Workload {
             },
         ],
     ));
-    b.store_indirect(&[Operand::Local(e4), Operand::Local(idx)], region::F, 1 << 20, 1);
+    b.store_indirect(
+        &[Operand::Local(e4), Operand::Local(idx)],
+        region::F,
+        1 << 20,
+        1,
+    );
     workload(
         b.build().expect("DYFESM kernel is valid"),
         LatencyHidingBand::Moderate,
@@ -290,7 +300,12 @@ pub fn mdg() -> Workload {
             },
         ],
     ));
-    b.store_indirect(&[Operand::Local(fr), Operand::Local(nbr)], region::F, 2 << 20, 1);
+    b.store_indirect(
+        &[Operand::Local(fr), Operand::Local(nbr)],
+        region::F,
+        2 << 20,
+        1,
+    );
     workload(
         b.build().expect("MDG kernel is valid"),
         LatencyHidingBand::Moderate,

@@ -115,7 +115,12 @@ pub fn gather_scatter() -> Workload {
     let x = b.load_indirect(&[Operand::Local(ix)], 0x0200_0000, 1 << 20, 0);
     let f = b.fp_mul(&[Operand::Local(x), Operand::Invariant(0)]);
     let g = b.fp_add(&[Operand::Local(f), Operand::Invariant(1)]);
-    b.store_indirect(&[Operand::Local(g), Operand::Local(ix)], 0x0300_0000, 1 << 20, 1);
+    b.store_indirect(
+        &[Operand::Local(g), Operand::Local(ix)],
+        0x0300_0000,
+        1 << 20,
+        1,
+    );
     wrap(
         b.build().expect("gather-scatter kernel is valid"),
         3000,

@@ -60,5 +60,7 @@ fn main() {
     }
 
     println!("{table}");
-    println!("(LHE = execution time at MD=0 divided by execution time at the given MD, per machine.)");
+    println!(
+        "(LHE = execution time at MD=0 divided by execution time at the given MD, per machine.)"
+    );
 }

@@ -26,7 +26,9 @@ fn main() {
         trace.stats().loads,
         trace.stats().stores
     );
-    println!("machine  : {window}-entry windows, memory differential {memory_differential} cycles\n");
+    println!(
+        "machine  : {window}-entry windows, memory differential {memory_differential} cycles\n"
+    );
 
     // The scalar reference defines the common speedup denominator.
     let reference = scalar_cycles(&trace, memory_differential);

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Records the simulator-throughput baseline.
+#
+# Runs the `cargo bench` suite (the criterion-stub harness dumps raw
+# per-benchmark timings when CRITERION_STUB_JSON is set) and the dedicated
+# event-vs-reference comparison binary, which writes
+# BENCH_simulator_throughput.json at the repository root and fails if the
+# DM speedup over the retained naive scheduler drops below 3x.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CRITERION_STUB_JSON="target/criterion-raw.jsonl"
+rm -f "$CRITERION_STUB_JSON"
+cargo bench -q -p dae-bench --bench simulator_throughput
+
+cargo run --release -q -p dae-bench --bin bench_throughput
+echo "raw criterion timings: $CRITERION_STUB_JSON"

@@ -47,7 +47,11 @@ fn execution_times_sit_between_the_dataflow_limit_and_the_serial_bound() {
 /// configuration of all, for both machines.
 #[test]
 fn bigger_windows_are_never_slower() {
-    for program in [PerfectProgram::Trfd, PerfectProgram::Mdg, PerfectProgram::Track] {
+    for program in [
+        PerfectProgram::Trfd,
+        PerfectProgram::Mdg,
+        PerfectProgram::Track,
+    ] {
         let trace = program.workload().trace(150);
         for md in [0u64, 60] {
             let mut previous_dm = u64::MAX;
@@ -142,7 +146,11 @@ fn scalar_simulation_matches_the_analytic_formula() {
 /// issued and retired exactly once by the machines.
 #[test]
 fn every_lowered_instruction_is_executed_exactly_once() {
-    for program in [PerfectProgram::Adm, PerfectProgram::Qcd, PerfectProgram::Track] {
+    for program in [
+        PerfectProgram::Adm,
+        PerfectProgram::Qcd,
+        PerfectProgram::Track,
+    ] {
         let trace = program.workload().trace(100);
         let lowered = partition(&trace, PartitionMode::Tagged);
         let expanded = expand_swsm(&trace);
@@ -156,7 +164,11 @@ fn every_lowered_instruction_is_executed_exactly_once() {
         assert_eq!(dm.au.retired + dm.du.retired, dm.au.issued + dm.du.issued);
 
         let swsm = SuperscalarMachine::new(SwsmConfig::paper(16, 40)).run(&trace);
-        assert_eq!(swsm.unit.issued, expanded.insts.len() as u64, "{program} SWSM");
+        assert_eq!(
+            swsm.unit.issued,
+            expanded.insts.len() as u64,
+            "{program} SWSM"
+        );
         assert_eq!(swsm.unit.retired, swsm.unit.issued);
     }
 }

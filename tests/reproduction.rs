@@ -118,12 +118,23 @@ fn table1_reproduces_the_three_bands() {
     let table = table1(&config, 60);
     let lhe = |p: PerfectProgram| table.lhe(p, WindowSpec::Unlimited).unwrap();
 
-    let high = [PerfectProgram::Trfd, PerfectProgram::Adm, PerfectProgram::Flo52q];
-    let moderate = [PerfectProgram::Dyfesm, PerfectProgram::Qcd, PerfectProgram::Mdg];
+    let high = [
+        PerfectProgram::Trfd,
+        PerfectProgram::Adm,
+        PerfectProgram::Flo52q,
+    ];
+    let moderate = [
+        PerfectProgram::Dyfesm,
+        PerfectProgram::Qcd,
+        PerfectProgram::Mdg,
+    ];
 
     let min_high = high.iter().map(|&p| lhe(p)).fold(f64::INFINITY, f64::min);
     let max_moderate = moderate.iter().map(|&p| lhe(p)).fold(0.0, f64::max);
-    let min_moderate = moderate.iter().map(|&p| lhe(p)).fold(f64::INFINITY, f64::min);
+    let min_moderate = moderate
+        .iter()
+        .map(|&p| lhe(p))
+        .fold(f64::INFINITY, f64::min);
     let track = lhe(PerfectProgram::Track);
 
     assert!(
@@ -144,7 +155,10 @@ fn table1_reproduces_the_three_bands() {
         match expected {
             LatencyHidingBand::High => assert!(measured > 0.7, "{program}: {measured:.3}"),
             LatencyHidingBand::Moderate => {
-                assert!((0.35..=0.85).contains(&measured), "{program}: {measured:.3}")
+                assert!(
+                    (0.35..=0.85).contains(&measured),
+                    "{program}: {measured:.3}"
+                )
             }
             LatencyHidingBand::Poor => assert!(measured < 0.4, "{program}: {measured:.3}"),
         }
@@ -162,13 +176,23 @@ fn finite_windows_do_not_reach_the_unlimited_window_lhe() {
         ..quick_config()
     };
     let table = table1(&config, 60);
-    for program in [PerfectProgram::Trfd, PerfectProgram::Flo52q, PerfectProgram::Mdg] {
+    for program in [
+        PerfectProgram::Trfd,
+        PerfectProgram::Flo52q,
+        PerfectProgram::Mdg,
+    ] {
         let at_32 = table.lhe(program, WindowSpec::Entries(32)).unwrap();
         let at_128 = table.lhe(program, WindowSpec::Entries(128)).unwrap();
         let unlimited = table.lhe(program, WindowSpec::Unlimited).unwrap();
-        assert!(at_32 < unlimited * 0.8, "{program}: 32-entry LHE {at_32:.3} vs unlimited {unlimited:.3}");
+        assert!(
+            at_32 < unlimited * 0.8,
+            "{program}: 32-entry LHE {at_32:.3} vs unlimited {unlimited:.3}"
+        );
         assert!(at_128 <= unlimited + 1e-9, "{program}");
-        assert!(at_32 <= at_128 + 0.05, "{program}: more window should not hide much less");
+        assert!(
+            at_32 <= at_128 + 0.05,
+            "{program}: more window should not hide much less"
+        );
     }
 }
 
@@ -223,7 +247,8 @@ fn both_machines_beat_the_scalar_reference() {
         for md in [0u64, 60] {
             let reference = scalar_cycles(&trace, md);
             for machine in [Machine::Decoupled, Machine::Superscalar] {
-                let cycles = dae::core::machine_cycles(machine, &trace, WindowSpec::Entries(32), md);
+                let cycles =
+                    dae::core::machine_cycles(machine, &trace, WindowSpec::Entries(32), md);
                 let s = speedup(reference, cycles);
                 assert!(s > 1.0, "{program} {machine} md={md}: speedup {s:.2}");
             }

@@ -1,0 +1,214 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface the workspace's benches use (`Criterion`,
+//! benchmark groups, [`BenchmarkId`], `Bencher::iter`,
+//! [`criterion_group!`] / [`criterion_main!`]) backed by a simple wall-clock
+//! measurement: a short warm-up, then batches until a time budget is spent,
+//! reporting the best batch mean (ns/iteration).
+//!
+//! When the `CRITERION_STUB_JSON` environment variable names a file, every
+//! measurement is appended to it as one JSON object per line
+//! (`{"id": ..., "ns_per_iter": ...}`), which `scripts/bench.sh` uses to
+//! assemble the repository's benchmark baseline.
+
+use std::fmt::Display;
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter value.
+    #[must_use]
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Just a parameter value.
+    #[must_use]
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Runs and times one benchmark body.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    ns_per_iter: Option<f64>,
+    measure_time: Duration,
+}
+
+impl Bencher {
+    /// Measures `body`, keeping the fastest observed batch mean.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        // Warm-up and calibration: one untimed call, then scale the batch so
+        // a batch takes roughly a millisecond.
+        let start = Instant::now();
+        std::hint::black_box(body());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let batch = (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+
+        let budget = self.measure_time;
+        let started = Instant::now();
+        let mut best = f64::INFINITY;
+        let mut batches = 0u32;
+        while started.elapsed() < budget || batches < 3 {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(body());
+            }
+            let elapsed = t0.elapsed();
+            let mean = elapsed.as_nanos() as f64 / batch as f64;
+            if mean < best {
+                best = mean;
+            }
+            batches += 1;
+            if batches >= 1000 {
+                break;
+            }
+        }
+        self.ns_per_iter = Some(best);
+    }
+}
+
+/// The entry point handed to benchmark functions.
+#[derive(Debug)]
+pub struct Criterion {
+    measure_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measure_time: Duration::from_millis(300),
+        }
+    }
+}
+
+fn report(id: &str, ns_per_iter: f64) {
+    println!("bench: {id:<55} {ns_per_iter:>14.1} ns/iter");
+    if let Ok(path) = std::env::var("CRITERION_STUB_JSON") {
+        if let Ok(mut file) = OpenOptions::new().create(true).append(true).open(path) {
+            let _ = writeln!(
+                file,
+                "{{\"id\": \"{id}\", \"ns_per_iter\": {ns_per_iter:.1}}}"
+            );
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            measure_time: self.measure_time,
+            _criterion: self,
+        }
+    }
+
+    /// Benches a standalone function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            ns_per_iter: None,
+            measure_time: self.measure_time,
+        };
+        f(&mut bencher);
+        if let Some(ns) = bencher.ns_per_iter {
+            report(id, ns);
+        }
+        self
+    }
+}
+
+/// A named group of benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    measure_time: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub's time budget is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measure_time = time;
+        self
+    }
+
+    /// Benches `f` against one input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            ns_per_iter: None,
+            measure_time: self.measure_time,
+        };
+        f(&mut bencher, input);
+        if let Some(ns) = bencher.ns_per_iter {
+            report(&format!("{}/{}", self.name, id.label), ns);
+        }
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_with_input_measures_something() {
+        let mut c = Criterion {
+            measure_time: Duration::from_millis(5),
+        };
+        let mut group = c.benchmark_group("g");
+        let mut ran = false;
+        group.bench_with_input(BenchmarkId::new("f", 1), &3u64, |b, &x| {
+            b.iter(|| x * 2);
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+}

@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde`: marker traits plus no-op derives.
+//!
+//! See `vendor/README.md` for why this exists.  The traits are blanket
+//! implemented so that generic bounds like `T: Serialize` are always
+//! satisfied; the derive macros (re-exported from the stub `serde_derive`)
+//! expand to nothing.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait; blanket-implemented for every type.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait; blanket-implemented for every type.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Owned variant used by generic bounds in the real serde.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
