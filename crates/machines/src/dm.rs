@@ -1,10 +1,11 @@
 //! The access decoupled machine (DM).
 
+use crate::engine::{self, MachineSpec};
 use crate::{DmConfig, DmResult, EswStats, ExecutionSummary};
 use dae_isa::Cycle;
 use dae_mem::DecoupledMemory;
-use dae_ooo::{ExecContext, GateWait, NaiveUnitSim, UnitSim};
-use dae_trace::{partition, DecoupledProgram, ExecKind, MachineInst, Trace};
+use dae_ooo::{EventUnit, ExecContext, GateWait, NaiveUnitSim, SchedulerUnit, UnitSim};
+use dae_trace::{partition, DecoupledProgram, ExecKind, MachineInst, Trace, WakeupList};
 use std::sync::Arc;
 
 /// The access decoupled machine of the paper (figure 1): two out-of-order
@@ -17,13 +18,13 @@ use std::sync::Arc;
 /// latency.  Cross-unit register traffic travels over explicit copy
 /// instructions with a configurable transfer latency.
 ///
-/// The run loop is event driven with **time-skipping**: when neither unit
-/// can issue, dispatch or retire before the next pending completion or
-/// memory arrival, the clock jumps straight to that event and the skipped
-/// idle cycles are bulk-accounted, so a 60-cycle memory stall costs one loop
-/// iteration instead of sixty.  [`DecoupledMachine::run_reference`] retains
-/// the original cycle-by-cycle loop over the naive scheduler; the two paths
-/// produce bit-for-bit identical results (see `tests/differential.rs`).
+/// The run loop is the shared multi-unit engine (see [`crate::engine`]) with
+/// **asymmetric per-unit clocks**: each unit is stepped only when its own
+/// horizon arrives, so the DU sleeps through the memory stalls the AU is
+/// busy prefetching across, and a 60-cycle stall costs one engine iteration
+/// instead of sixty.  [`DecoupledMachine::run_reference`] retains the
+/// original cycle-by-cycle lockstep loop over the naive scheduler; the two
+/// paths produce bit-for-bit identical results (see `tests/differential.rs`).
 ///
 /// # Example
 ///
@@ -54,17 +55,21 @@ pub struct DecoupledMachine {
 
 /// Execution context for one unit of the DM: resolves cross-unit
 /// dependences against the other unit's completion times and talks to the
-/// decoupled memory.
-struct DmUnitContext<'a> {
-    other_completions: &'a [Option<Cycle>],
+/// decoupled memory.  Generic over the peer's scheduler so both the
+/// event-driven and the naive reference run share one context.
+struct DmUnitContext<'a, U> {
+    other: &'a U,
     transfer_latency: Cycle,
     memory: &'a mut DecoupledMemory,
     consumers_remaining: &'a mut [u32],
 }
 
-impl ExecContext for DmUnitContext<'_> {
+impl<U: SchedulerUnit> ExecContext for DmUnitContext<'_, U> {
+    #[inline]
     fn cross_ready_at(&self, idx: usize) -> Option<Cycle> {
-        self.other_completions[idx].map(|t| t + self.transfer_latency)
+        self.other
+            .completion(idx)
+            .map(|t| t + self.transfer_latency)
     }
 
     fn data_ready(&self, inst: &MachineInst, now: Cycle) -> bool {
@@ -141,9 +146,12 @@ impl ExecContext for DmUnitContext<'_> {
 /// while idle, so the sample repeats verbatim).
 #[derive(Default)]
 struct EswAccumulator {
-    esw_sum: u128,
+    // u64 sums: esw/slip are bounded by the trace length and cycle counts
+    // by the deadlock safety bound, so the products stay far below 2^64
+    // for any simulation that terminates.
+    esw_sum: u64,
     esw_max: usize,
-    slip_sum: u128,
+    slip_sum: u64,
     slip_max: usize,
     samples: u64,
 }
@@ -154,8 +162,8 @@ impl EswAccumulator {
             if youngest_au >= oldest_du {
                 let esw = youngest_au - oldest_du + 1;
                 let slip = youngest_au - oldest_du;
-                self.esw_sum += esw as u128 * u128::from(cycles);
-                self.slip_sum += slip as u128 * u128::from(cycles);
+                self.esw_sum += esw as u64 * cycles;
+                self.slip_sum += slip as u64 * cycles;
                 self.esw_max = self.esw_max.max(esw);
                 self.slip_max = self.slip_max.max(slip);
                 self.samples += cycles;
@@ -193,6 +201,86 @@ fn consumer_counts(program: &DecoupledProgram) -> Vec<u32> {
         }
     }
     consumers_remaining
+}
+
+/// Index of the AU in the engine's unit slice.
+const AU: usize = 0;
+/// Index of the DU in the engine's unit slice.
+const DU: usize = 1;
+
+/// The DM as seen by the shared engine: the decoupled memory and
+/// consumer-reference counts behind both units' execution contexts, the
+/// cross wakeup lists, and the ESW/slippage sampler.
+struct DmSpec<'a> {
+    memory: DecoupledMemory,
+    consumers_remaining: Vec<u32>,
+    transfer: Cycle,
+    /// AU producer index → DU instructions waiting on it through a
+    /// `Dep::Cross` edge (prebuilt by the partitioner; each issue forwards a
+    /// wakeup to exactly its consumers).
+    cross_to_du: &'a WakeupList,
+    /// DU producer index → AU instructions waiting on it.
+    cross_to_au: &'a WakeupList,
+    esw: EswAccumulator,
+}
+
+impl<'a> DmSpec<'a> {
+    fn new(config: &DmConfig, program: &'a DecoupledProgram) -> Self {
+        DmSpec {
+            memory: DecoupledMemory::new(config.memory_differential, config.decoupled_memory),
+            consumers_remaining: consumer_counts(program),
+            transfer: config.transfer_latency,
+            cross_to_du: &program.cross_to_du,
+            cross_to_au: &program.cross_to_au,
+            esw: EswAccumulator::default(),
+        }
+    }
+}
+
+impl<U: SchedulerUnit> MachineSpec<U> for DmSpec<'_> {
+    fn step_unit(&mut self, units: &mut [U], u: usize, now: Cycle) {
+        let (au, du) = units.split_at_mut(1);
+        let (unit, other) = match u {
+            AU => (&mut au[0], &du[0]),
+            _ => (&mut du[0], &au[0]),
+        };
+        let mut ctx = DmUnitContext {
+            other,
+            transfer_latency: self.transfer,
+            memory: &mut self.memory,
+            consumers_remaining: &mut self.consumers_remaining,
+        };
+        unit.step(now, &mut ctx);
+    }
+
+    // Forward the step's issues as cross-dependence wakeups for the peer
+    // instructions waiting on them.  Data arrivals need no separate wakeup:
+    // a consume is only evaluated once its request dependence is satisfied,
+    // at which point the decoupled memory can name the arrival cycle
+    // (`GateWait::At`).
+    fn forward_wakeups(&mut self, units: &mut [U], u: usize)
+    where
+        U: EventUnit,
+    {
+        let (au, du) = units.split_at_mut(1);
+        let (source, peer, waiters) = match u {
+            AU => (&au[0], &mut du[0], self.cross_to_du),
+            _ => (&du[0], &mut au[0], self.cross_to_au),
+        };
+        for &(idx, completion) in source.issued_this_step() {
+            for &waiter in waiters.of(idx) {
+                peer.schedule_reeval(waiter as usize, completion + self.transfer);
+            }
+        }
+    }
+
+    fn sample(&mut self, units: &[U], cycles: u64) {
+        self.esw.sample(
+            units[DU].oldest_inflight_trace_pos(),
+            units[AU].youngest_dispatched_trace_pos(),
+            cycles,
+        );
+    }
 }
 
 impl DecoupledMachine {
@@ -237,133 +325,29 @@ impl DecoupledMachine {
     /// Panics if the simulation exceeds the deadlock safety bound.
     #[must_use]
     pub fn run_lowered(&self, program: &DecoupledProgram, trace_instructions: usize) -> DmResult {
-        let partition_stats = program.stats;
-        let machine_instructions = program.au.len() + program.du.len();
-        let mut consumers_remaining = consumer_counts(program);
-
-        // Cross wakeup lists: for every producer index of one stream, the
-        // instructions of the *other* stream waiting on it through a
-        // `Dep::Cross` edge.  Prebuilt by the partitioner; each issue
-        // forwards a wakeup to exactly its consumers.
-        let du_waiters_on_au = &program.cross_to_du;
-        let au_waiters_on_du = &program.cross_to_au;
-
-        let mut au = UnitSim::with_wakeups(
-            Arc::clone(&program.au),
-            Arc::clone(&program.au_wakeups),
-            self.config.au,
-            self.config.latencies,
-        );
-        let mut du = UnitSim::with_wakeups(
-            Arc::clone(&program.du),
-            Arc::clone(&program.du_wakeups),
-            self.config.du,
-            self.config.latencies,
-        );
-        let mut memory = DecoupledMemory::new(
-            self.config.memory_differential,
-            self.config.decoupled_memory,
-        );
-
-        let mut esw = EswAccumulator::default();
-        let safety_bound = safety_bound(
-            machine_instructions,
-            self.config.memory_differential,
-            self.config.latencies.max_arith_latency(),
-        );
-        let transfer = self.config.transfer_latency;
-
-        let mut now: Cycle = 0;
-        while !(au.is_done() && du.is_done()) {
-            {
-                let mut ctx = DmUnitContext {
-                    other_completions: du.completions(),
-                    transfer_latency: transfer,
-                    memory: &mut memory,
-                    consumers_remaining: &mut consumers_remaining,
-                };
-                au.step(now, &mut ctx);
-            }
-            // Forward this cycle's AU issues as cross-dependence wakeups for
-            // the DU instructions waiting on them.  Data arrivals need no
-            // separate wakeup: a consume is only evaluated once its request
-            // dependence is satisfied, at which point the decoupled memory
-            // can name the arrival cycle (GateWait::At).
-            for i in 0..au.issued_this_step().len() {
-                let (idx, completion) = au.issued_this_step()[i];
-                for &waiter in du_waiters_on_au.of(idx) {
-                    du.schedule_reeval(waiter as usize, completion + transfer);
-                }
-            }
-            {
-                let mut ctx = DmUnitContext {
-                    other_completions: au.completions(),
-                    transfer_latency: transfer,
-                    memory: &mut memory,
-                    consumers_remaining: &mut consumers_remaining,
-                };
-                du.step(now, &mut ctx);
-            }
-            for i in 0..du.issued_this_step().len() {
-                let (idx, completion) = du.issued_this_step()[i];
-                for &waiter in au_waiters_on_du.of(idx) {
-                    au.schedule_reeval(waiter as usize, completion + transfer);
-                }
-            }
-
-            esw.sample(
-                du.oldest_inflight_trace_pos(),
-                au.youngest_dispatched_trace_pos(),
-                1,
-            );
-
-            // Time-skip: jump to the earliest cycle either unit can act.
-            // A unit may report no local activity while parked on the other
-            // unit's progress, so fall back to the other unit's horizon —
-            // and to single-stepping when neither knows (the safety bound
-            // catches genuine deadlocks).
-            let next = match (au.next_activity(now), du.next_activity(now)) {
-                (Some(a), Some(b)) => a.min(b),
-                (Some(a), None) => a,
-                (None, Some(b)) => b,
-                (None, None) => now + 1,
-            };
-            debug_assert!(next > now);
-            let idle = next - now - 1;
-            if idle > 0 {
-                au.idle_advance(idle);
-                du.idle_advance(idle);
-                esw.sample(
-                    du.oldest_inflight_trace_pos(),
-                    au.youngest_dispatched_trace_pos(),
-                    idle,
-                );
-            }
-            now = next;
-            assert!(
-                now < safety_bound,
-                "DM simulation exceeded {safety_bound} cycles — likely a deadlock"
-            );
-        }
-
-        let cycles = au.max_completion().max(du.max_completion());
-        DmResult {
-            summary: ExecutionSummary {
-                cycles,
-                trace_instructions,
-                machine_instructions,
-            },
-            au: *au.stats(),
-            du: *du.stats(),
-            esw: esw.finish(),
-            partition: partition_stats,
-            memory: memory.stats(),
-        }
+        let mut units = [
+            UnitSim::with_wakeups(
+                Arc::clone(&program.au),
+                Arc::clone(&program.au_wakeups),
+                self.config.au,
+                self.config.latencies,
+            ),
+            UnitSim::with_wakeups(
+                Arc::clone(&program.du),
+                Arc::clone(&program.du_wakeups),
+                self.config.du,
+                self.config.latencies,
+            ),
+        ];
+        let mut spec = DmSpec::new(&self.config, program);
+        engine::run_event(&mut units, &mut spec, self.safety_bound(program), "DM");
+        assemble(&units, spec, program, trace_instructions)
     }
 
     /// Runs `trace` on the retained naive reference scheduler with the
-    /// original cycle-by-cycle loop.  Slow; exists as the oracle for the
-    /// differential tests and the baseline for the throughput benchmarks.
+    /// original cycle-by-cycle lockstep loop.  Slow; exists as the oracle
+    /// for the differential tests and the baseline for the throughput
+    /// benchmarks.
     ///
     /// # Panics
     ///
@@ -387,87 +371,51 @@ impl DecoupledMachine {
         program: &DecoupledProgram,
         trace_instructions: usize,
     ) -> DmResult {
-        let partition_stats = program.stats;
-        let machine_instructions = program.au.len() + program.du.len();
-        let mut consumers_remaining = consumer_counts(program);
+        let mut units = [
+            NaiveUnitSim::new(
+                Arc::clone(&program.au),
+                self.config.au,
+                self.config.latencies,
+            ),
+            NaiveUnitSim::new(
+                Arc::clone(&program.du),
+                self.config.du,
+                self.config.latencies,
+            ),
+        ];
+        let mut spec = DmSpec::new(&self.config, program);
+        engine::run_lockstep(&mut units, &mut spec, self.safety_bound(program), "DM");
+        assemble(&units, spec, program, trace_instructions)
+    }
 
-        let mut au = NaiveUnitSim::new(
-            Arc::clone(&program.au),
-            self.config.au,
-            self.config.latencies,
-        );
-        let mut du = NaiveUnitSim::new(
-            Arc::clone(&program.du),
-            self.config.du,
-            self.config.latencies,
-        );
-        let mut memory = DecoupledMemory::new(
-            self.config.memory_differential,
-            self.config.decoupled_memory,
-        );
-
-        let mut esw = EswAccumulator::default();
-        let safety_bound = safety_bound(
-            machine_instructions,
+    fn safety_bound(&self, program: &DecoupledProgram) -> Cycle {
+        engine::safety_bound(
+            program.au.len() + program.du.len(),
             self.config.memory_differential,
             self.config.latencies.max_arith_latency(),
-        );
-
-        let mut now: Cycle = 0;
-        while !(au.is_done() && du.is_done()) {
-            {
-                let mut ctx = DmUnitContext {
-                    other_completions: du.completions(),
-                    transfer_latency: self.config.transfer_latency,
-                    memory: &mut memory,
-                    consumers_remaining: &mut consumers_remaining,
-                };
-                au.step(now, &mut ctx);
-            }
-            {
-                let mut ctx = DmUnitContext {
-                    other_completions: au.completions(),
-                    transfer_latency: self.config.transfer_latency,
-                    memory: &mut memory,
-                    consumers_remaining: &mut consumers_remaining,
-                };
-                du.step(now, &mut ctx);
-            }
-
-            esw.sample(
-                du.oldest_inflight_trace_pos(),
-                au.youngest_dispatched_trace_pos(),
-                1,
-            );
-
-            now += 1;
-            assert!(
-                now < safety_bound,
-                "DM simulation exceeded {safety_bound} cycles — likely a deadlock"
-            );
-        }
-
-        let cycles = au.max_completion().max(du.max_completion());
-        DmResult {
-            summary: ExecutionSummary {
-                cycles,
-                trace_instructions,
-                machine_instructions,
-            },
-            au: *au.stats(),
-            du: *du.stats(),
-            esw: esw.finish(),
-            partition: partition_stats,
-            memory: memory.stats(),
-        }
+        )
     }
 }
 
-/// A generous upper bound on how long any legitimate simulation can take:
-/// every instruction fully serialised at the worst-case latency, doubled,
-/// plus slack.
-pub(crate) fn safety_bound(instructions: usize, md: Cycle, max_latency: Cycle) -> Cycle {
-    (instructions as Cycle + 16) * (md + max_latency + 4) * 2 + 10_000
+/// Collects the result of a finished run, whichever scheduler drove it.
+fn assemble<U: SchedulerUnit>(
+    units: &[U; 2],
+    spec: DmSpec<'_>,
+    program: &DecoupledProgram,
+    trace_instructions: usize,
+) -> DmResult {
+    DmResult {
+        summary: ExecutionSummary {
+            cycles: units[AU].max_completion().max(units[DU].max_completion()),
+            trace_instructions,
+            machine_instructions: program.au.len() + program.du.len(),
+        },
+        au: *units[AU].stats(),
+        du: *units[DU].stats(),
+        esw: spec.esw.finish(),
+        partition: program.stats,
+        memory: spec.memory.stats(),
+    }
 }
 
 #[cfg(test)]

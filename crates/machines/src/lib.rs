@@ -46,6 +46,7 @@
 
 mod config;
 mod dm;
+mod engine;
 mod result;
 mod scalar;
 mod swsm;

@@ -1,9 +1,10 @@
 //! The scalar reference machine (the speedup denominator).
 
+use crate::engine::{self, MachineSpec};
 use crate::{ExecutionSummary, ScalarConfig, ScalarResult};
 use dae_isa::Cycle;
 use dae_mem::FixedLatencyMemory;
-use dae_ooo::{ExecContext, NaiveUnitSim, UnitConfig, UnitSim};
+use dae_ooo::{ExecContext, NaiveUnitSim, SchedulerUnit, UnitConfig, UnitSim};
 use dae_trace::{lower_scalar, ExecKind, MachineInst, ScalarProgram, Trace};
 
 /// The scalar reference: a single-issue, in-order machine with a one-entry
@@ -16,10 +17,12 @@ use dae_trace::{lower_scalar, ExecKind, MachineInst, ScalarProgram, Trace};
 /// every comparative claim between the DM and the SWSM unchanged (see
 /// DESIGN.md).
 ///
-/// The run loop time-skips through every blocking-load stall (a 60-cycle
-/// memory wait is one loop iteration), which matters because sweeps
-/// simulate this machine for every (program, MD) point.
-/// [`ScalarReference::run_reference`] keeps the cycle-by-cycle naive loop.
+/// The run loop is the shared time-skipping engine (see [`crate::engine`]),
+/// which jumps straight through every blocking-load stall (a 60-cycle memory
+/// wait is one engine iteration) — that matters because sweeps simulate this
+/// machine for every (program, MD) point.
+/// [`ScalarReference::run_reference`] keeps the cycle-by-cycle lockstep
+/// loop.
 ///
 /// # Example
 ///
@@ -44,11 +47,13 @@ pub struct ScalarReference {
     config: ScalarConfig,
 }
 
-struct ScalarContext {
+/// The scalar machine as seen by the shared engine; doubles as the unit's
+/// execution context (a fixed-latency memory is the only structure).
+struct ScalarSpec {
     memory: FixedLatencyMemory,
 }
 
-impl ExecContext for ScalarContext {
+impl ExecContext for ScalarSpec {
     fn execute_memory(&mut self, inst: &MachineInst, now: Cycle) -> Cycle {
         let addr = inst.addr.unwrap_or(0);
         match inst.kind {
@@ -60,6 +65,12 @@ impl ExecContext for ScalarContext {
             ExecKind::LoadRequest | ExecKind::LoadConsume => now + 1,
             ExecKind::Arith | ExecKind::CopySend => unreachable!("handled by the unit"),
         }
+    }
+}
+
+impl<U: SchedulerUnit> MachineSpec<U> for ScalarSpec {
+    fn step_unit(&mut self, units: &mut [U], u: usize, now: Cycle) {
+        units[u].step(now, self);
     }
 }
 
@@ -104,49 +115,22 @@ impl ScalarReference {
     /// Panics if the simulation exceeds the deadlock safety bound.
     #[must_use]
     pub fn run_lowered(&self, program: &ScalarProgram, trace_instructions: usize) -> ScalarResult {
-        let machine_instructions = program.insts.len();
-        let mut unit = UnitSim::with_wakeups(
+        let mut units = [UnitSim::with_wakeups(
             std::sync::Arc::clone(&program.insts),
             std::sync::Arc::clone(&program.wakeups),
             scalar_unit_config(),
             self.config.latencies,
-        );
-        let mut ctx = ScalarContext {
+        )];
+        let mut spec = ScalarSpec {
             memory: FixedLatencyMemory::new(self.config.memory_differential),
         };
-
-        let safety_bound = crate::dm::safety_bound(
-            machine_instructions,
-            self.config.memory_differential,
-            self.config.latencies.max_arith_latency(),
-        );
-
-        let mut now: Cycle = 0;
-        while !unit.is_done() {
-            unit.step(now, &mut ctx);
-            let next = unit.next_activity(now).unwrap_or(now + 1);
-            debug_assert!(next > now);
-            unit.idle_advance(next - now - 1);
-            now = next;
-            assert!(
-                now < safety_bound,
-                "scalar simulation exceeded {safety_bound} cycles — likely a deadlock"
-            );
-        }
-
-        ScalarResult {
-            summary: ExecutionSummary {
-                cycles: unit.max_completion(),
-                trace_instructions,
-                machine_instructions,
-            },
-            unit: *unit.stats(),
-        }
+        engine::run_event(&mut units, &mut spec, self.safety_bound(program), "scalar");
+        self.assemble(&units, program, trace_instructions)
     }
 
     /// Runs `trace` on the retained naive reference scheduler with the
-    /// original cycle-by-cycle loop (the differential-testing oracle and
-    /// benchmark baseline).
+    /// original cycle-by-cycle lockstep loop (the differential-testing
+    /// oracle and benchmark baseline).
     ///
     /// # Panics
     ///
@@ -168,39 +152,39 @@ impl ScalarReference {
         program: &ScalarProgram,
         trace_instructions: usize,
     ) -> ScalarResult {
-        let machine_instructions = program.insts.len();
-        let mut unit = NaiveUnitSim::new(
+        let mut units = [NaiveUnitSim::new(
             std::sync::Arc::clone(&program.insts),
             scalar_unit_config(),
             self.config.latencies,
-        );
-        let mut ctx = ScalarContext {
+        )];
+        let mut spec = ScalarSpec {
             memory: FixedLatencyMemory::new(self.config.memory_differential),
         };
+        engine::run_lockstep(&mut units, &mut spec, self.safety_bound(program), "scalar");
+        self.assemble(&units, program, trace_instructions)
+    }
 
-        let safety_bound = crate::dm::safety_bound(
-            machine_instructions,
+    fn safety_bound(&self, program: &ScalarProgram) -> Cycle {
+        engine::safety_bound(
+            program.insts.len(),
             self.config.memory_differential,
             self.config.latencies.max_arith_latency(),
-        );
+        )
+    }
 
-        let mut now: Cycle = 0;
-        while !unit.is_done() {
-            unit.step(now, &mut ctx);
-            now += 1;
-            assert!(
-                now < safety_bound,
-                "scalar simulation exceeded {safety_bound} cycles — likely a deadlock"
-            );
-        }
-
+    fn assemble<U: SchedulerUnit>(
+        &self,
+        units: &[U; 1],
+        program: &ScalarProgram,
+        trace_instructions: usize,
+    ) -> ScalarResult {
         ScalarResult {
             summary: ExecutionSummary {
-                cycles: unit.max_completion(),
+                cycles: units[0].max_completion(),
                 trace_instructions,
-                machine_instructions,
+                machine_instructions: program.insts.len(),
             },
-            unit: *unit.stats(),
+            unit: *units[0].stats(),
         }
     }
 

@@ -1,9 +1,10 @@
 //! The single-window superscalar machine (SWSM).
 
+use crate::engine::{self, MachineSpec};
 use crate::{ExecutionSummary, SwsmConfig, SwsmResult};
 use dae_isa::Cycle;
 use dae_mem::PrefetchBuffer;
-use dae_ooo::{ExecContext, GateWait, NaiveUnitSim, UnitSim};
+use dae_ooo::{ExecContext, GateWait, NaiveUnitSim, SchedulerUnit, UnitSim};
 use dae_trace::{expand_swsm, ExecKind, MachineInst, SwsmProgram, Trace};
 
 /// The single-window out-of-order superscalar machine of the paper
@@ -17,10 +18,9 @@ use dae_trace::{expand_swsm, ExecKind, MachineInst, SwsmProgram, Trace};
 /// compute all compete for the same window slots, which is exactly the
 /// effect the paper studies.
 ///
-/// The run loop is event driven with time-skipping (see
-/// [`DecoupledMachine`](crate::DecoupledMachine) for the scheme);
-/// [`SuperscalarMachine::run_reference`] retains the original
-/// cycle-by-cycle naive loop as the differential-testing oracle.
+/// The run loop is the shared time-skipping engine (see [`crate::engine`])
+/// over one unit; [`SuperscalarMachine::run_reference`] retains the original
+/// cycle-by-cycle lockstep loop as the differential-testing oracle.
 ///
 /// # Example
 ///
@@ -47,8 +47,11 @@ pub struct SuperscalarMachine {
     config: SwsmConfig,
 }
 
-struct SwsmContext<'a> {
-    buffer: &'a mut PrefetchBuffer,
+/// The SWSM as seen by the shared engine; doubles as the single unit's
+/// execution context (the prefetch buffer is the machine's only memory
+/// structure).
+struct SwsmSpec {
+    buffer: PrefetchBuffer,
     memory_differential: Cycle,
     /// Whether LRU replacement can evict entries (finite capacity): if so,
     /// a reported arrival time may be invalidated by an eviction, so closed
@@ -56,7 +59,17 @@ struct SwsmContext<'a> {
     can_evict: bool,
 }
 
-impl ExecContext for SwsmContext<'_> {
+impl SwsmSpec {
+    fn new(config: &SwsmConfig) -> Self {
+        SwsmSpec {
+            buffer: PrefetchBuffer::new(config.memory_differential, config.prefetch_buffer),
+            memory_differential: config.memory_differential,
+            can_evict: config.prefetch_buffer.capacity.is_some(),
+        }
+    }
+}
+
+impl ExecContext for SwsmSpec {
     fn data_ready(&self, inst: &MachineInst, now: Cycle) -> bool {
         match inst.kind {
             ExecKind::LoadConsume => {
@@ -116,6 +129,12 @@ impl ExecContext for SwsmContext<'_> {
     }
 }
 
+impl<U: SchedulerUnit> MachineSpec<U> for SwsmSpec {
+    fn step_unit(&mut self, units: &mut [U], u: usize, now: Cycle) {
+        units[u].step(now, self);
+    }
+}
+
 impl SuperscalarMachine {
     /// Creates a superscalar machine with the given configuration.
     ///
@@ -155,58 +174,20 @@ impl SuperscalarMachine {
     /// Panics if the simulation exceeds the deadlock safety bound.
     #[must_use]
     pub fn run_lowered(&self, program: &SwsmProgram, trace_instructions: usize) -> SwsmResult {
-        let lowering = program.stats;
-        let machine_instructions = program.insts.len();
-
-        let mut unit = UnitSim::with_wakeups(
+        let mut units = [UnitSim::with_wakeups(
             std::sync::Arc::clone(&program.insts),
             std::sync::Arc::clone(&program.wakeups),
             self.config.unit,
             self.config.latencies,
-        );
-        let mut buffer =
-            PrefetchBuffer::new(self.config.memory_differential, self.config.prefetch_buffer);
-        let can_evict = self.config.prefetch_buffer.capacity.is_some();
-
-        let safety_bound = crate::dm::safety_bound(
-            machine_instructions,
-            self.config.memory_differential,
-            self.config.latencies.max_arith_latency(),
-        );
-
-        let mut now: Cycle = 0;
-        while !unit.is_done() {
-            let mut ctx = SwsmContext {
-                buffer: &mut buffer,
-                memory_differential: self.config.memory_differential,
-                can_evict,
-            };
-            unit.step(now, &mut ctx);
-            let next = unit.next_activity(now).unwrap_or(now + 1);
-            debug_assert!(next > now);
-            unit.idle_advance(next - now - 1);
-            now = next;
-            assert!(
-                now < safety_bound,
-                "SWSM simulation exceeded {safety_bound} cycles — likely a deadlock"
-            );
-        }
-
-        SwsmResult {
-            summary: ExecutionSummary {
-                cycles: unit.max_completion(),
-                trace_instructions,
-                machine_instructions,
-            },
-            unit: *unit.stats(),
-            lowering,
-            buffer: buffer.stats(),
-        }
+        )];
+        let mut spec = SwsmSpec::new(&self.config);
+        engine::run_event(&mut units, &mut spec, self.safety_bound(program), "SWSM");
+        self.assemble(&units, spec, program, trace_instructions)
     }
 
     /// Runs `trace` on the retained naive reference scheduler with the
-    /// original cycle-by-cycle loop (the differential-testing oracle and
-    /// benchmark baseline).
+    /// original cycle-by-cycle lockstep loop (the differential-testing
+    /// oracle and benchmark baseline).
     ///
     /// # Panics
     ///
@@ -230,48 +211,40 @@ impl SuperscalarMachine {
         program: &SwsmProgram,
         trace_instructions: usize,
     ) -> SwsmResult {
-        let lowering = program.stats;
-        let machine_instructions = program.insts.len();
-
-        let mut unit = NaiveUnitSim::new(
+        let mut units = [NaiveUnitSim::new(
             std::sync::Arc::clone(&program.insts),
             self.config.unit,
             self.config.latencies,
-        );
-        let mut buffer =
-            PrefetchBuffer::new(self.config.memory_differential, self.config.prefetch_buffer);
-        let can_evict = self.config.prefetch_buffer.capacity.is_some();
+        )];
+        let mut spec = SwsmSpec::new(&self.config);
+        engine::run_lockstep(&mut units, &mut spec, self.safety_bound(program), "SWSM");
+        self.assemble(&units, spec, program, trace_instructions)
+    }
 
-        let safety_bound = crate::dm::safety_bound(
-            machine_instructions,
+    fn safety_bound(&self, program: &SwsmProgram) -> Cycle {
+        engine::safety_bound(
+            program.insts.len(),
             self.config.memory_differential,
             self.config.latencies.max_arith_latency(),
-        );
+        )
+    }
 
-        let mut now: Cycle = 0;
-        while !unit.is_done() {
-            let mut ctx = SwsmContext {
-                buffer: &mut buffer,
-                memory_differential: self.config.memory_differential,
-                can_evict,
-            };
-            unit.step(now, &mut ctx);
-            now += 1;
-            assert!(
-                now < safety_bound,
-                "SWSM simulation exceeded {safety_bound} cycles — likely a deadlock"
-            );
-        }
-
+    fn assemble<U: SchedulerUnit>(
+        &self,
+        units: &[U; 1],
+        spec: SwsmSpec,
+        program: &SwsmProgram,
+        trace_instructions: usize,
+    ) -> SwsmResult {
         SwsmResult {
             summary: ExecutionSummary {
-                cycles: unit.max_completion(),
+                cycles: units[0].max_completion(),
                 trace_instructions,
-                machine_instructions,
+                machine_instructions: program.insts.len(),
             },
-            unit: *unit.stats(),
-            lowering,
-            buffer: buffer.stats(),
+            unit: *units[0].stats(),
+            lowering: program.stats,
+            buffer: spec.buffer.stats(),
         }
     }
 }

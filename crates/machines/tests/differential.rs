@@ -10,12 +10,38 @@ use dae_machines::{
     DecoupledMachine, DmConfig, ScalarConfig, ScalarReference, SuperscalarMachine, SwsmConfig,
 };
 use dae_mem::{DecoupledMemoryConfig, PrefetchBufferConfig};
+use dae_ooo::RetirePolicy;
 use dae_trace::expand;
 use dae_workloads::{random_kernel, PerfectProgram};
 use proptest::prelude::*;
 
 const WINDOWS: [usize; 3] = [4, 32, 64];
 const MDS: [u64; 2] = [0, 60];
+
+/// A DM configuration with fully independent per-unit shapes — the
+/// asymmetric-clock engine must stay exact however differently the two
+/// units are clocked by their own workloads.
+#[allow(clippy::too_many_arguments)]
+fn asymmetric_dm_config(
+    au_window: Option<usize>,
+    du_window: Option<usize>,
+    au_width: usize,
+    du_width: usize,
+    au_retire: RetirePolicy,
+    du_retire: RetirePolicy,
+    transfer_latency: u64,
+    md: u64,
+) -> DmConfig {
+    let mut cfg = DmConfig::paper(32, md);
+    cfg.au.window_size = au_window;
+    cfg.du.window_size = du_window;
+    cfg.au.issue_width = au_width;
+    cfg.du.issue_width = du_width;
+    cfg.au.retire = au_retire;
+    cfg.du.retire = du_retire;
+    cfg.transfer_latency = transfer_latency;
+    cfg
+}
 
 #[test]
 fn every_perfect_program_matches_on_the_dm() {
@@ -78,6 +104,36 @@ fn every_perfect_program_matches_on_the_scalar_reference() {
     }
 }
 
+/// Strongly mismatched AU/DU shapes on real workloads: a tiny AU against a
+/// huge DU (and vice versa), unequal widths, mixed retirement policies and
+/// transfer latencies.  Under asymmetric clocking the two units run on
+/// completely different step schedules here, so any horizon/wakeup bug that
+/// symmetric configurations mask shows up as a differential mismatch.
+#[test]
+fn mismatched_unit_shapes_match_on_the_dm() {
+    let in_order = RetirePolicy::InOrderAtComplete;
+    let free = RetirePolicy::FreeAtIssue;
+    let configs = [
+        asymmetric_dm_config(Some(4), Some(64), 4, 5, in_order, in_order, 1, 60),
+        asymmetric_dm_config(Some(64), Some(4), 2, 7, in_order, in_order, 1, 60),
+        asymmetric_dm_config(None, Some(8), 5, 1, in_order, in_order, 0, 40),
+        asymmetric_dm_config(Some(8), None, 1, 6, in_order, in_order, 3, 60),
+        asymmetric_dm_config(Some(16), Some(48), 3, 2, free, in_order, 2, 20),
+        asymmetric_dm_config(Some(48), Some(16), 6, 3, in_order, free, 1, 0),
+    ];
+    for program in [PerfectProgram::Mdg, PerfectProgram::Track] {
+        let trace = program.workload().trace(40);
+        for (i, cfg) in configs.iter().enumerate() {
+            let machine = DecoupledMachine::new(*cfg);
+            assert_eq!(
+                machine.run(&trace),
+                machine.run_reference(&trace),
+                "{program} asymmetric config #{i}"
+            );
+        }
+    }
+}
+
 #[test]
 fn finite_memory_structures_stay_exact() {
     // Finite decoupled-memory capacity exercises the can_accept Poll gate;
@@ -129,6 +185,42 @@ proptest! {
         let kernel = random_kernel(seed, stmts);
         let trace = expand(&kernel, 20);
         let machine = SuperscalarMachine::new(SwsmConfig::paper(window, md));
+        prop_assert_eq!(machine.run(&trace), machine.run_reference(&trace));
+    }
+
+    /// Random kernels under randomly *asymmetric* per-unit configurations:
+    /// mismatched window sizes (including unlimited), issue and dispatch
+    /// widths, retirement policies and transfer latencies between the AU
+    /// and DU.  This is the differential proof for the per-unit clocks —
+    /// each unit's step schedule is driven by its own shape, not its
+    /// peer's.
+    #[test]
+    fn random_asymmetric_unit_configs_match_on_the_dm(
+        seed in 0u64..5000,
+        stmts in 6usize..28,
+        au_window in (0usize..50).prop_map(|w| (w >= 4).then(|| w - 2)),
+        du_window in (0usize..50).prop_map(|w| (w >= 4).then(|| w - 2)),
+        au_width in 1usize..7,
+        du_width in 1usize..7,
+        au_free_retire in any::<bool>(),
+        du_free_retire in any::<bool>(),
+        transfer in 0u64..4,
+        md in 0u64..80,
+    ) {
+        let retire = |f| if f { RetirePolicy::FreeAtIssue } else { RetirePolicy::InOrderAtComplete };
+        let cfg = asymmetric_dm_config(
+            au_window,
+            du_window,
+            au_width,
+            du_width,
+            retire(au_free_retire),
+            retire(du_free_retire),
+            transfer,
+            md,
+        );
+        let kernel = random_kernel(seed, stmts);
+        let trace = expand(&kernel, 18);
+        let machine = DecoupledMachine::new(cfg);
         prop_assert_eq!(machine.run(&trace), machine.run_reference(&trace));
     }
 

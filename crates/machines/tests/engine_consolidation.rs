@@ -1,0 +1,64 @@
+//! Structural guard for the shared multi-unit engine.
+//!
+//! PR 1 left each machine with its own hand-rolled run loop; the engine
+//! refactor moved the clock, the per-unit horizon bookkeeping and the
+//! idle-advance boilerplate into `src/engine.rs` once.  This test pins that
+//! consolidation: if time-skip plumbing creeps back into a machine file,
+//! the per-machine duplication the refactor removed is returning — the
+//! fix belongs in the engine, not in `dm.rs` / `swsm.rs` / `scalar.rs`.
+
+const MACHINE_SOURCES: [(&str, &str); 3] = [
+    ("dm.rs", include_str!("../src/dm.rs")),
+    ("swsm.rs", include_str!("../src/swsm.rs")),
+    ("scalar.rs", include_str!("../src/scalar.rs")),
+];
+
+const ENGINE_SOURCE: &str = include_str!("../src/engine.rs");
+
+#[test]
+fn machine_files_carry_no_run_loop_boilerplate() {
+    // The identifiers of the time-skip protocol, and the shape of the old
+    // hand-rolled loops.  None of them may appear in a machine file — the
+    // engine owns them all.
+    let banned = [
+        "next_activity",
+        "idle_advance",
+        "safety_bound:", // per-machine bound constants / loop-local state
+        "while !unit",   // the old single-unit loop heads
+        "while !(",      // the old DM loop head
+        "now += 1",
+        "now = next",
+    ];
+    for (name, source) in MACHINE_SOURCES {
+        for pattern in banned {
+            assert!(
+                !source.contains(pattern),
+                "{name} contains `{pattern}` — run-loop logic belongs in engine.rs"
+            );
+        }
+    }
+}
+
+#[test]
+fn the_engine_owns_the_clocking_protocol() {
+    for needed in ["next_activity", "idle_advance", "run_event", "run_lockstep"] {
+        assert!(
+            ENGINE_SOURCE.contains(needed),
+            "engine.rs lost `{needed}` — did the protocol move without updating this guard?"
+        );
+    }
+}
+
+#[test]
+fn every_machine_runs_through_the_engine() {
+    for (name, source) in MACHINE_SOURCES {
+        assert!(
+            source.contains("engine::run_event"),
+            "{name} no longer uses the shared event-driven engine"
+        );
+        assert!(
+            source.contains("engine::run_lockstep"),
+            "{name} no longer drives its reference path through the engine"
+        );
+    }
+}

@@ -3,7 +3,6 @@
 use crate::LruMap;
 use dae_isa::{Address, Cycle};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Configuration of the optional bypass in front of the decoupled memory.
 ///
@@ -56,6 +55,10 @@ pub struct DecoupledMemoryStats {
     pub buffered_cycles: u64,
 }
 
+/// Sentinel marking a transaction slot as not resident (no simulation can
+/// reach this cycle — the deadlock safety bounds trip far earlier).
+const ABSENT: Cycle = Cycle::MAX;
+
 /// The decoupled memory of the access decoupled machine.
 ///
 /// "The decoupled memory receives addresses from the AU and sends them to
@@ -85,8 +88,14 @@ pub struct DecoupledMemoryStats {
 pub struct DecoupledMemory {
     differential: Cycle,
     config: DecoupledMemoryConfig,
-    /// Arrival cycle of each outstanding / buffered transaction.
-    arrivals: HashMap<u32, Cycle>,
+    /// Arrival cycle of each outstanding / buffered transaction, indexed by
+    /// tag — tags are dense lowering-assigned indices, so this is a flat
+    /// array rather than a hash map (the AU queries it for every request and
+    /// the DU for every consume gate; hashing was a measurable share of the
+    /// whole DM simulation).
+    arrivals: Vec<Cycle>,
+    /// Number of resident transactions (entries not [`ABSENT`]).
+    resident: usize,
     /// Recently returned line addresses with recency tracking (LRU
     /// replacement without queue scans).
     bypass_lines: LruMap<u64, ()>,
@@ -101,7 +110,8 @@ impl DecoupledMemory {
         DecoupledMemory {
             differential,
             config,
-            arrivals: HashMap::new(),
+            arrivals: Vec::new(),
+            resident: 0,
             bypass_lines: LruMap::new(),
             stats: DecoupledMemoryStats::default(),
         }
@@ -109,6 +119,7 @@ impl DecoupledMemory {
 
     /// The configured memory differential.
     #[must_use]
+    #[inline]
     pub fn differential(&self) -> Cycle {
         self.differential
     }
@@ -116,9 +127,10 @@ impl DecoupledMemory {
     /// Returns `true` if a new load transaction can be accepted (capacity
     /// permitting).
     #[must_use]
+    #[inline]
     pub fn can_accept(&self) -> bool {
         match self.config.capacity {
-            Some(cap) => self.arrivals.len() < cap,
+            Some(cap) => self.resident < cap,
             None => true,
         }
     }
@@ -126,12 +138,13 @@ impl DecoupledMemory {
     /// Current number of resident transactions.
     #[must_use]
     pub fn occupancy(&self) -> usize {
-        self.arrivals.len()
+        self.resident
     }
 
     /// Registers a load address sent by the AU at cycle `issue`; the value
     /// becomes available `1 + MD` cycles later, or after a single cycle if
     /// the bypass holds the line.  Returns the arrival cycle.
+    #[inline]
     pub fn request_load(&mut self, tag: u32, addr: Address, issue: Cycle) -> Cycle {
         self.stats.load_requests += 1;
         let arrival = if self.bypass_hit(addr) {
@@ -141,29 +154,43 @@ impl DecoupledMemory {
             issue + 1 + self.differential
         };
         self.record_bypass_line(addr);
-        self.arrivals.insert(tag, arrival);
-        self.stats.peak_occupancy = self.stats.peak_occupancy.max(self.arrivals.len());
+        let slot = tag as usize;
+        if slot >= self.arrivals.len() {
+            self.arrivals.resize(slot + 1, ABSENT);
+        }
+        debug_assert_eq!(self.arrivals[slot], ABSENT, "tag requested twice");
+        self.arrivals[slot] = arrival;
+        self.resident += 1;
+        self.stats.peak_occupancy = self.stats.peak_occupancy.max(self.resident);
         arrival
     }
 
     /// Registers a store-side operation (address or data).  Stores do not
     /// occupy buffer space in this model and nothing waits for them.
+    #[inline]
     pub fn request_store(&mut self, _addr: Address, _issue: Cycle) {
         self.stats.store_requests += 1;
     }
 
     /// The arrival cycle of transaction `tag`, if it is resident.
     #[must_use]
+    #[inline]
     pub fn arrival(&self, tag: u32) -> Option<Cycle> {
-        self.arrivals.get(&tag).copied()
+        self.arrivals
+            .get(tag as usize)
+            .copied()
+            .filter(|&arrival| arrival != ABSENT)
     }
 
     /// Returns `true` if transaction `tag`'s value is available at cycle
     /// `now`.
     #[must_use]
+    #[inline]
     pub fn data_ready(&self, tag: u32, now: Cycle) -> bool {
+        // `ABSENT` compares greater than any reachable `now`, so one
+        // comparison covers both "not resident" and "still in flight".
         self.arrivals
-            .get(&tag)
+            .get(tag as usize)
             .is_some_and(|&arrival| arrival <= now)
     }
 
@@ -173,11 +200,15 @@ impl DecoupledMemory {
     /// # Panics
     ///
     /// Panics if the transaction was never requested (a lowering bug).
+    #[inline]
     pub fn consume(&mut self, tag: u32, now: Cycle) {
-        let arrival = self
+        let slot = self
             .arrivals
-            .remove(&tag)
+            .get_mut(tag as usize)
+            .filter(|arrival| **arrival != ABSENT)
             .expect("consume of a transaction that was never requested");
+        let arrival = std::mem::replace(slot, ABSENT);
+        self.resident -= 1;
         self.stats.consumed += 1;
         self.stats.buffered_cycles += now.saturating_sub(arrival);
     }

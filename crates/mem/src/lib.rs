@@ -30,11 +30,13 @@
 mod cache;
 mod decoupled;
 mod fixed;
+mod fx;
 mod lru;
 mod prefetch;
 
 pub use cache::{Cache, CacheConfig, CacheStats, HierarchyLatency, MemoryHierarchy};
 pub use decoupled::{BypassConfig, DecoupledMemory, DecoupledMemoryConfig, DecoupledMemoryStats};
 pub use fixed::{FixedLatencyMemory, MemoryStats};
+pub use fx::{FxBuildHasher, FxHashMap, FxHasher};
 pub use lru::LruMap;
 pub use prefetch::{PrefetchBuffer, PrefetchBufferConfig, PrefetchBufferStats};

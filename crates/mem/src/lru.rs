@@ -9,14 +9,15 @@
 //! per-map counter, so recency order is exactly insertion/touch order — the
 //! replacement decisions are bit-for-bit those of the queue-based code.
 
-use std::collections::{BTreeMap, HashMap};
+use crate::fx::FxHashMap;
+use std::collections::BTreeMap;
 use std::hash::Hash;
 
 /// A map whose entries remember when they were last inserted or touched,
 /// with cheap least-recently-used eviction.
 #[derive(Debug, Clone, Default)]
 pub struct LruMap<K, V> {
-    entries: HashMap<K, (u64, V)>,
+    entries: FxHashMap<K, (u64, V)>,
     order: BTreeMap<u64, K>,
     clock: u64,
 }
@@ -26,7 +27,7 @@ impl<K: Eq + Hash + Clone, V> LruMap<K, V> {
     #[must_use]
     pub fn new() -> Self {
         LruMap {
-            entries: HashMap::new(),
+            entries: FxHashMap::default(),
             order: BTreeMap::new(),
             clock: 0,
         }

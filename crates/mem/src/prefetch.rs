@@ -1,6 +1,6 @@
 //! The SWSM's fully associative prefetch buffer.
 
-use crate::LruMap;
+use crate::{FxHashMap, LruMap};
 use dae_isa::{Address, Cycle};
 use serde::{Deserialize, Serialize};
 
@@ -28,6 +28,16 @@ pub struct PrefetchBufferStats {
     pub peak_occupancy: usize,
 }
 
+/// Storage behind a [`PrefetchBuffer`]: the paper's idealised unbounded
+/// buffer needs no recency tracking at all (nothing is ever evicted), so it
+/// skips the LRU bookkeeping on the per-access hot path; the
+/// finite-capacity ablation keeps full LRU order.
+#[derive(Debug, Clone)]
+enum Entries {
+    Unbounded(FxHashMap<Address, Cycle>),
+    Lru(LruMap<Address, Cycle>),
+}
+
 /// The fully associative buffer that the SWSM's prefetch instructions fill
 /// and its access instructions read with a single-cycle latency (§2 of the
 /// paper).
@@ -51,9 +61,8 @@ pub struct PrefetchBufferStats {
 pub struct PrefetchBuffer {
     differential: Cycle,
     config: PrefetchBufferConfig,
-    /// Arrival cycle per resident address, with recency tracking for LRU
-    /// replacement (no per-access queue scans).
-    entries: LruMap<Address, Cycle>,
+    /// Arrival cycle per resident address.
+    entries: Entries,
     stats: PrefetchBufferStats,
 }
 
@@ -65,7 +74,10 @@ impl PrefetchBuffer {
         PrefetchBuffer {
             differential,
             config,
-            entries: LruMap::new(),
+            entries: match config.capacity {
+                Some(_) => Entries::Lru(LruMap::new()),
+                None => Entries::Unbounded(FxHashMap::default()),
+            },
             stats: PrefetchBufferStats::default(),
         }
     }
@@ -79,43 +91,70 @@ impl PrefetchBuffer {
     /// Current number of resident entries.
     #[must_use]
     pub fn occupancy(&self) -> usize {
-        self.entries.len()
+        match &self.entries {
+            Entries::Unbounded(map) => map.len(),
+            Entries::Lru(map) => map.len(),
+        }
     }
 
     /// Records a prefetch of `addr` issued at cycle `issue`; the data
     /// arrives `1 + MD` cycles later.  Returns the arrival cycle.
+    #[inline]
     pub fn prefetch(&mut self, addr: Address, issue: Cycle) -> Cycle {
         self.stats.prefetches += 1;
         let arrival = issue + 1 + self.differential;
-        self.entries.insert(addr, arrival);
-        if let Some(cap) = self.config.capacity {
-            while self.entries.len() > cap {
-                if self.entries.pop_lru().is_some() {
-                    self.stats.evictions += 1;
-                } else {
-                    break;
-                }
+        let occupancy = match &mut self.entries {
+            Entries::Unbounded(map) => {
+                map.insert(addr, arrival);
+                map.len()
             }
-        }
-        self.stats.peak_occupancy = self.stats.peak_occupancy.max(self.entries.len());
+            Entries::Lru(map) => {
+                map.insert(addr, arrival);
+                if let Some(cap) = self.config.capacity {
+                    while map.len() > cap {
+                        if map.pop_lru().is_some() {
+                            self.stats.evictions += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                map.len()
+            }
+        };
+        self.stats.peak_occupancy = self.stats.peak_occupancy.max(occupancy);
         arrival
     }
 
     /// The arrival cycle of the data for `addr`, if the address is resident
     /// (the data may still be in flight).
     #[must_use]
+    #[inline]
     pub fn available_at(&self, addr: Address) -> Option<Cycle> {
-        self.entries.get(&addr).copied()
+        match &self.entries {
+            Entries::Unbounded(map) => map.get(&addr).copied(),
+            Entries::Lru(map) => map.get(&addr).copied(),
+        }
     }
 
     /// Performs an access lookup at cycle `now`, updating hit/miss counters
     /// and LRU order.  Returns the arrival cycle of the data if the address
     /// is resident.
+    #[inline]
     pub fn access(&mut self, addr: Address, _now: Cycle) -> Option<Cycle> {
-        match self.entries.get(&addr).copied() {
+        let found = match &mut self.entries {
+            Entries::Unbounded(map) => map.get(&addr).copied(),
+            Entries::Lru(map) => {
+                let found = map.get(&addr).copied();
+                if found.is_some() {
+                    map.touch(&addr);
+                }
+                found
+            }
+        };
+        match found {
             Some(arrival) => {
                 self.stats.hits += 1;
-                self.entries.touch(&addr);
                 Some(arrival)
             }
             None => {

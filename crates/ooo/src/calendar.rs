@@ -1,0 +1,460 @@
+//! The calendar (ring) event queue and the bitset ready structure backing
+//! the event-driven scheduler.
+//!
+//! Both replace binary heaps.  The scheduler's events are *short horizon* —
+//! a completion lands at most one operation latency ahead, a memory arrival
+//! at most one memory differential ahead — so a power-of-two ring of
+//! per-cycle buckets with an occupancy bitmap gives O(1) push and pop where
+//! a heap pays O(log n) comparisons and pointer-chasing churn on every
+//! operation.  Bucket membership is an intrusive singly-linked list through
+//! a node pool (no per-bucket allocation, nodes recycled through a free
+//! list), and the earliest pending cycle is cached so the common peek —
+//! `next_activity` asking "when is the next event?" — is a field read; the
+//! occupancy bitmap is only scanned after pops invalidate the cache.
+//!
+//! The ready "queue" is a plain bitset over stream indices: window age *is*
+//! the stream index, so oldest-first selection is a find-first-set scan,
+//! insertion is a bit set, and — unlike a heap — functional-unit-rejected
+//! instructions simply stay put with no re-push.
+//!
+//! Neither structure is public API; [`UnitSim`](crate::UnitSim) is the only
+//! user.
+
+use dae_isa::Cycle;
+use std::cell::Cell;
+
+/// Initial bucket count; covers every event horizon the paper's parameter
+/// grids produce (memory differential ≤ 80 plus small latencies).  The ring
+/// grows (rarely) if an event is pushed further ahead than the current size.
+const INITIAL_BUCKETS: usize = 256;
+
+/// Chain terminator for the bucket lists handed out by
+/// [`EventRing::take_at`].
+pub(crate) const NIL: u32 = u32::MAX;
+
+/// One pooled list node: a stream index waiting in some bucket.
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    next: u32,
+    idx: u32,
+}
+
+/// A calendar queue over future cycles: bucket `c & mask` holds the events
+/// of cycle `c`, an occupancy bitmap names the non-empty buckets, and the
+/// invariant `base ≤ cycle < base + size` for every pending event
+/// (maintained by growing on demand) makes bucket position ↔ cycle
+/// unambiguous.  Completions are kept apart from re-evaluations because all
+/// completions of a cycle must fire first: a woken instruction must observe
+/// the decremented operand counters (the heap encoded the same rule in its
+/// sort key).
+/// The two list heads of one bucket (completions and re-evaluations of one
+/// cycle), adjacent so a drain touches one cache line per bucket.
+#[derive(Debug, Clone, Copy)]
+struct Head {
+    complete: u32,
+    reeval: u32,
+}
+
+const EMPTY_HEAD: Head = Head {
+    complete: NIL,
+    reeval: NIL,
+};
+
+#[derive(Debug, Clone)]
+pub(crate) struct EventRing {
+    /// Per-bucket list heads (`NIL` if none).
+    heads: Vec<Head>,
+    /// Bit `b` set ⇔ bucket `b` non-empty.
+    occupancy: Vec<u64>,
+    nodes: Vec<Node>,
+    free: u32,
+    mask: usize,
+    /// Every pending event's cycle is `≥ base`; the next drain starts here.
+    base: Cycle,
+    len: usize,
+    /// The earliest pending cycle, valid while `fresh` (pushes keep it
+    /// fresh; a pop that empties a bucket invalidates it).  Interior
+    /// mutability because the cache refills inside `&self` peeks.
+    cached_next: Cell<Cycle>,
+    fresh: Cell<bool>,
+}
+
+impl EventRing {
+    pub(crate) fn new() -> Self {
+        EventRing {
+            heads: vec![EMPTY_HEAD; INITIAL_BUCKETS],
+            occupancy: vec![0; INITIAL_BUCKETS / 64],
+            nodes: Vec::new(),
+            free: NIL,
+            mask: INITIAL_BUCKETS - 1,
+            base: 0,
+            len: 0,
+            cached_next: Cell::new(0),
+            fresh: Cell::new(false),
+        }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Queues a completion wakeup for stream index `idx` at cycle `at`.
+    #[inline]
+    pub(crate) fn push_complete(&mut self, at: Cycle, idx: u32) {
+        let (slot, at) = self.slot_for(at);
+        let node = self.alloc(self.heads[slot].complete, idx);
+        self.heads[slot].complete = node;
+        self.mark(slot, at);
+    }
+
+    /// Queues a re-evaluation for stream index `idx` at cycle `at`.
+    #[inline]
+    pub(crate) fn push_reeval(&mut self, at: Cycle, idx: u32) {
+        let (slot, at) = self.slot_for(at);
+        let node = self.alloc(self.heads[slot].reeval, idx);
+        self.heads[slot].reeval = node;
+        self.mark(slot, at);
+    }
+
+    /// The earliest cycle holding pending events.  A field read while the
+    /// cache is fresh; otherwise one occupancy-bitmap scan.
+    #[inline]
+    pub(crate) fn next_cycle(&self) -> Option<Cycle> {
+        if self.len == 0 {
+            return None;
+        }
+        if self.fresh.get() {
+            return Some(self.cached_next.get());
+        }
+        let size = self.heads.len();
+        let start = (self.base as usize) & self.mask;
+        // Scan the occupancy bitmap word by word from `start`, wrapping
+        // once; the position invariant (every pending cycle lies in
+        // `[base, base + size)`) turns a found slot's distance from `start`
+        // back into an absolute cycle.  Slots covered twice near the wrap
+        // point are provably empty the second time, so the first hit is the
+        // earliest event.
+        let mut offset = 0;
+        while offset < size {
+            let slot = (start + offset) & self.mask;
+            let within = slot & 63;
+            let bits = self.occupancy[slot >> 6] & (!0u64 << within);
+            if bits != 0 {
+                let found = (slot & !63) + bits.trailing_zeros() as usize;
+                let dist = found.wrapping_sub(start) & self.mask;
+                self.cached_next.set(self.base + dist as Cycle);
+                self.fresh.set(true);
+                return Some(self.cached_next.get());
+            }
+            // Jump to the next word boundary.
+            offset += 64 - within;
+        }
+        unreachable!("occupancy bitmap inconsistent with event count")
+    }
+
+    /// Detaches and returns the whole bucket of cycle `at` — the completion
+    /// and re-evaluation chain heads — clearing the bucket in one touch.
+    /// Walk the chains with [`EventRing::chain_next`].
+    #[inline]
+    pub(crate) fn take_at(&mut self, at: Cycle) -> (u32, u32) {
+        let slot = (at as usize) & self.mask;
+        let head = self.heads[slot];
+        if head.complete != NIL || head.reeval != NIL {
+            self.heads[slot] = EMPTY_HEAD;
+            self.occupancy[slot >> 6] &= !(1u64 << (slot & 63));
+            // The drained bucket was (almost always) the cached earliest;
+            // recompute lazily on the next peek.
+            self.fresh.set(false);
+        }
+        (head.complete, head.reeval)
+    }
+
+    /// Consumes one node of a detached chain: returns its successor and
+    /// stream index, recycling the node.  (The node is free the moment this
+    /// returns, so event handlers running between calls may reuse it — the
+    /// rest of the detached chain stays untouched.)
+    #[inline]
+    pub(crate) fn chain_next(&mut self, node: u32) -> (u32, u32) {
+        let Node { next, idx } = self.nodes[node as usize];
+        self.nodes[node as usize].next = self.free;
+        self.free = node;
+        self.len -= 1;
+        (next, idx)
+    }
+
+    /// Advances the drain point: the caller has fired every event strictly
+    /// before `to`.  Never moves backwards.
+    #[inline]
+    pub(crate) fn advance_base(&mut self, to: Cycle) {
+        debug_assert!(!self.fresh.get() || self.cached_next.get() >= to || self.len == 0);
+        self.base = self.base.max(to);
+    }
+
+    #[inline]
+    fn alloc(&mut self, next: u32, idx: u32) -> u32 {
+        if self.free == NIL {
+            self.nodes.push(Node { next, idx });
+            (self.nodes.len() - 1) as u32
+        } else {
+            let node = self.free;
+            self.free = self.nodes[node as usize].next;
+            self.nodes[node as usize] = Node { next, idx };
+            node
+        }
+    }
+
+    #[inline]
+    fn slot_for(&mut self, at: Cycle) -> (usize, Cycle) {
+        // Events are always scheduled at or after the drain point (the
+        // scheduler only ever names future cycles); clamp defensively so a
+        // stale external wakeup fires at the next step instead of aliasing
+        // a future bucket.
+        let at = at.max(self.base);
+        let dist = (at - self.base) as usize;
+        if dist >= self.heads.len() {
+            self.grow(dist + 1);
+        }
+        ((at as usize) & self.mask, at)
+    }
+
+    #[inline]
+    fn mark(&mut self, slot: usize, at: Cycle) {
+        self.occupancy[slot >> 6] |= 1u64 << (slot & 63);
+        self.len += 1;
+        if self.len == 1 || (self.fresh.get() && at < self.cached_next.get()) {
+            self.cached_next.set(at);
+            self.fresh.set(true);
+        }
+    }
+
+    /// Re-buckets every pending event into a ring of at least `needed`
+    /// cycles (next power of two, at least doubling).  Rare: only reached
+    /// when an event lands further ahead than the current ring covers.
+    fn grow(&mut self, needed: usize) {
+        let old_size = self.heads.len();
+        let new_size = needed.max(old_size * 2).next_power_of_two();
+        let old_mask = self.mask;
+        let old_base_slot = (self.base as usize) & old_mask;
+        let old_heads = std::mem::replace(&mut self.heads, vec![EMPTY_HEAD; new_size]);
+        self.occupancy = vec![0; new_size / 64];
+        self.mask = new_size - 1;
+        for (old_slot, head) in old_heads.into_iter().enumerate() {
+            if head.complete == NIL && head.reeval == NIL {
+                continue;
+            }
+            let dist = old_slot.wrapping_sub(old_base_slot) & old_mask;
+            let cycle = self.base + dist as Cycle;
+            let new_slot = (cycle as usize) & self.mask;
+            self.occupancy[new_slot >> 6] |= 1u64 << (new_slot & 63);
+            // The whole chains move verbatim: a bucket maps to exactly one
+            // new bucket, which is empty (injective slot mapping).
+            debug_assert_eq!(self.heads[new_slot].complete, NIL);
+            debug_assert_eq!(self.heads[new_slot].reeval, NIL);
+            self.heads[new_slot] = head;
+        }
+    }
+}
+
+/// The set of ready (issuable) instructions, keyed by stream index — which
+/// is window age, so "oldest first" is "lowest set bit first".
+#[derive(Debug, Clone)]
+pub(crate) struct ReadySet {
+    words: Vec<u64>,
+    /// Lower bound on the word holding the lowest set bit (lazily raised
+    /// while scanning, lowered on insert).
+    min_word: usize,
+    count: usize,
+}
+
+impl ReadySet {
+    pub(crate) fn new(stream_len: usize) -> Self {
+        ReadySet {
+            words: vec![0; stream_len.div_ceil(64)],
+            min_word: 0,
+            count: 0,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    #[inline]
+    pub(crate) fn insert(&mut self, idx: usize) {
+        let word = idx >> 6;
+        let bit = 1u64 << (idx & 63);
+        debug_assert_eq!(self.words[word] & bit, 0, "instruction already ready");
+        self.words[word] |= bit;
+        self.count += 1;
+        if word < self.min_word {
+            self.min_word = word;
+        }
+    }
+
+    #[inline]
+    pub(crate) fn remove(&mut self, idx: usize) {
+        let word = idx >> 6;
+        let bit = 1u64 << (idx & 63);
+        debug_assert_ne!(self.words[word] & bit, 0, "instruction not ready");
+        self.words[word] &= !bit;
+        self.count -= 1;
+    }
+
+    /// The smallest member `≥ from`, or `None`.  Scans forward from the
+    /// min-word hint; when the scan covers the global minimum (i.e. `from`
+    /// does not skip any possible member) the hint is raised past the empty
+    /// words, keeping repeated scans cheap.
+    #[inline]
+    pub(crate) fn peek_ge(&mut self, from: usize) -> Option<usize> {
+        if self.count == 0 {
+            return None;
+        }
+        let from_word = from >> 6;
+        // `from` at or below the hinted minimum ⇒ nothing maskable below it
+        // exists, so empty words found here are empty absolutely.
+        let raise = from <= self.min_word << 6;
+        let mut word = from_word.max(self.min_word);
+        let mut bits = self.words[word];
+        if word == from_word {
+            bits &= !0u64 << (from & 63);
+        }
+        loop {
+            if bits != 0 {
+                if raise {
+                    self.min_word = word;
+                }
+                return Some((word << 6) + bits.trailing_zeros() as usize);
+            }
+            word += 1;
+            if word >= self.words.len() {
+                return None;
+            }
+            if raise {
+                self.min_word = word;
+            }
+            bits = self.words[word];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_orders_events_by_cycle() {
+        let mut ring = EventRing::new();
+        assert!(ring.is_empty());
+        assert_eq!(ring.next_cycle(), None);
+        ring.push_reeval(17, 1);
+        ring.push_complete(5, 2);
+        ring.push_complete(90, 3);
+        assert_eq!(ring.next_cycle(), Some(5));
+        let (complete, reeval) = ring.take_at(5);
+        assert_eq!(ring.chain_next(complete), (NIL, 2));
+        assert_eq!(reeval, NIL);
+        ring.advance_base(6);
+        assert_eq!(ring.next_cycle(), Some(17));
+        let (complete, reeval) = ring.take_at(17);
+        assert_eq!(complete, NIL);
+        assert_eq!(ring.chain_next(reeval), (NIL, 1));
+        ring.advance_base(18);
+        assert_eq!(ring.next_cycle(), Some(90));
+        let (complete, _) = ring.take_at(90);
+        assert_eq!(ring.chain_next(complete), (NIL, 3));
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn completions_and_reevals_are_kept_apart() {
+        let mut ring = EventRing::new();
+        ring.push_reeval(4, 10);
+        ring.push_complete(4, 11);
+        ring.push_complete(4, 12);
+        // The caller walks the completion chain first, then re-evaluations.
+        let (complete, reeval) = ring.take_at(4);
+        let (complete, last_in) = ring.chain_next(complete);
+        assert_eq!(last_in, 12, "chains are last-in first-out");
+        assert_eq!(ring.chain_next(complete), (NIL, 11));
+        assert_eq!(ring.chain_next(reeval), (NIL, 10));
+        assert!(ring.is_empty());
+        assert_eq!(ring.take_at(4), (NIL, NIL));
+    }
+
+    #[test]
+    fn nodes_are_recycled_through_the_free_list() {
+        let mut ring = EventRing::new();
+        for round in 0..100 {
+            ring.push_complete(round + 1, round as u32);
+            ring.push_reeval(round + 1, round as u32);
+            let (complete, reeval) = ring.take_at(round + 1);
+            assert_eq!(ring.chain_next(complete), (NIL, round as u32));
+            assert_eq!(ring.chain_next(reeval), (NIL, round as u32));
+            ring.advance_base(round + 2);
+        }
+        assert!(ring.is_empty());
+        assert!(ring.nodes.len() <= 2, "pool should recycle, not grow");
+    }
+
+    #[test]
+    fn far_events_grow_the_ring() {
+        let mut ring = EventRing::new();
+        ring.push_complete(3, 1);
+        ring.push_complete(100_000, 2);
+        assert_eq!(ring.next_cycle(), Some(3));
+        let (complete, _) = ring.take_at(3);
+        assert_eq!(ring.chain_next(complete), (NIL, 1));
+        ring.advance_base(4);
+        assert_eq!(ring.next_cycle(), Some(100_000));
+        let (complete, _) = ring.take_at(100_000);
+        assert_eq!(ring.chain_next(complete), (NIL, 2));
+    }
+
+    #[test]
+    fn wrapping_across_the_ring_boundary_is_sound() {
+        let mut ring = EventRing::new();
+        // Walk base beyond one ring revolution with interleaved events.
+        let mut now: Cycle = 0;
+        for round in 0..40u64 {
+            let at = now + 13 + (round % 7);
+            ring.push_reeval(at, round as u32);
+            assert_eq!(ring.next_cycle(), Some(at));
+            let (_, reeval) = ring.take_at(at);
+            assert_eq!(ring.chain_next(reeval), (NIL, round as u32));
+            now = at;
+            ring.advance_base(now + 1);
+        }
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn stale_pushes_clamp_to_the_drain_point() {
+        let mut ring = EventRing::new();
+        ring.advance_base(50);
+        ring.push_reeval(10, 7);
+        assert_eq!(ring.next_cycle(), Some(50));
+        let (_, reeval) = ring.take_at(50);
+        assert_eq!(ring.chain_next(reeval), (NIL, 7));
+    }
+
+    #[test]
+    fn ready_set_scans_oldest_first() {
+        let mut ready = ReadySet::new(300);
+        assert!(ready.is_empty());
+        assert_eq!(ready.peek_ge(0), None);
+        ready.insert(200);
+        ready.insert(3);
+        ready.insert(64);
+        assert_eq!(ready.peek_ge(0), Some(3));
+        assert_eq!(ready.peek_ge(4), Some(64));
+        assert_eq!(ready.peek_ge(65), Some(200));
+        assert_eq!(ready.peek_ge(201), None);
+        ready.remove(3);
+        assert_eq!(ready.peek_ge(0), Some(64));
+        // Insert below the raised hint: the minimum must be found again.
+        ready.insert(1);
+        assert_eq!(ready.peek_ge(0), Some(1));
+    }
+}

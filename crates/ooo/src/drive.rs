@@ -1,0 +1,143 @@
+//! Driver traits over the two unit simulators.
+//!
+//! A machine run loop does not care *which* scheduler implementation powers
+//! a unit — only that it can be stepped, probed and (for the event-driven
+//! implementation) clocked asymmetrically.  These traits let the shared
+//! multi-unit engine in `dae-machines` drive [`UnitSim`] (the event-driven
+//! scheduler, through [`EventUnit`]) and [`NaiveUnitSim`] (the retained
+//! reference oracle, through [`SchedulerUnit`] alone) with one loop body
+//! per clocking discipline instead of one per machine per scheduler.
+
+use crate::{ExecContext, NaiveUnitSim, UnitSim, UnitStats};
+use dae_isa::Cycle;
+
+/// What every unit scheduler exposes to a machine run loop: cycle stepping
+/// plus the read-side probes the machines sample (completions for cross-unit
+/// dependences, window probes for slippage measurements, counters for the
+/// results).
+pub trait SchedulerUnit {
+    /// Executes one machine cycle (see [`UnitSim::step`]).
+    fn step<C: ExecContext>(&mut self, now: Cycle, ctx: &mut C);
+
+    /// `true` once the stream is fully dispatched and every window slot has
+    /// been released.
+    fn is_done(&self) -> bool;
+
+    /// The completion cycle of stream instruction `idx`, if it has issued
+    /// (the other unit of a decoupled machine resolves cross dependences
+    /// against these).
+    fn completion(&self, idx: usize) -> Option<Cycle>;
+
+    /// The largest completion cycle observed so far.
+    fn max_completion(&self) -> Cycle;
+
+    /// Counters accumulated so far.
+    fn stats(&self) -> &UnitStats;
+
+    /// Trace position of the oldest instruction still holding a window slot.
+    fn oldest_inflight_trace_pos(&self) -> Option<usize>;
+
+    /// Trace position of the most recently dispatched instruction.
+    fn youngest_dispatched_trace_pos(&self) -> Option<usize>;
+}
+
+/// The extra contract of the event-driven scheduler that makes per-unit
+/// asymmetric clocking possible: the unit can name its own horizon
+/// ([`EventUnit::next_activity`]), bulk-account skipped idle spans
+/// ([`EventUnit::idle_advance`]), accept externally injected wakeups that
+/// re-arm that horizon ([`EventUnit::schedule_reeval`]), and report what it
+/// issued so the machine can forward cross-unit wakeups.
+pub trait EventUnit: SchedulerUnit {
+    /// The earliest cycle after `now` at which stepping this unit could
+    /// change any state, or `None` when only external events can.
+    fn next_activity(&self, now: Cycle) -> Option<Cycle>;
+
+    /// Bulk-accounts `cycles` idle cycles (see [`UnitSim::idle_advance`]).
+    fn idle_advance(&mut self, cycles: Cycle);
+
+    /// Injects an external wakeup for instruction `idx` at cycle `at`.
+    fn schedule_reeval(&mut self, idx: usize, at: Cycle);
+
+    /// Instructions issued by the most recent step, with completion cycles.
+    fn issued_this_step(&self) -> &[(usize, Cycle)];
+}
+
+impl SchedulerUnit for UnitSim {
+    fn step<C: ExecContext>(&mut self, now: Cycle, ctx: &mut C) {
+        UnitSim::step(self, now, ctx);
+    }
+
+    fn is_done(&self) -> bool {
+        UnitSim::is_done(self)
+    }
+
+    #[inline]
+    fn completion(&self, idx: usize) -> Option<Cycle> {
+        UnitSim::completion(self, idx)
+    }
+
+    fn max_completion(&self) -> Cycle {
+        UnitSim::max_completion(self)
+    }
+
+    fn stats(&self) -> &UnitStats {
+        UnitSim::stats(self)
+    }
+
+    fn oldest_inflight_trace_pos(&self) -> Option<usize> {
+        UnitSim::oldest_inflight_trace_pos(self)
+    }
+
+    fn youngest_dispatched_trace_pos(&self) -> Option<usize> {
+        UnitSim::youngest_dispatched_trace_pos(self)
+    }
+}
+
+impl EventUnit for UnitSim {
+    fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        UnitSim::next_activity(self, now)
+    }
+
+    fn idle_advance(&mut self, cycles: Cycle) {
+        UnitSim::idle_advance(self, cycles);
+    }
+
+    fn schedule_reeval(&mut self, idx: usize, at: Cycle) {
+        UnitSim::schedule_reeval(self, idx, at);
+    }
+
+    fn issued_this_step(&self) -> &[(usize, Cycle)] {
+        UnitSim::issued_this_step(self)
+    }
+}
+
+impl SchedulerUnit for NaiveUnitSim {
+    fn step<C: ExecContext>(&mut self, now: Cycle, ctx: &mut C) {
+        NaiveUnitSim::step(self, now, ctx);
+    }
+
+    fn is_done(&self) -> bool {
+        NaiveUnitSim::is_done(self)
+    }
+
+    #[inline]
+    fn completion(&self, idx: usize) -> Option<Cycle> {
+        NaiveUnitSim::completion(self, idx)
+    }
+
+    fn max_completion(&self) -> Cycle {
+        NaiveUnitSim::max_completion(self)
+    }
+
+    fn stats(&self) -> &UnitStats {
+        NaiveUnitSim::stats(self)
+    }
+
+    fn oldest_inflight_trace_pos(&self) -> Option<usize> {
+        NaiveUnitSim::oldest_inflight_trace_pos(self)
+    }
+
+    fn youngest_dispatched_trace_pos(&self) -> Option<usize> {
+        NaiveUnitSim::youngest_dispatched_trace_pos(self)
+    }
+}

@@ -55,6 +55,9 @@ impl FuClass {
 #[derive(Debug, Clone)]
 pub struct FuPool {
     config: FuConfig,
+    /// No class is limited — the paper's default — so acquisition always
+    /// succeeds and no per-cycle counters need maintaining.
+    unlimited: bool,
     used_int: usize,
     used_fp: usize,
     used_mem: usize,
@@ -68,6 +71,9 @@ impl FuPool {
     pub fn new(config: FuConfig) -> Self {
         FuPool {
             config,
+            unlimited: config.int_units.is_none()
+                && config.fp_units.is_none()
+                && config.mem_ports.is_none(),
             used_int: 0,
             used_fp: 0,
             used_mem: 0,
@@ -76,14 +82,22 @@ impl FuPool {
     }
 
     /// Resets per-cycle usage; call once at the start of every cycle.
+    #[inline]
     pub fn begin_cycle(&mut self) {
+        if self.unlimited {
+            return;
+        }
         self.used_int = 0;
         self.used_fp = 0;
         self.used_mem = 0;
     }
 
     /// Attempts to acquire a unit of the given class for this cycle.
+    #[inline]
     pub fn try_acquire(&mut self, class: FuClass) -> bool {
+        if self.unlimited {
+            return true;
+        }
         let (used, limit) = match class {
             FuClass::Int => (&mut self.used_int, self.config.int_units),
             FuClass::Fp => (&mut self.used_fp, self.config.fp_units),

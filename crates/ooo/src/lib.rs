@@ -43,8 +43,10 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod calendar;
 mod complexity;
 mod config;
+mod drive;
 mod fu;
 mod reference;
 mod stats;
@@ -52,6 +54,7 @@ mod unit;
 
 pub use complexity::IssueLogicModel;
 pub use config::{FuConfig, RetirePolicy, UnitConfig};
+pub use drive::{EventUnit, SchedulerUnit};
 pub use fu::{FuClass, FuPool};
 pub use reference::NaiveUnitSim;
 pub use stats::UnitStats;

@@ -11,8 +11,9 @@
 //!   [`WakeupList`](dae_trace::WakeupList) are woken — never the whole
 //!   window;
 //! * instructions whose operands are all available sit in an explicit
-//!   **ready queue** ordered by window age, so the oldest-first select walks
-//!   exactly the issuable instructions;
+//!   **ready set** — a bitset keyed by stream index, which *is* window age —
+//!   so the oldest-first select is a find-first-set scan over exactly the
+//!   issuable instructions;
 //! * instructions blocked on machine state (cross-unit dependences, memory
 //!   arrivals) park until an event re-evaluates them: either a self wake at
 //!   a time the [`ExecContext`] can name ([`GateWait::At`]), or an external
@@ -36,11 +37,10 @@
 //! merely slower) but never late — the invariant the differential tests
 //! enforce.
 
+use crate::calendar::{EventRing, ReadySet, NIL as NIL_EVENT};
 use crate::{FuClass, FuPool, RetirePolicy, UnitConfig, UnitStats};
 use dae_isa::{Cycle, LatencyModel};
 use dae_trace::{Dep, ExecKind, MachineInst, WakeupList};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::sync::Arc;
 
 /// How long a machine-specific readiness gate will stay closed.
@@ -156,12 +156,13 @@ enum InstState {
     Retired,
 }
 
-/// Event kinds, ordered so completions process before re-evaluations at the
-/// same cycle (a woken instruction must see the decremented counters).
-const EV_COMPLETE: u8 = 0;
-const EV_REEVAL: u8 = 1;
+const NONE: u32 = u32::MAX;
 
-const NONE: usize = usize::MAX;
+/// Sentinel for "not yet completed" in the packed completion array.  It
+/// compares greater than every reachable cycle, so readiness checks reduce
+/// to one comparison (the deadlock safety bounds trip long before any real
+/// completion could approach it).
+const PENDING: Cycle = Cycle::MAX;
 
 /// A cycle-level simulator of one out-of-order unit (event-driven; see the
 /// module docs).
@@ -214,34 +215,37 @@ pub struct UnitSim {
     /// Unsatisfied local-dependence edges per instruction.
     remaining_local: Vec<u32>,
     state: Vec<InstState>,
-    /// Intrusive doubly-linked window list over stream indices.
-    win_prev: Vec<usize>,
-    win_next: Vec<usize>,
-    win_head: usize,
-    win_tail: usize,
+    /// Intrusive doubly-linked window list over stream indices (`u32`
+    /// links: streams are bounded well below `u32::MAX` and the two arrays
+    /// are re-initialised on every run, so width is memory traffic).
+    win_prev: Vec<u32>,
+    win_next: Vec<u32>,
+    win_head: u32,
+    win_tail: u32,
     window_len: usize,
     unissued_in_window: usize,
     /// Issued instructions whose slot frees at the next retire
     /// (`FreeAtIssue` only).
     pending_free: Vec<usize>,
-    /// Ready queue: min-heap over stream index = window age.
-    ready: BinaryHeap<Reverse<usize>>,
-    /// Re-verification stash reused across issue phases.
-    ready_stash: Vec<usize>,
+    /// Ready set: bitset over stream index = window age.
+    ready: ReadySet,
     /// Parked instructions whose gate can only be polled.
     poll_list: Vec<usize>,
     /// Membership flags for `poll_list` (prevents duplicate entries).
     in_poll: Vec<bool>,
     /// Scratch: sorted poll candidates for the current issue scan.
     poll_scan: Vec<usize>,
-    /// Pending (cycle, kind, idx) events.
-    events: BinaryHeap<Reverse<(Cycle, u8, u32)>>,
+    /// Pending completion / re-evaluation events in a calendar queue.
+    events: EventRing,
     /// Instructions issued during the current/most recent step, with their
     /// completion cycles — drained by machine models to forward cross-unit
     /// wakeups.
     issued_now: Vec<(usize, Cycle)>,
     dispatch_ptr: usize,
-    completions: Vec<Option<Cycle>>,
+    /// Completion cycle per instruction, [`PENDING`] until issued (packed —
+    /// half the footprint of `Option<Cycle>`, and operand checks become a
+    /// single comparison).
+    completions: Vec<Cycle>,
     max_completion: Cycle,
     stats: UnitStats,
     /// Diagnostic: how many times `step` actually ran (as opposed to cycles
@@ -318,15 +322,14 @@ impl UnitSim {
             window_len: 0,
             unissued_in_window: 0,
             pending_free: Vec::new(),
-            ready: BinaryHeap::new(),
-            ready_stash: Vec::new(),
+            ready: ReadySet::new(len),
             poll_list: Vec::new(),
             in_poll: vec![false; len],
             poll_scan: Vec::new(),
-            events: BinaryHeap::new(),
+            events: EventRing::new(),
             issued_now: Vec::new(),
             dispatch_ptr: 0,
-            completions: vec![None; len],
+            completions: vec![PENDING; len],
             max_completion: 0,
             stats: UnitStats::default(),
             steps: 0,
@@ -357,31 +360,28 @@ impl UnitSim {
     /// Returns `true` once the stream has been fully dispatched and every
     /// window slot has been released.
     #[must_use]
+    #[inline]
     pub fn is_done(&self) -> bool {
         self.dispatch_ptr == self.stream.len() && self.window_len == 0
     }
 
     /// The completion cycle of stream instruction `idx`, if it has issued.
     #[must_use]
+    #[inline]
     pub fn completion(&self, idx: usize) -> Option<Cycle> {
-        self.completions.get(idx).copied().flatten()
-    }
-
-    /// The completion cycles of every instruction (indexed by stream
-    /// position).
-    #[must_use]
-    pub fn completions(&self) -> &[Option<Cycle>] {
-        &self.completions
+        self.completions.get(idx).copied().filter(|&t| t != PENDING)
     }
 
     /// The largest completion cycle observed so far.
     #[must_use]
+    #[inline]
     pub fn max_completion(&self) -> Cycle {
         self.max_completion
     }
 
     /// Counters accumulated so far.
     #[must_use]
+    #[inline]
     pub fn stats(&self) -> &UnitStats {
         &self.stats
     }
@@ -402,13 +402,15 @@ impl UnitSim {
     /// holding a window slot (used for effective-single-window and slippage
     /// measurements).
     #[must_use]
+    #[inline]
     pub fn oldest_inflight_trace_pos(&self) -> Option<usize> {
-        (self.win_head != NONE).then(|| self.stream[self.win_head].trace_pos)
+        (self.win_head != NONE).then(|| self.stream[self.win_head as usize].trace_pos)
     }
 
     /// The architectural trace position of the most recently dispatched
     /// instruction.
     #[must_use]
+    #[inline]
     pub fn youngest_dispatched_trace_pos(&self) -> Option<usize> {
         if self.dispatch_ptr == 0 {
             None
@@ -421,6 +423,7 @@ impl UnitSim {
     /// their completion cycles.  Machine models read this after stepping a
     /// unit to forward cross-unit wakeups to the other unit.
     #[must_use]
+    #[inline]
     pub fn issued_this_step(&self) -> &[(usize, Cycle)] {
         &self.issued_now
     }
@@ -432,8 +435,9 @@ impl UnitSim {
     ///
     /// Spurious wakeups are harmless — re-evaluation of a still-blocked or
     /// already-issued instruction is a no-op.
+    #[inline]
     pub fn schedule_reeval(&mut self, idx: usize, at: Cycle) {
-        self.events.push(Reverse((at, EV_REEVAL, idx as u32)));
+        self.events.push_reeval(at, idx as u32);
     }
 
     /// The earliest cycle after `now` at which stepping this unit could
@@ -444,29 +448,35 @@ impl UnitSim {
     /// (costing an extra step, never correctness), but it never skips a
     /// cycle where the naive scheduler would have acted.
     #[must_use]
+    #[inline]
     pub fn next_activity(&self, now: Cycle) -> Option<Cycle> {
         if self.is_done() {
             return None;
         }
-        let mut t = Cycle::MAX;
-        if self.dispatch_ptr < self.stream.len() {
-            let has_space = match self.config.window_size {
+        // Anything already actionable pins the horizon to the very next
+        // cycle — no probe can name anything earlier, so the busy case
+        // (dispatchable stream, ready or polled or freeable instructions)
+        // returns without touching the retire head or the event queue.
+        let can_dispatch = self.dispatch_ptr < self.stream.len()
+            && match self.config.window_size {
                 Some(cap) => self.window_len < cap,
                 None => true,
             };
-            if has_space {
-                t = now + 1;
-            }
+        if can_dispatch
+            || !self.ready.is_empty()
+            || !self.poll_list.is_empty()
+            || !self.pending_free.is_empty()
+        {
+            return Some(now + 1);
         }
-        if !self.ready.is_empty() || !self.poll_list.is_empty() || !self.pending_free.is_empty() {
-            t = now + 1;
-        }
+        let mut t = Cycle::MAX;
         if self.config.retire == RetirePolicy::InOrderAtComplete && self.win_head != NONE {
-            if let Some(done_at) = self.completions[self.win_head] {
-                t = t.min(done_at.max(now + 1));
+            let done_at = self.completions[self.win_head as usize];
+            if done_at != PENDING {
+                t = done_at.max(now + 1);
             }
         }
-        if let Some(&Reverse((at, _, _))) = self.events.peek() {
+        if let Some(at) = self.events.next_cycle() {
             t = t.min(at.max(now + 1));
         }
         (t != Cycle::MAX).then_some(t)
@@ -476,6 +486,7 @@ impl UnitSim {
     /// (via [`UnitSim::next_activity`]) that stepping would change nothing.
     /// Every per-cycle statistic advances exactly as `cycles` naive steps
     /// would have advanced it.
+    #[inline]
     pub fn idle_advance(&mut self, cycles: Cycle) {
         if cycles == 0 {
             return;
@@ -514,32 +525,43 @@ impl UnitSim {
     }
 
     fn process_events<C: ExecContext>(&mut self, now: Cycle, ctx: &mut C) {
-        while let Some(&Reverse((at, kind, idx))) = self.events.peek() {
+        while let Some(at) = self.events.next_cycle() {
             if at > now {
                 break;
             }
-            self.events.pop();
-            let idx = idx as usize;
-            match kind {
-                EV_COMPLETE => {
-                    // `idx` completed at `at`: wake its local consumers.
-                    for slot in 0..self.wakeups.of(idx).len() {
-                        let consumer = self.wakeups.of(idx)[slot] as usize;
-                        self.remaining_local[consumer] -= 1;
-                        if self.remaining_local[consumer] == 0
-                            && self.state[consumer] == InstState::Waiting
-                        {
-                            self.evaluate(consumer, now, ctx);
-                        }
-                    }
-                }
-                _ => {
-                    if self.state[idx] == InstState::Parked {
-                        self.evaluate(idx, now, ctx);
+            // All completions of a cycle fire before its re-evaluations, so
+            // a woken instruction sees the decremented counters.  (Anything
+            // these handlers queue lands at `now + 1` or later, never back
+            // into the cycle being drained — the detached chains are safe
+            // to walk while handlers push.)
+            let (mut complete, mut reeval) = self.events.take_at(at);
+            // Cheap pointer clone so the consumer walk does not re-borrow
+            // `self` (the list itself is immutable and shared).
+            let wakeups = Arc::clone(&self.wakeups);
+            while complete != NIL_EVENT {
+                let (next, idx) = self.events.chain_next(complete);
+                complete = next;
+                // `idx` completed at `at`: wake its local consumers.
+                for &consumer in wakeups.of(idx as usize) {
+                    let consumer = consumer as usize;
+                    self.remaining_local[consumer] -= 1;
+                    if self.remaining_local[consumer] == 0
+                        && self.state[consumer] == InstState::Waiting
+                    {
+                        self.evaluate(consumer, now, ctx);
                     }
                 }
             }
+            while reeval != NIL_EVENT {
+                let (next, idx) = self.events.chain_next(reeval);
+                reeval = next;
+                let idx = idx as usize;
+                if self.state[idx] == InstState::Parked {
+                    self.evaluate(idx, now, ctx);
+                }
+            }
         }
+        self.events.advance_base(now + 1);
     }
 
     /// Decides what a dispatched instruction with all local operands
@@ -570,18 +592,17 @@ impl UnitSim {
         }
         if wake_at > now {
             self.state[idx] = InstState::Parked;
-            self.events.push(Reverse((wake_at, EV_REEVAL, idx as u32)));
+            self.events.push_reeval(wake_at, idx as u32);
             return;
         }
         match ctx.gate_wait(&self.stream[idx], now) {
             GateWait::Open => {
                 self.state[idx] = InstState::Ready;
-                self.ready.push(Reverse(idx));
+                self.ready.insert(idx);
             }
             GateWait::At(t) => {
                 self.state[idx] = InstState::Parked;
-                self.events
-                    .push(Reverse((t.max(now + 1), EV_REEVAL, idx as u32)));
+                self.events.push_reeval(t.max(now + 1), idx as u32);
             }
             GateWait::Poll => {
                 self.state[idx] = InstState::Parked;
@@ -596,10 +617,10 @@ impl UnitSim {
     fn retire(&mut self, now: Cycle) {
         match self.config.retire {
             RetirePolicy::InOrderAtComplete => {
-                while self.win_head != NONE
-                    && self.completions[self.win_head].is_some_and(|t| t <= now)
-                {
-                    let head = self.win_head;
+                // `PENDING` compares greater than `now`, so one comparison
+                // covers both "not issued" and "still executing".
+                while self.win_head != NONE && self.completions[self.win_head as usize] <= now {
+                    let head = self.win_head as usize;
                     self.unlink(head);
                     self.state[head] = InstState::Retired;
                     self.stats.retired += 1;
@@ -626,12 +647,12 @@ impl UnitSim {
         if prev == NONE {
             self.win_head = next;
         } else {
-            self.win_next[prev] = next;
+            self.win_next[prev as usize] = next;
         }
         if next == NONE {
             self.win_tail = prev;
         } else {
-            self.win_prev[next] = prev;
+            self.win_prev[next as usize] = prev;
         }
         self.win_prev[idx] = NONE;
         self.win_next[idx] = NONE;
@@ -657,12 +678,12 @@ impl UnitSim {
             self.stats.dispatched += 1;
             // Link at the window tail.
             if self.win_tail == NONE {
-                self.win_head = idx;
+                self.win_head = idx as u32;
             } else {
-                self.win_next[self.win_tail] = idx;
+                self.win_next[self.win_tail as usize] = idx as u32;
                 self.win_prev[idx] = self.win_tail;
             }
-            self.win_tail = idx;
+            self.win_tail = idx as u32;
             self.window_len += 1;
             self.unissued_in_window += 1;
             if self.remaining_local[idx] == 0 {
@@ -679,7 +700,6 @@ impl UnitSim {
     fn issue<C: ExecContext>(&mut self, now: Cycle, ctx: &mut C) {
         let mut issued_this_cycle = 0;
         let had_unissued = self.unissued_in_window > 0;
-        self.ready_stash.clear();
 
         // Poll-gated candidates join the scan at their window position, so
         // a gate opened by an *earlier issue of the same cycle* (a consume
@@ -697,9 +717,13 @@ impl UnitSim {
             self.poll_scan.sort_unstable();
         }
         let mut poll_cursor = 0;
+        // Next stream index the ready-set scan considers.  A candidate
+        // rejected by the functional units simply stays in the set while the
+        // cursor moves past it (the heap needed a pop/re-push stash here).
+        let mut ready_cursor = 0;
 
         while issued_this_cycle < self.config.issue_width {
-            let ready_top = self.ready.peek().map(|&Reverse(i)| i);
+            let ready_top = self.ready.peek_ge(ready_cursor);
             let poll_top = self.poll_scan.get(poll_cursor).copied();
             let (idx, from_poll) = match (ready_top, poll_top) {
                 (Some(r), Some(p)) if p < r => (p, true),
@@ -726,7 +750,7 @@ impl UnitSim {
                 self.complete_issue(idx, now, ctx);
                 issued_this_cycle += 1;
             } else {
-                self.ready.pop();
+                ready_cursor = idx + 1;
                 debug_assert_eq!(self.state[idx], InstState::Ready);
                 // Re-verify only the data gate: operand satisfaction is
                 // monotone (completion times are immutable once set, see
@@ -737,23 +761,21 @@ impl UnitSim {
                     self.is_ready(idx, now, ctx) == ctx.data_ready(&self.stream[idx], now)
                 );
                 if !ctx.data_ready(&self.stream[idx], now) {
+                    self.ready.remove(idx);
                     self.state[idx] = InstState::Parked;
-                    self.events.push(Reverse((now + 1, EV_REEVAL, idx as u32)));
+                    self.events.push_reeval(now + 1, idx as u32);
                     continue;
                 }
                 if !self.fu.try_acquire(FuClass::of(&self.stream[idx])) {
                     // Rejected this cycle; stays ready (and counted, exactly
                     // as the naive scan counts one rejection per ready
                     // candidate).
-                    self.ready_stash.push(idx);
                     continue;
                 }
+                self.ready.remove(idx);
                 self.complete_issue(idx, now, ctx);
                 issued_this_cycle += 1;
             }
-        }
-        for i in 0..self.ready_stash.len() {
-            self.ready.push(Reverse(self.ready_stash[i]));
         }
         if had_unissued && issued_this_cycle == 0 {
             self.stats.starved_cycles += 1;
@@ -775,13 +797,12 @@ impl UnitSim {
 
     fn complete_issue<C: ExecContext>(&mut self, idx: usize, now: Cycle, ctx: &mut C) {
         let completion = self.execute(idx, now, ctx);
-        self.completions[idx] = Some(completion);
+        self.completions[idx] = completion;
         self.max_completion = self.max_completion.max(completion);
         self.state[idx] = InstState::Issued;
         self.unissued_in_window -= 1;
         if !self.wakeups.of(idx).is_empty() {
-            self.events
-                .push(Reverse((completion, EV_COMPLETE, idx as u32)));
+            self.events.push_complete(completion, idx as u32);
         }
         if self.config.retire == RetirePolicy::FreeAtIssue {
             self.pending_free.push(idx);
@@ -793,7 +814,7 @@ impl UnitSim {
     fn is_ready<C: ExecContext>(&self, idx: usize, now: Cycle, ctx: &C) -> bool {
         let inst = &self.stream[idx];
         let operands_ready = inst.deps.iter().all(|dep| match *dep {
-            Dep::Local(i) => self.completions[i].is_some_and(|t| t <= now),
+            Dep::Local(i) => self.completions[i] <= now,
             Dep::Cross(i) => ctx.cross_ready_at(i).is_some_and(|t| t <= now),
         });
         operands_ready && ctx.data_ready(inst, now)

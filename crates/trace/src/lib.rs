@@ -62,7 +62,7 @@ pub use analysis::{critical_path, dataflow_depths, dataflow_summary, DataflowSum
 pub use classify::{classification_disagreement, classify};
 pub use dyninst::{DepEdge, DepRole, DynInst, InstId};
 pub use expand::{expand, operand_role};
-pub use machine_inst::{stream_stats, Dep, ExecKind, MachineInst, MemTag, StreamStats};
+pub use machine_inst::{stream_stats, Dep, DepList, ExecKind, MachineInst, MemTag, StreamStats};
 pub use partition::{partition, DecoupledProgram, PartitionMode, PartitionStats};
 pub use scalar::{lower_scalar, ScalarProgram};
 pub use swsm::{expand_swsm, SwsmProgram, SwsmStats};

@@ -19,7 +19,19 @@
 
 use dae_isa::{Address, OpKind};
 use serde::{Deserialize, Serialize};
+use smallvec::SmallVec;
 use std::fmt;
+
+/// The dependence list of a [`MachineInst`], stored inline for up to two
+/// edges (covering almost every lowered instruction the kernels produce —
+/// binary operations, request/consume pairs, store address/data sides) and
+/// spilling to the heap beyond that.  Lowering a long trace used to perform
+/// one heap allocation per instruction just for this list; the inline
+/// representation removes that, which matters because lowering dominates the
+/// cost of a cold single run.  Two is also the sweet spot for instruction
+/// footprint: the streams are striding working sets of tens of thousands of
+/// instructions, so `MachineInst` size is simulator cache pressure.
+pub type DepList = SmallVec<[Dep; 2]>;
 
 /// Identifies one memory transaction (a request / consume pair, or a
 /// prefetch / access pair).  Tags are dense indices assigned by the
@@ -106,9 +118,18 @@ pub enum Dep {
     Cross(usize),
 }
 
+/// The default is a placeholder (`Local(0)`) used only to pre-initialise
+/// the inline storage of a [`DepList`]; it never appears as an actual edge.
+impl Default for Dep {
+    fn default() -> Self {
+        Dep::Local(0)
+    }
+}
+
 impl Dep {
     /// The producer index regardless of which stream it lives in.
     #[must_use]
+    #[inline]
     pub fn index(self) -> usize {
         match self {
             Dep::Local(i) | Dep::Cross(i) => i,
@@ -117,6 +138,7 @@ impl Dep {
 
     /// Returns `true` for cross-unit dependences.
     #[must_use]
+    #[inline]
     pub fn is_cross(self) -> bool {
         matches!(self, Dep::Cross(_))
     }
@@ -135,8 +157,9 @@ pub struct MachineInst {
     pub op: OpKind,
     /// How the instruction executes.
     pub kind: ExecKind,
-    /// True dependences on earlier lowered instructions.
-    pub deps: Vec<Dep>,
+    /// True dependences on earlier lowered instructions (inline up to two
+    /// edges — see [`DepList`]).
+    pub deps: DepList,
     /// The memory transaction this instruction participates in, if any.
     pub tag: Option<MemTag>,
     /// The effective address, for memory instructions.
@@ -146,12 +169,12 @@ pub struct MachineInst {
 impl MachineInst {
     /// Creates an arithmetic instruction.
     #[must_use]
-    pub fn arith(trace_pos: usize, op: OpKind, deps: Vec<Dep>) -> Self {
+    pub fn arith(trace_pos: usize, op: OpKind, deps: impl Into<DepList>) -> Self {
         MachineInst {
             trace_pos,
             op,
             kind: ExecKind::Arith,
-            deps,
+            deps: deps.into(),
             tag: None,
             addr: None,
         }
@@ -163,7 +186,7 @@ impl MachineInst {
         trace_pos: usize,
         op: OpKind,
         kind: ExecKind,
-        deps: Vec<Dep>,
+        deps: impl Into<DepList>,
         tag: MemTag,
         addr: Option<Address>,
     ) -> Self {
@@ -171,7 +194,7 @@ impl MachineInst {
             trace_pos,
             op,
             kind,
-            deps,
+            deps: deps.into(),
             tag: Some(tag),
             addr,
         }
@@ -179,12 +202,12 @@ impl MachineInst {
 
     /// Creates a cross-unit copy instruction.
     #[must_use]
-    pub fn copy(trace_pos: usize, deps: Vec<Dep>) -> Self {
+    pub fn copy(trace_pos: usize, deps: impl Into<DepList>) -> Self {
         MachineInst {
             trace_pos,
             op: OpKind::IntAlu,
             kind: ExecKind::CopySend,
-            deps,
+            deps: deps.into(),
             tag: None,
             addr: None,
         }

@@ -1,8 +1,9 @@
 //! The decoupled-machine partition: lowering a trace into AU and DU streams.
 
-use crate::{classify, Dep, DepRole, ExecKind, MachineInst, MemTag, Trace, WakeupList};
+use crate::{classify, Dep, DepList, DepRole, ExecKind, MachineInst, MemTag, Trace, WakeupList};
 use dae_isa::{OpKind, UnitClass};
 use serde::{Deserialize, Serialize};
+use smallvec::{smallvec, SmallVec};
 use std::sync::Arc;
 
 /// How the partitioner decides which unit an instruction belongs to.
@@ -235,11 +236,12 @@ pub fn partition(trace: &Trace, mode: PartitionMode) -> DecoupledProgram {
                 if needed_on_du[inst.id] {
                     stats.du_consumed_loads += 1;
                     let idx = du.len();
+                    let consume_deps: DepList = smallvec![Dep::Cross(request_idx)];
                     du.push(MachineInst::memory(
                         inst.id,
                         OpKind::Load,
                         ExecKind::LoadConsume,
-                        vec![Dep::Cross(request_idx)],
+                        consume_deps,
                         tag,
                         inst.addr,
                     ));
@@ -248,11 +250,12 @@ pub fn partition(trace: &Trace, mode: PartitionMode) -> DecoupledProgram {
                 if needed_on_au[inst.id] {
                     stats.au_self_loads += 1;
                     let idx = au.len();
+                    let consume_deps: DepList = smallvec![Dep::Local(request_idx)];
                     au.push(MachineInst::memory(
                         inst.id,
                         OpKind::Load,
                         ExecKind::LoadConsume,
-                        vec![Dep::Local(request_idx)],
+                        consume_deps,
                         tag,
                         inst.addr,
                     ));
@@ -357,16 +360,16 @@ fn resolve_deps(
     du: &mut Vec<MachineInst>,
     sites: &mut [ValueSites],
     stats: &mut PartitionStats,
-) -> Vec<Dep> {
-    let producers: Vec<usize> = inst
+) -> DepList {
+    let producers: SmallVec<[usize; 2]> = inst
         .deps
         .iter()
         .filter(|d| d.role == role)
         .map(|d| d.producer)
         .collect();
     producers
-        .into_iter()
-        .map(|p| resolve_value(p, target, au, du, sites, stats))
+        .iter()
+        .map(|&p| resolve_value(p, target, au, du, sites, stats))
         .collect()
 }
 
@@ -379,11 +382,11 @@ fn resolve_all_deps(
     du: &mut Vec<MachineInst>,
     sites: &mut [ValueSites],
     stats: &mut PartitionStats,
-) -> Vec<Dep> {
-    let producers: Vec<usize> = inst.deps.iter().map(|d| d.producer).collect();
+) -> DepList {
+    let producers: SmallVec<[usize; 2]> = inst.deps.iter().map(|d| d.producer).collect();
     producers
-        .into_iter()
-        .map(|p| resolve_value(p, target, au, du, sites, stats))
+        .iter()
+        .map(|&p| resolve_value(p, target, au, du, sites, stats))
         .collect()
 }
 
@@ -413,10 +416,8 @@ fn resolve_value(
             // Emit a copy on the DU (the producing unit): a loss of
             // decoupling, since the AU now waits on compute results.
             let copy_idx = du.len();
-            du.push(MachineInst::copy(
-                du[du_idx].trace_pos,
-                vec![Dep::Local(du_idx)],
-            ));
+            let copy_deps: DepList = smallvec![Dep::Local(du_idx)];
+            du.push(MachineInst::copy(du[du_idx].trace_pos, copy_deps));
             sites[producer].copy_to_au = Some(copy_idx);
             stats.copies_du_to_au += 1;
             Dep::Cross(copy_idx)
@@ -432,10 +433,8 @@ fn resolve_value(
                 .au
                 .expect("value must exist on at least one unit before it is consumed");
             let copy_idx = au.len();
-            au.push(MachineInst::copy(
-                au[au_idx].trace_pos,
-                vec![Dep::Local(au_idx)],
-            ));
+            let copy_deps: DepList = smallvec![Dep::Local(au_idx)];
+            au.push(MachineInst::copy(au[au_idx].trace_pos, copy_deps));
             sites[producer].copy_to_du = Some(copy_idx);
             stats.copies_au_to_du += 1;
             Dep::Cross(copy_idx)

@@ -1,6 +1,6 @@
 //! Lowering for the scalar reference machine (no prefetching).
 
-use crate::{Dep, ExecKind, MachineInst, MemTag, Trace, WakeupList};
+use crate::{Dep, DepList, ExecKind, MachineInst, MemTag, Trace, WakeupList};
 use dae_isa::OpKind;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -50,7 +50,7 @@ pub fn lower_scalar(trace: &Trace) -> ScalarProgram {
     let mut next_tag: MemTag = 0;
 
     for inst in trace.iter() {
-        let deps: Vec<Dep> = inst
+        let deps: DepList = inst
             .deps
             .iter()
             .map(|d| Dep::Local(value_of[d.producer].expect("producer lowered")))

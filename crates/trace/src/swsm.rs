@@ -1,7 +1,7 @@
 //! Lowering for the single-window superscalar machine (SWSM): the hybrid
 //! prefetch expansion.
 
-use crate::{Dep, DepRole, ExecKind, MachineInst, MemTag, Trace, WakeupList};
+use crate::{Dep, DepList, DepRole, ExecKind, MachineInst, MemTag, Trace, WakeupList};
 use dae_isa::OpKind;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -100,7 +100,7 @@ pub fn expand_swsm(trace: &Trace) -> SwsmProgram {
             OpKind::Load => {
                 let tag = next_tag;
                 next_tag += 1;
-                let addr_deps: Vec<Dep> = inst
+                let addr_deps: DepList = inst
                     .deps
                     .iter()
                     .filter(|d| d.role == DepRole::Address)
@@ -133,7 +133,7 @@ pub fn expand_swsm(trace: &Trace) -> SwsmProgram {
             OpKind::Store => {
                 let tag = next_tag;
                 next_tag += 1;
-                let addr_deps: Vec<Dep> = inst
+                let addr_deps: DepList = inst
                     .deps
                     .iter()
                     .filter(|d| d.role == DepRole::Address)
@@ -148,7 +148,7 @@ pub fn expand_swsm(trace: &Trace) -> SwsmProgram {
                     inst.addr,
                 ));
                 stats.prefetches += 1;
-                let all_deps: Vec<Dep> = inst
+                let all_deps: DepList = inst
                     .deps
                     .iter()
                     .map(|d| Dep::Local(value_of[d.producer].expect("producer lowered")))
@@ -164,7 +164,7 @@ pub fn expand_swsm(trace: &Trace) -> SwsmProgram {
                 stats.accesses += 1;
             }
             _ => {
-                let deps: Vec<Dep> = inst
+                let deps: DepList = inst
                     .deps
                     .iter()
                     .map(|d| Dep::Local(value_of[d.producer].expect("producer lowered")))

@@ -88,6 +88,7 @@ impl WakeupList {
 
     /// The consumers woken by producer `p`.
     #[must_use]
+    #[inline]
     pub fn of(&self, p: usize) -> &[u32] {
         let lo = self.offsets[p] as usize;
         let hi = self.offsets[p + 1] as usize;

@@ -1,0 +1,371 @@
+//! Offline stand-in for `smallvec`, providing the subset the workspace
+//! uses: a vector that stores up to `N` elements inline and spills to the
+//! heap beyond that, named by its backing array type (`SmallVec<[T; N]>`)
+//! exactly like the real crate.
+//!
+//! Unlike the real `smallvec` (which manages uninitialised inline storage
+//! with `unsafe` code), this stub keeps the workspace's `forbid(unsafe_code)`
+//! discipline by requiring `T: Copy + Default` — the inline buffer is
+//! default-initialised and elements are copied in.  Every type stored in one
+//! here (dependence edges, small index lists) satisfies both bounds.  The
+//! call sites are drop-in compatible with the real crate, so swapping it in
+//! is a `Cargo.toml`-only change.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Deref, DerefMut};
+
+/// Backing storage for a [`SmallVec`]: implemented for `[T; N]` arrays.
+pub trait Array {
+    /// The element type.
+    type Item: Copy + Default;
+    /// A default-initialised array (the inline buffer before any pushes).
+    fn empty() -> Self;
+    /// The whole buffer as a slice.
+    fn as_slice(&self) -> &[Self::Item];
+    /// The whole buffer as a mutable slice.
+    fn as_mut_slice(&mut self) -> &mut [Self::Item];
+    /// The inline capacity `N`.
+    fn capacity() -> usize;
+}
+
+impl<T: Copy + Default, const N: usize> Array for [T; N] {
+    type Item = T;
+
+    fn empty() -> Self {
+        [T::default(); N]
+    }
+
+    fn as_slice(&self) -> &[T] {
+        self
+    }
+
+    fn as_mut_slice(&mut self) -> &mut [T] {
+        self
+    }
+
+    fn capacity() -> usize {
+        N
+    }
+}
+
+#[derive(Clone)]
+enum Repr<A: Array> {
+    Inline { buf: A, len: usize },
+    Heap(Vec<A::Item>),
+}
+
+/// A vector storing up to `A::capacity()` elements inline, spilling to a
+/// heap `Vec` beyond that.  Dereferences to a slice, so all read access
+/// (iteration, indexing, `contains`, `len`) goes through `&[T]`.
+pub struct SmallVec<A: Array> {
+    repr: Repr<A>,
+}
+
+impl<A: Array> SmallVec<A> {
+    /// An empty vector (inline, no allocation).
+    #[must_use]
+    pub fn new() -> Self {
+        SmallVec {
+            repr: Repr::Inline {
+                buf: A::empty(),
+                len: 0,
+            },
+        }
+    }
+
+    /// Takes ownership of `vec` (kept on the heap — no copy back inline,
+    /// matching the real crate's `from_vec`).
+    #[must_use]
+    pub fn from_vec(vec: Vec<A::Item>) -> Self {
+        SmallVec {
+            repr: Repr::Heap(vec),
+        }
+    }
+
+    /// Copies `slice` into a new vector, inline if it fits.
+    #[must_use]
+    pub fn from_slice(slice: &[A::Item]) -> Self {
+        let mut v = SmallVec::new();
+        v.extend(slice.iter().copied());
+        v
+    }
+
+    /// Number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match &self.repr {
+            Repr::Inline { len, .. } => *len,
+            Repr::Heap(vec) => vec.len(),
+        }
+    }
+
+    /// Returns `true` when empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns `true` while the elements are stored inline.
+    #[must_use]
+    pub fn spilled(&self) -> bool {
+        matches!(self.repr, Repr::Heap(_))
+    }
+
+    /// Appends an element, spilling to the heap when the inline buffer is
+    /// full.
+    pub fn push(&mut self, value: A::Item) {
+        match &mut self.repr {
+            Repr::Inline { buf, len } => {
+                if *len < A::capacity() {
+                    buf.as_mut_slice()[*len] = value;
+                    *len += 1;
+                } else {
+                    let mut vec = Vec::with_capacity(A::capacity() * 2);
+                    vec.extend_from_slice(&buf.as_slice()[..*len]);
+                    vec.push(value);
+                    self.repr = Repr::Heap(vec);
+                }
+            }
+            Repr::Heap(vec) => vec.push(value),
+        }
+    }
+
+    /// Removes and returns the last element.
+    pub fn pop(&mut self) -> Option<A::Item> {
+        match &mut self.repr {
+            Repr::Inline { buf, len } => {
+                if *len == 0 {
+                    None
+                } else {
+                    *len -= 1;
+                    Some(buf.as_slice()[*len])
+                }
+            }
+            Repr::Heap(vec) => vec.pop(),
+        }
+    }
+
+    /// Clears the vector, keeping heap capacity if spilled.
+    pub fn clear(&mut self) {
+        match &mut self.repr {
+            Repr::Inline { len, .. } => *len = 0,
+            Repr::Heap(vec) => vec.clear(),
+        }
+    }
+
+    /// The elements as a slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[A::Item] {
+        match &self.repr {
+            Repr::Inline { buf, len } => &buf.as_slice()[..*len],
+            Repr::Heap(vec) => vec,
+        }
+    }
+
+    /// The elements as a mutable slice.
+    pub fn as_mut_slice(&mut self) -> &mut [A::Item] {
+        match &mut self.repr {
+            Repr::Inline { buf, len } => &mut buf.as_mut_slice()[..*len],
+            Repr::Heap(vec) => vec,
+        }
+    }
+}
+
+impl<A: Array> Default for SmallVec<A> {
+    fn default() -> Self {
+        SmallVec::new()
+    }
+}
+
+impl<A: Array> Clone for SmallVec<A>
+where
+    A: Clone,
+{
+    fn clone(&self) -> Self {
+        SmallVec {
+            repr: self.repr.clone(),
+        }
+    }
+}
+
+impl<A: Array> Deref for SmallVec<A> {
+    type Target = [A::Item];
+
+    fn deref(&self) -> &[A::Item] {
+        self.as_slice()
+    }
+}
+
+impl<A: Array> DerefMut for SmallVec<A> {
+    fn deref_mut(&mut self) -> &mut [A::Item] {
+        self.as_mut_slice()
+    }
+}
+
+impl<A: Array> fmt::Debug for SmallVec<A>
+where
+    A::Item: fmt::Debug,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
+impl<A: Array> PartialEq for SmallVec<A>
+where
+    A::Item: PartialEq,
+{
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<A: Array> Eq for SmallVec<A> where A::Item: Eq {}
+
+impl<A: Array> Hash for SmallVec<A>
+where
+    A::Item: Hash,
+{
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl<A: Array> Extend<A::Item> for SmallVec<A> {
+    fn extend<I: IntoIterator<Item = A::Item>>(&mut self, iter: I) {
+        for item in iter {
+            self.push(item);
+        }
+    }
+}
+
+impl<A: Array> FromIterator<A::Item> for SmallVec<A> {
+    fn from_iter<I: IntoIterator<Item = A::Item>>(iter: I) -> Self {
+        let mut v = SmallVec::new();
+        v.extend(iter);
+        v
+    }
+}
+
+impl<A: Array> From<Vec<A::Item>> for SmallVec<A> {
+    fn from(vec: Vec<A::Item>) -> Self {
+        SmallVec::from_vec(vec)
+    }
+}
+
+impl<A: Array> From<&[A::Item]> for SmallVec<A> {
+    fn from(slice: &[A::Item]) -> Self {
+        SmallVec::from_slice(slice)
+    }
+}
+
+impl<'a, A: Array> IntoIterator for &'a SmallVec<A> {
+    type Item = &'a A::Item;
+    type IntoIter = std::slice::Iter<'a, A::Item>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl<'a, A: Array> IntoIterator for &'a mut SmallVec<A> {
+    type Item = &'a mut A::Item;
+    type IntoIter = std::slice::IterMut<'a, A::Item>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_mut_slice().iter_mut()
+    }
+}
+
+/// Owned iterator: drains through a `Vec` (the stub trades a copy for
+/// simplicity; owned iteration is not on any hot path here).
+impl<A: Array> IntoIterator for SmallVec<A> {
+    type Item = A::Item;
+    type IntoIter = std::vec::IntoIter<A::Item>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        match self.repr {
+            // The copy into a Vec is what produces the owned iterator the
+            // associated type promises.
+            #[allow(clippy::unnecessary_to_owned)]
+            Repr::Inline { buf, len } => buf.as_slice()[..len].to_vec().into_iter(),
+            Repr::Heap(vec) => vec.into_iter(),
+        }
+    }
+}
+
+/// Constructs a [`SmallVec`] like `vec!` (element list form only).
+#[macro_export]
+macro_rules! smallvec {
+    () => {
+        $crate::SmallVec::new()
+    };
+    ($($x:expr),+ $(,)?) => {{
+        let mut v = $crate::SmallVec::new();
+        $(v.push($x);)+
+        v
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type V = SmallVec<[u32; 3]>;
+
+    #[test]
+    fn stays_inline_up_to_capacity() {
+        let mut v = V::new();
+        assert!(v.is_empty());
+        v.push(1);
+        v.push(2);
+        v.push(3);
+        assert!(!v.spilled());
+        assert_eq!(v.as_slice(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn spills_to_the_heap_beyond_capacity() {
+        let mut v = V::new();
+        for i in 0..10 {
+            v.push(i);
+        }
+        assert!(v.spilled());
+        assert_eq!(v.len(), 10);
+        assert_eq!(v[9], 9);
+        assert_eq!(v.pop(), Some(9));
+    }
+
+    #[test]
+    fn collects_and_compares_like_a_vec() {
+        let v: V = (0..2).collect();
+        let w = V::from_vec(vec![0, 1]);
+        assert_eq!(v, w);
+        assert!(!v.spilled());
+        assert!(w.spilled(), "from_vec keeps the allocation");
+        let total: u32 = (&v).into_iter().sum();
+        assert_eq!(total, 1);
+    }
+
+    #[test]
+    fn macro_matches_vec_macro_shape() {
+        let v: V = smallvec![4, 5];
+        assert_eq!(v.as_slice(), &[4, 5]);
+        let e: V = smallvec![];
+        assert!(e.is_empty());
+        assert_eq!(v.iter().copied().collect::<Vec<_>>(), vec![4, 5]);
+    }
+
+    #[test]
+    fn mutation_through_deref_mut() {
+        let mut v: V = smallvec![1, 2, 3];
+        v[0] = 9;
+        for x in &mut v {
+            *x += 1;
+        }
+        assert_eq!(v.as_slice(), &[10, 3, 4]);
+        v.clear();
+        assert!(v.is_empty());
+    }
+}
