@@ -15,10 +15,15 @@
 //!   lowering on either side.
 //!
 //! `pipeline_speedup = reference_ns / event_ns` (the end-to-end win per
-//! sweep point; the enforced DM floor) and
-//! `scheduler_speedup = sched_reference_ns / event_ns` (recorded so a
-//! scheduler regression cannot hide behind lowering cost).  Every
-//! measurement first asserts that both paths produce identical results.
+//! sweep point) and `scheduler_speedup = sched_reference_ns / event_ns`
+//! (recorded so a scheduler regression cannot hide behind lowering cost).
+//! Floors are enforced for **all three machines** — DM, SWSM and scalar —
+//! so the single-unit engine path is guarded too.  Every measurement first
+//! asserts that both paths produce identical results.
+//!
+//! A fourth, sweep-mode number per program runs a whole (window × MD) DM
+//! grid over one recycled [`SimPool`] versus per-point construction,
+//! pinning the amortised-construction win of the pooled sweep path.
 //!
 //! Each pipeline is timed as a warm burst (the sweep drivers run the same
 //! machine back to back, so warm-cache cost is the deployed cost), taking
@@ -35,7 +40,8 @@
 
 use dae_core::LoweredTrace;
 use dae_machines::{
-    DecoupledMachine, DmConfig, ScalarConfig, ScalarReference, SuperscalarMachine, SwsmConfig,
+    DecoupledMachine, DmConfig, ScalarConfig, ScalarReference, SimPool, SuperscalarMachine,
+    SwsmConfig,
 };
 use dae_trace::{expand_swsm, lower_scalar, partition, PartitionMode};
 use dae_workloads::PerfectProgram;
@@ -59,12 +65,41 @@ const MD: u64 = 60;
 const DM_PIPELINE_FLOOR: f64 = 3.4;
 const DM_SCHEDULER_FLOOR: f64 = 2.4;
 
+/// Enforced floors for the SWSM and the scalar reference at the same
+/// configuration.  Before PR 3 only the DM was guarded, so a regression of
+/// the single-unit machines (which share every scheduler structure but
+/// exercise the single-unit engine path) could land silently.  Measured
+/// 3.8–7.6x / 3.4–6.9x (SWSM) and 5.6–6.9x / 4.9–6.4x (scalar) on the CI
+/// container after the single-unit fast path; the floors sit far below the
+/// observed minima because a shared-box load spike hits a single 600μs
+/// measurement harder than the DM's larger ones, but far above the ~1x a
+/// real engine regression would produce.
+const SWSM_PIPELINE_FLOOR: f64 = 3.0;
+const SWSM_SCHEDULER_FLOOR: f64 = 2.5;
+const SCALAR_PIPELINE_FLOOR: f64 = 3.5;
+const SCALAR_SCHEDULER_FLOOR: f64 = 3.0;
+
+/// Floor for the sweep-mode benchmark: a many-point sweep over one
+/// recycled [`SimPool`] versus the same points with per-point
+/// construction.  Construction is ~5% of a DM run, so the honest win is
+/// modest; the floor only guards against pooling becoming a *loss*.
+const SWEEP_FLOOR: f64 = 1.01;
+
 /// Smoke-mode floors: shorter traces amortise per-run fixed costs less and
 /// the reduced repetition count rejects less noise, so CI's fast tripwire
 /// uses a wider margin.  A real regression of the event-driven engine
 /// (losing time-skipping, losing the calendar queue) lands far below this.
 const SMOKE_PIPELINE_FLOOR: f64 = 2.5;
 const SMOKE_SCHEDULER_FLOOR: f64 = 1.8;
+const SMOKE_SWSM_PIPELINE_FLOOR: f64 = 2.5;
+const SMOKE_SWSM_SCHEDULER_FLOOR: f64 = 2.0;
+const SMOKE_SCALAR_PIPELINE_FLOOR: f64 = 2.5;
+const SMOKE_SCALAR_SCHEDULER_FLOOR: f64 = 2.2;
+/// Below break-even: the expected smoke-mode win is only ~1.05x, so an
+/// exact 1.0 floor would leave no margin for a load spike landing on the
+/// pooled reps but not the fresh ones; 0.97 still catches pooling becoming
+/// a real loss.
+const SMOKE_SWEEP_FLOOR: f64 = 0.97;
 
 /// Times one pipeline as a warm burst: one untimed warm-up call, then the
 /// minimum single-run time over `reps` repetitions.
@@ -110,6 +145,55 @@ impl Measurement {
     }
 }
 
+/// One sweep-mode measurement: the same multi-point sweep run over one
+/// recycled buffer pool versus per-point construction.
+struct SweepMeasurement {
+    name: String,
+    pooled_ns: f64,
+    fresh_ns: f64,
+}
+
+impl SweepMeasurement {
+    fn speedup(&self) -> f64 {
+        self.fresh_ns / self.pooled_ns
+    }
+}
+
+/// The minimum of `f` over the measurements whose name starts with
+/// `prefix` (the per-machine floor checks).
+fn min_over(results: &[Measurement], prefix: &str, f: impl Fn(&Measurement) -> f64) -> f64 {
+    results
+        .iter()
+        .filter(|m| m.name.starts_with(prefix))
+        .map(f)
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// The commit hash the baseline was measured at (with a `-dirty` suffix
+/// when the working tree has uncommitted changes), or `"unknown"` outside
+/// a git checkout.
+fn commit_hash() -> String {
+    let output = |args: &[&str]| {
+        std::process::Command::new("git")
+            .args(args)
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+    };
+    match output(&["rev-parse", "HEAD"]) {
+        Some(hash) => {
+            let dirty = output(&["status", "--porcelain"]).is_none_or(|s| !s.is_empty());
+            if dirty {
+                format!("{hash}-dirty")
+            } else {
+                hash
+            }
+        }
+        None => "unknown".to_string(),
+    }
+}
+
 fn main() {
     let smoke = std::env::var("BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
     let (iterations, reps) = if smoke { (150, 5) } else { (300, 9) };
@@ -118,6 +202,20 @@ fn main() {
     }
 
     let mut results: Vec<Measurement> = Vec::new();
+    let mut sweeps: Vec<SweepMeasurement> = Vec::new();
+    // The sweep benchmark's (window, MD) grid: a slice of the figure
+    // sweeps' real parameter space, small windows and MD = 0 included so
+    // per-point construction is a visible share of the cheap points.
+    let sweep_points: [(usize, u64); 8] = [
+        (8, 0),
+        (16, 0),
+        (32, 0),
+        (64, 0),
+        (8, MD),
+        (16, MD),
+        (32, MD),
+        (64, MD),
+    ];
 
     for program in PerfectProgram::REPRESENTATIVE {
         let trace = program.workload().trace(iterations);
@@ -189,6 +287,49 @@ fn main() {
             reference_ns,
             sched_reference_ns,
         });
+
+        // Sweep mode: the same pre-lowered DM program across the whole
+        // (window, MD) grid, once over one recycled pool (each sweep starts
+        // cold, so the measurement includes the first point's construction)
+        // and once with per-point construction — the amortised-construction
+        // win the figure sweeps see.  Equality is asserted up front.
+        {
+            let mut pool = SimPool::new();
+            for &(w, md) in &sweep_points {
+                let machine = DecoupledMachine::new(DmConfig::paper(w, md));
+                assert_eq!(
+                    machine.run_pooled(&dm_program, trace.len(), &mut pool),
+                    machine.run_lowered(&dm_program, trace.len()),
+                    "pooled sweep differential check failed for {program}"
+                );
+            }
+            let machines: Vec<DecoupledMachine> = sweep_points
+                .iter()
+                .map(|&(w, md)| DecoupledMachine::new(DmConfig::paper(w, md)))
+                .collect();
+            let pooled_ns = measure(reps, || {
+                let mut pool = SimPool::new();
+                machines
+                    .iter()
+                    .map(|m| m.run_pooled(&dm_program, trace.len(), &mut pool).cycles())
+                    .sum::<u64>()
+            });
+            let fresh_ns = measure(reps, || {
+                machines
+                    .iter()
+                    .map(|m| m.run_lowered(&dm_program, trace.len()).cycles())
+                    .sum::<u64>()
+            });
+            sweeps.push(SweepMeasurement {
+                name: format!(
+                    "dm_sweep{}_w8-64_md0-{MD}/{}",
+                    sweep_points.len(),
+                    program.name()
+                ),
+                pooled_ns,
+                fresh_ns,
+            });
+        }
     }
 
     println!(
@@ -207,18 +348,36 @@ fn main() {
         );
     }
 
-    let min_dm_pipeline = results
+    println!(
+        "\n{:<34} {:>12} {:>12} {:>9}",
+        "sweep benchmark", "pooled ns", "fresh ns", "speedup"
+    );
+    for s in &sweeps {
+        println!(
+            "{:<34} {:>12.0} {:>12.0} {:>8.2}x",
+            s.name,
+            s.pooled_ns,
+            s.fresh_ns,
+            s.speedup()
+        );
+    }
+
+    let min_dm_pipeline = min_over(&results, "dm_w", Measurement::pipeline_speedup);
+    let min_dm_scheduler = min_over(&results, "dm_w", Measurement::scheduler_speedup);
+    let min_swsm_pipeline = min_over(&results, "swsm_", Measurement::pipeline_speedup);
+    let min_swsm_scheduler = min_over(&results, "swsm_", Measurement::scheduler_speedup);
+    let min_scalar_pipeline = min_over(&results, "scalar_", Measurement::pipeline_speedup);
+    let min_scalar_scheduler = min_over(&results, "scalar_", Measurement::scheduler_speedup);
+    let min_sweep = sweeps
         .iter()
-        .filter(|m| m.name.starts_with("dm_"))
-        .map(Measurement::pipeline_speedup)
-        .fold(f64::INFINITY, f64::min);
-    let min_dm_scheduler = results
-        .iter()
-        .filter(|m| m.name.starts_with("dm_"))
-        .map(Measurement::scheduler_speedup)
+        .map(SweepMeasurement::speedup)
         .fold(f64::INFINITY, f64::min);
     println!(
-        "\nminimum DM speedup at MD = {MD}: pipeline {min_dm_pipeline:.2}x, scheduler-only {min_dm_scheduler:.2}x"
+        "\nminimum speedups at MD = {MD} (pipeline / scheduler-only): \
+         DM {min_dm_pipeline:.2}x / {min_dm_scheduler:.2}x, \
+         SWSM {min_swsm_pipeline:.2}x / {min_swsm_scheduler:.2}x, \
+         scalar {min_scalar_pipeline:.2}x / {min_scalar_scheduler:.2}x; \
+         sweep pooling {min_sweep:.2}x"
     );
 
     if smoke {
@@ -238,25 +397,83 @@ fn main() {
             );
             json.push_str(if i + 1 == results.len() { "\n" } else { ",\n" });
         }
+        json.push_str("  ],\n  \"sweep_benchmarks\": [\n");
+        for (i, s) in sweeps.iter().enumerate() {
+            let _ = write!(
+                json,
+                "    {{\"name\": \"{}\", \"pooled_ns\": {:.0}, \"fresh_ns\": {:.0}, \"speedup\": {:.3}}}",
+                s.name,
+                s.pooled_ns,
+                s.fresh_ns,
+                s.speedup()
+            );
+            json.push_str(if i + 1 == sweeps.len() { "\n" } else { ",\n" });
+        }
         let _ = write!(
             json,
-            "  ],\n  \"config\": {{\"iterations\": {iterations}, \"window\": {WINDOW}, \"memory_differential\": {MD}}},\n  \"min_dm_pipeline_speedup\": {min_dm_pipeline:.3},\n  \"min_dm_scheduler_speedup\": {min_dm_scheduler:.3}\n}}\n"
+            "  ],\n  \"config\": {{\"iterations\": {iterations}, \"window\": {WINDOW}, \"memory_differential\": {MD}, \"commit\": \"{}\"}},\n  \"min_dm_pipeline_speedup\": {min_dm_pipeline:.3},\n  \"min_dm_scheduler_speedup\": {min_dm_scheduler:.3},\n  \"min_swsm_pipeline_speedup\": {min_swsm_pipeline:.3},\n  \"min_swsm_scheduler_speedup\": {min_swsm_scheduler:.3},\n  \"min_scalar_pipeline_speedup\": {min_scalar_pipeline:.3},\n  \"min_scalar_scheduler_speedup\": {min_scalar_scheduler:.3},\n  \"min_sweep_speedup\": {min_sweep:.3}\n}}\n",
+            commit_hash()
         );
         std::fs::write("BENCH_simulator_throughput.json", json).expect("write baseline json");
         println!("wrote BENCH_simulator_throughput.json");
     }
 
-    let (pipeline_floor, scheduler_floor) = if smoke {
-        (SMOKE_PIPELINE_FLOOR, SMOKE_SCHEDULER_FLOOR)
+    // Every floor applies in both modes (smoke uses the wider constants);
+    // the per-machine checks run in CI on every push, so any machine's
+    // engine path regressing — not just the DM's — fails fast.
+    let floors: [(&str, f64, f64); 7] = if smoke {
+        [
+            ("DM pipeline", min_dm_pipeline, SMOKE_PIPELINE_FLOOR),
+            ("DM scheduler-only", min_dm_scheduler, SMOKE_SCHEDULER_FLOOR),
+            (
+                "SWSM pipeline",
+                min_swsm_pipeline,
+                SMOKE_SWSM_PIPELINE_FLOOR,
+            ),
+            (
+                "SWSM scheduler-only",
+                min_swsm_scheduler,
+                SMOKE_SWSM_SCHEDULER_FLOOR,
+            ),
+            (
+                "scalar pipeline",
+                min_scalar_pipeline,
+                SMOKE_SCALAR_PIPELINE_FLOOR,
+            ),
+            (
+                "scalar scheduler-only",
+                min_scalar_scheduler,
+                SMOKE_SCALAR_SCHEDULER_FLOOR,
+            ),
+            ("sweep pooling", min_sweep, SMOKE_SWEEP_FLOOR),
+        ]
     } else {
-        (DM_PIPELINE_FLOOR, DM_SCHEDULER_FLOOR)
+        [
+            ("DM pipeline", min_dm_pipeline, DM_PIPELINE_FLOOR),
+            ("DM scheduler-only", min_dm_scheduler, DM_SCHEDULER_FLOOR),
+            ("SWSM pipeline", min_swsm_pipeline, SWSM_PIPELINE_FLOOR),
+            (
+                "SWSM scheduler-only",
+                min_swsm_scheduler,
+                SWSM_SCHEDULER_FLOOR,
+            ),
+            (
+                "scalar pipeline",
+                min_scalar_pipeline,
+                SCALAR_PIPELINE_FLOOR,
+            ),
+            (
+                "scalar scheduler-only",
+                min_scalar_scheduler,
+                SCALAR_SCHEDULER_FLOOR,
+            ),
+            ("sweep pooling", min_sweep, SWEEP_FLOOR),
+        ]
     };
-    assert!(
-        min_dm_pipeline >= pipeline_floor,
-        "DM pipeline speedup regressed below the {pipeline_floor}x floor: {min_dm_pipeline:.2}x"
-    );
-    assert!(
-        min_dm_scheduler >= scheduler_floor,
-        "DM scheduler-only speedup regressed below the {scheduler_floor}x floor: {min_dm_scheduler:.2}x"
-    );
+    for (name, measured, floor) in floors {
+        assert!(
+            measured >= floor,
+            "{name} speedup regressed below the {floor}x floor: {measured:.2}x"
+        );
+    }
 }

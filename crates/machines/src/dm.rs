@@ -1,7 +1,7 @@
 //! The access decoupled machine (DM).
 
 use crate::engine::{self, MachineSpec};
-use crate::{DmConfig, DmResult, EswStats, ExecutionSummary};
+use crate::{DmConfig, DmResult, EswStats, ExecutionSummary, SimPool};
 use dae_isa::Cycle;
 use dae_mem::DecoupledMemory;
 use dae_ooo::{EventUnit, ExecContext, GateWait, NaiveUnitSim, SchedulerUnit, UnitSim};
@@ -171,7 +171,7 @@ impl EswAccumulator {
         }
     }
 
-    fn finish(self) -> EswStats {
+    fn finish(&self) -> EswStats {
         EswStats {
             max_esw: self.esw_max,
             avg_esw: if self.samples == 0 {
@@ -190,17 +190,18 @@ impl EswAccumulator {
     }
 }
 
-/// Per-run preparation shared by both run loops.
-fn consumer_counts(program: &DecoupledProgram) -> Vec<u32> {
-    // How many LoadConsume instructions read each transaction, so the
-    // decoupled-memory entry can be released after its last consumer.
-    let mut consumers_remaining = vec![0u32; program.transactions as usize];
+/// Per-run preparation shared by both run loops: how many LoadConsume
+/// instructions read each transaction, so the decoupled-memory entry can be
+/// released after its last consumer.  Fills (and re-sizes) a recycled
+/// buffer rather than allocating one per run.
+fn consumer_counts_into(program: &DecoupledProgram, counts: &mut Vec<u32>) {
+    counts.clear();
+    counts.resize(program.transactions as usize, 0);
     for inst in program.au.iter().chain(program.du.iter()) {
         if inst.kind == ExecKind::LoadConsume {
-            consumers_remaining[inst.tag.expect("tagged") as usize] += 1;
+            counts[inst.tag.expect("tagged") as usize] += 1;
         }
     }
-    consumers_remaining
 }
 
 /// Index of the AU in the engine's unit slice.
@@ -216,7 +217,7 @@ struct DmSpec<'a> {
     consumers_remaining: Vec<u32>,
     transfer: Cycle,
     /// AU producer index → DU instructions waiting on it through a
-    /// `Dep::Cross` edge (prebuilt by the partitioner; each issue forwards a
+    /// cross `Dep` edge (prebuilt by the partitioner; each issue forwards a
     /// wakeup to exactly its consumers).
     cross_to_du: &'a WakeupList,
     /// DU producer index → AU instructions waiting on it.
@@ -226,9 +227,28 @@ struct DmSpec<'a> {
 
 impl<'a> DmSpec<'a> {
     fn new(config: &DmConfig, program: &'a DecoupledProgram) -> Self {
+        let mut counts = Vec::new();
+        consumer_counts_into(program, &mut counts);
+        Self::with_scratch(config, program, Vec::new(), counts)
+    }
+
+    /// [`DmSpec::new`] over recycled buffers: `arrivals` backs the
+    /// decoupled memory's tag table and `counts` carries the
+    /// already-populated consumer reference counts.
+    fn with_scratch(
+        config: &DmConfig,
+        program: &'a DecoupledProgram,
+        arrivals: Vec<Cycle>,
+        counts: Vec<u32>,
+    ) -> Self {
+        debug_assert_eq!(counts.len(), program.transactions as usize);
         DmSpec {
-            memory: DecoupledMemory::new(config.memory_differential, config.decoupled_memory),
-            consumers_remaining: consumer_counts(program),
+            memory: DecoupledMemory::with_scratch(
+                config.memory_differential,
+                config.decoupled_memory,
+                arrivals,
+            ),
+            consumers_remaining: counts,
             transfer: config.transfer_latency,
             cross_to_du: &program.cross_to_du,
             cross_to_au: &program.cross_to_au,
@@ -325,23 +345,62 @@ impl DecoupledMachine {
     /// Panics if the simulation exceeds the deadlock safety bound.
     #[must_use]
     pub fn run_lowered(&self, program: &DecoupledProgram, trace_instructions: usize) -> DmResult {
+        self.run_pooled(program, trace_instructions, &mut SimPool::new())
+    }
+
+    /// [`DecoupledMachine::run_lowered`] over recycled simulation buffers:
+    /// the two units' working sets, the decoupled memory's tag table and
+    /// the consumer counts are checked out of `pool`, reset for this
+    /// program, and returned when the run finishes — a warm pool makes the
+    /// whole run allocation-free.  Results are bit-for-bit identical to the
+    /// fresh path (`tests/pool_reuse.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation exceeds the deadlock safety bound.
+    #[must_use]
+    pub fn run_pooled(
+        &self,
+        program: &DecoupledProgram,
+        trace_instructions: usize,
+        pool: &mut SimPool,
+    ) -> DmResult {
         let mut units = [
-            UnitSim::with_wakeups(
+            UnitSim::with_wakeups_scratch(
                 Arc::clone(&program.au),
                 Arc::clone(&program.au_wakeups),
                 self.config.au,
                 self.config.latencies,
+                pool.take_unit(),
             ),
-            UnitSim::with_wakeups(
+            UnitSim::with_wakeups_scratch(
                 Arc::clone(&program.du),
                 Arc::clone(&program.du_wakeups),
                 self.config.du,
                 self.config.latencies,
+                pool.take_unit(),
             ),
         ];
-        let mut spec = DmSpec::new(&self.config, program);
+        let mut counts = std::mem::take(&mut pool.tag_counts);
+        pool.consumer_counts(&program.au, &mut counts, |counts| {
+            consumer_counts_into(program, counts);
+        });
+        let mut spec = DmSpec::with_scratch(
+            &self.config,
+            program,
+            std::mem::take(&mut pool.arrivals),
+            counts,
+        );
         engine::run_event(&mut units, &mut spec, self.safety_bound(program), "DM");
-        assemble(&units, spec, program, trace_instructions)
+        let result = assemble(&units, &spec, program, trace_instructions);
+        pool.arrivals = spec.memory.into_scratch();
+        pool.tag_counts = spec.consumers_remaining;
+        // Reverse unit order, so the next run's AU pops the AU scratch
+        // (keeping each scratch's cached stream template on its stream).
+        let [au, du] = units;
+        pool.put_unit(du.into_scratch());
+        pool.put_unit(au.into_scratch());
+        result
     }
 
     /// Runs `trace` on the retained naive reference scheduler with the
@@ -385,7 +444,7 @@ impl DecoupledMachine {
         ];
         let mut spec = DmSpec::new(&self.config, program);
         engine::run_lockstep(&mut units, &mut spec, self.safety_bound(program), "DM");
-        assemble(&units, spec, program, trace_instructions)
+        assemble(&units, &spec, program, trace_instructions)
     }
 
     fn safety_bound(&self, program: &DecoupledProgram) -> Cycle {
@@ -400,7 +459,7 @@ impl DecoupledMachine {
 /// Collects the result of a finished run, whichever scheduler drove it.
 fn assemble<U: SchedulerUnit>(
     units: &[U; 2],
-    spec: DmSpec<'_>,
+    spec: &DmSpec<'_>,
     program: &DecoupledProgram,
     trace_instructions: usize,
 ) -> DmResult {

@@ -82,26 +82,39 @@ pub(crate) trait MachineSpec<U: SchedulerUnit> {
 /// The event-driven run loop with asymmetric per-unit clocks (see the
 /// module docs).  Runs until every unit is done.
 ///
+/// The unit count is a compile-time constant (every machine knows its
+/// shape), so the per-unit bookkeeping lives in stack arrays — the loop
+/// performs no allocation at all — and the single-unit machines (SWSM,
+/// scalar) monomorphise straight into [`run_event_single`], which has no
+/// multi-unit bookkeeping to begin with.
+///
 /// # Panics
 ///
 /// Panics if the clock reaches `safety_bound` cycles, which indicates a
 /// machine deadlock (e.g. a cross wakeup that can never arrive) rather than
 /// a slow program.
-pub(crate) fn run_event<U, S>(units: &mut [U], spec: &mut S, safety_bound: Cycle, machine: &str)
-where
+pub(crate) fn run_event<U, S, const N: usize>(
+    units: &mut [U; N],
+    spec: &mut S,
+    safety_bound: Cycle,
+    machine: &str,
+) where
     U: EventUnit,
     S: MachineSpec<U>,
 {
+    if N == 1 {
+        return run_event_single(units, spec, safety_bound, machine);
+    }
     if units.iter().all(U::is_done) {
         return;
     }
-    let n = units.len();
+    let n = N;
     // Cycles already settled into each unit's statistics: cycles
     // `[0, synced[u])` are accounted, via steps or bulk idle advances.
-    let mut synced = vec![0 as Cycle; n];
+    let mut synced = [0 as Cycle; N];
     // Units whose horizon is the current cycle.  Everyone steps at cycle 0.
-    let mut due = vec![true; n];
-    let mut horizon: Vec<Option<Cycle>> = vec![None; n];
+    let mut due = [true; N];
+    let mut horizon: [Option<Cycle>; N] = [None; N];
     let mut now: Cycle = 0;
     loop {
         for u in 0..n {
@@ -162,6 +175,56 @@ where
             // Machine-level per-cycle samples cover the skipped span with
             // the frozen window state, exactly as the lockstep loop would
             // have sampled it.
+            spec.sample(units, skipped);
+        }
+        now = next;
+        assert!(
+            now < safety_bound,
+            "{machine} simulation exceeded {safety_bound} cycles — likely a deadlock"
+        );
+    }
+}
+
+/// The single-unit specialisation of [`run_event`].
+///
+/// With one unit the general loop's machinery is pure overhead: there is no
+/// peer to inject events, so no horizon needs re-arming after a step (the
+/// unit's own `next_activity` is the whole schedule), no `synced` lag can
+/// accumulate (the unit is stepped at every advance), and the `due`
+/// bookkeeping collapses to "step at the horizon".  The calendar-queue
+/// generality cost the scalar machine ~10% per step through exactly this
+/// bookkeeping; the specialisation restores the straight-line loop.
+///
+/// Accounting equivalence with the general loop: after a step at `now` the
+/// unit's statistics cover `[0, now + 1)`; a skip to `next` pays
+/// `idle_advance(next - now - 1)` immediately (the general loop defers it
+/// until just before the next step, but no one can observe the difference —
+/// there is no peer), and machine-level samples cover the skipped span with
+/// the same frozen state.
+fn run_event_single<U, S>(units: &mut [U], spec: &mut S, safety_bound: Cycle, machine: &str)
+where
+    U: EventUnit,
+    S: MachineSpec<U>,
+{
+    debug_assert_eq!(units.len(), 1);
+    if units[0].is_done() {
+        return;
+    }
+    let mut now: Cycle = 0;
+    loop {
+        spec.step_unit(units, 0, now);
+        spec.sample(units, 1);
+        if units[0].is_done() {
+            return;
+        }
+        // No peer exists to move the horizon, so the unit's own answer is
+        // final; `None` (only external events could help, and none can
+        // come) limps forward cycle by cycle into the safety bound.
+        let next = units[0].next_activity(now).unwrap_or(now + 1);
+        debug_assert!(next > now);
+        let skipped = next - now - 1;
+        if skipped > 0 {
+            units[0].idle_advance(skipped);
             spec.sample(units, skipped);
         }
         now = next;

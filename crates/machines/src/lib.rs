@@ -47,6 +47,7 @@
 mod config;
 mod dm;
 mod engine;
+mod pool;
 mod result;
 mod scalar;
 mod swsm;
@@ -56,6 +57,7 @@ pub use config::{
     PAPER_SWSM_ISSUE_WIDTH,
 };
 pub use dm::DecoupledMachine;
+pub use pool::{with_thread_pool, SimPool};
 pub use result::{DmResult, EswStats, ExecutionSummary, ScalarResult, SwsmResult};
 pub use scalar::ScalarReference;
 pub use swsm::SuperscalarMachine;

@@ -1,0 +1,155 @@
+//! Reusable simulation buffers for allocation-free parameter sweeps.
+//!
+//! Every figure of the paper is a sweep — (window size × memory
+//! differential × workload) — and every sweep point used to rebuild the
+//! whole simulator working set from nothing: two `UnitSim`s' worth of
+//! window links, ready bitsets, event rings and completion arrays for a DM
+//! point, plus the decoupled memory's tag table and the consumer reference
+//! counts.  That construction is ~5% of a DM run, paid at every point.
+//!
+//! A [`SimPool`] keeps those buffers between runs.  The `run_pooled`
+//! methods on the three machines check buffers out, run, and check them
+//! back in; a construction from a warm pool performs no allocation (until
+//! a stream outgrows the recycled capacity, after which the grown buffer
+//! is what gets recycled).  Pooled and fresh runs are bit-for-bit
+//! identical — `tests/pool_reuse.rs` interleaves machines, window shapes
+//! and stream lengths on one pool and holds every result to the fresh and
+//! reference paths.
+//!
+//! [`with_thread_pool`] supplies a per-thread pool, which is how the sweep
+//! drivers in `dae-core` cooperate with their rayon-style parallel points:
+//! each worker thread owns one pool, points running on the same worker
+//! share it, and no locking or cross-thread hand-off exists anywhere.  The
+//! take-and-replace discipline (the pool is moved out of the thread-local
+//! slot while in use) makes a re-entrant call safe: it simply finds an
+//! empty slot and allocates fresh.
+
+use dae_isa::{Address, Cycle};
+use dae_mem::FxHashMap;
+use dae_ooo::UnitScratch;
+use dae_trace::MachineInst;
+use std::cell::Cell;
+use std::sync::{Arc, Weak};
+
+/// Recycled buffers for every structure the machines build per run: unit
+/// scratch (one entry per concurrently live unit — two for the DM), the
+/// decoupled memory's arrival table, the DM's per-transaction consumer
+/// counts and the SWSM's prefetch-buffer map.
+#[derive(Debug, Default)]
+pub struct SimPool {
+    units: Vec<UnitScratch>,
+    pub(crate) tag_counts: Vec<u32>,
+    pub(crate) arrivals: Vec<Cycle>,
+    pub(crate) prefetch: FxHashMap<Address, Cycle>,
+    /// Pristine consumer counts cached for repeated runs of one program
+    /// (keyed by the AU stream's identity; a `Weak` so a dropped program
+    /// can never alias a recycled allocation) — the sweep shape re-runs one
+    /// lowered program across many machine parameters, and this turns the
+    /// per-point two-stream walk into a memcpy.
+    pub(crate) counts_template: Vec<u32>,
+    pub(crate) counts_of: Weak<Vec<MachineInst>>,
+}
+
+impl SimPool {
+    /// An empty pool; buffers materialise on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        SimPool::default()
+    }
+
+    /// Checks a unit scratch out of the pool (fresh if none is available).
+    pub(crate) fn take_unit(&mut self) -> UnitScratch {
+        self.units.pop().unwrap_or_default()
+    }
+
+    /// Returns a unit scratch to the pool for the next run.
+    ///
+    /// The pool is a stack, so multi-unit machines return their scratches
+    /// in *reverse* unit order — the next run's unit 0 then pops the
+    /// scratch that previously served unit 0, keeping each scratch's
+    /// cached stream template paired with the stream it was built from.
+    pub(crate) fn put_unit(&mut self, scratch: UnitScratch) {
+        self.units.push(scratch);
+    }
+
+    /// Fills `counts` with the pristine per-transaction consumer counts for
+    /// the program identified by `stream`, from the cached template when
+    /// the identity matches, otherwise via `compute` (whose result is then
+    /// cached).
+    pub(crate) fn consumer_counts(
+        &mut self,
+        stream: &Arc<Vec<MachineInst>>,
+        counts: &mut Vec<u32>,
+        compute: impl FnOnce(&mut Vec<u32>),
+    ) {
+        let cached = self
+            .counts_of
+            .upgrade()
+            .is_some_and(|of| Arc::ptr_eq(&of, stream));
+        if cached {
+            counts.clear();
+            counts.extend_from_slice(&self.counts_template);
+        } else {
+            compute(counts);
+            self.counts_template.clear();
+            self.counts_template.extend_from_slice(counts);
+            self.counts_of = Arc::downgrade(stream);
+        }
+    }
+}
+
+thread_local! {
+    /// The per-thread pool behind [`with_thread_pool`].  `Cell<Option<..>>`
+    /// rather than `RefCell`: the pool is *moved out* while a run uses it,
+    /// so nested calls can never observe a half-updated pool (they just
+    /// miss it and allocate fresh) and no borrow can panic.
+    static THREAD_POOL: Cell<Option<SimPool>> = const { Cell::new(None) };
+}
+
+/// Runs `f` with this thread's [`SimPool`], creating it on first use.
+///
+/// Sweep drivers call this around each simulation point; points executed by
+/// the same worker thread reuse one pool with no synchronisation.  The pool
+/// lives for the thread's lifetime — for the vendored rayon stub that means
+/// one pool per worker per parallel call, and permanent reuse on the main
+/// thread (the repeated-single-run shape the benchmarks measure).
+pub fn with_thread_pool<R>(f: impl FnOnce(&mut SimPool) -> R) -> R {
+    THREAD_POOL.with(|slot| {
+        let mut pool = slot.take().unwrap_or_default();
+        let result = f(&mut pool);
+        slot.set(Some(pool));
+        result
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_pool_survives_across_calls_and_nesting() {
+        let scratch = with_thread_pool(|pool| {
+            pool.tag_counts.push(7);
+            // A nested call must not see (or clobber) the checked-out pool.
+            with_thread_pool(|inner| {
+                assert!(inner.tag_counts.is_empty());
+                inner.tag_counts.push(99);
+            });
+            pool.tag_counts.len()
+        });
+        assert_eq!(scratch, 1);
+        // The outer pool (not the nested one) is what persisted.
+        with_thread_pool(|pool| assert_eq!(pool.tag_counts, vec![7]));
+        with_thread_pool(|pool| pool.tag_counts.clear());
+    }
+
+    #[test]
+    fn unit_scratch_check_out_and_in() {
+        let mut pool = SimPool::new();
+        let a = pool.take_unit();
+        let b = pool.take_unit();
+        pool.put_unit(a);
+        pool.put_unit(b);
+        assert_eq!(pool.units.len(), 2);
+    }
+}

@@ -1,7 +1,7 @@
 //! The scalar reference machine (the speedup denominator).
 
 use crate::engine::{self, MachineSpec};
-use crate::{ExecutionSummary, ScalarConfig, ScalarResult};
+use crate::{ExecutionSummary, ScalarConfig, ScalarResult, SimPool};
 use dae_isa::Cycle;
 use dae_mem::FixedLatencyMemory;
 use dae_ooo::{ExecContext, NaiveUnitSim, SchedulerUnit, UnitConfig, UnitSim};
@@ -115,17 +115,39 @@ impl ScalarReference {
     /// Panics if the simulation exceeds the deadlock safety bound.
     #[must_use]
     pub fn run_lowered(&self, program: &ScalarProgram, trace_instructions: usize) -> ScalarResult {
-        let mut units = [UnitSim::with_wakeups(
+        self.run_pooled(program, trace_instructions, &mut SimPool::new())
+    }
+
+    /// [`ScalarReference::run_lowered`] over a recycled unit working set
+    /// checked out of `pool` (the fixed-latency memory holds no per-run
+    /// buffers worth pooling).  Results are bit-for-bit identical to the
+    /// fresh path (`tests/pool_reuse.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation exceeds the deadlock safety bound.
+    #[must_use]
+    pub fn run_pooled(
+        &self,
+        program: &ScalarProgram,
+        trace_instructions: usize,
+        pool: &mut SimPool,
+    ) -> ScalarResult {
+        let mut units = [UnitSim::with_wakeups_scratch(
             std::sync::Arc::clone(&program.insts),
             std::sync::Arc::clone(&program.wakeups),
             scalar_unit_config(),
             self.config.latencies,
+            pool.take_unit(),
         )];
         let mut spec = ScalarSpec {
             memory: FixedLatencyMemory::new(self.config.memory_differential),
         };
         engine::run_event(&mut units, &mut spec, self.safety_bound(program), "scalar");
-        self.assemble(&units, program, trace_instructions)
+        let result = self.assemble(&units, program, trace_instructions);
+        let [unit] = units;
+        pool.put_unit(unit.into_scratch());
+        result
     }
 
     /// Runs `trace` on the retained naive reference scheduler with the

@@ -1,9 +1,9 @@
 //! The single-window superscalar machine (SWSM).
 
 use crate::engine::{self, MachineSpec};
-use crate::{ExecutionSummary, SwsmConfig, SwsmResult};
-use dae_isa::Cycle;
-use dae_mem::PrefetchBuffer;
+use crate::{ExecutionSummary, SimPool, SwsmConfig, SwsmResult};
+use dae_isa::{Address, Cycle};
+use dae_mem::{FxHashMap, PrefetchBuffer};
 use dae_ooo::{ExecContext, GateWait, NaiveUnitSim, SchedulerUnit, UnitSim};
 use dae_trace::{expand_swsm, ExecKind, MachineInst, SwsmProgram, Trace};
 
@@ -61,8 +61,18 @@ struct SwsmSpec {
 
 impl SwsmSpec {
     fn new(config: &SwsmConfig) -> Self {
+        Self::with_scratch(config, FxHashMap::default())
+    }
+
+    /// [`SwsmSpec::new`] over a recycled prefetch-buffer map (cleared and
+    /// reused when the buffer is unbounded — the sweep configuration).
+    fn with_scratch(config: &SwsmConfig, scratch: FxHashMap<Address, Cycle>) -> Self {
         SwsmSpec {
-            buffer: PrefetchBuffer::new(config.memory_differential, config.prefetch_buffer),
+            buffer: PrefetchBuffer::with_scratch(
+                config.memory_differential,
+                config.prefetch_buffer,
+                scratch,
+            ),
             memory_differential: config.memory_differential,
             can_evict: config.prefetch_buffer.capacity.is_some(),
         }
@@ -174,15 +184,38 @@ impl SuperscalarMachine {
     /// Panics if the simulation exceeds the deadlock safety bound.
     #[must_use]
     pub fn run_lowered(&self, program: &SwsmProgram, trace_instructions: usize) -> SwsmResult {
-        let mut units = [UnitSim::with_wakeups(
+        self.run_pooled(program, trace_instructions, &mut SimPool::new())
+    }
+
+    /// [`SuperscalarMachine::run_lowered`] over recycled simulation buffers
+    /// (the unit's working set and the prefetch-buffer map are checked out
+    /// of `pool` and returned after the run).  Results are bit-for-bit
+    /// identical to the fresh path (`tests/pool_reuse.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation exceeds the deadlock safety bound.
+    #[must_use]
+    pub fn run_pooled(
+        &self,
+        program: &SwsmProgram,
+        trace_instructions: usize,
+        pool: &mut SimPool,
+    ) -> SwsmResult {
+        let mut units = [UnitSim::with_wakeups_scratch(
             std::sync::Arc::clone(&program.insts),
             std::sync::Arc::clone(&program.wakeups),
             self.config.unit,
             self.config.latencies,
+            pool.take_unit(),
         )];
-        let mut spec = SwsmSpec::new(&self.config);
+        let mut spec = SwsmSpec::with_scratch(&self.config, std::mem::take(&mut pool.prefetch));
         engine::run_event(&mut units, &mut spec, self.safety_bound(program), "SWSM");
-        self.assemble(&units, spec, program, trace_instructions)
+        let result = self.assemble(&units, &spec, program, trace_instructions);
+        pool.prefetch = spec.buffer.into_scratch();
+        let [unit] = units;
+        pool.put_unit(unit.into_scratch());
+        result
     }
 
     /// Runs `trace` on the retained naive reference scheduler with the
@@ -218,7 +251,7 @@ impl SuperscalarMachine {
         )];
         let mut spec = SwsmSpec::new(&self.config);
         engine::run_lockstep(&mut units, &mut spec, self.safety_bound(program), "SWSM");
-        self.assemble(&units, spec, program, trace_instructions)
+        self.assemble(&units, &spec, program, trace_instructions)
     }
 
     fn safety_bound(&self, program: &SwsmProgram) -> Cycle {
@@ -232,7 +265,7 @@ impl SuperscalarMachine {
     fn assemble<U: SchedulerUnit>(
         &self,
         units: &[U; 1],
-        spec: SwsmSpec,
+        spec: &SwsmSpec,
         program: &SwsmProgram,
         trace_instructions: usize,
     ) -> SwsmResult {

@@ -154,6 +154,40 @@ fn finite_memory_structures_stay_exact() {
     assert_eq!(swsm.run(&trace), swsm.run_reference(&trace));
 }
 
+#[test]
+fn memory_differentials_beyond_the_event_ring_size_stay_exact() {
+    // Regression test for `EventRing::grow`: the ring starts at 256
+    // per-cycle buckets and no paper-grid configuration (MD ≤ 80) ever
+    // pushed an event further ahead than that.  An MD > 256 queues
+    // arrival re-evaluations (DM consume gates) and completion wakeups
+    // (scalar blocking loads) past the initial capacity *mid-run*, with a
+    // wrapped base — the re-bucketing path the unit tests in
+    // `dae-ooo/src/calendar.rs` now pin directly.
+    for program in [PerfectProgram::Trfd, PerfectProgram::Mdg] {
+        let trace = program.workload().trace(40);
+        for md in [257, 300, 1000] {
+            let dm = DecoupledMachine::new(DmConfig::paper(16, md));
+            assert_eq!(
+                dm.run(&trace),
+                dm.run_reference(&trace),
+                "DM mismatch on {program} at md={md}"
+            );
+            let swsm = SuperscalarMachine::new(SwsmConfig::paper(16, md));
+            assert_eq!(
+                swsm.run(&trace),
+                swsm.run_reference(&trace),
+                "SWSM mismatch on {program} at md={md}"
+            );
+            let scalar = ScalarReference::new(ScalarConfig::new(md));
+            assert_eq!(
+                scalar.run(&trace),
+                scalar.run_reference(&trace),
+                "scalar mismatch on {program} at md={md}"
+            );
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
 

@@ -107,14 +107,33 @@ impl DecoupledMemory {
     /// differential.
     #[must_use]
     pub fn new(differential: Cycle, config: DecoupledMemoryConfig) -> Self {
+        Self::with_scratch(differential, config, Vec::new())
+    }
+
+    /// [`DecoupledMemory::new`], recycling the arrival array of a previous
+    /// run (recovered with [`DecoupledMemory::into_scratch`]) so pooled
+    /// sweep points pay no per-run allocation for the tag table.
+    #[must_use]
+    pub fn with_scratch(
+        differential: Cycle,
+        config: DecoupledMemoryConfig,
+        mut arrivals: Vec<Cycle>,
+    ) -> Self {
+        arrivals.clear();
         DecoupledMemory {
             differential,
             config,
-            arrivals: Vec::new(),
+            arrivals,
             resident: 0,
             bypass_lines: LruMap::new(),
             stats: DecoupledMemoryStats::default(),
         }
+    }
+
+    /// Consumes the memory and returns its arrival array for reuse.
+    #[must_use]
+    pub fn into_scratch(self) -> Vec<Cycle> {
+        self.arrivals
     }
 
     /// The configured memory differential.

@@ -71,14 +71,39 @@ impl PrefetchBuffer {
     /// differential.
     #[must_use]
     pub fn new(differential: Cycle, config: PrefetchBufferConfig) -> Self {
+        Self::with_scratch(differential, config, FxHashMap::default())
+    }
+
+    /// [`PrefetchBuffer::new`], recycling the entry map of a previous
+    /// unbounded-mode run (recovered with [`PrefetchBuffer::into_scratch`])
+    /// so pooled sweep points reuse its hash-table capacity.  The
+    /// finite-capacity ablation keeps LRU order and allocates fresh; it is
+    /// never on a sweep's hot path.
+    #[must_use]
+    pub fn with_scratch(
+        differential: Cycle,
+        config: PrefetchBufferConfig,
+        mut scratch: FxHashMap<Address, Cycle>,
+    ) -> Self {
+        scratch.clear();
         PrefetchBuffer {
             differential,
             config,
             entries: match config.capacity {
                 Some(_) => Entries::Lru(LruMap::new()),
-                None => Entries::Unbounded(FxHashMap::default()),
+                None => Entries::Unbounded(scratch),
             },
             stats: PrefetchBufferStats::default(),
+        }
+    }
+
+    /// Consumes the buffer and returns its entry map for reuse (empty for
+    /// the finite-capacity LRU mode, which does not recycle).
+    #[must_use]
+    pub fn into_scratch(self) -> FxHashMap<Address, Cycle> {
+        match self.entries {
+            Entries::Unbounded(map) => map,
+            Entries::Lru(_) => FxHashMap::default(),
         }
     }
 

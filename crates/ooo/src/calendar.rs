@@ -99,6 +99,33 @@ impl EventRing {
         self.len == 0
     }
 
+    /// Returns the ring to its initial (empty, cycle-zero) state while
+    /// keeping every allocation — the bucket array (at whatever size it has
+    /// grown to), the occupancy bitmap and the node pool — so a pooled
+    /// [`UnitSim`](crate::UnitSim) pays no event-queue allocation on reuse.
+    pub(crate) fn reset(&mut self) {
+        if self.len != 0 {
+            // Stale future events (e.g. spurious cross wakeups for
+            // instructions that issued early) survive a finished run; only
+            // then do the buckets need sweeping — a fully drained ring has
+            // already cleared every head and occupancy bit through
+            // `take_at`.
+            self.heads.fill(EMPTY_HEAD);
+            self.occupancy.fill(0);
+            self.len = 0;
+        } else {
+            debug_assert!(self
+                .heads
+                .iter()
+                .all(|h| h.complete == NIL && h.reeval == NIL));
+            debug_assert!(self.occupancy.iter().all(|&w| w == 0));
+        }
+        self.nodes.clear();
+        self.free = NIL;
+        self.base = 0;
+        self.fresh.set(false);
+    }
+
     /// Queues a completion wakeup for stream index `idx` at cycle `at`.
     #[inline]
     pub(crate) fn push_complete(&mut self, at: Cycle, idx: u32) {
@@ -269,11 +296,26 @@ pub(crate) struct ReadySet {
 
 impl ReadySet {
     pub(crate) fn new(stream_len: usize) -> Self {
-        ReadySet {
-            words: vec![0; stream_len.div_ceil(64)],
+        let mut set = ReadySet {
+            words: Vec::new(),
             min_word: 0,
             count: 0,
+        };
+        set.reset(stream_len);
+        set
+    }
+
+    /// Re-sizes for a (possibly different) stream and clears every bit,
+    /// reusing the word buffer's capacity.  An already-empty set (the state
+    /// every completed run leaves behind) only adjusts its length — the
+    /// insert/remove pair keeps the words exactly zero.
+    pub(crate) fn reset(&mut self, stream_len: usize) {
+        if self.count != 0 {
+            self.words.fill(0);
+            self.count = 0;
         }
+        self.words.resize(stream_len.div_ceil(64), 0);
+        self.min_word = 0;
     }
 
     #[inline]
@@ -427,6 +469,165 @@ mod tests {
             ring.advance_base(now + 1);
         }
         assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn growth_with_a_wrapped_base_rebuckets_correctly() {
+        // Regression test for the grow/wrap path: no event-driven run used
+        // to push an event further than INITIAL_BUCKETS cycles ahead, so
+        // `grow` re-bucketing with a *wrapped* base (base slot in the
+        // middle of the ring, pending events on both sides of the wrap
+        // point) was never executed.  A memory differential > 256 does
+        // exactly that mid-run.
+        let mut ring = EventRing::new();
+        // Walk base deep into the second revolution so the base slot wraps.
+        let base: Cycle = 1000; // 1000 & 255 = 232: near the end of the ring
+        ring.advance_base(base);
+        // Events on both sides of the wrap point of the old ring...
+        ring.push_complete(base + 5, 1); // slot 237 (before the wrap)
+        ring.push_reeval(base + 40, 2); // slot 16 (after the wrap)
+        ring.push_complete(base + 200, 3); // slot 176
+                                           // ...then one past the ring size, forcing a grow to 512.
+        ring.push_complete(base + 300, 4);
+        ring.push_reeval(base + 300, 5);
+        assert_eq!(ring.next_cycle(), Some(base + 5));
+        let (complete, reeval) = ring.take_at(base + 5);
+        assert_eq!(ring.chain_next(complete), (NIL, 1));
+        assert_eq!(reeval, NIL);
+        ring.advance_base(base + 6);
+        assert_eq!(ring.next_cycle(), Some(base + 40));
+        let (complete, reeval) = ring.take_at(base + 40);
+        assert_eq!(complete, NIL);
+        assert_eq!(ring.chain_next(reeval), (NIL, 2));
+        ring.advance_base(base + 41);
+        assert_eq!(ring.next_cycle(), Some(base + 200));
+        let (complete, _) = ring.take_at(base + 200);
+        assert_eq!(ring.chain_next(complete), (NIL, 3));
+        ring.advance_base(base + 201);
+        // The far bucket kept its completion/re-evaluation separation.
+        assert_eq!(ring.next_cycle(), Some(base + 300));
+        let (complete, reeval) = ring.take_at(base + 300);
+        assert_eq!(ring.chain_next(complete), (NIL, 4));
+        assert_eq!(ring.chain_next(reeval), (NIL, 5));
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn growth_preserves_the_cached_earliest_event() {
+        let mut ring = EventRing::new();
+        ring.advance_base(500);
+        ring.push_reeval(510, 1);
+        // Peek so the cache is fresh...
+        assert_eq!(ring.next_cycle(), Some(510));
+        // ...then grow; the cached cycle must survive re-bucketing.
+        ring.push_complete(500 + 400, 2);
+        assert_eq!(ring.next_cycle(), Some(510));
+        let (_, reeval) = ring.take_at(510);
+        assert_eq!(ring.chain_next(reeval), (NIL, 1));
+        ring.advance_base(511);
+        assert_eq!(ring.next_cycle(), Some(900));
+    }
+
+    #[test]
+    fn push_exactly_at_the_ring_capacity_boundary_grows() {
+        // dist == heads.len() is the first out-of-range distance; off by
+        // one here would alias the base bucket.
+        let mut ring = EventRing::new();
+        ring.push_complete(0, 1);
+        ring.push_complete(INITIAL_BUCKETS as Cycle, 2); // dist == size
+        assert_eq!(ring.next_cycle(), Some(0));
+        let (complete, _) = ring.take_at(0);
+        assert_eq!(ring.chain_next(complete), (NIL, 1));
+        ring.advance_base(1);
+        assert_eq!(ring.next_cycle(), Some(INITIAL_BUCKETS as Cycle));
+        let (complete, _) = ring.take_at(INITIAL_BUCKETS as Cycle);
+        assert_eq!(ring.chain_next(complete), (NIL, 2));
+    }
+
+    #[test]
+    fn repeated_growth_keeps_every_pending_event() {
+        // Grow twice in a row (256 → 512 → 1024) with survivors from each
+        // generation still pending.
+        let mut ring = EventRing::new();
+        ring.push_reeval(10, 0);
+        ring.push_reeval(400, 1); // grows to 512
+        ring.push_reeval(900, 2); // grows to 1024
+        for (at, idx) in [(10, 0), (400, 1), (900, 2)] {
+            assert_eq!(ring.next_cycle(), Some(at));
+            let (_, reeval) = ring.take_at(at);
+            assert_eq!(ring.chain_next(reeval), (NIL, idx));
+            ring.advance_base(at + 1);
+        }
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn randomized_ring_matches_a_sorted_model() {
+        // Drive the ring with pseudo-random pushes and drains (long-horizon
+        // events included, so growth and wrap both occur repeatedly) and
+        // hold it to a sorted-vector model.
+        let mut ring = EventRing::new();
+        let mut model: Vec<(Cycle, u32, bool)> = Vec::new(); // (cycle, idx, is_reeval)
+        let mut rng: u64 = 0x9e37_79b9_7f4a_7c15;
+        let mut next = |bound: u64| {
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (rng >> 33) % bound
+        };
+        let mut now: Cycle = 0;
+        let mut counter: u32 = 0;
+        for _ in 0..2000 {
+            match next(3) {
+                0 | 1 => {
+                    // Push 1-3 events; occasionally far beyond the ring.
+                    for _ in 0..=next(2) {
+                        let horizon = if next(10) == 0 { 5000 } else { 300 };
+                        let at = now + 1 + next(horizon);
+                        let idx = counter;
+                        counter += 1;
+                        if next(2) == 0 {
+                            ring.push_complete(at, idx);
+                            model.push((at, idx, false));
+                        } else {
+                            ring.push_reeval(at, idx);
+                            model.push((at, idx, true));
+                        }
+                    }
+                }
+                _ => {
+                    // Drain the earliest cycle, if any.
+                    let Some(at) = ring.next_cycle() else {
+                        continue;
+                    };
+                    let expected_at = model.iter().map(|&(t, ..)| t).min().unwrap();
+                    assert_eq!(at, expected_at, "earliest-cycle mismatch");
+                    let (mut complete, mut reeval) = ring.take_at(at);
+                    let mut got: Vec<(u32, bool)> = Vec::new();
+                    while complete != NIL {
+                        let (next_node, idx) = ring.chain_next(complete);
+                        complete = next_node;
+                        got.push((idx, false));
+                    }
+                    while reeval != NIL {
+                        let (next_node, idx) = ring.chain_next(reeval);
+                        reeval = next_node;
+                        got.push((idx, true));
+                    }
+                    let mut want: Vec<(u32, bool)> = model
+                        .iter()
+                        .filter(|&&(t, ..)| t == at)
+                        .map(|&(_, idx, r)| (idx, r))
+                        .collect();
+                    model.retain(|&(t, ..)| t != at);
+                    got.sort_unstable();
+                    want.sort_unstable();
+                    assert_eq!(got, want, "bucket contents mismatch at cycle {at}");
+                    now = at;
+                    ring.advance_base(now + 1);
+                }
+            }
+        }
     }
 
     #[test]

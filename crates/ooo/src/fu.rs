@@ -131,7 +131,7 @@ mod tests {
     fn class_of_each_instruction_kind() {
         let int = MachineInst::arith(0, OpKind::IntAlu, vec![]);
         let fp = MachineInst::arith(0, OpKind::FpMul, vec![]);
-        let copy = MachineInst::copy(0, vec![Dep::Local(0)]);
+        let copy = MachineInst::copy(0, vec![Dep::local(0)]);
         let req = MachineInst::memory(0, OpKind::Load, ExecKind::LoadRequest, vec![], 0, None);
         let consume = MachineInst::memory(0, OpKind::Load, ExecKind::LoadConsume, vec![], 0, None);
         let store = MachineInst::memory(0, OpKind::Store, ExecKind::StoreOp, vec![], 0, None);

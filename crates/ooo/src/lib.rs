@@ -58,4 +58,4 @@ pub use drive::{EventUnit, SchedulerUnit};
 pub use fu::{FuClass, FuPool};
 pub use reference::NaiveUnitSim;
 pub use stats::UnitStats;
-pub use unit::{ExecContext, GateWait, NoMemoryContext, UnitSim};
+pub use unit::{ExecContext, GateWait, NoMemoryContext, UnitScratch, UnitSim};

@@ -12,7 +12,7 @@
 
 use crate::{ExecContext, FuClass, FuPool, RetirePolicy, UnitConfig, UnitStats};
 use dae_isa::{Cycle, LatencyModel};
-use dae_trace::{Dep, ExecKind, MachineInst};
+use dae_trace::{ExecKind, MachineInst};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -36,7 +36,7 @@ struct WindowEntry {
 ///
 /// let stream = vec![
 ///     MachineInst::arith(0, OpKind::IntAlu, vec![]),
-///     MachineInst::arith(1, OpKind::IntAlu, vec![Dep::Local(0)]),
+///     MachineInst::arith(1, OpKind::IntAlu, vec![Dep::local(0)]),
 /// ];
 /// let mut unit = NaiveUnitSim::new(stream, UnitConfig::new(8, 4), LatencyModel::paper_default());
 /// let mut cycle = 0;
@@ -257,9 +257,12 @@ impl NaiveUnitSim {
 
     fn is_ready<C: ExecContext>(&self, idx: usize, now: Cycle, ctx: &C) -> bool {
         let inst = &self.stream[idx];
-        let operands_ready = inst.deps.iter().all(|dep| match *dep {
-            Dep::Local(i) => self.completions[i].is_some_and(|t| t <= now),
-            Dep::Cross(i) => ctx.cross_ready_at(i).is_some_and(|t| t <= now),
+        let operands_ready = inst.deps.iter().all(|dep| {
+            if dep.is_cross() {
+                ctx.cross_ready_at(dep.index()).is_some_and(|t| t <= now)
+            } else {
+                self.completions[dep.index()].is_some_and(|t| t <= now)
+            }
         });
         operands_ready && ctx.data_ready(inst, now)
     }

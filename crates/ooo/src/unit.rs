@@ -5,7 +5,7 @@
 //! scheduler is therefore *event driven* rather than cycle-scanned:
 //!
 //! * each instruction carries a **remaining-operand counter** over its
-//!   [`Dep::Local`] edges;
+//!   local [`Dep`](dae_trace::Dep) edges;
 //! * when an instruction issues, a completion event is queued; when it
 //!   fires, only the consumers recorded in a precomputed
 //!   [`WakeupList`](dae_trace::WakeupList) are woken — never the whole
@@ -40,8 +40,8 @@
 use crate::calendar::{EventRing, ReadySet, NIL as NIL_EVENT};
 use crate::{FuClass, FuPool, RetirePolicy, UnitConfig, UnitStats};
 use dae_isa::{Cycle, LatencyModel};
-use dae_trace::{Dep, ExecKind, MachineInst, WakeupList};
-use std::sync::Arc;
+use dae_trace::{ExecKind, MachineInst, WakeupList};
+use std::sync::{Arc, Weak};
 
 /// How long a machine-specific readiness gate will stay closed.
 ///
@@ -158,6 +158,68 @@ enum InstState {
 
 const NONE: u32 = u32::MAX;
 
+/// The reusable per-run buffers of a [`UnitSim`] — everything the simulator
+/// allocates per construction (window links, ready bitset, event ring,
+/// completion and state arrays, poll and scratch lists), detached from any
+/// particular stream.
+///
+/// Constructing a unit is ~5% of a short decoupled-machine run, and sweeps
+/// construct units per (window, memory-differential) point; recycling the
+/// buffers through [`UnitSim::into_scratch`] /
+/// [`UnitSim::with_wakeups_scratch`] makes every construction after the
+/// first allocation-free (buffers are cleared and re-sized, keeping their
+/// capacity — including the event ring's grown bucket array and node pool).
+/// A scratch is not tied to a stream, configuration or machine: the same
+/// one may serve a DM unit, then an SWSM unit, then a scalar unit of
+/// different lengths.  `dae-machines` keeps a per-thread pool of these for
+/// the parallel sweep drivers.
+#[derive(Debug)]
+pub struct UnitScratch {
+    remaining_local: Vec<u32>,
+    state: Vec<InstState>,
+    win_prev: Vec<u32>,
+    win_next: Vec<u32>,
+    pending_free: Vec<usize>,
+    ready: ReadySet,
+    poll_list: Vec<usize>,
+    in_poll: Vec<bool>,
+    poll_scan: Vec<usize>,
+    events: EventRing,
+    issued_now: Vec<(usize, Cycle)>,
+    completions: Vec<Cycle>,
+    /// Pristine remaining-operand counters for [`UnitScratch::template_of`]
+    /// — when consecutive runs execute the *same* shared stream (a sweep
+    /// varying only machine parameters), the per-instruction dependence
+    /// walk is replaced by one memcpy.
+    remaining_template: Vec<u32>,
+    /// Identity of the stream `remaining_template` was computed from.  A
+    /// `Weak` rather than a raw pointer: if the stream has been dropped,
+    /// the upgrade fails and the template is recomputed — a recycled
+    /// allocation at the same address can never alias a stale template.
+    template_of: Weak<Vec<MachineInst>>,
+}
+
+impl Default for UnitScratch {
+    fn default() -> Self {
+        UnitScratch {
+            remaining_local: Vec::new(),
+            state: Vec::new(),
+            win_prev: Vec::new(),
+            win_next: Vec::new(),
+            pending_free: Vec::new(),
+            ready: ReadySet::new(0),
+            poll_list: Vec::new(),
+            in_poll: Vec::new(),
+            poll_scan: Vec::new(),
+            events: EventRing::new(),
+            issued_now: Vec::new(),
+            completions: Vec::new(),
+            remaining_template: Vec::new(),
+            template_of: Weak::new(),
+        }
+    }
+}
+
 /// Sentinel for "not yet completed" in the packed completion array.  It
 /// compares greater than every reachable cycle, so readiness checks reduce
 /// to one comparison (the deadlock safety bounds trip long before any real
@@ -191,8 +253,8 @@ const PENDING: Cycle = Cycle::MAX;
 /// // A chain of three dependent 1-cycle integer operations.
 /// let stream = vec![
 ///     MachineInst::arith(0, OpKind::IntAlu, vec![]),
-///     MachineInst::arith(1, OpKind::IntAlu, vec![Dep::Local(0)]),
-///     MachineInst::arith(2, OpKind::IntAlu, vec![Dep::Local(1)]),
+///     MachineInst::arith(1, OpKind::IntAlu, vec![Dep::local(0)]),
+///     MachineInst::arith(2, OpKind::IntAlu, vec![Dep::local(1)]),
 /// ];
 /// let mut unit = UnitSim::new(stream, UnitConfig::new(8, 4), LatencyModel::paper_default());
 /// let mut ctx = NoMemoryContext;
@@ -252,6 +314,10 @@ pub struct UnitSim {
     /// bulk-accounted by `idle_advance`).  Not part of [`UnitStats`] so the
     /// naive/event-driven equality over stats is unaffected.
     steps: u64,
+    /// Carried through from [`UnitScratch`] (never touched by the run) so
+    /// [`UnitSim::into_scratch`] can hand the template cache back.
+    remaining_template: Vec<u32>,
+    template_of: Weak<Vec<MachineInst>>,
 }
 
 impl UnitSim {
@@ -290,6 +356,29 @@ impl UnitSim {
         config: UnitConfig,
         latencies: LatencyModel,
     ) -> Self {
+        Self::with_wakeups_scratch(stream, wakeups, config, latencies, UnitScratch::default())
+    }
+
+    /// [`UnitSim::with_wakeups`], recycling the buffers of a previous run.
+    ///
+    /// Every per-run structure is cleared and re-sized for the new stream
+    /// but keeps its allocation, so constructing a unit from a warm
+    /// [`UnitScratch`] performs no allocation at all (until a structure
+    /// outgrows its recycled capacity).  The scratch may come from a unit
+    /// of any stream, configuration or machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or `wakeups` does not cover
+    /// the stream.
+    #[must_use]
+    pub fn with_wakeups_scratch(
+        stream: Arc<Vec<MachineInst>>,
+        wakeups: Arc<WakeupList>,
+        config: UnitConfig,
+        latencies: LatencyModel,
+        scratch: UnitScratch,
+    ) -> Self {
         config
             .validate()
             .unwrap_or_else(|msg| panic!("invalid unit configuration: {msg}"));
@@ -300,13 +389,61 @@ impl UnitSim {
             len,
             "wakeup list does not match stream"
         );
-        let remaining_local: Vec<u32> = stream
-            .iter()
-            .map(|inst| {
+        let UnitScratch {
+            mut remaining_local,
+            mut state,
+            mut win_prev,
+            mut win_next,
+            mut pending_free,
+            mut ready,
+            mut poll_list,
+            mut in_poll,
+            mut poll_scan,
+            mut events,
+            mut issued_now,
+            mut completions,
+            mut remaining_template,
+            mut template_of,
+        } = scratch;
+        // Same shared stream as the previous run of this scratch (the
+        // common shape of a sweep): the counters are a memcpy of the cached
+        // template.  Otherwise walk the dependence lists once and cache.
+        let same_stream = template_of
+            .upgrade()
+            .is_some_and(|cached| Arc::ptr_eq(&cached, &stream));
+        remaining_local.clear();
+        if same_stream {
+            remaining_local.extend_from_slice(&remaining_template);
+        } else {
+            remaining_local.extend(stream.iter().map(|inst| {
                 u32::try_from(inst.deps.iter().filter(|d| !d.is_cross()).count())
                     .expect("too many dependences")
-            })
-            .collect();
+            }));
+            remaining_template.clear();
+            remaining_template.extend_from_slice(&remaining_local);
+            template_of = Arc::downgrade(&stream);
+        }
+        state.clear();
+        state.resize(len, InstState::Pending);
+        // The window links and poll-membership flags are restored to their
+        // pristine state by a *completed* run (every dispatched instruction
+        // is unlinked at retirement, every poll entry is pruned once it
+        // issues) and [`UnitSim::into_scratch`] scrubs the rare abandoned
+        // unit, so only the length needs adjusting here.
+        debug_assert!(win_prev.iter().all(|&link| link == NONE));
+        debug_assert!(win_next.iter().all(|&link| link == NONE));
+        debug_assert!(in_poll.iter().all(|&flag| !flag));
+        win_prev.resize(len, NONE);
+        win_next.resize(len, NONE);
+        in_poll.resize(len, false);
+        pending_free.clear();
+        ready.reset(len);
+        poll_list.clear();
+        poll_scan.clear();
+        events.reset();
+        issued_now.clear();
+        completions.clear();
+        completions.resize(len, PENDING);
         UnitSim {
             stream,
             config,
@@ -314,25 +451,59 @@ impl UnitSim {
             fu: FuPool::new(config.fu),
             wakeups,
             remaining_local,
-            state: vec![InstState::Pending; len],
-            win_prev: vec![NONE; len],
-            win_next: vec![NONE; len],
+            state,
+            win_prev,
+            win_next,
             win_head: NONE,
             win_tail: NONE,
             window_len: 0,
             unissued_in_window: 0,
-            pending_free: Vec::new(),
-            ready: ReadySet::new(len),
-            poll_list: Vec::new(),
-            in_poll: vec![false; len],
-            poll_scan: Vec::new(),
-            events: EventRing::new(),
-            issued_now: Vec::new(),
+            pending_free,
+            ready,
+            poll_list,
+            in_poll,
+            poll_scan,
+            events,
+            issued_now,
             dispatch_ptr: 0,
-            completions: vec![PENDING; len],
+            completions,
             max_completion: 0,
             stats: UnitStats::default(),
             steps: 0,
+            remaining_template,
+            template_of,
+        }
+    }
+
+    /// Consumes the unit and returns its buffers for reuse by a later
+    /// [`UnitSim::with_wakeups_scratch`] construction (the stream, wakeup
+    /// list and counters are dropped; the allocations survive).
+    #[must_use]
+    pub fn into_scratch(mut self) -> UnitScratch {
+        if !self.is_done() {
+            // An abandoned mid-run unit leaves window links and poll flags
+            // set; scrub them so the pristine-state invariant the pooled
+            // constructor relies on holds unconditionally.  (Completed
+            // runs — the only shape the machines produce — skip this.)
+            self.win_prev.fill(NONE);
+            self.win_next.fill(NONE);
+            self.in_poll.fill(false);
+        }
+        UnitScratch {
+            remaining_local: self.remaining_local,
+            state: self.state,
+            win_prev: self.win_prev,
+            win_next: self.win_next,
+            pending_free: self.pending_free,
+            ready: self.ready,
+            poll_list: self.poll_list,
+            in_poll: self.in_poll,
+            poll_scan: self.poll_scan,
+            events: self.events,
+            issued_now: self.issued_now,
+            completions: self.completions,
+            remaining_template: self.remaining_template,
+            template_of: self.template_of,
         }
     }
 
@@ -577,8 +748,8 @@ impl UnitSim {
         let mut wake_at: Cycle = 0;
         let mut unknown = false;
         for dep in &self.stream[idx].deps {
-            if let Dep::Cross(i) = *dep {
-                match ctx.cross_ready_at(i) {
+            if dep.is_cross() {
+                match ctx.cross_ready_at(dep.index()) {
                     Some(t) if t <= now => {}
                     Some(t) => wake_at = wake_at.max(t),
                     None => unknown = true,
@@ -813,9 +984,12 @@ impl UnitSim {
 
     fn is_ready<C: ExecContext>(&self, idx: usize, now: Cycle, ctx: &C) -> bool {
         let inst = &self.stream[idx];
-        let operands_ready = inst.deps.iter().all(|dep| match *dep {
-            Dep::Local(i) => self.completions[i] <= now,
-            Dep::Cross(i) => ctx.cross_ready_at(i).is_some_and(|t| t <= now),
+        let operands_ready = inst.deps.iter().all(|dep| {
+            if dep.is_cross() {
+                ctx.cross_ready_at(dep.index()).is_some_and(|t| t <= now)
+            } else {
+                self.completions[dep.index()] <= now
+            }
         });
         operands_ready && ctx.data_ready(inst, now)
     }
@@ -860,7 +1034,7 @@ mod tests {
                 let deps = if i == 0 {
                     vec![]
                 } else {
-                    vec![Dep::Local(i - 1)]
+                    vec![Dep::local(i - 1)]
                 };
                 MachineInst::arith(i, op, deps)
             })
@@ -914,7 +1088,7 @@ mod tests {
     fn unlimited_window_matches_dataflow_limit() {
         let mut insts = independent(30, OpKind::IntAlu);
         // Add a final instruction depending on the last independent one.
-        insts.push(MachineInst::arith(30, OpKind::FpAdd, vec![Dep::Local(29)]));
+        insts.push(MachineInst::arith(30, OpKind::FpAdd, vec![Dep::local(29)]));
         let mut unit = UnitSim::new(
             insts,
             UnitConfig {
@@ -986,7 +1160,7 @@ mod tests {
         }
         let insts = vec![
             MachineInst::memory(0, OpKind::Load, ExecKind::LoadBlocking, vec![], 0, Some(0)),
-            MachineInst::arith(1, OpKind::FpAdd, vec![Dep::Local(0)]),
+            MachineInst::arith(1, OpKind::FpAdd, vec![Dep::local(0)]),
         ];
         let mut unit = UnitSim::new(insts, UnitConfig::new(8, 2), LatencyModel::paper_default());
         let mut ctx = FixedMd(60);
@@ -1081,7 +1255,7 @@ mod tests {
                 now + 1
             }
         }
-        let insts = vec![MachineInst::arith(0, OpKind::IntAlu, vec![Dep::Cross(7)])];
+        let insts = vec![MachineInst::arith(0, OpKind::IntAlu, vec![Dep::cross(7)])];
         let mut unit = UnitSim::new(insts, UnitConfig::new(4, 2), LatencyModel::paper_default());
         let mut ctx = CrossCtx { ready_at: None };
         unit.step(0, &mut ctx);

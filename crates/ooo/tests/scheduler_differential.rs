@@ -20,9 +20,9 @@ fn random_stream(ops: &[(u8, u8, u8)]) -> Vec<MachineInst> {
         .map(|(i, &(kind, da, db))| {
             let mut deps = Vec::new();
             if i > 0 {
-                deps.push(Dep::Local(da as usize % i));
+                deps.push(Dep::local(da as usize % i));
                 if db % 3 == 0 {
-                    deps.push(Dep::Local(db as usize % i));
+                    deps.push(Dep::local(db as usize % i));
                 }
             }
             match kind % 8 {

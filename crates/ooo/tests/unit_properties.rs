@@ -22,9 +22,9 @@ fn random_stream(ops: &[(u8, u8, u8)]) -> Vec<MachineInst> {
             };
             let mut deps = Vec::new();
             if i > 0 {
-                deps.push(Dep::Local(da as usize % i));
+                deps.push(Dep::local(da as usize % i));
                 if db % 3 == 0 {
-                    deps.push(Dep::Local(db as usize % i));
+                    deps.push(Dep::local(db as usize % i));
                 }
             }
             MachineInst::arith(i, op, deps)
@@ -151,7 +151,7 @@ proptest! {
             Some(0x40),
         )];
         for i in 0..trailing {
-            stream.push(MachineInst::arith(i + 1, OpKind::IntAlu, vec![Dep::Local(i)]));
+            stream.push(MachineInst::arith(i + 1, OpKind::IntAlu, vec![Dep::local(i)]));
         }
         let mut unit = UnitSim::new(stream.clone(), UnitConfig::new(8, 2), LatencyModel::paper_default());
         let mut ctx = GateAt(gate);

@@ -19,19 +19,8 @@
 
 use dae_isa::{Address, OpKind};
 use serde::{Deserialize, Serialize};
-use smallvec::SmallVec;
 use std::fmt;
-
-/// The dependence list of a [`MachineInst`], stored inline for up to two
-/// edges (covering almost every lowered instruction the kernels produce —
-/// binary operations, request/consume pairs, store address/data sides) and
-/// spilling to the heap beyond that.  Lowering a long trace used to perform
-/// one heap allocation per instruction just for this list; the inline
-/// representation removes that, which matters because lowering dominates the
-/// cost of a cold single run.  Two is also the sweet spot for instruction
-/// footprint: the streams are striding working sets of tens of thousands of
-/// instructions, so `MachineInst` size is simulator cache pressure.
-pub type DepList = SmallVec<[Dep; 2]>;
+use std::ops::Deref;
 
 /// Identifies one memory transaction (a request / consume pair, or a
 /// prefetch / access pair).  Tags are dense indices assigned by the
@@ -104,43 +93,200 @@ impl fmt::Display for ExecKind {
     }
 }
 
-/// A dependence of a lowered instruction.
+/// A dependence of a lowered instruction, packed into one `u32`.
 ///
-/// `Local` names an earlier instruction of the *same* stream; `Cross` names
-/// an instruction of the *other* unit's stream (only produced by the
-/// decoupled-machine partition) and incurs the machine's cross-unit transfer
-/// latency.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum Dep {
-    /// Index of the producer within the same stream.
-    Local(usize),
-    /// Index of the producer within the other unit's stream.
-    Cross(usize),
-}
+/// Bits 0–30 hold the producer's stream index; bit 31 is the **cross
+/// flag**.  A *local* dependence names an earlier instruction of the *same*
+/// stream; a *cross* dependence names an instruction of the *other* unit's
+/// stream (only produced by the decoupled-machine partition) and incurs the
+/// machine's cross-unit transfer latency.
+///
+/// The packing matters because streams are the simulator's working set: a
+/// `Dep` used to be a 16-byte enum (`usize` payload plus discriminant plus
+/// padding), which put [`DepList`]'s two inline edges at 32 bytes and
+/// [`MachineInst`] at 80.  Packed, two inline edges are 8 bytes and the
+/// whole instruction fits in 56 (asserted by a test below).  Streams are
+/// bounded far below 2³¹ — `UnitSim` already asserts `u32` index range —
+/// so the narrowing loses nothing.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Dep(u32);
 
-/// The default is a placeholder (`Local(0)`) used only to pre-initialise
+/// Bit 31 of a packed [`Dep`]: set for cross-unit dependences.
+const CROSS_FLAG: u32 = 1 << 31;
+
+/// The default is a placeholder (`local(0)`) used only to pre-initialise
 /// the inline storage of a [`DepList`]; it never appears as an actual edge.
 impl Default for Dep {
     fn default() -> Self {
-        Dep::Local(0)
+        Dep::local(0)
     }
 }
 
 impl Dep {
+    /// A dependence on instruction `index` of the same stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in 31 bits (streams are orders of
+    /// magnitude shorter).
+    #[must_use]
+    #[inline]
+    pub fn local(index: usize) -> Self {
+        let raw = u32::try_from(index).expect("stream index exceeds u32");
+        assert_eq!(raw & CROSS_FLAG, 0, "stream index exceeds 31 bits");
+        Dep(raw)
+    }
+
+    /// A dependence on instruction `index` of the other unit's stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in 31 bits.
+    #[must_use]
+    #[inline]
+    pub fn cross(index: usize) -> Self {
+        let raw = u32::try_from(index).expect("stream index exceeds u32");
+        assert_eq!(raw & CROSS_FLAG, 0, "stream index exceeds 31 bits");
+        Dep(raw | CROSS_FLAG)
+    }
+
     /// The producer index regardless of which stream it lives in.
     #[must_use]
     #[inline]
     pub fn index(self) -> usize {
-        match self {
-            Dep::Local(i) | Dep::Cross(i) => i,
-        }
+        (self.0 & !CROSS_FLAG) as usize
     }
 
     /// Returns `true` for cross-unit dependences.
     #[must_use]
     #[inline]
     pub fn is_cross(self) -> bool {
-        matches!(self, Dep::Cross(_))
+        self.0 & CROSS_FLAG != 0
+    }
+}
+
+impl fmt::Debug for Dep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = if self.is_cross() { "Cross" } else { "Local" };
+        write!(f, "{kind}({})", self.index())
+    }
+}
+
+/// The dependence list of a [`MachineInst`], stored inline for up to two
+/// edges (covering almost every lowered instruction the kernels produce —
+/// binary operations, request/consume pairs, store address/data sides) and
+/// spilling to a boxed heap vector beyond that.  Lowering a long trace used
+/// to perform one heap allocation per instruction just for this list; the
+/// inline representation removes that, which matters because lowering
+/// dominates the cost of a cold single run.  The spill vector is boxed so
+/// the rare long list costs one extra indirection instead of widening every
+/// instruction by a full `Vec` header: with packed [`Dep`]s the whole list
+/// is 16 bytes, and `MachineInst` size is simulator cache pressure.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DepList(DepListRepr);
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum DepListRepr {
+    /// Up to two edges inline; `len` counts the valid prefix of `buf`.
+    Inline { buf: [Dep; 2], len: u32 },
+    /// Three or more edges (rare: only wide fan-in instructions).  The
+    /// double indirection is deliberate: a bare `Vec` is 24 bytes and would
+    /// widen *every* instruction; the box keeps this variant at pointer
+    /// size so the common inline case dictates the footprint.
+    #[allow(clippy::box_collection)]
+    Spilled(Box<Vec<Dep>>),
+}
+
+impl DepList {
+    /// An empty list (inline, no allocation).
+    #[must_use]
+    pub fn new() -> Self {
+        DepList(DepListRepr::Inline {
+            buf: [Dep::default(); 2],
+            len: 0,
+        })
+    }
+
+    /// A single-edge list (inline, no allocation).
+    #[must_use]
+    pub fn one(dep: Dep) -> Self {
+        DepList(DepListRepr::Inline {
+            buf: [dep, Dep::default()],
+            len: 1,
+        })
+    }
+
+    /// Appends an edge, spilling to the heap past two inline slots.
+    pub fn push(&mut self, dep: Dep) {
+        match &mut self.0 {
+            DepListRepr::Inline { buf, len } => {
+                if (*len as usize) < buf.len() {
+                    buf[*len as usize] = dep;
+                    *len += 1;
+                } else {
+                    let mut vec = Vec::with_capacity(buf.len() + 1);
+                    vec.extend_from_slice(buf);
+                    vec.push(dep);
+                    self.0 = DepListRepr::Spilled(Box::new(vec));
+                }
+            }
+            DepListRepr::Spilled(vec) => vec.push(dep),
+        }
+    }
+
+    /// Returns `true` if the edges have spilled to the heap.
+    #[must_use]
+    pub fn spilled(&self) -> bool {
+        matches!(self.0, DepListRepr::Spilled(_))
+    }
+}
+
+impl Default for DepList {
+    fn default() -> Self {
+        DepList::new()
+    }
+}
+
+impl Deref for DepList {
+    type Target = [Dep];
+
+    #[inline]
+    fn deref(&self) -> &[Dep] {
+        match &self.0 {
+            DepListRepr::Inline { buf, len } => &buf[..*len as usize],
+            DepListRepr::Spilled(vec) => vec,
+        }
+    }
+}
+
+impl fmt::Debug for DepList {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+impl From<Vec<Dep>> for DepList {
+    fn from(deps: Vec<Dep>) -> Self {
+        deps.into_iter().collect()
+    }
+}
+
+impl FromIterator<Dep> for DepList {
+    fn from_iter<I: IntoIterator<Item = Dep>>(iter: I) -> Self {
+        let mut list = DepList::new();
+        for dep in iter {
+            list.push(dep);
+        }
+        list
+    }
+}
+
+impl<'a> IntoIterator for &'a DepList {
+    type Item = &'a Dep;
+    type IntoIter = std::slice::Iter<'a, Dep>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
     }
 }
 
@@ -282,10 +428,58 @@ mod tests {
 
     #[test]
     fn dep_accessors() {
-        assert_eq!(Dep::Local(4).index(), 4);
-        assert_eq!(Dep::Cross(9).index(), 9);
-        assert!(Dep::Cross(9).is_cross());
-        assert!(!Dep::Local(4).is_cross());
+        assert_eq!(Dep::local(4).index(), 4);
+        assert_eq!(Dep::cross(9).index(), 9);
+        assert!(Dep::cross(9).is_cross());
+        assert!(!Dep::local(4).is_cross());
+        // The packing round-trips the largest representable index.
+        let max = (1usize << 31) - 1;
+        assert_eq!(Dep::local(max).index(), max);
+        assert_eq!(Dep::cross(max).index(), max);
+        assert!(Dep::cross(max).is_cross());
+        assert!(!Dep::local(max).is_cross());
+        assert_eq!(format!("{:?}", Dep::cross(9)), "Cross(9)");
+        assert_eq!(format!("{:?}", Dep::local(4)), "Local(4)");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 31 bits")]
+    fn dep_index_beyond_31_bits_panics() {
+        let _ = Dep::local(1usize << 31);
+    }
+
+    #[test]
+    fn machine_inst_stays_within_the_cache_budget() {
+        // Streams are the simulator's working set: tens of thousands of
+        // resident `MachineInst`s per run.  The packed `Dep` and the boxed
+        // spill representation exist to keep the per-instruction footprint
+        // at 56 bytes (down from 80); this pins the layout so a future
+        // field does not silently blow it up again.
+        assert_eq!(std::mem::size_of::<Dep>(), 4);
+        assert!(std::mem::size_of::<DepList>() <= 16);
+        assert!(
+            std::mem::size_of::<MachineInst>() <= 56,
+            "MachineInst grew to {} bytes",
+            std::mem::size_of::<MachineInst>()
+        );
+    }
+
+    #[test]
+    fn dep_list_spills_past_two_inline_edges() {
+        let mut list = DepList::new();
+        assert!(list.is_empty());
+        list.push(Dep::local(1));
+        list.push(Dep::cross(2));
+        assert!(!list.spilled());
+        assert_eq!(&list[..], &[Dep::local(1), Dep::cross(2)]);
+        list.push(Dep::local(3));
+        assert!(list.spilled());
+        assert_eq!(&list[..], &[Dep::local(1), Dep::cross(2), Dep::local(3)]);
+        assert!(list.contains(&Dep::cross(2)));
+        // Construction from iterators and vectors agrees with pushes.
+        let collected: DepList = vec![Dep::local(1), Dep::cross(2), Dep::local(3)].into();
+        assert_eq!(collected, list);
+        assert_eq!(DepList::one(Dep::cross(7))[0], Dep::cross(7));
     }
 
     #[test]
@@ -296,7 +490,7 @@ mod tests {
                 1,
                 OpKind::Load,
                 ExecKind::LoadRequest,
-                vec![Dep::Local(0)],
+                vec![Dep::local(0)],
                 0,
                 Some(8),
             ),
@@ -304,16 +498,16 @@ mod tests {
                 1,
                 OpKind::Load,
                 ExecKind::LoadConsume,
-                vec![Dep::Cross(1)],
+                vec![Dep::cross(1)],
                 0,
                 Some(8),
             ),
-            MachineInst::copy(2, vec![Dep::Local(2)]),
+            MachineInst::copy(2, vec![Dep::local(2)]),
             MachineInst::memory(
                 3,
                 OpKind::Store,
                 ExecKind::StoreOp,
-                vec![Dep::Local(3)],
+                vec![Dep::local(3)],
                 1,
                 Some(16),
             ),

@@ -3,7 +3,7 @@
 use crate::{classify, Dep, DepList, DepRole, ExecKind, MachineInst, MemTag, Trace, WakeupList};
 use dae_isa::{OpKind, UnitClass};
 use serde::{Deserialize, Serialize};
-use smallvec::{smallvec, SmallVec};
+use smallvec::SmallVec;
 use std::sync::Arc;
 
 /// How the partitioner decides which unit an instruction belongs to.
@@ -94,7 +94,7 @@ pub struct DecoupledProgram {
     /// Producer → same-stream consumers for the DU stream.
     pub du_wakeups: Arc<WakeupList>,
     /// AU producer index → DU instructions waiting on it through a
-    /// [`Dep::Cross`] edge.
+    /// cross ([`Dep::cross`]) edge.
     pub cross_to_du: Arc<WakeupList>,
     /// DU producer index → AU instructions waiting on it.
     pub cross_to_au: Arc<WakeupList>,
@@ -236,7 +236,7 @@ pub fn partition(trace: &Trace, mode: PartitionMode) -> DecoupledProgram {
                 if needed_on_du[inst.id] {
                     stats.du_consumed_loads += 1;
                     let idx = du.len();
-                    let consume_deps: DepList = smallvec![Dep::Cross(request_idx)];
+                    let consume_deps = DepList::one(Dep::cross(request_idx));
                     du.push(MachineInst::memory(
                         inst.id,
                         OpKind::Load,
@@ -250,7 +250,7 @@ pub fn partition(trace: &Trace, mode: PartitionMode) -> DecoupledProgram {
                 if needed_on_au[inst.id] {
                     stats.au_self_loads += 1;
                     let idx = au.len();
-                    let consume_deps: DepList = smallvec![Dep::Local(request_idx)];
+                    let consume_deps = DepList::one(Dep::local(request_idx));
                     au.push(MachineInst::memory(
                         inst.id,
                         OpKind::Load,
@@ -405,10 +405,10 @@ fn resolve_value(
     match target {
         UnitClass::Access => {
             if let Some(idx) = site.au {
-                return Dep::Local(idx);
+                return Dep::local(idx);
             }
             if let Some(copy_idx) = site.copy_to_au {
-                return Dep::Cross(copy_idx);
+                return Dep::cross(copy_idx);
             }
             let du_idx = site
                 .du
@@ -416,28 +416,28 @@ fn resolve_value(
             // Emit a copy on the DU (the producing unit): a loss of
             // decoupling, since the AU now waits on compute results.
             let copy_idx = du.len();
-            let copy_deps: DepList = smallvec![Dep::Local(du_idx)];
+            let copy_deps = DepList::one(Dep::local(du_idx));
             du.push(MachineInst::copy(du[du_idx].trace_pos, copy_deps));
             sites[producer].copy_to_au = Some(copy_idx);
             stats.copies_du_to_au += 1;
-            Dep::Cross(copy_idx)
+            Dep::cross(copy_idx)
         }
         UnitClass::Compute => {
             if let Some(idx) = site.du {
-                return Dep::Local(idx);
+                return Dep::local(idx);
             }
             if let Some(copy_idx) = site.copy_to_du {
-                return Dep::Cross(copy_idx);
+                return Dep::cross(copy_idx);
             }
             let au_idx = site
                 .au
                 .expect("value must exist on at least one unit before it is consumed");
             let copy_idx = au.len();
-            let copy_deps: DepList = smallvec![Dep::Local(au_idx)];
+            let copy_deps = DepList::one(Dep::local(au_idx));
             au.push(MachineInst::copy(au[au_idx].trace_pos, copy_deps));
             sites[producer].copy_to_du = Some(copy_idx);
             stats.copies_au_to_du += 1;
-            Dep::Cross(copy_idx)
+            Dep::cross(copy_idx)
         }
     }
 }
@@ -547,10 +547,12 @@ mod tests {
         for (unit, other) in [(&dm.au, &dm.du), (&dm.du, &dm.au)] {
             for inst in unit.iter() {
                 for dep in &inst.deps {
-                    match dep {
-                        Dep::Local(i) => assert!(*i < unit.len()),
-                        Dep::Cross(i) => assert!(*i < other.len()),
-                    }
+                    let bound = if dep.is_cross() {
+                        other.len()
+                    } else {
+                        unit.len()
+                    };
+                    assert!(dep.index() < bound);
                 }
             }
         }
@@ -563,8 +565,8 @@ mod tests {
         for stream in [&dm.au, &dm.du] {
             for (pos, inst) in stream.iter().enumerate() {
                 for dep in &inst.deps {
-                    if let Dep::Local(i) = dep {
-                        assert!(*i < pos, "local dep must be earlier in the stream");
+                    if !dep.is_cross() {
+                        assert!(dep.index() < pos, "local dep must be earlier in the stream");
                     }
                 }
             }

@@ -53,7 +53,7 @@ pub fn lower_scalar(trace: &Trace) -> ScalarProgram {
         let deps: DepList = inst
             .deps
             .iter()
-            .map(|d| Dep::Local(value_of[d.producer].expect("producer lowered")))
+            .map(|d| Dep::local(value_of[d.producer].expect("producer lowered")))
             .collect();
         let idx = insts.len();
         match inst.op {

@@ -104,7 +104,7 @@ pub fn expand_swsm(trace: &Trace) -> SwsmProgram {
                     .deps
                     .iter()
                     .filter(|d| d.role == DepRole::Address)
-                    .map(|d| Dep::Local(value_of[d.producer].expect("producer lowered")))
+                    .map(|d| Dep::local(value_of[d.producer].expect("producer lowered")))
                     .collect();
                 let prefetch_idx = insts.len();
                 insts.push(MachineInst::memory(
@@ -117,7 +117,7 @@ pub fn expand_swsm(trace: &Trace) -> SwsmProgram {
                 ));
                 stats.prefetches += 1;
                 let mut access_deps = addr_deps;
-                access_deps.push(Dep::Local(prefetch_idx));
+                access_deps.push(Dep::local(prefetch_idx));
                 let access_idx = insts.len();
                 insts.push(MachineInst::memory(
                     inst.id,
@@ -137,7 +137,7 @@ pub fn expand_swsm(trace: &Trace) -> SwsmProgram {
                     .deps
                     .iter()
                     .filter(|d| d.role == DepRole::Address)
-                    .map(|d| Dep::Local(value_of[d.producer].expect("producer lowered")))
+                    .map(|d| Dep::local(value_of[d.producer].expect("producer lowered")))
                     .collect();
                 insts.push(MachineInst::memory(
                     inst.id,
@@ -151,7 +151,7 @@ pub fn expand_swsm(trace: &Trace) -> SwsmProgram {
                 let all_deps: DepList = inst
                     .deps
                     .iter()
-                    .map(|d| Dep::Local(value_of[d.producer].expect("producer lowered")))
+                    .map(|d| Dep::local(value_of[d.producer].expect("producer lowered")))
                     .collect();
                 insts.push(MachineInst::memory(
                     inst.id,
@@ -167,7 +167,7 @@ pub fn expand_swsm(trace: &Trace) -> SwsmProgram {
                 let deps: DepList = inst
                     .deps
                     .iter()
-                    .map(|d| Dep::Local(value_of[d.producer].expect("producer lowered")))
+                    .map(|d| Dep::local(value_of[d.producer].expect("producer lowered")))
                     .collect();
                 let idx = insts.len();
                 insts.push(MachineInst::arith(inst.id, inst.op, deps));
@@ -223,7 +223,7 @@ mod tests {
                 let prefetch = &swsm.insts[pos - 1];
                 assert_eq!(prefetch.kind, ExecKind::LoadRequest);
                 assert_eq!(prefetch.tag, inst.tag);
-                assert!(inst.deps.contains(&Dep::Local(pos - 1)));
+                assert!(inst.deps.contains(&Dep::local(pos - 1)));
             }
         }
     }

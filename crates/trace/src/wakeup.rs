@@ -10,9 +10,9 @@
 //! Two flavours exist:
 //!
 //! * [`WakeupList::local`] — consumers within the same stream
-//!   ([`Dep::Local`] edges), used by the unit itself;
+//!   (local [`Dep`] edges), used by the unit itself;
 //! * [`WakeupList::cross`] — consumers in *this* stream of producers in the
-//!   *other* unit's stream ([`Dep::Cross`] edges), used by the decoupled
+//!   *other* unit's stream (cross [`Dep`] edges), used by the decoupled
 //!   machine to forward issue events between its two units.
 
 use crate::{Dep, MachineInst};
@@ -32,7 +32,7 @@ pub struct WakeupList {
 impl WakeupList {
     /// Builds the local wakeup list of `stream`: for every instruction, the
     /// later instructions of the *same* stream that name it in a
-    /// [`Dep::Local`] edge.  Duplicate edges are preserved — the scheduler's
+    /// local [`Dep`] edge.  Duplicate edges are preserved — the scheduler's
     /// remaining-operand counters count edges, not distinct producers.
     #[must_use]
     pub fn local(stream: &[MachineInst]) -> Self {
@@ -41,19 +41,15 @@ impl WakeupList {
 
     /// Builds the cross wakeup list of `stream` against a producer stream of
     /// `producer_len` instructions: for every index of the *other* stream,
-    /// the instructions of `stream` that name it in a [`Dep::Cross`] edge.
+    /// the instructions of `stream` that name it in a cross [`Dep`] edge.
     #[must_use]
     pub fn cross(stream: &[MachineInst], producer_len: usize) -> Self {
         Self::build(stream, producer_len, true)
     }
 
     fn build(stream: &[MachineInst], producer_len: usize, cross: bool) -> Self {
-        let matches = |dep: &Dep| -> Option<usize> {
-            match (cross, dep) {
-                (false, Dep::Local(i)) | (true, Dep::Cross(i)) => Some(*i),
-                _ => None,
-            }
-        };
+        let matches =
+            |dep: &Dep| -> Option<usize> { (dep.is_cross() == cross).then(|| dep.index()) };
 
         let mut counts = vec![0u32; producer_len];
         for inst in stream {
@@ -121,9 +117,9 @@ mod tests {
     fn local_lists_invert_the_dependence_graph() {
         let stream = vec![
             arith(0, vec![]),
-            arith(1, vec![Dep::Local(0)]),
-            arith(2, vec![Dep::Local(0), Dep::Local(1)]),
-            arith(3, vec![Dep::Cross(0)]),
+            arith(1, vec![Dep::local(0)]),
+            arith(2, vec![Dep::local(0), Dep::local(1)]),
+            arith(3, vec![Dep::cross(0)]),
         ];
         let wl = WakeupList::local(&stream);
         assert_eq!(wl.producers(), 4);
@@ -137,7 +133,7 @@ mod tests {
     fn duplicate_edges_are_preserved() {
         let stream = vec![
             arith(0, vec![]),
-            arith(1, vec![Dep::Local(0), Dep::Local(0)]),
+            arith(1, vec![Dep::local(0), Dep::local(0)]),
         ];
         let wl = WakeupList::local(&stream);
         assert_eq!(wl.of(0), &[1, 1]);
@@ -146,9 +142,9 @@ mod tests {
     #[test]
     fn cross_lists_key_by_the_other_stream() {
         let stream = vec![
-            arith(0, vec![Dep::Cross(2)]),
-            arith(1, vec![Dep::Cross(2), Dep::Local(0)]),
-            arith(2, vec![Dep::Cross(5)]),
+            arith(0, vec![Dep::cross(2)]),
+            arith(1, vec![Dep::cross(2), Dep::local(0)]),
+            arith(2, vec![Dep::cross(5)]),
         ];
         let wl = WakeupList::cross(&stream, 7);
         assert_eq!(wl.producers(), 7);

@@ -3,9 +3,7 @@
 //! two random sources cross-check each other).
 
 use dae_isa::{AddressSpec, Kernel, OpKind, Operand, Statement, UnitClass};
-use dae_trace::{
-    expand, expand_swsm, lower_scalar, partition, Dep, ExecKind, PartitionMode, Trace,
-};
+use dae_trace::{expand, expand_swsm, lower_scalar, partition, ExecKind, PartitionMode, Trace};
 use proptest::prelude::*;
 
 /// Builds a small valid kernel from a compact recipe: a list of (kind,
@@ -122,15 +120,16 @@ proptest! {
         for (stream, other) in [(&dm.au, &dm.du), (&dm.du, &dm.au)] {
             for inst in stream.iter() {
                 for dep in &inst.deps {
-                    if let Dep::Cross(idx) = dep {
-                        prop_assert!(*idx < other.len());
+                    if dep.is_cross() {
+                        let idx = dep.index();
+                        prop_assert!(idx < other.len());
                         // A cross dependence names either a value producer
                         // (a copy, an arithmetic result, a load consume) or
                         // the AU load request the consume is paired with
                         // (an ordering dependence rather than a value one).
                         prop_assert!(
-                            other[*idx].kind.produces_value()
-                                || other[*idx].kind == ExecKind::LoadRequest
+                            other[idx].kind.produces_value()
+                                || other[idx].kind == ExecKind::LoadRequest
                         );
                     }
                 }
