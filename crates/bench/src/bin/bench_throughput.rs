@@ -23,7 +23,11 @@
 //!
 //! A fourth, sweep-mode number per program runs a whole (window × MD) DM
 //! grid over one recycled [`SimPool`] versus per-point construction,
-//! pinning the amortised-construction win of the pooled sweep path.
+//! pinning the amortised-construction win of the pooled sweep path.  A
+//! fifth, session-mode number runs the same grid through a warm
+//! [`SweepSession`] (persistent workers, pools alive between calls)
+//! versus the pre-session per-call shape (scoped threads + cold pools per
+//! sweep call), pinning the win of the resident session path.
 //!
 //! Each pipeline is timed as a warm burst (the sweep drivers run the same
 //! machine back to back, so warm-cache cost is the deployed cost), taking
@@ -38,7 +42,7 @@
 //! floors** — CI runs this on every push so a regression below the floor
 //! fails fast — but does not overwrite the committed baseline JSON.
 
-use dae_core::LoweredTrace;
+use dae_core::{LoweredTrace, Machine, SweepSession, WindowSpec};
 use dae_machines::{
     DecoupledMachine, DmConfig, ScalarConfig, ScalarReference, SimPool, SuperscalarMachine,
     SwsmConfig,
@@ -46,6 +50,8 @@ use dae_machines::{
 use dae_trace::{expand_swsm, lower_scalar, partition, PartitionMode};
 use dae_workloads::PerfectProgram;
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 const WINDOW: usize = 32;
@@ -88,6 +94,17 @@ const SCALAR_SCHEDULER_FLOOR: f64 = 2.8;
 /// *loss* — the committed `min_sweep_speedup` is the trend signal.
 const SWEEP_FLOOR: f64 = 0.98;
 
+/// Floor for the session benchmark: the same (window × MD) grid through a
+/// *warm* [`SweepSession`] (persistent workers, thread-local pools alive
+/// between calls) versus the pre-session per-call shape — scoped threads
+/// spawned for the one call, one cold [`SimPool`] per thread, everything
+/// torn down at the end.  The session's win is per-call thread spawn plus
+/// cold-pool construction amortised over the grid (measured ≥ 1.0x); as
+/// with the sweep floor, the enforced bound sits at break-even so only a
+/// clear *loss* fails, and the committed `min_session_speedup` carries the
+/// trend.
+const SESSION_FLOOR: f64 = 0.98;
+
 /// Smoke-mode floors: shorter traces amortise per-run fixed costs less and
 /// the reduced repetition count rejects less noise, so CI's fast tripwire
 /// uses a wider margin.  A real regression of the event-driven engine
@@ -103,6 +120,8 @@ const SMOKE_SCALAR_SCHEDULER_FLOOR: f64 = 2.2;
 /// pooled reps but not the fresh ones; 0.97 still catches pooling becoming
 /// a real loss.
 const SMOKE_SWEEP_FLOOR: f64 = 0.97;
+/// Smoke-mode session floor, widened like the sweep one.
+const SMOKE_SESSION_FLOOR: f64 = 0.97;
 
 /// Times one pipeline as a warm burst: one untimed warm-up call, then the
 /// minimum single-run time over `reps` repetitions.
@@ -162,6 +181,20 @@ impl SweepMeasurement {
     }
 }
 
+/// One session-mode measurement: a grid through a warm [`SweepSession`]
+/// versus the per-call shape (scoped threads + cold pools per sweep call).
+struct SessionMeasurement {
+    name: String,
+    session_ns: f64,
+    per_call_ns: f64,
+}
+
+impl SessionMeasurement {
+    fn speedup(&self) -> f64 {
+        self.per_call_ns / self.session_ns
+    }
+}
+
 /// The minimum of `f` over the measurements whose name starts with
 /// `prefix` (the per-machine floor checks).
 fn min_over(results: &[Measurement], prefix: &str, f: impl Fn(&Measurement) -> f64) -> f64 {
@@ -214,6 +247,7 @@ fn main() {
 
     let mut results: Vec<Measurement> = Vec::new();
     let mut sweeps: Vec<SweepMeasurement> = Vec::new();
+    let mut sessions: Vec<SessionMeasurement> = Vec::new();
     // The sweep benchmark's (window, MD) grid: a slice of the figure
     // sweeps' real parameter space, small windows and MD = 0 included so
     // per-point construction is a visible share of the cheap points.
@@ -357,6 +391,92 @@ fn main() {
                 fresh_ns,
             });
         }
+
+        // Session mode: the same grid through a *warm* persistent
+        // SweepSession (long-lived workers whose thread-local pools
+        // survive between calls) versus the pre-session per-call shape —
+        // scoped threads spawned for the one call, a cold SimPool per
+        // thread, all of it torn down when the call returns.  That
+        // per-call loop is exactly what every figure generator paid
+        // before sessions existed.
+        {
+            let grid: Vec<(Machine, WindowSpec, u64)> = sweep_points
+                .iter()
+                .map(|&(w, md)| (Machine::Decoupled, WindowSpec::Entries(w), md))
+                .collect();
+            let machines: Vec<DecoupledMachine> = sweep_points
+                .iter()
+                .map(|&(w, md)| DecoupledMachine::new(DmConfig::paper(w, md)))
+                .collect();
+            let mut session = SweepSession::new();
+            let sid = session.pin_lowered(lowered.clone());
+            // Differential check (which also warms the session): session
+            // results must equal per-point fresh construction.
+            let expected: Vec<u64> = machines
+                .iter()
+                .map(|m| m.run_lowered(&dm_program, trace.len()).cycles())
+                .collect();
+            assert_eq!(
+                session.sweep(sid, &grid),
+                expected,
+                "session sweep differential check failed for {program}"
+            );
+
+            let threads = std::thread::available_parallelism()
+                .map_or(1, std::num::NonZeroUsize::get)
+                .min(machines.len());
+            let mut run_session = || session.sweep(sid, &grid).iter().sum::<u64>();
+            let run_per_call = || {
+                let cursor = AtomicUsize::new(0);
+                let results: Vec<Mutex<u64>> = (0..machines.len()).map(|_| Mutex::new(0)).collect();
+                std::thread::scope(|scope| {
+                    for _ in 0..threads {
+                        scope.spawn(|| {
+                            let mut pool = SimPool::new();
+                            loop {
+                                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                                if i >= machines.len() {
+                                    break;
+                                }
+                                *results[i].lock().expect("result slot poisoned") = machines[i]
+                                    .run_pooled(&dm_program, trace.len(), &mut pool)
+                                    .cycles();
+                            }
+                        });
+                    }
+                });
+                results
+                    .iter()
+                    .map(|m| *m.lock().expect("result slot poisoned"))
+                    .sum::<u64>()
+            };
+            // Interleaved min-of-reps, like the sweep benchmark: the two
+            // sides are close, so a load spike must land on both.  Tripled
+            // reps because this ratio has the tightest floor margin of the
+            // suite (the expected win is only a few percent) and the
+            // per-call side's thread spawns add scheduler jitter of their
+            // own — more samples tighten both minima symmetrically.
+            std::hint::black_box(run_session());
+            std::hint::black_box(run_per_call());
+            let (mut session_ns, mut per_call_ns) = (f64::INFINITY, f64::INFINITY);
+            for _ in 0..3 * reps {
+                let t0 = Instant::now();
+                std::hint::black_box(run_session());
+                session_ns = session_ns.min(t0.elapsed().as_nanos() as f64);
+                let t0 = Instant::now();
+                std::hint::black_box(run_per_call());
+                per_call_ns = per_call_ns.min(t0.elapsed().as_nanos() as f64);
+            }
+            sessions.push(SessionMeasurement {
+                name: format!(
+                    "dm_session{}_w8-64_md0-{MD}/{}",
+                    sweep_points.len(),
+                    program.name()
+                ),
+                session_ns,
+                per_call_ns,
+            });
+        }
     }
 
     println!(
@@ -389,6 +509,20 @@ fn main() {
         );
     }
 
+    println!(
+        "\n{:<36} {:>12} {:>12} {:>9}",
+        "session benchmark", "session ns", "per-call ns", "speedup"
+    );
+    for s in &sessions {
+        println!(
+            "{:<36} {:>12.0} {:>12.0} {:>8.2}x",
+            s.name,
+            s.session_ns,
+            s.per_call_ns,
+            s.speedup()
+        );
+    }
+
     let min_dm_pipeline = min_over(&results, "dm_w", Measurement::pipeline_speedup);
     let min_dm_scheduler = min_over(&results, "dm_w", Measurement::scheduler_speedup);
     let min_swsm_pipeline = min_over(&results, "swsm_", Measurement::pipeline_speedup);
@@ -399,12 +533,16 @@ fn main() {
         .iter()
         .map(SweepMeasurement::speedup)
         .fold(f64::INFINITY, f64::min);
+    let min_session = sessions
+        .iter()
+        .map(SessionMeasurement::speedup)
+        .fold(f64::INFINITY, f64::min);
     println!(
         "\nminimum speedups at MD = {MD} (pipeline / scheduler-only): \
          DM {min_dm_pipeline:.2}x / {min_dm_scheduler:.2}x, \
          SWSM {min_swsm_pipeline:.2}x / {min_swsm_scheduler:.2}x, \
          scalar {min_scalar_pipeline:.2}x / {min_scalar_scheduler:.2}x; \
-         sweep pooling {min_sweep:.2}x"
+         sweep pooling {min_sweep:.2}x; session vs per-call {min_session:.2}x"
     );
 
     if smoke {
@@ -436,9 +574,21 @@ fn main() {
             );
             json.push_str(if i + 1 == sweeps.len() { "\n" } else { ",\n" });
         }
+        json.push_str("  ],\n  \"session_benchmarks\": [\n");
+        for (i, s) in sessions.iter().enumerate() {
+            let _ = write!(
+                json,
+                "    {{\"name\": \"{}\", \"session_ns\": {:.0}, \"per_call_ns\": {:.0}, \"speedup\": {:.3}}}",
+                s.name,
+                s.session_ns,
+                s.per_call_ns,
+                s.speedup()
+            );
+            json.push_str(if i + 1 == sessions.len() { "\n" } else { ",\n" });
+        }
         let _ = write!(
             json,
-            "  ],\n  \"config\": {{\"iterations\": {iterations}, \"window\": {WINDOW}, \"memory_differential\": {MD}, \"commit\": \"{}\"}},\n  \"min_dm_pipeline_speedup\": {min_dm_pipeline:.3},\n  \"min_dm_scheduler_speedup\": {min_dm_scheduler:.3},\n  \"min_swsm_pipeline_speedup\": {min_swsm_pipeline:.3},\n  \"min_swsm_scheduler_speedup\": {min_swsm_scheduler:.3},\n  \"min_scalar_pipeline_speedup\": {min_scalar_pipeline:.3},\n  \"min_scalar_scheduler_speedup\": {min_scalar_scheduler:.3},\n  \"min_sweep_speedup\": {min_sweep:.3}\n}}\n",
+            "  ],\n  \"config\": {{\"iterations\": {iterations}, \"window\": {WINDOW}, \"memory_differential\": {MD}, \"commit\": \"{}\"}},\n  \"min_dm_pipeline_speedup\": {min_dm_pipeline:.3},\n  \"min_dm_scheduler_speedup\": {min_dm_scheduler:.3},\n  \"min_swsm_pipeline_speedup\": {min_swsm_pipeline:.3},\n  \"min_swsm_scheduler_speedup\": {min_swsm_scheduler:.3},\n  \"min_scalar_pipeline_speedup\": {min_scalar_pipeline:.3},\n  \"min_scalar_scheduler_speedup\": {min_scalar_scheduler:.3},\n  \"min_sweep_speedup\": {min_sweep:.3},\n  \"min_session_speedup\": {min_session:.3}\n}}\n",
             commit_hash()
         );
         std::fs::write("BENCH_simulator_throughput.json", json).expect("write baseline json");
@@ -448,7 +598,7 @@ fn main() {
     // Every floor applies in both modes (smoke uses the wider constants);
     // the per-machine checks run in CI on every push, so any machine's
     // engine path regressing — not just the DM's — fails fast.
-    let floors: [(&str, f64, f64); 7] = if smoke {
+    let floors: [(&str, f64, f64); 8] = if smoke {
         [
             ("DM pipeline", min_dm_pipeline, SMOKE_PIPELINE_FLOOR),
             ("DM scheduler-only", min_dm_scheduler, SMOKE_SCHEDULER_FLOOR),
@@ -473,6 +623,7 @@ fn main() {
                 SMOKE_SCALAR_SCHEDULER_FLOOR,
             ),
             ("sweep pooling", min_sweep, SMOKE_SWEEP_FLOOR),
+            ("session vs per-call", min_session, SMOKE_SESSION_FLOOR),
         ]
     } else {
         [
@@ -495,6 +646,7 @@ fn main() {
                 SCALAR_SCHEDULER_FLOOR,
             ),
             ("sweep pooling", min_sweep, SWEEP_FLOOR),
+            ("session vs per-call", min_session, SESSION_FLOOR),
         ]
     };
     for (name, measured, floor) in floors {

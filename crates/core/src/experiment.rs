@@ -1,12 +1,13 @@
 //! Convenience layer for running the paper's machines over workloads.
 
-use crate::WindowCurve;
+use crate::{SweepSession, WindowCurve};
 use dae_isa::Cycle;
 use dae_machines::{
     DecoupledMachine, DmConfig, ScalarConfig, ScalarReference, SuperscalarMachine, SwsmConfig,
 };
-use dae_trace::{expand_swsm, partition, DecoupledProgram, SwsmProgram, Trace};
-use rayon::prelude::*;
+use dae_trace::{
+    expand_swsm, lower_scalar, partition, DecoupledProgram, ScalarProgram, SwsmProgram, Trace,
+};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -62,6 +63,24 @@ impl fmt::Display for Machine {
     }
 }
 
+/// How sweep points evaluate the scalar reference.
+///
+/// The analytic formula (`base + loads × MD`) is exact — the simulated
+/// machine matches it bit for bit on every trace (pinned by property tests
+/// on random kernels and the whole PERFECT suite) — so figures default to
+/// the O(1) evaluation.  Ablations that perturb the machine model beyond
+/// what the formula describes (functional-unit limits, caches) switch a
+/// sweep session to [`ScalarMode::Simulated`], which runs the lowered
+/// scalar program through the pooled simulator like the other machines.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ScalarMode {
+    /// Evaluate the affine analytic formula, O(1) per point.
+    #[default]
+    Analytic,
+    /// Simulate the lowered scalar program over pooled buffers.
+    Simulated,
+}
+
 /// The DM configuration used by the experiments for a given window and
 /// memory differential (the paper's issue widths, everything else
 /// idealised).
@@ -97,6 +116,10 @@ pub struct LoweredTrace {
     trace_instructions: usize,
     dm_program: DecoupledProgram,
     swsm_program: SwsmProgram,
+    /// The scalar lowering, kept so sessions can *simulate* the scalar
+    /// machine (pooled, like the other machines) when an ablation needs
+    /// more than the analytic formula.
+    scalar_program: ScalarProgram,
     /// `scalar analytic time = scalar_base + loads × MD`.
     scalar_base: Cycle,
     scalar_loads: Cycle,
@@ -118,6 +141,7 @@ impl LoweredTrace {
             trace_instructions: trace.len(),
             dm_program: partition(trace, dae_trace::PartitionMode::Tagged),
             swsm_program: expand_swsm(trace),
+            scalar_program: lower_scalar(trace),
             scalar_base,
             scalar_loads,
         }
@@ -164,6 +188,31 @@ impl LoweredTrace {
         self.scalar_base + self.scalar_loads * memory_differential
     }
 
+    /// Execution time of the *simulated* scalar reference at one sweep
+    /// point, over pooled buffers like [`LoweredTrace::dm_cycles`].
+    ///
+    /// Bit-for-bit equal to [`LoweredTrace::scalar_cycles`] (pinned by the
+    /// scalar property tests); exists so sweep sessions can run ablations
+    /// whose machine perturbations the analytic formula does not model.
+    #[must_use]
+    pub fn scalar_cycles_simulated(&self, memory_differential: Cycle) -> Cycle {
+        let machine = ScalarReference::new(ScalarConfig::new(memory_differential));
+        dae_machines::with_thread_pool(|pool| {
+            machine
+                .run_pooled(&self.scalar_program, self.trace_instructions, pool)
+                .cycles()
+        })
+    }
+
+    /// Execution time of the scalar reference under `mode`.
+    #[must_use]
+    pub fn scalar_cycles_in(&self, memory_differential: Cycle, mode: ScalarMode) -> Cycle {
+        match mode {
+            ScalarMode::Analytic => self.scalar_cycles(memory_differential),
+            ScalarMode::Simulated => self.scalar_cycles_simulated(memory_differential),
+        }
+    }
+
     /// Execution time of `machine` at one sweep point.
     #[must_use]
     pub fn machine_cycles(
@@ -172,21 +221,37 @@ impl LoweredTrace {
         window: WindowSpec,
         memory_differential: Cycle,
     ) -> Cycle {
+        self.machine_cycles_in(machine, window, memory_differential, ScalarMode::Analytic)
+    }
+
+    /// [`LoweredTrace::machine_cycles`] with an explicit scalar-evaluation
+    /// mode (what sweep sessions dispatch through).
+    #[must_use]
+    pub fn machine_cycles_in(
+        &self,
+        machine: Machine,
+        window: WindowSpec,
+        memory_differential: Cycle,
+        scalar_mode: ScalarMode,
+    ) -> Cycle {
         match machine {
             Machine::Decoupled => self.dm_cycles(window, memory_differential),
             Machine::Superscalar => self.swsm_cycles(window, memory_differential),
-            Machine::Scalar => self.scalar_cycles(memory_differential),
+            Machine::Scalar => self.scalar_cycles_in(memory_differential, scalar_mode),
         }
     }
 
     /// Runs a list of `(machine, window, MD)` sweep points in parallel,
     /// returning their execution times in point order.
+    ///
+    /// One-shot convenience over a throwaway [`SweepSession`]; callers
+    /// sweeping the same programs repeatedly should hold a session instead,
+    /// which also offers a streaming (per-point delivery) API.
     #[must_use]
     pub fn sweep(&self, points: &[(Machine, WindowSpec, Cycle)]) -> Vec<Cycle> {
-        points
-            .par_iter()
-            .map(|&(machine, window, md)| self.machine_cycles(machine, window, md))
-            .collect()
+        let mut session = SweepSession::new();
+        let id = session.pin_lowered(self.clone());
+        session.sweep(id, points)
     }
 
     /// Sweeps the SWSM over `windows` at a fixed memory differential (the

@@ -13,38 +13,20 @@
 
 use crate::{
     equivalent_window_ratio, fmt_metric, latency_hiding_effectiveness, speedup, ExperimentConfig,
-    LoweredTrace, Machine, TextTable, WindowCurve, WindowSpec,
+    Machine, SweepPoint, SweepSession, TextTable, WindowCurve, WindowSpec,
 };
 use dae_isa::Cycle;
 use dae_workloads::PerfectProgram;
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
-/// Lowers every listed program's trace once, in parallel.
-///
-/// All generators sweep many (window, MD) points per program; lowering
-/// up front and sharing the [`LoweredTrace`] across points is what turns
-/// the sweeps into pure simulation work.
-fn lower_programs(programs: &[PerfectProgram], iterations: u64) -> Vec<LoweredTrace> {
-    programs
-        .to_vec()
-        .into_par_iter()
-        .map(|program| LoweredTrace::new(&program.workload().trace(iterations)))
-        .collect()
-}
-
-/// Runs a flat list of `(program index, machine, window, MD)` points in
-/// parallel against the pre-lowered traces, preserving point order.
-fn run_points(
-    lowered: &[LoweredTrace],
-    points: &[(usize, Machine, WindowSpec, Cycle)],
-) -> Vec<Cycle> {
-    points
-        .par_iter()
-        .map(|&(idx, machine, window, md)| lowered[idx].machine_cycles(machine, window, md))
-        .collect()
-}
+// Every generator runs over a [`SweepSession`]: the public one-shot entry
+// points (`table1`, `speedup_figure`, …) build a throwaway session, and the
+// `_in` variants accept a caller-held session so consecutive generators
+// share pinned lowerings and the warm per-worker simulation pools — the
+// examples and the CI figure smoke run that way.  Lowering up front and
+// sharing it across points is what turns the sweeps into pure simulation
+// work.
 
 // ---------------------------------------------------------------------------
 // Table 1 — latency hiding effectiveness
@@ -76,6 +58,17 @@ pub struct Table1 {
 /// window sizes including the unlimited window.
 #[must_use]
 pub fn table1(config: &ExperimentConfig, memory_differential: Cycle) -> Table1 {
+    table1_in(&mut SweepSession::new(), config, memory_differential)
+}
+
+/// [`table1`] over a caller-held session: the seven programs pin (or are
+/// found already pinned) in `session` and the grid runs on its warm pools.
+#[must_use]
+pub fn table1_in(
+    session: &mut SweepSession,
+    config: &ExperimentConfig,
+    memory_differential: Cycle,
+) -> Table1 {
     let mut windows: Vec<WindowSpec> = config
         .dm_windows
         .iter()
@@ -83,18 +76,18 @@ pub fn table1(config: &ExperimentConfig, memory_differential: Cycle) -> Table1 {
         .collect();
     windows.push(WindowSpec::Unlimited);
 
-    let lowered = lower_programs(&PerfectProgram::ALL, config.iterations);
+    let ids = session.pin_programs(&PerfectProgram::ALL, config.iterations);
 
     // One flat parallel sweep: every (program, window) at MD = 0 and at the
     // table's memory differential.
-    let mut points = Vec::with_capacity(lowered.len() * windows.len() * 2);
-    for idx in 0..lowered.len() {
+    let mut points = Vec::with_capacity(ids.len() * windows.len() * 2);
+    for &id in &ids {
         for &window in &windows {
-            points.push((idx, Machine::Decoupled, window, 0));
-            points.push((idx, Machine::Decoupled, window, memory_differential));
+            points.push((id, Machine::Decoupled, window, 0));
+            points.push((id, Machine::Decoupled, window, memory_differential));
         }
     }
-    let cycles = run_points(&lowered, &points);
+    let cycles = session.sweep_multi(&points);
 
     let mut results = cycles.chunks_exact(2);
     let rows = PerfectProgram::ALL
@@ -196,10 +189,29 @@ pub fn speedup_figure(
     config: &ExperimentConfig,
     memory_differentials: &[Cycle],
 ) -> SpeedupFigure {
-    let lowered = LoweredTrace::new(&program.workload().trace(config.iterations));
+    speedup_figure_in(
+        &mut SweepSession::new(),
+        program,
+        config,
+        memory_differentials,
+    )
+}
 
-    // Flatten every (MD, machine, window) point into one parallel sweep.
-    let mut sweep = Vec::new();
+/// [`speedup_figure`] over a caller-held session.  The grid runs through
+/// the session's *streaming* API — each point is delivered as its worker
+/// finishes and scattered back into grid order — so this generator also
+/// exercises the no-barrier path end to end.
+#[must_use]
+pub fn speedup_figure_in(
+    session: &mut SweepSession,
+    program: PerfectProgram,
+    config: &ExperimentConfig,
+    memory_differentials: &[Cycle],
+) -> SpeedupFigure {
+    let id = session.pin_program(program, config.iterations);
+
+    // Flatten every (MD, machine, window) point into one streamed sweep.
+    let mut sweep: Vec<SweepPoint> = Vec::new();
     for &md in memory_differentials {
         for machine in [Machine::Decoupled, Machine::Superscalar] {
             let windows = match machine {
@@ -207,16 +219,18 @@ pub fn speedup_figure(
                 _ => &config.swsm_windows,
             };
             for &w in windows {
-                sweep.push((machine, WindowSpec::Entries(w), md));
+                sweep.push((id, machine, WindowSpec::Entries(w), md));
             }
         }
     }
-    let cycles = lowered.sweep(&sweep);
+    let cycles = session.stream(&sweep).collect_ordered();
 
+    let scalar_mode = session.scalar_mode();
+    let lowered = session.lowered(id);
     let mut series = Vec::new();
     let mut cursor = cycles.into_iter();
     for &md in memory_differentials {
-        let reference = lowered.scalar_cycles(md);
+        let reference = lowered.scalar_cycles_in(md, scalar_mode);
         for machine in [Machine::Decoupled, Machine::Superscalar] {
             let windows = match machine {
                 Machine::Decoupled => &config.dm_windows,
@@ -348,20 +362,30 @@ pub struct EwrFigure {
 /// for FLO52Q, 8 for MDG, 9 for TRACK).
 #[must_use]
 pub fn equivalent_window_figure(program: PerfectProgram, config: &ExperimentConfig) -> EwrFigure {
-    let lowered = LoweredTrace::new(&program.workload().trace(config.iterations));
+    equivalent_window_figure_in(&mut SweepSession::new(), program, config)
+}
+
+/// [`equivalent_window_figure`] over a caller-held session.
+#[must_use]
+pub fn equivalent_window_figure_in(
+    session: &mut SweepSession,
+    program: PerfectProgram,
+    config: &ExperimentConfig,
+) -> EwrFigure {
+    let id = session.pin_program(program, config.iterations);
 
     // One parallel sweep covering, per memory differential, the SWSM search
     // grid and the DM windows.
-    let mut sweep = Vec::new();
+    let mut sweep: Vec<SweepPoint> = Vec::new();
     for &md in &config.memory_differentials {
         for &w in &config.equivalence_search_windows {
-            sweep.push((Machine::Superscalar, WindowSpec::Entries(w), md));
+            sweep.push((id, Machine::Superscalar, WindowSpec::Entries(w), md));
         }
         for &w in &config.dm_windows {
-            sweep.push((Machine::Decoupled, WindowSpec::Entries(w), md));
+            sweep.push((id, Machine::Decoupled, WindowSpec::Entries(w), md));
         }
     }
-    let cycles = lowered.sweep(&sweep);
+    let cycles = session.sweep_multi(&sweep);
 
     let mut series = Vec::new();
     let mut cursor = cycles.into_iter();
@@ -465,29 +489,46 @@ pub fn window_ratio_claim(
     dm_window: usize,
     memory_differential: Cycle,
 ) -> WindowRatioClaim {
-    let lowered = lower_programs(&PerfectProgram::ALL, config.iterations);
+    window_ratio_claim_in(
+        &mut SweepSession::new(),
+        config,
+        dm_window,
+        memory_differential,
+    )
+}
+
+/// [`window_ratio_claim`] over a caller-held session (sharing a session
+/// with [`table1_in`] reuses all seven pinned lowerings).
+#[must_use]
+pub fn window_ratio_claim_in(
+    session: &mut SweepSession,
+    config: &ExperimentConfig,
+    dm_window: usize,
+    memory_differential: Cycle,
+) -> WindowRatioClaim {
+    let ids = session.pin_programs(&PerfectProgram::ALL, config.iterations);
 
     // Per program: one DM point plus the SWSM search grid, all in one flat
     // parallel sweep.
     let stride = 1 + config.equivalence_search_windows.len();
-    let mut points = Vec::with_capacity(lowered.len() * stride);
-    for idx in 0..lowered.len() {
+    let mut points: Vec<SweepPoint> = Vec::with_capacity(ids.len() * stride);
+    for &id in &ids {
         points.push((
-            idx,
+            id,
             Machine::Decoupled,
             WindowSpec::Entries(dm_window),
             memory_differential,
         ));
         for &w in &config.equivalence_search_windows {
             points.push((
-                idx,
+                id,
                 Machine::Superscalar,
                 WindowSpec::Entries(w),
                 memory_differential,
             ));
         }
     }
-    let cycles = run_points(&lowered, &points);
+    let cycles = session.sweep_multi(&points);
 
     let ratios = PerfectProgram::ALL
         .iter()
@@ -614,6 +655,35 @@ mod tests {
         assert!(ratio > 1.0, "ratio {ratio}");
         assert!(format!("{fig}").contains("md=60"));
         assert_eq!(fig.series.len(), 2);
+    }
+
+    #[test]
+    fn generators_share_a_session_without_relowering() {
+        let cfg = tiny_config();
+        let mut session = SweepSession::new();
+        let table = table1_in(&mut session, &cfg, 60);
+        let pinned_after_table1 = session.len();
+        assert_eq!(
+            session.stats().pin_hits,
+            0,
+            "a cold session has nothing to hit"
+        );
+        let claim = window_ratio_claim_in(&mut session, &cfg, 32, 60);
+        assert_eq!(
+            session.len(),
+            pinned_after_table1,
+            "the claim generator must reuse the suite table1 pinned"
+        );
+        assert_eq!(
+            session.stats().pin_hits,
+            7,
+            "all seven of the claim's programs must come from the cache"
+        );
+        let fig = speedup_figure_in(&mut session, PerfectProgram::Track, &cfg, &[60]);
+        // Shared-session results are identical to the one-shot entry points.
+        assert_eq!(table, table1(&cfg, 60));
+        assert_eq!(claim, window_ratio_claim(&cfg, 32, 60));
+        assert_eq!(fig, speedup_figure(PerfectProgram::Track, &cfg, &[60]));
     }
 
     #[test]

@@ -12,7 +12,11 @@
 //! * [`experiments`](crate::table1) — generators for every table and figure
 //!   of the paper's evaluation: [`table1`], [`speedup_figure`] (figures
 //!   4–6), [`equivalent_window_figure`] (figures 7–9) and
-//!   [`window_ratio_claim`] (the §5 headline claim);
+//!   [`window_ratio_claim`] (the §5 headline claim), each with a `_in`
+//!   variant running over a shared session;
+//! * [`session`](crate::SweepSession) — persistent sweep sessions: lowered
+//!   programs pinned once over the long-lived worker pool, grids executed
+//!   batched or streamed (per-point delivery, no full-grid barrier);
 //! * [`report`](crate::TextTable) — aligned text tables and CSV export so
 //!   the experiment binaries print exactly the rows/series the paper
 //!   reports.
@@ -40,17 +44,20 @@ mod experiment;
 mod experiments;
 mod metrics;
 mod report;
+mod session;
 
 pub use experiment::{
     dm_config, dm_cycles, dm_window_curve, machine_cycles, scalar_cycles, swsm_config, swsm_cycles,
-    swsm_window_curve, ExperimentConfig, LoweredTrace, Machine, WindowSpec,
+    swsm_window_curve, ExperimentConfig, LoweredTrace, Machine, ScalarMode, WindowSpec,
 };
 pub use experiments::{
-    equivalent_window_figure, speedup_figure, table1, window_ratio_claim, EwrFigure, EwrSeries,
+    equivalent_window_figure, equivalent_window_figure_in, speedup_figure, speedup_figure_in,
+    table1, table1_in, window_ratio_claim, window_ratio_claim_in, EwrFigure, EwrSeries,
     SpeedupFigure, SpeedupSeries, Table1, Table1Row, WindowRatioClaim,
 };
 pub use metrics::{equivalent_window_ratio, latency_hiding_effectiveness, speedup, WindowCurve};
 pub use report::{fmt_metric, TextTable};
+pub use session::{SessionStats, StreamedPoint, SweepPoint, SweepSession, SweepStream, TraceId};
 
 /// A convenience prelude re-exporting the types most examples need.
 pub mod prelude {

@@ -1,0 +1,430 @@
+//! Persistent sweep sessions: pinned lowered programs over the long-lived
+//! worker pool.
+//!
+//! Every figure of the paper is a sweep — cycle counts for one workload
+//! across a grid of (machine, window, memory-differential) points — and the
+//! serving-scale goal needs those sweeps to behave like a resident service,
+//! not a batch job.  A [`SweepSession`] is the resident half of that:
+//!
+//! * **Pinned programs.**  [`SweepSession::pin_program`] lowers a PERFECT
+//!   workload once and caches it by `(program, iterations)`, so consecutive
+//!   figure generators sharing one session re-lower nothing;
+//!   [`SweepSession::pin_lowered`] / [`SweepSession::pin_trace`] pin
+//!   arbitrary traces.  Pinned programs are `Arc`-shared into workers.
+//! * **Warm per-worker pools.**  Points run over the vendored rayon stub's
+//!   *persistent* workers; each worker's thread-local
+//!   [`SimPool`](dae_machines::SimPool) therefore survives between sweeps,
+//!   so the second sweep on a session rebuilds no simulator buffers at all
+//!   (`dae_machines::pool_diagnostics` counts the warm checkouts, and the
+//!   session-vs-per-call benchmark entry pins the win).
+//! * **Batched and streaming delivery.**  [`SweepSession::sweep`] returns
+//!   results in point order after the grid completes;
+//!   [`SweepSession::stream`] delivers each point the moment its worker
+//!   finishes — an iterator in *completion* order, no full-grid barrier —
+//!   which is the shape a resident service reports progress in.
+//! * **Simulated scalar sweeps.**  A session carries a
+//!   [`ScalarMode`](crate::ScalarMode): figures default to the exact O(1)
+//!   analytic formula, ablations (functional-unit limits, caches) switch to
+//!   [`ScalarMode::Simulated`](crate::ScalarMode) and sweep the scalar
+//!   machine through the same pooled simulator as the DM and the SWSM.
+//!
+//! Streamed, batched, one-shot (`LoweredTrace::sweep`) and naive-reference
+//! results are bit-for-bit identical — `tests/session_differential.rs`
+//! holds all four to each other on randomized grids across all three
+//! machines.
+
+use crate::{LoweredTrace, Machine, ScalarMode, WindowSpec};
+use dae_isa::Cycle;
+use dae_trace::Trace;
+use dae_workloads::PerfectProgram;
+use rayon::prelude::*;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{mpsc, Arc};
+
+/// Handle to a program pinned in a [`SweepSession`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceId(usize);
+
+/// One sweep point addressed at a pinned program.
+pub type SweepPoint = (TraceId, Machine, WindowSpec, Cycle);
+
+/// Counters describing what a session has done (diagnostics for tests and
+/// reports; all monotone).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Programs pinned (lowerings performed or adopted).
+    pub pinned_traces: u64,
+    /// `pin_program` calls answered from the cache without re-lowering.
+    pub pin_hits: u64,
+    /// Points run through the batched API.
+    pub batched_points: u64,
+    /// Points run through the streaming API.
+    pub streamed_points: u64,
+}
+
+/// A persistent sweep service: lowered programs pinned once, grids of
+/// points executed over the long-lived worker pool, results delivered
+/// batched or streamed.  See the module docs.
+#[derive(Debug, Default)]
+pub struct SweepSession {
+    traces: Vec<Arc<LoweredTrace>>,
+    /// `pin_program` cache: `(program, iterations) → TraceId`.
+    programs: Vec<((PerfectProgram, u64), TraceId)>,
+    scalar_mode: ScalarMode,
+    stats: SessionStats,
+}
+
+impl SweepSession {
+    /// An empty session evaluating the scalar reference analytically.
+    #[must_use]
+    pub fn new() -> Self {
+        SweepSession::default()
+    }
+
+    /// An empty session with an explicit scalar-evaluation mode.
+    #[must_use]
+    pub fn with_scalar_mode(scalar_mode: ScalarMode) -> Self {
+        SweepSession {
+            scalar_mode,
+            ..SweepSession::default()
+        }
+    }
+
+    /// How this session evaluates [`Machine::Scalar`] points.
+    #[must_use]
+    pub fn scalar_mode(&self) -> ScalarMode {
+        self.scalar_mode
+    }
+
+    /// A snapshot of the session's activity counters.
+    #[must_use]
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// The number of pinned programs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// Whether no program has been pinned yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.traces.is_empty()
+    }
+
+    /// Pins an already-lowered trace, returning its handle.
+    pub fn pin_lowered(&mut self, lowered: LoweredTrace) -> TraceId {
+        self.stats.pinned_traces += 1;
+        self.traces.push(Arc::new(lowered));
+        TraceId(self.traces.len() - 1)
+    }
+
+    /// Lowers `trace` for all three machines and pins it.
+    pub fn pin_trace(&mut self, trace: &Trace) -> TraceId {
+        self.pin_lowered(LoweredTrace::new(trace))
+    }
+
+    /// The cached handle for a `(program, iterations)` pair, if resident.
+    fn find_program(&self, program: PerfectProgram, iterations: u64) -> Option<TraceId> {
+        self.programs
+            .iter()
+            .find(|&&(key, _)| key == (program, iterations))
+            .map(|&(_, id)| id)
+    }
+
+    /// Pins a PERFECT workload expanded for `iterations`, lowering it only
+    /// if this `(program, iterations)` pair is not already resident — the
+    /// cache is what lets consecutive figure generators share one session
+    /// without re-lowering the suite.
+    pub fn pin_program(&mut self, program: PerfectProgram, iterations: u64) -> TraceId {
+        if let Some(id) = self.find_program(program, iterations) {
+            self.stats.pin_hits += 1;
+            return id;
+        }
+        let id = self.pin_trace(&program.workload().trace(iterations));
+        self.programs.push(((program, iterations), id));
+        id
+    }
+
+    /// Pins several PERFECT workloads, lowering the missing ones in
+    /// parallel (lowering is a third to half of a single simulation's
+    /// cost, so the suite-wide generators lower all seven programs at
+    /// once).  Only programs that were resident *before* this call count
+    /// as `pin_hits`.
+    pub fn pin_programs(&mut self, programs: &[PerfectProgram], iterations: u64) -> Vec<TraceId> {
+        let mut missing: Vec<PerfectProgram> = Vec::new();
+        for &program in programs {
+            if self.find_program(program, iterations).is_some() {
+                self.stats.pin_hits += 1;
+            } else if !missing.contains(&program) {
+                missing.push(program);
+            }
+        }
+        let lowered: Vec<(PerfectProgram, LoweredTrace)> = missing
+            .into_par_iter()
+            .map(|program| {
+                (
+                    program,
+                    LoweredTrace::new(&program.workload().trace(iterations)),
+                )
+            })
+            .collect();
+        for (program, lowered) in lowered {
+            let id = self.pin_lowered(lowered);
+            self.programs.push(((program, iterations), id));
+        }
+        programs
+            .iter()
+            .map(|&p| {
+                self.find_program(p, iterations)
+                    .expect("every requested program was just pinned")
+            })
+            .collect()
+    }
+
+    /// The pinned lowering behind `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this session.
+    #[must_use]
+    pub fn lowered(&self, id: TraceId) -> &LoweredTrace {
+        &self.traces[id.0]
+    }
+
+    /// Runs a grid of `(machine, window, MD)` points against one pinned
+    /// program, returning execution times in point order (batched API).
+    #[must_use]
+    pub fn sweep(&mut self, id: TraceId, points: &[(Machine, WindowSpec, Cycle)]) -> Vec<Cycle> {
+        let full: Vec<SweepPoint> = points
+            .iter()
+            .map(|&(machine, window, md)| (id, machine, window, md))
+            .collect();
+        self.sweep_multi(&full)
+    }
+
+    /// Runs a grid of points addressing any mix of pinned programs,
+    /// returning execution times in point order (batched API).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a point names a `TraceId` not pinned in this session.
+    #[must_use]
+    pub fn sweep_multi(&mut self, points: &[SweepPoint]) -> Vec<Cycle> {
+        self.stats.batched_points += points.len() as u64;
+        let traces = &self.traces;
+        let scalar_mode = self.scalar_mode;
+        points
+            .par_iter()
+            .map(|&(id, machine, window, md)| {
+                traces[id.0].machine_cycles_in(machine, window, md, scalar_mode)
+            })
+            .collect()
+    }
+
+    /// Submits a grid of points and returns immediately with a stream that
+    /// yields each result as its worker finishes (completion order, no
+    /// full-grid barrier).  The jobs hold `Arc`s to the pinned programs, so
+    /// the stream is independent of the session borrow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a point names a `TraceId` not pinned in this session.
+    #[must_use]
+    pub fn stream(&mut self, points: &[SweepPoint]) -> SweepStream {
+        self.stats.streamed_points += points.len() as u64;
+        let (tx, rx) = mpsc::channel();
+        for (index, &point) in points.iter().enumerate() {
+            let (id, machine, window, md) = point;
+            let trace = Arc::clone(&self.traces[id.0]);
+            let scalar_mode = self.scalar_mode;
+            let tx = tx.clone();
+            rayon::spawn(move || {
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    trace.machine_cycles_in(machine, window, md, scalar_mode)
+                }));
+                // A send can only fail if the stream was dropped early;
+                // the remaining points are simply discarded then.
+                let _ = tx.send(match result {
+                    Ok(cycles) => Ok(StreamedPoint {
+                        index,
+                        point,
+                        cycles,
+                    }),
+                    Err(payload) => Err(payload),
+                });
+            });
+        }
+        SweepStream {
+            rx,
+            remaining: points.len(),
+            total: points.len(),
+        }
+    }
+
+    /// Streams a grid and invokes `deliver` for every finished point (in
+    /// completion order) — the callback flavour of [`SweepSession::stream`].
+    pub fn stream_with(&mut self, points: &[SweepPoint], mut deliver: impl FnMut(StreamedPoint)) {
+        for point in self.stream(points) {
+            deliver(point);
+        }
+    }
+}
+
+/// One finished sweep point delivered by a [`SweepStream`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamedPoint {
+    /// The point's index in the submitted grid.
+    pub index: usize,
+    /// The point itself.
+    pub point: SweepPoint,
+    /// The simulated (or analytic) execution time.
+    pub cycles: Cycle,
+}
+
+/// An in-flight streamed sweep: iterating yields each point as its worker
+/// finishes.  Dropping the stream early abandons undelivered results (the
+/// in-flight simulations still complete on the workers).
+#[derive(Debug)]
+pub struct SweepStream {
+    rx: mpsc::Receiver<Result<StreamedPoint, Box<dyn std::any::Any + Send>>>,
+    remaining: usize,
+    total: usize,
+}
+
+impl SweepStream {
+    /// The number of points in the submitted grid.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Drains the stream into grid order: element `i` is the execution
+    /// time of submitted point `i`, exactly what the batched API returns.
+    #[must_use]
+    pub fn collect_ordered(self) -> Vec<Cycle> {
+        let mut cycles = vec![0; self.total];
+        for point in self {
+            cycles[point.index] = point.cycles;
+        }
+        cycles
+    }
+}
+
+impl Iterator for SweepStream {
+    type Item = StreamedPoint;
+
+    fn next(&mut self) -> Option<StreamedPoint> {
+        if self.remaining == 0 {
+            return None;
+        }
+        match self.rx.recv().expect("sweep workers disappeared") {
+            Ok(point) => {
+                self.remaining -= 1;
+                Some(point)
+            }
+            // A point's simulation panicked on its worker: re-throw here,
+            // on the thread consuming the stream.
+            Err(payload) => resume_unwind(payload),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dae_workloads::stream;
+
+    fn grid() -> Vec<(Machine, WindowSpec, Cycle)> {
+        vec![
+            (Machine::Decoupled, WindowSpec::Entries(16), 60),
+            (Machine::Superscalar, WindowSpec::Entries(32), 20),
+            (Machine::Scalar, WindowSpec::Entries(1), 60),
+            (Machine::Decoupled, WindowSpec::Unlimited, 0),
+        ]
+    }
+
+    #[test]
+    fn batched_streamed_and_one_shot_results_agree() {
+        let trace = stream().trace(120);
+        let lowered = LoweredTrace::new(&trace);
+        let one_shot = lowered.sweep(&grid());
+
+        let mut session = SweepSession::new();
+        let id = session.pin_trace(&trace);
+        let batched = session.sweep(id, &grid());
+        let full: Vec<SweepPoint> = grid().iter().map(|&(m, w, md)| (id, m, w, md)).collect();
+        let streamed = session.stream(&full).collect_ordered();
+
+        assert_eq!(batched, one_shot);
+        assert_eq!(streamed, one_shot);
+        assert_eq!(session.stats().batched_points, 4);
+        assert_eq!(session.stats().streamed_points, 4);
+    }
+
+    #[test]
+    fn stream_delivers_every_point_exactly_once() {
+        let mut session = SweepSession::new();
+        let id = session.pin_trace(&stream().trace(100));
+        let full: Vec<SweepPoint> = grid().iter().map(|&(m, w, md)| (id, m, w, md)).collect();
+        let mut seen = vec![false; full.len()];
+        session.stream_with(&full, |point| {
+            assert!(!seen[point.index], "point delivered twice");
+            seen[point.index] = true;
+            assert_eq!(point.point, full[point.index]);
+            assert!(point.cycles > 0);
+        });
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn pin_program_caches_by_program_and_iterations() {
+        let mut session = SweepSession::new();
+        let a = session.pin_program(PerfectProgram::Trfd, 50);
+        let b = session.pin_program(PerfectProgram::Trfd, 50);
+        let c = session.pin_program(PerfectProgram::Trfd, 60);
+        let d = session.pin_program(PerfectProgram::Mdg, 50);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+        assert_eq!(session.len(), 3);
+        assert_eq!(session.stats().pin_hits, 1);
+        let e = session.pin_programs(&[PerfectProgram::Trfd, PerfectProgram::Qcd], 50);
+        assert_eq!(e[0], a);
+        assert_eq!(session.len(), 4);
+    }
+
+    #[test]
+    fn simulated_scalar_sessions_match_analytic_ones() {
+        let trace = stream().trace(90);
+        let points = vec![
+            (Machine::Scalar, WindowSpec::Entries(1), 0),
+            (Machine::Scalar, WindowSpec::Entries(1), 35),
+            (Machine::Scalar, WindowSpec::Entries(1), 60),
+        ];
+        let mut analytic = SweepSession::new();
+        let a = analytic.pin_trace(&trace);
+        let mut simulated = SweepSession::with_scalar_mode(ScalarMode::Simulated);
+        let s = simulated.pin_trace(&trace);
+        assert_eq!(analytic.sweep(a, &points), simulated.sweep(s, &points));
+    }
+
+    #[test]
+    fn dropping_a_stream_early_is_clean() {
+        let mut session = SweepSession::new();
+        let id = session.pin_trace(&stream().trace(80));
+        let full: Vec<SweepPoint> = grid().iter().map(|&(m, w, md)| (id, m, w, md)).collect();
+        let mut stream = session.stream(&full);
+        let first = stream.next().expect("at least one point");
+        assert!(first.cycles > 0);
+        drop(stream);
+        // The session stays fully usable.
+        assert_eq!(session.sweep(id, &grid()).len(), 4);
+    }
+}

@@ -57,7 +57,7 @@ pub use config::{
     PAPER_SWSM_ISSUE_WIDTH,
 };
 pub use dm::DecoupledMachine;
-pub use pool::{with_thread_pool, SimPool};
+pub use pool::{pool_diagnostics, with_thread_pool, PoolDiagnostics, SimPool};
 pub use result::{DmResult, EswStats, ExecutionSummary, ScalarResult, SwsmResult};
 pub use scalar::ScalarReference;
 pub use swsm::SuperscalarMachine;

@@ -29,7 +29,36 @@ use dae_mem::FxHashMap;
 use dae_ooo::UnitScratch;
 use dae_trace::MachineInst;
 use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
+
+/// Process-wide reuse counters aggregated across every [`SimPool`] on every
+/// thread (diagnostics; the lifecycle tests use them to prove that pooled
+/// scratch stays *warm* across separate sweep invocations now that the
+/// worker threads persist).  All counters are monotone.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolDiagnostics {
+    /// Unit-scratch checkouts served from a recycled buffer.
+    pub warm_unit_takes: u64,
+    /// Unit-scratch checkouts that had to allocate fresh.
+    pub fresh_unit_takes: u64,
+    /// Consumer-count requests served from the cached stream template.
+    pub template_hits: u64,
+}
+
+static WARM_UNIT_TAKES: AtomicU64 = AtomicU64::new(0);
+static FRESH_UNIT_TAKES: AtomicU64 = AtomicU64::new(0);
+static TEMPLATE_HITS: AtomicU64 = AtomicU64::new(0);
+
+/// A snapshot of the process-wide [`PoolDiagnostics`].
+#[must_use]
+pub fn pool_diagnostics() -> PoolDiagnostics {
+    PoolDiagnostics {
+        warm_unit_takes: WARM_UNIT_TAKES.load(Ordering::Relaxed),
+        fresh_unit_takes: FRESH_UNIT_TAKES.load(Ordering::Relaxed),
+        template_hits: TEMPLATE_HITS.load(Ordering::Relaxed),
+    }
+}
 
 /// Recycled buffers for every structure the machines build per run: unit
 /// scratch (one entry per concurrently live unit — two for the DM), the
@@ -59,7 +88,16 @@ impl SimPool {
 
     /// Checks a unit scratch out of the pool (fresh if none is available).
     pub(crate) fn take_unit(&mut self) -> UnitScratch {
-        self.units.pop().unwrap_or_default()
+        match self.units.pop() {
+            Some(scratch) => {
+                WARM_UNIT_TAKES.fetch_add(1, Ordering::Relaxed);
+                scratch
+            }
+            None => {
+                FRESH_UNIT_TAKES.fetch_add(1, Ordering::Relaxed);
+                UnitScratch::default()
+            }
+        }
     }
 
     /// Returns a unit scratch to the pool for the next run.
@@ -87,6 +125,7 @@ impl SimPool {
             .upgrade()
             .is_some_and(|of| Arc::ptr_eq(&of, stream));
         if cached {
+            TEMPLATE_HITS.fetch_add(1, Ordering::Relaxed);
             counts.clear();
             counts.extend_from_slice(&self.counts_template);
         } else {
@@ -110,9 +149,11 @@ thread_local! {
 ///
 /// Sweep drivers call this around each simulation point; points executed by
 /// the same worker thread reuse one pool with no synchronisation.  The pool
-/// lives for the thread's lifetime — for the vendored rayon stub that means
-/// one pool per worker per parallel call, and permanent reuse on the main
-/// thread (the repeated-single-run shape the benchmarks measure).
+/// lives for the thread's lifetime — the vendored rayon stub's workers are
+/// *persistent* (spawned once, fed by a queue), so a worker's pool stays
+/// warm across separate sweep invocations and figure generators, and the
+/// main thread's pool lives for the process (the repeated-single-run shape
+/// the benchmarks measure).
 pub fn with_thread_pool<R>(f: impl FnOnce(&mut SimPool) -> R) -> R {
     THREAD_POOL.with(|slot| {
         let mut pool = slot.take().unwrap_or_default();

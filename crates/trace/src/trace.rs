@@ -329,6 +329,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg(debug_assertions)] // the guard is a debug_assert: release strips it
     #[should_panic(expected = "dependence must point backwards")]
     fn forward_dependences_panic_in_debug() {
         let insts = vec![DynInst {

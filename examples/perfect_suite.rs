@@ -6,7 +6,7 @@
 //! cargo run --release --example perfect_suite
 //! ```
 
-use dae::core::{table1, window_ratio_claim, ExperimentConfig};
+use dae::core::{table1_in, window_ratio_claim_in, ExperimentConfig, SweepSession};
 use dae::workloads::suite;
 
 fn main() {
@@ -34,11 +34,15 @@ fn main() {
     }
     println!();
 
-    let table = table1(&config, 60);
+    // One persistent session: the seven lowerings pinned by Table 1 are
+    // reused verbatim by the window-ratio claim below.
+    let mut session = SweepSession::new();
+
+    let table = table1_in(&mut session, &config, 60);
     println!("{table}");
     println!("(Three bands are visible: TRFD/ADM/FLO52Q hide the latency well, DYFESM/QCD/MDG moderately, TRACK poorly.)\n");
 
-    let claim = window_ratio_claim(&config, 32, 60);
+    let claim = window_ratio_claim_in(&mut session, &config, 32, 60);
     println!("{claim}");
     if let Some((min, max)) = claim.range() {
         println!(

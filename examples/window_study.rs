@@ -7,7 +7,7 @@
 //! ```
 //! where `PROGRAM` is one of the PERFECT names (default FLO52Q).
 
-use dae::core::{equivalent_window_figure, speedup_figure, ExperimentConfig};
+use dae::core::{equivalent_window_figure_in, speedup_figure_in, ExperimentConfig, SweepSession};
 use dae::PerfectProgram;
 
 fn main() {
@@ -21,7 +21,12 @@ fn main() {
         ..ExperimentConfig::quick()
     };
 
-    let speedups = speedup_figure(program, &config, &[0, 60]);
+    // One persistent session serves both figures: the program is lowered
+    // once and the second figure's sweep reuses the warm per-worker
+    // simulation pools left behind by the first.
+    let mut session = SweepSession::new();
+
+    let speedups = speedup_figure_in(&mut session, program, &config, &[0, 60]);
     println!("{speedups}");
     match speedups.crossover_window(0) {
         Some(w) => println!(
@@ -36,9 +41,14 @@ fn main() {
         ),
     }
 
-    let ewr = equivalent_window_figure(program, &config);
+    let ewr = equivalent_window_figure_in(&mut session, program, &config);
     println!("{ewr}");
     println!(
         "(Each cell is the SWSM window size needed to match the DM, as a multiple of the DM window; '-' means no window in the search grid was large enough.)"
+    );
+    let stats = session.stats();
+    println!(
+        "\n[session: {} lowering(s) pinned, {} pin hit(s), {} batched + {} streamed points]",
+        stats.pinned_traces, stats.pin_hits, stats.batched_points, stats.streamed_points
     );
 }

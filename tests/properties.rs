@@ -7,7 +7,8 @@
 //! basic algebra of the metrics.
 
 use dae::core::{
-    dm_cycles, equivalent_window_ratio, scalar_cycles, swsm_cycles, WindowCurve, WindowSpec,
+    dm_cycles, equivalent_window_ratio, scalar_cycles, swsm_cycles, LoweredTrace, Machine,
+    ScalarMode, SweepSession, WindowCurve, WindowSpec,
 };
 use dae::isa::{AddressPattern, LatencyModel};
 use dae::machines::{DecoupledMachine, DmConfig, SuperscalarMachine, SwsmConfig};
@@ -130,6 +131,26 @@ proptest! {
         }
     }
 
+    /// The pooled *simulated* scalar machine matches the O(1) analytic
+    /// formula bit for bit on any random kernel — the property that lets
+    /// sweep sessions switch between [`ScalarMode::Analytic`] and
+    /// [`ScalarMode::Simulated`] without changing a single figure.
+    #[test]
+    fn pooled_simulated_scalar_matches_the_analytic_formula(
+        seed in 0u64..4000,
+        stmts in 6usize..32,
+        md in 0u64..100
+    ) {
+        let kernel = random_kernel(seed, stmts);
+        let trace = expand(&kernel, 20);
+        let lowered = LoweredTrace::new(&trace);
+        // Run the pooled simulation twice: the second run reuses the warm
+        // thread-local pool and must reproduce the first.
+        let simulated = lowered.scalar_cycles_simulated(md);
+        prop_assert_eq!(simulated, lowered.scalar_cycles(md));
+        prop_assert_eq!(simulated, lowered.scalar_cycles_simulated(md));
+    }
+
     /// The DM's detailed result is internally consistent on any kernel:
     /// everything dispatched is issued and retired, and the memory counters
     /// never exceed the partition's structural counts.
@@ -217,6 +238,30 @@ proptest! {
         // The ratio helper is consistent with the interpolation.
         if let Some(ratio) = equivalent_window_ratio(16, lo, &curve) {
             prop_assert!((ratio - curve.window_for_cycles(lo).unwrap() / 16.0).abs() < 1e-9);
+        }
+    }
+}
+
+/// Pooled simulated scalar runs equal the analytic formula on all seven
+/// PERFECT workloads, through a warm simulated-scalar sweep session — the
+/// deployment shape of the scalar ablations.
+#[test]
+fn pooled_simulated_scalar_matches_the_analytic_formula_on_the_perfect_suite() {
+    let mut session = SweepSession::with_scalar_mode(ScalarMode::Simulated);
+    let points: Vec<(Machine, WindowSpec, u64)> = [0u64, 20, 60]
+        .iter()
+        .map(|&md| (Machine::Scalar, WindowSpec::Entries(1), md))
+        .collect();
+    for program in dae::PerfectProgram::ALL {
+        let trace = program.workload().trace(80);
+        let id = session.pin_trace(&trace);
+        let simulated = session.sweep(id, &points);
+        for (&(_, _, md), &cycles) in points.iter().zip(&simulated) {
+            assert_eq!(
+                cycles,
+                scalar_cycles(&trace, md),
+                "{program} md={md}: pooled simulated scalar diverges from the analytic formula"
+            );
         }
     }
 }

@@ -1,0 +1,182 @@
+//! Session-differential suite: streamed [`SweepSession`] results must be
+//! bit-for-bit identical to the batched session API, to the one-shot
+//! `LoweredTrace::sweep`, and to the naive reference scheduler
+//! (`run_reference`) — on randomized point grids across all three
+//! machines, and across session reuse (multiple grids, multiple traces,
+//! back to back on one session).
+
+use dae::core::{
+    dm_config, swsm_config, LoweredTrace, Machine, ScalarMode, SweepPoint, SweepSession, WindowSpec,
+};
+use dae::machines::{DecoupledMachine, ScalarConfig, ScalarReference, SuperscalarMachine};
+use dae::trace::Trace;
+use dae::workloads::random_kernel;
+use dae::PerfectProgram;
+use proptest::prelude::*;
+
+/// The naive-reference execution time of one sweep point: the retained
+/// seed scheduler driven cycle by cycle, constructed from scratch.
+fn reference_cycles(trace: &Trace, machine: Machine, window: WindowSpec, md: u64) -> u64 {
+    match machine {
+        Machine::Decoupled => DecoupledMachine::new(dm_config(window, md))
+            .run_reference(trace)
+            .cycles(),
+        Machine::Superscalar => SuperscalarMachine::new(swsm_config(window, md))
+            .run_reference(trace)
+            .cycles(),
+        Machine::Scalar => ScalarReference::new(ScalarConfig::new(md))
+            .run_reference(trace)
+            .cycles(),
+    }
+}
+
+/// Decodes a proptest-generated raw point into a sweep point.
+fn decode_point(machine: u8, window: u8, md: u64) -> (Machine, WindowSpec, u64) {
+    let machine = match machine % 3 {
+        0 => Machine::Decoupled,
+        1 => Machine::Superscalar,
+        _ => Machine::Scalar,
+    };
+    let window = match window % 5 {
+        0 => WindowSpec::Entries(4),
+        1 => WindowSpec::Entries(13),
+        2 => WindowSpec::Entries(32),
+        3 => WindowSpec::Entries(128),
+        _ => WindowSpec::Unlimited,
+    };
+    (machine, window, md)
+}
+
+/// Runs `points` on a fresh session four ways (batched, streamed, one-shot,
+/// naive reference) and asserts bit-for-bit equality.
+fn assert_all_paths_agree(trace: &Trace, points: &[(Machine, WindowSpec, u64)]) {
+    let lowered = LoweredTrace::new(trace);
+    let one_shot = lowered.sweep(points);
+
+    let mut session = SweepSession::new();
+    let id = session.pin_lowered(lowered);
+    let batched = session.sweep(id, points);
+    let full: Vec<SweepPoint> = points.iter().map(|&(m, w, md)| (id, m, w, md)).collect();
+    let streamed = session.stream(&full).collect_ordered();
+
+    assert_eq!(batched, one_shot, "batched session != one-shot sweep");
+    assert_eq!(streamed, one_shot, "streamed session != one-shot sweep");
+    for (&(machine, window, md), &cycles) in points.iter().zip(&one_shot) {
+        assert_eq!(
+            cycles,
+            reference_cycles(trace, machine, window, md),
+            "{machine} w={window} md={md} diverges from the naive reference"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 10, ..ProptestConfig::default() })]
+
+    /// Randomized grids over random kernels: every delivery path and the
+    /// naive reference agree on every point.
+    #[test]
+    fn session_paths_agree_on_random_kernels(
+        seed in 0u64..4000,
+        stmts in 6usize..24,
+        raw_points in proptest::collection::vec((0u8..6, 0u8..10, 0u64..80), 1..6)
+    ) {
+        let kernel = random_kernel(seed, stmts);
+        let trace = dae::trace::expand(&kernel, 25);
+        prop_assume!(!trace.is_empty());
+        let points: Vec<_> = raw_points
+            .into_iter()
+            .map(|(m, w, md)| decode_point(m, w, md))
+            .collect();
+        assert_all_paths_agree(&trace, &points);
+    }
+
+    /// Randomized grids over the PERFECT workloads.
+    #[test]
+    fn session_paths_agree_on_perfect_workloads(
+        program_idx in 0usize..7,
+        raw_points in proptest::collection::vec((0u8..6, 0u8..10, 0u64..80), 1..5)
+    ) {
+        let trace = PerfectProgram::ALL[program_idx].workload().trace(40);
+        let points: Vec<_> = raw_points
+            .into_iter()
+            .map(|(m, w, md)| decode_point(m, w, md))
+            .collect();
+        assert_all_paths_agree(&trace, &points);
+    }
+}
+
+/// One session, several traces, several grids, streamed and batched
+/// interleaved back to back — reuse must never change a result.
+#[test]
+fn one_session_serves_multiple_grids_and_traces_unchanged() {
+    let trace_a = PerfectProgram::Mdg.workload().trace(90);
+    let trace_b = PerfectProgram::Track.workload().trace(70);
+    let lowered_a = LoweredTrace::new(&trace_a);
+    let lowered_b = LoweredTrace::new(&trace_b);
+
+    let grid_one: Vec<(Machine, WindowSpec, u64)> = vec![
+        (Machine::Decoupled, WindowSpec::Entries(16), 60),
+        (Machine::Superscalar, WindowSpec::Entries(32), 60),
+        (Machine::Scalar, WindowSpec::Entries(1), 60),
+    ];
+    let grid_two: Vec<(Machine, WindowSpec, u64)> = vec![
+        (Machine::Superscalar, WindowSpec::Unlimited, 0),
+        (Machine::Decoupled, WindowSpec::Entries(8), 20),
+    ];
+
+    let mut session = SweepSession::new();
+    let a = session.pin_trace(&trace_a);
+    let b = session.pin_trace(&trace_b);
+
+    let expect_a1 = lowered_a.sweep(&grid_one);
+    let expect_a2 = lowered_a.sweep(&grid_two);
+    let expect_b1 = lowered_b.sweep(&grid_one);
+    let expect_b2 = lowered_b.sweep(&grid_two);
+
+    // Interleave traces and grids, repeating grid one on trace A at the
+    // end: a warm session must reproduce its own cold results.
+    assert_eq!(session.sweep(a, &grid_one), expect_a1);
+    assert_eq!(session.sweep(b, &grid_one), expect_b1);
+    assert_eq!(session.sweep(a, &grid_two), expect_a2);
+    let full: Vec<SweepPoint> = grid_one.iter().map(|&(m, w, md)| (a, m, w, md)).collect();
+    assert_eq!(session.stream(&full).collect_ordered(), expect_a1);
+    assert_eq!(session.sweep(a, &grid_one), expect_a1);
+
+    // A mixed-trace grid through one call, streamed.
+    let mixed: Vec<SweepPoint> = vec![
+        (a, Machine::Decoupled, WindowSpec::Entries(16), 60),
+        (b, Machine::Decoupled, WindowSpec::Entries(8), 20),
+        (a, Machine::Scalar, WindowSpec::Entries(1), 60),
+    ];
+    let mixed_got = session.stream(&mixed).collect_ordered();
+    assert_eq!(mixed_got[0], expect_a1[0]);
+    assert_eq!(mixed_got[1], expect_b2[1]);
+    assert_eq!(mixed_got[2], expect_a1[2]);
+}
+
+/// A simulated-scalar session reproduces the analytic session bit for bit
+/// on a mixed grid (the property behind letting ablations sweep the scalar
+/// machine through the simulator).
+#[test]
+fn simulated_scalar_sessions_match_analytic_sessions_on_mixed_grids() {
+    let trace = PerfectProgram::Adm.workload().trace(80);
+    let grid: Vec<(Machine, WindowSpec, u64)> = vec![
+        (Machine::Scalar, WindowSpec::Entries(1), 0),
+        (Machine::Decoupled, WindowSpec::Entries(32), 60),
+        (Machine::Scalar, WindowSpec::Entries(1), 60),
+        (Machine::Superscalar, WindowSpec::Entries(16), 40),
+        (Machine::Scalar, WindowSpec::Entries(1), 25),
+    ];
+    let mut analytic = SweepSession::new();
+    let a = analytic.pin_trace(&trace);
+    let mut simulated = SweepSession::with_scalar_mode(ScalarMode::Simulated);
+    let s = simulated.pin_trace(&trace);
+    assert_eq!(analytic.sweep(a, &grid), simulated.sweep(s, &grid));
+
+    let full: Vec<SweepPoint> = grid.iter().map(|&(m, w, md)| (s, m, w, md)).collect();
+    assert_eq!(
+        simulated.stream(&full).collect_ordered(),
+        analytic.sweep(a, &grid)
+    );
+}

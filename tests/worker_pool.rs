@@ -1,0 +1,148 @@
+//! Worker-pool lifecycle: the vendored rayon stub's workers must persist
+//! across separate sweep invocations (keeping thread-local `SimPool`s
+//! warm), shut down cleanly on drop, and survive panicking closures.
+//!
+//! The warm-pool assertions use process-wide monotone counters
+//! (`dae::machines::pool_diagnostics`, `rayon::global_pool_stats`); tests
+//! in this binary may run concurrently, so every assertion is phrased over
+//! counter *deltas* that concurrent work can only push further in the
+//! asserted direction.
+
+use dae::core::{Machine, SweepSession, WindowSpec};
+use dae::machines::pool_diagnostics;
+use dae::PerfectProgram;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+fn grid() -> Vec<(Machine, WindowSpec, u64)> {
+    vec![
+        (Machine::Decoupled, WindowSpec::Entries(16), 60),
+        (Machine::Decoupled, WindowSpec::Entries(32), 60),
+        (Machine::Superscalar, WindowSpec::Entries(16), 60),
+        (Machine::Superscalar, WindowSpec::Entries(32), 60),
+        (Machine::Decoupled, WindowSpec::Entries(64), 0),
+        (Machine::Superscalar, WindowSpec::Entries(64), 0),
+    ]
+}
+
+/// Thread-local `SimPool`s survive between two *separate* sweep
+/// invocations on one session: the second sweep checks recycled unit
+/// scratch out of warm pools instead of allocating fresh, and no new
+/// worker threads are spawned for it.
+#[test]
+fn sim_pools_stay_warm_across_separate_sweep_invocations() {
+    let mut session = SweepSession::new();
+    let id = session.pin_program(PerfectProgram::Mdg, 120);
+
+    // First invocation: fills every worker's thread-local pool (and
+    // spawns the global pool's workers if no other test got there first).
+    let first = session.sweep(id, &grid());
+
+    let pools_before = pool_diagnostics();
+    let workers_before = rayon::global_pool_stats().workers_spawned;
+
+    // Second, separate invocation on the warm session.
+    let second = session.sweep(id, &grid());
+
+    let pools_after = pool_diagnostics();
+    let workers_after = rayon::global_pool_stats().workers_spawned;
+
+    assert_eq!(first, second, "warm reuse must not change results");
+    assert!(
+        pools_after.warm_unit_takes > pools_before.warm_unit_takes,
+        "the second sweep must reuse pooled unit scratch \
+         (warm takes before: {}, after: {})",
+        pools_before.warm_unit_takes,
+        pools_after.warm_unit_takes
+    );
+    assert_eq!(
+        workers_before, workers_after,
+        "a second sweep invocation must not spawn new workers"
+    );
+}
+
+/// Re-running one pinned program also reuses the stream-keyed consumer
+/// count templates (the memcpy-instead-of-dependence-walk path).
+#[test]
+fn warm_sessions_hit_the_stream_templates() {
+    let mut session = SweepSession::new();
+    let id = session.pin_program(PerfectProgram::Trfd, 100);
+    let dm_grid: Vec<(Machine, WindowSpec, u64)> = (0..4)
+        .map(|i| (Machine::Decoupled, WindowSpec::Entries(8 << i), 60))
+        .collect();
+    let _ = session.sweep(id, &dm_grid);
+    let before = pool_diagnostics();
+    let _ = session.sweep(id, &dm_grid);
+    let after = pool_diagnostics();
+    assert!(
+        after.template_hits > before.template_hits,
+        "re-sweeping a pinned program must hit the cached consumer-count \
+         templates (before: {}, after: {})",
+        before.template_hits,
+        after.template_hits
+    );
+}
+
+/// Dropping a dedicated pool joins its workers after finishing the queued
+/// work — no hang, no abandoned jobs.
+#[test]
+fn dropping_a_pool_shuts_down_cleanly() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    let pool = rayon::ThreadPool::new(2);
+    let ran = Arc::new(AtomicUsize::new(0));
+    for _ in 0..32 {
+        let ran = Arc::clone(&ran);
+        pool.spawn(move || {
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+    let out: Vec<u64> = pool.map((0u64..16).collect(), |x| x + 1);
+    assert_eq!(out.len(), 16);
+    let stats = pool.stats();
+    assert_eq!(stats.workers_spawned, 2);
+    drop(pool); // joins: must return, and the queued tasks must have run
+    assert_eq!(ran.load(Ordering::Relaxed), 32);
+}
+
+/// A panicking closure propagates to the caller instead of deadlocking the
+/// queue, and the pool keeps serving work afterwards.
+#[test]
+fn a_panicking_sweep_closure_propagates_and_the_pool_survives() {
+    let pool = rayon::ThreadPool::new(2);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let _: Vec<u64> = pool.map((0u64..24).collect(), |x| {
+            assert!(x != 11, "injected failure");
+            x
+        });
+    }));
+    assert!(result.is_err(), "the worker panic must reach the caller");
+    // Same pool, next call: the queue must not be deadlocked or poisoned.
+    let healthy: Vec<u64> = pool.map((0u64..24).collect(), |x| x * 2);
+    assert_eq!(healthy[23], 46);
+}
+
+/// The same guarantee through the session layer's streaming path: a panic
+/// on a worker is re-thrown to the stream consumer, and the global pool
+/// (shared with every other sweep) stays healthy.
+#[test]
+fn global_pool_survives_panicking_parallel_calls() {
+    use rayon::prelude::*;
+
+    let result = catch_unwind(|| {
+        let _: Vec<u64> = vec![1u64, 2, 3]
+            .into_par_iter()
+            .map(|x| {
+                assert!(x != 2, "injected failure");
+                x
+            })
+            .collect();
+    });
+    assert!(result.is_err());
+
+    // A full sweep right after must work on the same global pool.
+    let mut session = SweepSession::new();
+    let id = session.pin_program(PerfectProgram::Qcd, 60);
+    let cycles = session.sweep(id, &grid());
+    assert!(cycles.iter().all(|&c| c > 0));
+}

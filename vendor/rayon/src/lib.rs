@@ -1,67 +1,379 @@
-//! Offline stand-in for `rayon`.
+//! Offline stand-in for `rayon` over a **persistent worker pool**.
 //!
 //! Supports the `into_par_iter()` / `par_iter()` → `map(..)` → `collect()`
-//! shape used by the experiment sweeps, executing the mapped closure on a
-//! pool of scoped threads with dynamic (work-stealing-free) load balancing:
-//! workers claim items through a shared atomic cursor, so uneven sweep
-//! points still pack tightly.
+//! shape used by the experiment sweeps, plus `rayon::spawn` for `'static`
+//! fire-and-forget tasks (the streaming sweep sessions in `dae-core` feed
+//! per-point jobs through it and collect results over a channel).
 //!
-//! Worker panics propagate to the caller, like real rayon.  The thread count
-//! follows `std::thread::available_parallelism()`.
+//! Unlike the original stub — which spawned fresh scoped threads for every
+//! `par_iter` call, so worker-thread-local state (the machine crate's
+//! `SimPool`s) died between calls — the pool here is **long-lived**:
+//!
+//! * workers are spawned lazily on the first piece of submitted work and
+//!   then live for the pool's lifetime, so `thread_local!` scratch on a
+//!   worker stays warm across separate parallel calls;
+//! * work arrives over a condvar-guarded queue; a parallel map is one
+//!   shared *batch* descriptor from which workers (and the calling thread,
+//!   which participates) claim **chunks** of indices through an atomic
+//!   cursor, so uneven items still pack tightly;
+//! * a panicking closure is caught on the worker, recorded, and re-thrown
+//!   on the calling thread once the batch has fully drained — the queue is
+//!   never deadlocked and the pool stays usable afterwards;
+//! * dropping a [`ThreadPool`] finishes the queued work, signals shutdown
+//!   and joins every worker.  (The implicit global pool lives in a static
+//!   and is never dropped, like real rayon's.)
+//!
+//! [`PoolStats`] exposes spawn/batch/item counters so lifecycle tests can
+//! assert that workers are *reused* across calls rather than respawned.
+//! The thread count follows `std::thread::available_parallelism()`.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
 
 /// Everything the call sites import.
 pub mod prelude {
     pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter, ParallelMap};
 }
 
-fn worker_count(items: usize) -> usize {
-    std::thread::available_parallelism()
-        .map_or(1, std::num::NonZeroUsize::get)
-        .min(items)
-        .max(1)
+// ---------------------------------------------------------------------------
+// The worker pool
+// ---------------------------------------------------------------------------
+
+/// A lifetime-erased indexed batch: `runner(i)` processes item `i`.
+///
+/// The runner reference is transmuted to `'static` when the batch is built;
+/// soundness rests on [`ThreadPool::run_batch`] not returning until every
+/// item has been accounted for (see the SAFETY comment there), after which
+/// no worker touches the runner again — exhausted batches are only popped
+/// and dropped.
+struct Batch {
+    runner: &'static (dyn Fn(usize) + Sync),
+    total: usize,
+    chunk: usize,
+    cursor: AtomicUsize,
+    /// Set by the first panicking item; later chunks are skipped (their
+    /// items still count as accounted) and the payload is re-thrown by the
+    /// caller.
+    panicked: AtomicBool,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// Items accounted for (run or skipped after a panic); the batch is
+    /// complete when this reaches `total`.
+    done: Mutex<usize>,
+    done_cv: Condvar,
 }
 
-fn parallel_map<T: Send, R: Send, F: Fn(T) -> R + Sync>(items: Vec<T>, f: F) -> Vec<R> {
-    let n = items.len();
-    let threads = worker_count(n);
-    if threads <= 1 {
-        return items.into_iter().map(f).collect();
-    }
-    let slots: Vec<Mutex<Option<T>>> = items
-        .into_iter()
-        .map(|item| Mutex::new(Some(item)))
-        .collect();
-    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let cursor = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
+impl Batch {
+    /// Claims and processes chunks until the cursor is exhausted.
+    fn drain(&self, items_counter: &AtomicU64) {
+        loop {
+            let start = self.cursor.fetch_add(self.chunk, Ordering::Relaxed);
+            if start >= self.total {
+                return;
+            }
+            let end = self.total.min(start + self.chunk);
+            for i in start..end {
+                if self.panicked.load(Ordering::Acquire) {
                     break;
                 }
-                let item = slots[i]
-                    .lock()
-                    .expect("item slot poisoned")
-                    .take()
-                    .expect("item claimed twice");
-                let result = f(item);
-                *results[i].lock().expect("result slot poisoned") = Some(result);
-            });
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(|| (self.runner)(i))) {
+                    let mut slot = self.panic.lock().expect("panic slot poisoned");
+                    if slot.is_none() {
+                        *slot = Some(payload);
+                    }
+                    self.panicked.store(true, Ordering::Release);
+                }
+            }
+            items_counter.fetch_add((end - start) as u64, Ordering::Relaxed);
+            let mut done = self.done.lock().expect("done counter poisoned");
+            *done += end - start;
+            if *done == self.total {
+                self.done_cv.notify_all();
+            }
         }
-    });
-    results
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot poisoned")
-                .expect("worker exited before producing a result")
-        })
-        .collect()
+    }
+
+    /// Blocks until every item has been accounted for.
+    fn wait(&self) {
+        let mut done = self.done.lock().expect("done counter poisoned");
+        while *done < self.total {
+            done = self.done_cv.wait(done).expect("done counter poisoned");
+        }
+    }
 }
+
+/// A unit of queued work: a shared batch handle or a boxed `'static` task.
+enum Work {
+    Batch(Arc<Batch>),
+    Task(Box<dyn FnOnce() + Send + 'static>),
+}
+
+/// Queue state shared between the pool handle and its workers.
+struct Shared {
+    queue: Mutex<VecDeque<Work>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+    workers_spawned: AtomicU64,
+    batches: AtomicU64,
+    tasks: AtomicU64,
+    items: AtomicU64,
+}
+
+/// Reuse / lifecycle counters of a pool (diagnostics for tests; see the
+/// crate docs).  `workers_spawned` staying flat across two parallel calls
+/// while `batches` advances is the worker-reuse signal.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Worker threads ever spawned by the pool.
+    pub workers_spawned: u64,
+    /// Parallel batches (one per `par_iter`-style call) submitted.
+    pub batches: u64,
+    /// `spawn`ed tasks executed by workers.
+    pub tasks: u64,
+    /// Batch items executed (or skipped after a batch panic).
+    pub items: u64,
+}
+
+/// A persistent pool of worker threads fed by a shared work queue.
+///
+/// Workers spawn lazily on the first submitted work and live until the pool
+/// is dropped; `Drop` lets the queued work finish, then joins every worker.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    threads: usize,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("threads", &self.threads)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl ThreadPool {
+    /// Creates a pool that will run `threads` workers (spawned lazily on
+    /// first use; at least one).
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        ThreadPool {
+            shared: Arc::new(Shared {
+                queue: Mutex::new(VecDeque::new()),
+                available: Condvar::new(),
+                shutdown: AtomicBool::new(false),
+                workers_spawned: AtomicU64::new(0),
+                batches: AtomicU64::new(0),
+                tasks: AtomicU64::new(0),
+                items: AtomicU64::new(0),
+            }),
+            threads: threads.max(1),
+            handles: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The number of workers the pool runs once spawned.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// A snapshot of the pool's lifecycle counters.
+    #[must_use]
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            workers_spawned: self.shared.workers_spawned.load(Ordering::Relaxed),
+            batches: self.shared.batches.load(Ordering::Relaxed),
+            tasks: self.shared.tasks.load(Ordering::Relaxed),
+            items: self.shared.items.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Spawns the workers if this is the first work submitted.
+    fn ensure_workers(&self) {
+        let mut handles = self.handles.lock().expect("worker handles poisoned");
+        if !handles.is_empty() {
+            return;
+        }
+        for _ in 0..self.threads {
+            let shared = Arc::clone(&self.shared);
+            shared.workers_spawned.fetch_add(1, Ordering::Relaxed);
+            handles.push(std::thread::spawn(move || worker_loop(&shared)));
+        }
+    }
+
+    /// Enqueues `work` and wakes workers.
+    fn inject(&self, work: Work) {
+        self.ensure_workers();
+        let mut queue = self.shared.queue.lock().expect("work queue poisoned");
+        queue.push_back(work);
+        drop(queue);
+        self.shared.available.notify_all();
+    }
+
+    /// Runs a fire-and-forget task on the pool.  A panic inside the task is
+    /// caught on the worker (the pool survives); real rayon aborts instead,
+    /// so portable callers should not rely on panicking tasks.
+    pub fn spawn(&self, task: impl FnOnce() + Send + 'static) {
+        self.inject(Work::Task(Box::new(task)));
+    }
+
+    /// Runs `runner(i)` for every `i in 0..total` across the workers and
+    /// the calling thread, blocking until every item is done and re-raising
+    /// the first panic.
+    fn run_batch(&self, total: usize, runner: &(dyn Fn(usize) + Sync)) {
+        if total == 0 {
+            return;
+        }
+        self.shared.batches.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: the transmute only erases the reference's lifetime so the
+        // batch can sit in the long-lived queue.  `run_batch` does not
+        // return before `batch.wait()` observes every item accounted for,
+        // and a worker only dereferences `runner` while claiming chunks,
+        // which is impossible once all items are accounted (the cursor is
+        // exhausted) — so no access outlives this call frame.
+        #[allow(clippy::missing_transmute_annotations)]
+        let runner: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(runner) };
+        let chunk = total.div_ceil(4 * self.threads).max(1);
+        let batch = Arc::new(Batch {
+            runner,
+            total,
+            chunk,
+            cursor: AtomicUsize::new(0),
+            panicked: AtomicBool::new(false),
+            panic: Mutex::new(None),
+            done: Mutex::new(0),
+            done_cv: Condvar::new(),
+        });
+        // One queue entry per worker that could usefully join in; workers
+        // finding the cursor already exhausted just drop their handle.
+        let copies = self.threads.min(total.div_ceil(chunk));
+        for _ in 0..copies {
+            self.inject(Work::Batch(Arc::clone(&batch)));
+        }
+        // The calling thread participates instead of blocking — this also
+        // guarantees progress for batches submitted from inside a worker.
+        batch.drain(&self.shared.items);
+        batch.wait();
+        let payload = batch.panic.lock().expect("panic slot poisoned").take();
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+    }
+
+    /// Maps `items` through `f` in parallel on this pool, preserving item
+    /// order.  Panics in `f` propagate after the batch drains.
+    pub fn map<T: Send, R: Send, F: Fn(T) -> R + Sync>(&self, items: Vec<T>, f: F) -> Vec<R> {
+        let n = items.len();
+        if n <= 1 {
+            return items.into_iter().map(f).collect();
+        }
+        let slots: Vec<Mutex<Option<T>>> = items
+            .into_iter()
+            .map(|item| Mutex::new(Some(item)))
+            .collect();
+        let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let runner = |i: usize| {
+            let item = slots[i]
+                .lock()
+                .expect("item slot poisoned")
+                .take()
+                .expect("item claimed twice");
+            let result = f(item);
+            *results[i].lock().expect("result slot poisoned") = Some(result);
+        };
+        self.run_batch(n, &runner);
+        results
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("worker exited before producing a result")
+            })
+            .collect()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            // The store and notify must happen under the queue mutex:
+            // otherwise a worker that just observed (queue empty, shutdown
+            // false) could park *after* this notify and sleep through it,
+            // deadlocking the join below.
+            let _queue = self.shared.queue.lock().expect("work queue poisoned");
+            self.shared.shutdown.store(true, Ordering::Release);
+            self.shared.available.notify_all();
+        }
+        let mut handles = self.handles.lock().expect("worker handles poisoned");
+        for handle in handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The worker body: pop work until shutdown is signalled and the queue is
+/// empty.
+fn worker_loop(shared: &Shared) {
+    loop {
+        let work = {
+            let mut queue = shared.queue.lock().expect("work queue poisoned");
+            loop {
+                if let Some(work) = queue.pop_front() {
+                    break work;
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                queue = shared.available.wait(queue).expect("work queue poisoned");
+            }
+        };
+        match work {
+            Work::Batch(batch) => batch.drain(&shared.items),
+            Work::Task(task) => {
+                shared.tasks.fetch_add(1, Ordering::Relaxed);
+                // Keep the worker alive through a panicking task; the
+                // payload is intentionally dropped (see `spawn`).
+                let _ = catch_unwind(AssertUnwindSafe(task));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The implicit global pool
+// ---------------------------------------------------------------------------
+
+static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+
+/// The implicit global pool used by `par_iter` / `spawn` (created, but not
+/// yet spawning threads, on first access).
+pub fn global_pool() -> &'static ThreadPool {
+    GLOBAL.get_or_init(|| {
+        ThreadPool::new(std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get))
+    })
+}
+
+/// The global pool's lifecycle counters (all zero before any parallel work
+/// has been submitted).
+#[must_use]
+pub fn global_pool_stats() -> PoolStats {
+    GLOBAL
+        .get()
+        .map_or_else(PoolStats::default, ThreadPool::stats)
+}
+
+/// Runs a `'static` fire-and-forget task on the global pool.
+pub fn spawn(task: impl FnOnce() + Send + 'static) {
+    global_pool().spawn(task);
+}
+
+// ---------------------------------------------------------------------------
+// The parallel-iterator facade
+// ---------------------------------------------------------------------------
 
 /// A parallel iterator over owned items.
 #[derive(Debug)]
@@ -87,14 +399,14 @@ pub struct ParallelMap<T, F> {
 }
 
 impl<T: Send, F> ParallelMap<T, F> {
-    /// Executes the map on the thread pool, preserving item order.
+    /// Executes the map on the global pool, preserving item order.
     pub fn collect<C, R>(self) -> C
     where
         R: Send,
         F: Fn(T) -> R + Sync,
         C: From<Vec<R>>,
     {
-        parallel_map(self.items, self.f).into()
+        global_pool().map(self.items, self.f).into()
     }
 }
 
@@ -142,6 +454,9 @@ impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
 
     #[test]
     fn preserves_order() {
@@ -168,5 +483,121 @@ mod tests {
             .into_par_iter()
             .map(|x| if x == 2 { panic!("boom") } else { x })
             .collect();
+    }
+
+    #[test]
+    fn workers_are_reused_across_calls() {
+        let pool = ThreadPool::new(3);
+        let a: Vec<u64> = pool.map((0u64..64).collect(), |x| x + 1);
+        let before = pool.stats();
+        let b: Vec<u64> = pool.map((0u64..64).collect(), |x| x + 2);
+        let after = pool.stats();
+        assert_eq!(a.len(), 64);
+        assert_eq!(b[0], 2);
+        assert_eq!(
+            before.workers_spawned, after.workers_spawned,
+            "second call must reuse the spawned workers"
+        );
+        assert_eq!(after.workers_spawned, 3);
+        assert_eq!(after.batches, before.batches + 1);
+    }
+
+    #[test]
+    fn workers_spawn_lazily() {
+        let pool = ThreadPool::new(2);
+        assert_eq!(pool.stats().workers_spawned, 0, "no work, no threads");
+        let _: Vec<u64> = pool.map(vec![1u64, 2, 3], |x| x);
+        assert_eq!(pool.stats().workers_spawned, 2);
+    }
+
+    #[test]
+    fn drop_finishes_queued_tasks_and_joins() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let pool = ThreadPool::new(2);
+        for _ in 0..50 {
+            let counter = Arc::clone(&counter);
+            pool.spawn(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        drop(pool); // must not hang, and must not abandon queued tasks
+        assert_eq!(counter.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn a_panicking_batch_neither_deadlocks_nor_poisons_the_pool() {
+        let pool = ThreadPool::new(2);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let _: Vec<u64> = pool.map((0u64..32).collect(), |x| {
+                if x == 7 {
+                    panic!("kaboom");
+                }
+                x
+            });
+        }));
+        assert!(result.is_err(), "the panic must propagate to the caller");
+        // The pool must still serve work afterwards.
+        let out: Vec<u64> = pool.map((0u64..32).collect(), |x| x * 3);
+        assert_eq!(out[31], 93);
+    }
+
+    #[test]
+    fn panicking_spawned_tasks_do_not_kill_workers() {
+        let pool = ThreadPool::new(1);
+        let (tx, rx) = std::sync::mpsc::channel();
+        pool.spawn(move || {
+            tx.send(()).expect("receiver alive");
+            panic!("ignored");
+        });
+        rx.recv().expect("the task must start"); // worker is inside the task
+        let out: Vec<u64> = pool.map(vec![5u64, 6], |x| x);
+        assert_eq!(out, vec![5, 6], "the worker must survive the panic");
+        assert_eq!(pool.stats().tasks, 1);
+    }
+
+    #[test]
+    fn nested_parallel_calls_complete() {
+        // A batch submitted from inside a worker must make progress even if
+        // every worker is busy: the submitting thread participates.
+        let pool = Arc::new(ThreadPool::new(2));
+        let inner = Arc::clone(&pool);
+        let out: Vec<u64> = pool.map((0u64..8).collect(), move |x| {
+            inner.map(vec![x, x + 1], |y| y * 2).iter().sum()
+        });
+        assert_eq!(out[0], 2); // 0*2 + 1*2
+        assert_eq!(out[7], 30); // 7*2 + 8*2
+    }
+
+    #[test]
+    fn thread_local_state_survives_across_calls() {
+        thread_local! {
+            static HITS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+        }
+        let pool = ThreadPool::new(2);
+        let warm = |(): ()| {
+            HITS.with(|h| {
+                let was = h.get();
+                h.set(was + 1);
+                was
+            })
+        };
+        let _: Vec<u64> = pool.map(vec![(); 64], warm);
+        let second: Vec<u64> = pool.map(vec![(); 64], warm);
+        // Some worker executed items in both calls, so some item of the
+        // second call observed a warm (non-zero) counter.
+        assert!(
+            second.iter().any(|&was| was > 0),
+            "thread-local state should survive between parallel calls"
+        );
+    }
+
+    #[test]
+    fn global_spawn_runs_tasks() {
+        let (tx, rx) = std::sync::mpsc::channel();
+        spawn(move || {
+            let _ = tx.send(41u64 + 1);
+        });
+        assert_eq!(rx.recv().expect("task ran"), 42);
+        assert!(global_pool_stats().tasks >= 1);
     }
 }
