@@ -27,7 +27,14 @@
 //! fifth, session-mode number runs the same grid through a warm
 //! [`SweepSession`] (persistent workers, pools alive between calls)
 //! versus the pre-session per-call shape (scoped threads + cold pools per
-//! sweep call), pinning the win of the resident session path.
+//! sweep call), pinning the win of the resident session path (the
+//! session's result cache is switched *off* here so the repeat really
+//! re-simulates — the benchmark measures the session, not the cache).  A
+//! sixth, cache-mode number runs the grid through the session's
+//! sweep-result cache (every point resident — the overlapping-figure-grid
+//! shape) versus the same warm session with the cache disabled, pinning
+//! the skip-identical-points win; cached and cold results are asserted
+//! identical first.
 //!
 //! Each pipeline is timed as a warm burst (the sweep drivers run the same
 //! machine back to back, so warm-cache cost is the deployed cost), taking
@@ -105,6 +112,14 @@ const SWEEP_FLOOR: f64 = 0.98;
 /// trend.
 const SESSION_FLOOR: f64 = 0.98;
 
+/// Floor for the cache benchmark: the grid answered entirely from the
+/// session's sweep-result cache versus the same warm session with the
+/// cache disabled (every point re-simulated).  A hash lookup against a
+/// multi-millisecond simulation grid measures orders of magnitude above
+/// break-even; the floor guards the acceptance bound — cache-warm must
+/// never be slower than cold.
+const CACHE_FLOOR: f64 = 1.0;
+
 /// Smoke-mode floors: shorter traces amortise per-run fixed costs less and
 /// the reduced repetition count rejects less noise, so CI's fast tripwire
 /// uses a wider margin.  A real regression of the event-driven engine
@@ -122,6 +137,9 @@ const SMOKE_SCALAR_SCHEDULER_FLOOR: f64 = 2.2;
 const SMOKE_SWEEP_FLOOR: f64 = 0.97;
 /// Smoke-mode session floor, widened like the sweep one.
 const SMOKE_SESSION_FLOOR: f64 = 0.97;
+/// The cache floor needs no smoke widening: the measured ratio is a
+/// lookup against a simulation, far from break-even in any mode.
+const SMOKE_CACHE_FLOOR: f64 = 1.0;
 
 /// Times one pipeline as a warm burst: one untimed warm-up call, then the
 /// minimum single-run time over `reps` repetitions.
@@ -195,6 +213,20 @@ impl SessionMeasurement {
     }
 }
 
+/// One cache-mode measurement: a grid answered from the session's
+/// sweep-result cache versus the same warm session with the cache off.
+struct CacheMeasurement {
+    name: String,
+    warm_ns: f64,
+    cold_ns: f64,
+}
+
+impl CacheMeasurement {
+    fn speedup(&self) -> f64 {
+        self.cold_ns / self.warm_ns
+    }
+}
+
 /// The minimum of `f` over the measurements whose name starts with
 /// `prefix` (the per-machine floor checks).
 fn min_over(results: &[Measurement], prefix: &str, f: impl Fn(&Measurement) -> f64) -> f64 {
@@ -248,6 +280,7 @@ fn main() {
     let mut results: Vec<Measurement> = Vec::new();
     let mut sweeps: Vec<SweepMeasurement> = Vec::new();
     let mut sessions: Vec<SessionMeasurement> = Vec::new();
+    let mut caches: Vec<CacheMeasurement> = Vec::new();
     // The sweep benchmark's (window, MD) grid: a slice of the figure
     // sweeps' real parameter space, small windows and MD = 0 included so
     // per-point construction is a visible share of the cheap points.
@@ -409,6 +442,11 @@ fn main() {
                 .map(|&(w, md)| DecoupledMachine::new(DmConfig::paper(w, md)))
                 .collect();
             let mut session = SweepSession::new();
+            // The result cache would answer the repeated grid without
+            // simulating; this benchmark measures the resident *session*
+            // (warm workers and pools), so it is switched off — the cache
+            // has its own benchmark below.
+            session.set_cache_enabled(false);
             let sid = session.pin_lowered(lowered.clone());
             // Differential check (which also warms the session): session
             // results must equal per-point fresh construction.
@@ -477,6 +515,69 @@ fn main() {
                 per_call_ns,
             });
         }
+
+        // Cache mode: the same grid answered entirely from the session's
+        // sweep-result cache (the overlapping-figure-grid shape — the EWR
+        // search re-visits identical points across generators) versus the
+        // same *warm* session with the cache disabled, so the two sides
+        // differ only by the cache.  Cached ≡ cold ≡ fresh-construction
+        // equality is asserted before anything is timed.
+        {
+            let grid: Vec<(Machine, WindowSpec, u64)> = sweep_points
+                .iter()
+                .map(|&(w, md)| (Machine::Decoupled, WindowSpec::Entries(w), md))
+                .collect();
+            let mut session = SweepSession::new();
+            let sid = session.pin_lowered(lowered.clone());
+            let expected: Vec<u64> = sweep_points
+                .iter()
+                .map(|&(w, md)| {
+                    DecoupledMachine::new(DmConfig::paper(w, md))
+                        .run_lowered(&dm_program, trace.len())
+                        .cycles()
+                })
+                .collect();
+            assert_eq!(
+                session.sweep(sid, &grid),
+                expected,
+                "cache-cold sweep differential check failed for {program}"
+            );
+            assert_eq!(
+                session.sweep(sid, &grid),
+                expected,
+                "cache-warm sweep differential check failed for {program}"
+            );
+            session.set_cache_enabled(false);
+            assert_eq!(
+                session.sweep(sid, &grid),
+                expected,
+                "cache-disabled sweep differential check failed for {program}"
+            );
+
+            // Interleaved min-of-reps like the other close-ratio
+            // benchmarks (here the ratio is anything but close; the
+            // interleave just keeps the methodology uniform).
+            let (mut warm_ns, mut cold_ns) = (f64::INFINITY, f64::INFINITY);
+            for _ in 0..reps {
+                session.set_cache_enabled(true);
+                let t0 = Instant::now();
+                std::hint::black_box(session.sweep(sid, &grid));
+                warm_ns = warm_ns.min(t0.elapsed().as_nanos() as f64);
+                session.set_cache_enabled(false);
+                let t0 = Instant::now();
+                std::hint::black_box(session.sweep(sid, &grid));
+                cold_ns = cold_ns.min(t0.elapsed().as_nanos() as f64);
+            }
+            caches.push(CacheMeasurement {
+                name: format!(
+                    "dm_cache{}_w8-64_md0-{MD}/{}",
+                    sweep_points.len(),
+                    program.name()
+                ),
+                warm_ns,
+                cold_ns,
+            });
+        }
     }
 
     println!(
@@ -523,6 +624,20 @@ fn main() {
         );
     }
 
+    println!(
+        "\n{:<36} {:>12} {:>12} {:>9}",
+        "cache benchmark", "warm ns", "cold ns", "speedup"
+    );
+    for c in &caches {
+        println!(
+            "{:<36} {:>12.0} {:>12.0} {:>8.0}x",
+            c.name,
+            c.warm_ns,
+            c.cold_ns,
+            c.speedup()
+        );
+    }
+
     let min_dm_pipeline = min_over(&results, "dm_w", Measurement::pipeline_speedup);
     let min_dm_scheduler = min_over(&results, "dm_w", Measurement::scheduler_speedup);
     let min_swsm_pipeline = min_over(&results, "swsm_", Measurement::pipeline_speedup);
@@ -537,12 +652,17 @@ fn main() {
         .iter()
         .map(SessionMeasurement::speedup)
         .fold(f64::INFINITY, f64::min);
+    let min_cache = caches
+        .iter()
+        .map(CacheMeasurement::speedup)
+        .fold(f64::INFINITY, f64::min);
     println!(
         "\nminimum speedups at MD = {MD} (pipeline / scheduler-only): \
          DM {min_dm_pipeline:.2}x / {min_dm_scheduler:.2}x, \
          SWSM {min_swsm_pipeline:.2}x / {min_swsm_scheduler:.2}x, \
          scalar {min_scalar_pipeline:.2}x / {min_scalar_scheduler:.2}x; \
-         sweep pooling {min_sweep:.2}x; session vs per-call {min_session:.2}x"
+         sweep pooling {min_sweep:.2}x; session vs per-call {min_session:.2}x; \
+         cache-warm vs cold {min_cache:.0}x"
     );
 
     if smoke {
@@ -586,9 +706,21 @@ fn main() {
             );
             json.push_str(if i + 1 == sessions.len() { "\n" } else { ",\n" });
         }
+        json.push_str("  ],\n  \"cache_benchmarks\": [\n");
+        for (i, c) in caches.iter().enumerate() {
+            let _ = write!(
+                json,
+                "    {{\"name\": \"{}\", \"warm_ns\": {:.0}, \"cold_ns\": {:.0}, \"speedup\": {:.3}}}",
+                c.name,
+                c.warm_ns,
+                c.cold_ns,
+                c.speedup()
+            );
+            json.push_str(if i + 1 == caches.len() { "\n" } else { ",\n" });
+        }
         let _ = write!(
             json,
-            "  ],\n  \"config\": {{\"iterations\": {iterations}, \"window\": {WINDOW}, \"memory_differential\": {MD}, \"commit\": \"{}\"}},\n  \"min_dm_pipeline_speedup\": {min_dm_pipeline:.3},\n  \"min_dm_scheduler_speedup\": {min_dm_scheduler:.3},\n  \"min_swsm_pipeline_speedup\": {min_swsm_pipeline:.3},\n  \"min_swsm_scheduler_speedup\": {min_swsm_scheduler:.3},\n  \"min_scalar_pipeline_speedup\": {min_scalar_pipeline:.3},\n  \"min_scalar_scheduler_speedup\": {min_scalar_scheduler:.3},\n  \"min_sweep_speedup\": {min_sweep:.3},\n  \"min_session_speedup\": {min_session:.3}\n}}\n",
+            "  ],\n  \"config\": {{\"iterations\": {iterations}, \"window\": {WINDOW}, \"memory_differential\": {MD}, \"commit\": \"{}\"}},\n  \"min_dm_pipeline_speedup\": {min_dm_pipeline:.3},\n  \"min_dm_scheduler_speedup\": {min_dm_scheduler:.3},\n  \"min_swsm_pipeline_speedup\": {min_swsm_pipeline:.3},\n  \"min_swsm_scheduler_speedup\": {min_swsm_scheduler:.3},\n  \"min_scalar_pipeline_speedup\": {min_scalar_pipeline:.3},\n  \"min_scalar_scheduler_speedup\": {min_scalar_scheduler:.3},\n  \"min_sweep_speedup\": {min_sweep:.3},\n  \"min_session_speedup\": {min_session:.3},\n  \"min_cache_speedup\": {min_cache:.3}\n}}\n",
             commit_hash()
         );
         std::fs::write("BENCH_simulator_throughput.json", json).expect("write baseline json");
@@ -598,7 +730,7 @@ fn main() {
     // Every floor applies in both modes (smoke uses the wider constants);
     // the per-machine checks run in CI on every push, so any machine's
     // engine path regressing — not just the DM's — fails fast.
-    let floors: [(&str, f64, f64); 8] = if smoke {
+    let floors: [(&str, f64, f64); 9] = if smoke {
         [
             ("DM pipeline", min_dm_pipeline, SMOKE_PIPELINE_FLOOR),
             ("DM scheduler-only", min_dm_scheduler, SMOKE_SCHEDULER_FLOOR),
@@ -624,6 +756,7 @@ fn main() {
             ),
             ("sweep pooling", min_sweep, SMOKE_SWEEP_FLOOR),
             ("session vs per-call", min_session, SMOKE_SESSION_FLOOR),
+            ("cache-warm vs cold", min_cache, SMOKE_CACHE_FLOOR),
         ]
     } else {
         [
@@ -647,6 +780,7 @@ fn main() {
             ),
             ("sweep pooling", min_sweep, SWEEP_FLOOR),
             ("session vs per-call", min_session, SESSION_FLOOR),
+            ("cache-warm vs cold", min_cache, CACHE_FLOOR),
         ]
     };
     for (name, measured, floor) in floors {

@@ -16,7 +16,9 @@
 //!   variant running over a shared session;
 //! * [`session`](crate::SweepSession) — persistent sweep sessions: lowered
 //!   programs pinned once over the long-lived worker pool, grids executed
-//!   batched or streamed (per-point delivery, no full-grid barrier);
+//!   batched or streamed (per-point delivery, no full-grid barrier), with
+//!   finished points cached by `(lowering, machine, window, MD)` and
+//!   per-stream cancellation ([`CancelToken`]);
 //! * [`report`](crate::TextTable) — aligned text tables and CSV export so
 //!   the experiment binaries print exactly the rows/series the paper
 //!   reports.
@@ -37,7 +39,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod experiment;
@@ -57,7 +59,10 @@ pub use experiments::{
 };
 pub use metrics::{equivalent_window_ratio, latency_hiding_effectiveness, speedup, WindowCurve};
 pub use report::{fmt_metric, TextTable};
-pub use session::{SessionStats, StreamedPoint, SweepPoint, SweepSession, SweepStream, TraceId};
+pub use session::{
+    CacheStats, CancelToken, SessionStats, StreamedPoint, SweepPoint, SweepSession, SweepStream,
+    TraceId,
+};
 
 /// A convenience prelude re-exporting the types most examples need.
 pub mod prelude {

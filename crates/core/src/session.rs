@@ -27,19 +27,39 @@
 //!   analytic formula, ablations (functional-unit limits, caches) switch to
 //!   [`ScalarMode::Simulated`](crate::ScalarMode) and sweep the scalar
 //!   machine through the same pooled simulator as the DM and the SWSM.
+//! * **Result caching.**  Every finished point is remembered keyed by
+//!   `(pinned-lowering identity, machine, window, MD)`, so a repeated point
+//!   is a table lookup instead of a simulation.  The figure grids overlap
+//!   heavily — the equivalent-window search re-sweeps the same SWSM windows
+//!   for every memory differential, and the suite-wide §5 claim re-visits
+//!   the per-figure grids — so repeated generators on one session skip
+//!   identical points entirely.  [`CacheStats`] exposes hit/miss/entry
+//!   counters ([`SweepSession::cache_stats`]); the cache can be switched
+//!   off per session ([`SweepSession::set_cache_enabled`]) for lifecycle
+//!   tests and benchmarks that must observe every simulation.  Identity is
+//!   the pinned `Arc` lowering, never structural equality: re-lowering the
+//!   same program into a second [`TraceId`] can never alias the first's
+//!   entries.
+//! * **Cancellation.**  [`SweepSession::stream_cancellable`] ties a grid to
+//!   a [`CancelToken`]; cancelling drops every not-yet-started point (the
+//!   stream's `done` accounting still balances — see
+//!   [`SweepStream::skipped`]), which is what lets a serving front end
+//!   abandon superseded requests mid-flight.
 //!
-//! Streamed, batched, one-shot (`LoweredTrace::sweep`) and naive-reference
-//! results are bit-for-bit identical — `tests/session_differential.rs`
-//! holds all four to each other on randomized grids across all three
-//! machines.
+//! Streamed, batched, one-shot (`LoweredTrace::sweep`), cached and
+//! naive-reference results are bit-for-bit identical —
+//! `tests/session_differential.rs` and `tests/sweep_cache.rs` hold all of
+//! them to each other on randomized grids across all three machines.
 
 use crate::{LoweredTrace, Machine, ScalarMode, WindowSpec};
 use dae_isa::Cycle;
 use dae_trace::Trace;
 use dae_workloads::PerfectProgram;
 use rayon::prelude::*;
+use std::collections::HashMap;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::{mpsc, Arc};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 
 /// Handle to a program pinned in a [`SweepSession`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -62,16 +82,129 @@ pub struct SessionStats {
     pub streamed_points: u64,
 }
 
-/// A persistent sweep service: lowered programs pinned once, grids of
-/// points executed over the long-lived worker pool, results delivered
-/// batched or streamed.  See the module docs.
+/// Counters of a session's sweep-result cache (see
+/// [`SweepSession::cache_stats`]).  `hits` and `misses` are monotone;
+/// `entries` is the current resident size.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Points answered without running a simulation — from an entry left by
+    /// an earlier grid, or by deduplicating a repeat within one grid.
+    pub hits: u64,
+    /// Simulations performed (and their results inserted) on behalf of
+    /// cache-enabled sweeps.
+    pub misses: u64,
+    /// Distinct `(lowering, machine, window, MD)` results currently held.
+    pub entries: usize,
+}
+
+/// A cancellation handle shared between a caller and the in-flight jobs of
+/// a streamed sweep ([`SweepSession::stream_cancellable`]).
+///
+/// Cancellation is cooperative and point-grained: a point whose worker has
+/// not started it yet is skipped (its simulation never runs and the stream
+/// reports it in [`SweepStream::skipped`]); a point already simulating runs
+/// to completion and is delivered normally.  Cloning shares the same flag,
+/// and cancelling is idempotent.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    #[must_use]
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation: every point of every stream holding this
+    /// token that has not started simulating yet will be skipped.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+/// A cache key: the pinned lowering's identity plus the machine parameters
+/// of the point.  [`TraceId`]s are never reused within a session and each
+/// denotes exactly one pinned `Arc` lowering, so id equality *is* stream
+/// identity — two separate `pin_trace` calls over the same source trace get
+/// distinct ids and therefore can never alias each other's entries.
+type CacheKey = (TraceId, Machine, WindowSpec, Cycle);
+
+/// The shared half of the sweep-result cache: the session and every
+/// in-flight streamed job hold an `Arc` to it, so results computed after
+/// the submitting call returned still populate the cache.
 #[derive(Debug, Default)]
+struct SweepCache {
+    map: Mutex<HashMap<CacheKey, Cycle>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SweepCache {
+    /// The cached execution time of `key`, counting a hit when present.
+    fn lookup(&self, key: &CacheKey) -> Option<Cycle> {
+        let cycles = self
+            .map
+            .lock()
+            .expect("sweep cache poisoned")
+            .get(key)
+            .copied();
+        if cycles.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        cycles
+    }
+
+    /// Records a simulated result (counted as a miss — a simulation ran).
+    fn insert(&self, key: CacheKey, cycles: Cycle) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.map
+            .lock()
+            .expect("sweep cache poisoned")
+            .insert(key, cycles);
+    }
+
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.map.lock().expect("sweep cache poisoned").len(),
+        }
+    }
+}
+
+/// A persistent sweep service: lowered programs pinned once, grids of
+/// points executed over the long-lived worker pool with finished points
+/// cached, results delivered batched or streamed.  See the module docs.
+#[derive(Debug)]
 pub struct SweepSession {
     traces: Vec<Arc<LoweredTrace>>,
     /// `pin_program` cache: `(program, iterations) → TraceId`.
     programs: Vec<((PerfectProgram, u64), TraceId)>,
     scalar_mode: ScalarMode,
     stats: SessionStats,
+    /// The sweep-result cache, shared with in-flight streamed jobs.
+    cache: Arc<SweepCache>,
+    /// Whether sweeps consult and populate the cache (default: yes).
+    cache_enabled: bool,
+}
+
+impl Default for SweepSession {
+    fn default() -> Self {
+        SweepSession {
+            traces: Vec::new(),
+            programs: Vec::new(),
+            scalar_mode: ScalarMode::default(),
+            stats: SessionStats::default(),
+            cache: Arc::new(SweepCache::default()),
+            cache_enabled: true,
+        }
+    }
 }
 
 impl SweepSession {
@@ -100,6 +233,33 @@ impl SweepSession {
     #[must_use]
     pub fn stats(&self) -> SessionStats {
         self.stats
+    }
+
+    /// A snapshot of the sweep-result cache's hit/miss/entry counters.
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Whether sweeps consult and populate the result cache.
+    #[must_use]
+    pub fn cache_enabled(&self) -> bool {
+        self.cache_enabled
+    }
+
+    /// Switches the result cache on or off for subsequent sweeps (entries
+    /// and counters are kept; in-flight streamed jobs follow the setting
+    /// they were submitted under).  New sessions start enabled; lifecycle
+    /// tests and benchmarks that must observe every simulation switch it
+    /// off.
+    pub fn set_cache_enabled(&mut self, enabled: bool) {
+        self.cache_enabled = enabled;
+    }
+
+    /// Drops every cached sweep result (the hit/miss counters, which are
+    /// monotone diagnostics, are kept).
+    pub fn clear_cache(&mut self) {
+        self.cache.map.lock().expect("sweep cache poisoned").clear();
     }
 
     /// The number of pinned programs.
@@ -208,6 +368,10 @@ impl SweepSession {
     /// Runs a grid of points addressing any mix of pinned programs,
     /// returning execution times in point order (batched API).
     ///
+    /// With the cache enabled, points already resident are answered without
+    /// simulating, repeats *within* the grid are deduplicated, and only the
+    /// distinct misses are dispatched to the workers.
+    ///
     /// # Panics
     ///
     /// Panics if a point names a `TraceId` not pinned in this session.
@@ -216,11 +380,57 @@ impl SweepSession {
         self.stats.batched_points += points.len() as u64;
         let traces = &self.traces;
         let scalar_mode = self.scalar_mode;
-        points
+        if !self.cache_enabled {
+            return points
+                .par_iter()
+                .map(|&(id, machine, window, md)| {
+                    traces[id.0].machine_cycles_in(machine, window, md, scalar_mode)
+                })
+                .collect();
+        }
+
+        // Resolve what the cache already knows, deduplicating repeats
+        // within the grid; only the distinct misses are simulated.
+        let mut resolved: Vec<Option<Cycle>> = Vec::with_capacity(points.len());
+        let mut missing: Vec<SweepPoint> = Vec::new();
+        let mut slot_of: HashMap<CacheKey, usize> = HashMap::new();
+        // `slot` indexes into `missing` for unresolved points.
+        let mut slots: Vec<usize> = Vec::with_capacity(points.len());
+        let mut dedup_hits = 0u64;
+        for &point in points {
+            if let Some(cycles) = self.cache.lookup(&point) {
+                resolved.push(Some(cycles));
+                slots.push(usize::MAX);
+            } else {
+                resolved.push(None);
+                match slot_of.get(&point) {
+                    Some(&slot) => {
+                        dedup_hits += 1;
+                        slots.push(slot);
+                    }
+                    None => {
+                        slot_of.insert(point, missing.len());
+                        slots.push(missing.len());
+                        missing.push(point);
+                    }
+                }
+            }
+        }
+        self.cache.hits.fetch_add(dedup_hits, Ordering::Relaxed);
+
+        let computed: Vec<Cycle> = missing
             .par_iter()
             .map(|&(id, machine, window, md)| {
                 traces[id.0].machine_cycles_in(machine, window, md, scalar_mode)
             })
+            .collect();
+        for (&point, &cycles) in missing.iter().zip(&computed) {
+            self.cache.insert(point, cycles);
+        }
+        resolved
+            .into_iter()
+            .zip(slots)
+            .map(|(cached, slot)| cached.unwrap_or_else(|| computed[slot]))
             .collect()
     }
 
@@ -234,26 +444,87 @@ impl SweepSession {
     /// Panics if a point names a `TraceId` not pinned in this session.
     #[must_use]
     pub fn stream(&mut self, points: &[SweepPoint]) -> SweepStream {
+        self.stream_cancellable(points, &CancelToken::new())
+    }
+
+    /// [`SweepSession::stream`] tied to a [`CancelToken`]: cancelling the
+    /// token skips every point no worker has started yet (skipped points
+    /// are counted by [`SweepStream::skipped`] instead of being yielded),
+    /// while points already simulating complete and are delivered normally.
+    ///
+    /// Cache-resident points are delivered immediately (before this call
+    /// returns they are already queued on the stream, marked
+    /// [`StreamedPoint::cached`]); misses simulate on the workers and
+    /// populate the cache as they finish, including after the submitting
+    /// call has returned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a point names a `TraceId` not pinned in this session.
+    #[must_use]
+    pub fn stream_cancellable(
+        &mut self,
+        points: &[SweepPoint],
+        token: &CancelToken,
+    ) -> SweepStream {
         self.stats.streamed_points += points.len() as u64;
         let (tx, rx) = mpsc::channel();
         for (index, &point) in points.iter().enumerate() {
             let (id, machine, window, md) = point;
+            if token.is_cancelled() {
+                let _ = tx.send(Delivery::Skipped);
+                continue;
+            }
+            if self.cache_enabled {
+                if let Some(cycles) = self.cache.lookup(&point) {
+                    let _ = tx.send(Delivery::Done(StreamedPoint {
+                        index,
+                        point,
+                        cycles,
+                        cached: true,
+                    }));
+                    continue;
+                }
+            }
             let trace = Arc::clone(&self.traces[id.0]);
             let scalar_mode = self.scalar_mode;
+            let cache = self.cache_enabled.then(|| Arc::clone(&self.cache));
+            let token = token.clone();
             let tx = tx.clone();
             rayon::spawn(move || {
+                if token.is_cancelled() {
+                    let _ = tx.send(Delivery::Skipped);
+                    return;
+                }
+                // Second-chance lookup: an identical point earlier in this
+                // (or a concurrent) grid may have finished in the meantime.
+                if let Some(cycles) = cache.as_deref().and_then(|c| c.lookup(&point)) {
+                    let _ = tx.send(Delivery::Done(StreamedPoint {
+                        index,
+                        point,
+                        cycles,
+                        cached: true,
+                    }));
+                    return;
+                }
                 let result = catch_unwind(AssertUnwindSafe(|| {
                     trace.machine_cycles_in(machine, window, md, scalar_mode)
                 }));
                 // A send can only fail if the stream was dropped early;
                 // the remaining points are simply discarded then.
                 let _ = tx.send(match result {
-                    Ok(cycles) => Ok(StreamedPoint {
-                        index,
-                        point,
-                        cycles,
-                    }),
-                    Err(payload) => Err(payload),
+                    Ok(cycles) => {
+                        if let Some(cache) = &cache {
+                            cache.insert(point, cycles);
+                        }
+                        Delivery::Done(StreamedPoint {
+                            index,
+                            point,
+                            cycles,
+                            cached: false,
+                        })
+                    }
+                    Err(payload) => Delivery::Panicked(payload),
                 });
             });
         }
@@ -261,6 +532,7 @@ impl SweepSession {
             rx,
             remaining: points.len(),
             total: points.len(),
+            skipped: 0,
         }
     }
 
@@ -282,6 +554,17 @@ pub struct StreamedPoint {
     pub point: SweepPoint,
     /// The simulated (or analytic) execution time.
     pub cycles: Cycle,
+    /// Whether the result came from the sweep-result cache rather than a
+    /// fresh simulation.
+    pub cached: bool,
+}
+
+/// What a streamed job sends back: a finished point, a cancellation skip,
+/// or a panic payload to re-throw on the consuming thread.
+enum Delivery {
+    Done(StreamedPoint),
+    Skipped,
+    Panicked(Box<dyn std::any::Any + Send>),
 }
 
 /// An in-flight streamed sweep: iterating yields each point as its worker
@@ -289,9 +572,10 @@ pub struct StreamedPoint {
 /// in-flight simulations still complete on the workers).
 #[derive(Debug)]
 pub struct SweepStream {
-    rx: mpsc::Receiver<Result<StreamedPoint, Box<dyn std::any::Any + Send>>>,
+    rx: mpsc::Receiver<Delivery>,
     remaining: usize,
     total: usize,
+    skipped: usize,
 }
 
 impl SweepStream {
@@ -301,8 +585,18 @@ impl SweepStream {
         self.total
     }
 
+    /// Points skipped by cancellation so far (never yielded by the
+    /// iterator; `delivered + skipped == total` once the stream is
+    /// exhausted).
+    #[must_use]
+    pub fn skipped(&self) -> usize {
+        self.skipped
+    }
+
     /// Drains the stream into grid order: element `i` is the execution
     /// time of submitted point `i`, exactly what the batched API returns.
+    /// Only meaningful for uncancelled streams (a skipped point's slot
+    /// stays `0`).
     #[must_use]
     pub fn collect_ordered(self) -> Vec<Cycle> {
         let mut cycles = vec![0; self.total];
@@ -317,22 +611,27 @@ impl Iterator for SweepStream {
     type Item = StreamedPoint;
 
     fn next(&mut self) -> Option<StreamedPoint> {
-        if self.remaining == 0 {
-            return None;
-        }
-        match self.rx.recv().expect("sweep workers disappeared") {
-            Ok(point) => {
-                self.remaining -= 1;
-                Some(point)
+        while self.remaining > 0 {
+            match self.rx.recv().expect("sweep workers disappeared") {
+                Delivery::Done(point) => {
+                    self.remaining -= 1;
+                    return Some(point);
+                }
+                // A cancelled point: account for it and keep draining.
+                Delivery::Skipped => {
+                    self.remaining -= 1;
+                    self.skipped += 1;
+                }
+                // A point's simulation panicked on its worker: re-throw
+                // here, on the thread consuming the stream.
+                Delivery::Panicked(payload) => resume_unwind(payload),
             }
-            // A point's simulation panicked on its worker: re-throw here,
-            // on the thread consuming the stream.
-            Err(payload) => resume_unwind(payload),
         }
+        None
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        (self.remaining, Some(self.remaining))
+        (0, Some(self.remaining))
     }
 }
 
@@ -413,6 +712,89 @@ mod tests {
         let mut simulated = SweepSession::with_scalar_mode(ScalarMode::Simulated);
         let s = simulated.pin_trace(&trace);
         assert_eq!(analytic.sweep(a, &points), simulated.sweep(s, &points));
+    }
+
+    #[test]
+    fn repeated_grids_hit_the_result_cache() {
+        let mut session = SweepSession::new();
+        let id = session.pin_trace(&stream().trace(110));
+        let first = session.sweep(id, &grid());
+        let after_first = session.cache_stats();
+        assert_eq!(after_first.hits, 0);
+        assert_eq!(after_first.misses, 4);
+        assert_eq!(after_first.entries, 4);
+
+        // The identical grid again: answered entirely from the cache, by
+        // both delivery shapes.
+        let second = session.sweep(id, &grid());
+        let full: Vec<SweepPoint> = grid().iter().map(|&(m, w, md)| (id, m, w, md)).collect();
+        let streamed = session.stream(&full);
+        let mut from_cache = 0;
+        let mut ordered = vec![0; streamed.total()];
+        for point in streamed {
+            from_cache += usize::from(point.cached);
+            ordered[point.index] = point.cycles;
+        }
+        assert_eq!(first, second);
+        assert_eq!(first, ordered);
+        assert_eq!(from_cache, 4);
+        let stats = session.cache_stats();
+        assert_eq!(stats.hits, 8);
+        assert_eq!(stats.misses, 4);
+        assert_eq!(stats.entries, 4);
+    }
+
+    #[test]
+    fn duplicate_points_within_one_grid_simulate_once() {
+        let mut session = SweepSession::new();
+        let id = session.pin_trace(&stream().trace(100));
+        let point = (Machine::Decoupled, WindowSpec::Entries(16), 60);
+        let cycles = session.sweep(id, &[point, point, point]);
+        assert_eq!(cycles[0], cycles[1]);
+        assert_eq!(cycles[1], cycles[2]);
+        let stats = session.cache_stats();
+        assert_eq!(stats.misses, 1, "one simulation for three identical points");
+        assert_eq!(stats.hits, 2);
+    }
+
+    #[test]
+    fn a_disabled_cache_is_bypassed_entirely() {
+        let mut session = SweepSession::new();
+        session.set_cache_enabled(false);
+        assert!(!session.cache_enabled());
+        let id = session.pin_trace(&stream().trace(100));
+        let first = session.sweep(id, &grid());
+        let second = session.sweep(id, &grid());
+        assert_eq!(first, second);
+        assert_eq!(session.cache_stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn clearing_the_cache_forces_recomputation() {
+        let mut session = SweepSession::new();
+        let id = session.pin_trace(&stream().trace(100));
+        let first = session.sweep(id, &grid());
+        session.clear_cache();
+        assert_eq!(session.cache_stats().entries, 0);
+        let second = session.sweep(id, &grid());
+        assert_eq!(first, second);
+        assert_eq!(session.cache_stats().misses, 8, "both grids simulated");
+    }
+
+    #[test]
+    fn a_cancelled_stream_skips_pending_points() {
+        let mut session = SweepSession::new();
+        let id = session.pin_trace(&stream().trace(100));
+        let full: Vec<SweepPoint> = grid().iter().map(|&(m, w, md)| (id, m, w, md)).collect();
+        let token = CancelToken::new();
+        token.cancel();
+        assert!(token.is_cancelled());
+        let mut stream = session.stream_cancellable(&full, &token);
+        assert_eq!(stream.next(), None, "every point was cancelled");
+        assert_eq!(stream.skipped(), full.len());
+        // The session (and a fresh, uncancelled stream) stay fully usable.
+        let delivered = session.stream(&full).count();
+        assert_eq!(delivered, full.len());
     }
 
     #[test]

@@ -18,7 +18,7 @@ use std::sync::Arc;
 /// latency.  Cross-unit register traffic travels over explicit copy
 /// instructions with a configurable transfer latency.
 ///
-/// The run loop is the shared multi-unit engine (see [`crate::engine`]) with
+/// The run loop is the shared multi-unit engine (see `crate::engine`) with
 /// **asymmetric per-unit clocks**: each unit is stepped only when its own
 /// horizon arrives, so the DU sleeps through the memory stalls the AU is
 /// busy prefetching across, and a 60-cycle stall costs one engine iteration

@@ -46,6 +46,26 @@ pub struct PoolDiagnostics {
     pub template_hits: u64,
 }
 
+impl PoolDiagnostics {
+    /// The counter movement since an earlier snapshot (saturating, so a
+    /// stale baseline can never underflow) — the shape every lifecycle
+    /// assertion and service report wants: "what did *this* sweep do",
+    /// independent of whatever concurrent work moved the process-wide
+    /// counters before it.
+    #[must_use]
+    pub fn since(self, baseline: PoolDiagnostics) -> PoolDiagnostics {
+        PoolDiagnostics {
+            warm_unit_takes: self
+                .warm_unit_takes
+                .saturating_sub(baseline.warm_unit_takes),
+            fresh_unit_takes: self
+                .fresh_unit_takes
+                .saturating_sub(baseline.fresh_unit_takes),
+            template_hits: self.template_hits.saturating_sub(baseline.template_hits),
+        }
+    }
+}
+
 static WARM_UNIT_TAKES: AtomicU64 = AtomicU64::new(0);
 static FRESH_UNIT_TAKES: AtomicU64 = AtomicU64::new(0);
 static TEMPLATE_HITS: AtomicU64 = AtomicU64::new(0);
@@ -182,6 +202,26 @@ mod tests {
         // The outer pool (not the nested one) is what persisted.
         with_thread_pool(|pool| assert_eq!(pool.tag_counts, vec![7]));
         with_thread_pool(|pool| pool.tag_counts.clear());
+    }
+
+    #[test]
+    fn diagnostics_deltas_saturate() {
+        let early = PoolDiagnostics {
+            warm_unit_takes: 10,
+            fresh_unit_takes: 4,
+            template_hits: 7,
+        };
+        let late = PoolDiagnostics {
+            warm_unit_takes: 25,
+            fresh_unit_takes: 4,
+            template_hits: 9,
+        };
+        let delta = late.since(early);
+        assert_eq!(delta.warm_unit_takes, 15);
+        assert_eq!(delta.fresh_unit_takes, 0);
+        assert_eq!(delta.template_hits, 2);
+        // A stale (newer) baseline saturates to zero instead of wrapping.
+        assert_eq!(early.since(late), PoolDiagnostics::default());
     }
 
     #[test]

@@ -17,7 +17,7 @@ use dae_trace::{lower_scalar, ExecKind, MachineInst, ScalarProgram, Trace};
 /// every comparative claim between the DM and the SWSM unchanged (see
 /// DESIGN.md).
 ///
-/// The run loop is the shared time-skipping engine (see [`crate::engine`]),
+/// The run loop is the shared time-skipping engine (see `crate::engine`),
 /// which jumps straight through every blocking-load stall (a 60-cycle memory
 /// wait is one engine iteration) — that matters because sweeps simulate this
 /// machine for every (program, MD) point.

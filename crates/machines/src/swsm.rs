@@ -18,7 +18,7 @@ use dae_trace::{expand_swsm, ExecKind, MachineInst, SwsmProgram, Trace};
 /// compute all compete for the same window slots, which is exactly the
 /// effect the paper studies.
 ///
-/// The run loop is the shared time-skipping engine (see [`crate::engine`])
+/// The run loop is the shared time-skipping engine (see `crate::engine`)
 /// over one unit; [`SuperscalarMachine::run_reference`] retains the original
 /// cycle-by-cycle lockstep loop as the differential-testing oracle.
 ///

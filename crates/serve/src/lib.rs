@@ -1,0 +1,58 @@
+//! # dae-serve — a long-lived sweep server over [`dae_core::SweepSession`]
+//!
+//! Every figure of the paper is a (machine × window × memory-differential)
+//! sweep, and the reproduction's north star is a resident service rather
+//! than a batch tool.  This crate is the serving front end: a line-based
+//! protocol (newline-delimited requests and responses; the vendored serde
+//! stub has no real serialization, so the format is hand-written text —
+//! see `docs/PROTOCOL.md`) over one shared sweep session.
+//!
+//! * [`protocol`] — the wire format: [`Request`] / [`Response`] parsing
+//!   and printing shared by the server, the clients and the tests, plus
+//!   the inline-kernel grammar ([`parse_kernel`]).
+//! * [`server`] — [`SweepServer`] (the shared session behind one brief
+//!   mutex), [`serve_connection`] (one client: concurrent tagged sweeps,
+//!   per-request cancellation), and the stdin / TCP / Unix-socket accept
+//!   loops.
+//!
+//! What the session layer provides, the server inherits: lowered programs
+//! pin once per `(source, iterations)` and are shared by every client, the
+//! sweep-result cache answers repeated points without simulating (the
+//! figure grids overlap heavily), streamed grids deliver per point with no
+//! full-grid barrier, and cancellation drops pending points mid-flight.
+//!
+//! ## Example
+//!
+//! ```
+//! use dae_serve::{parse_response, serve_connection, Response, SweepServer};
+//! use std::sync::Arc;
+//!
+//! let server = Arc::new(SweepServer::new());
+//! let requests = "sweep id=demo trace=TRFD iterations=60 machines=dm \
+//!                 windows=16 mds=60 mode=batch\n";
+//! let mut output = Vec::new();
+//! serve_connection(&server, requests.as_bytes(), &mut output).unwrap();
+//! let lines = String::from_utf8(output).unwrap();
+//! let mut responses = lines.lines().map(|l| parse_response(l).unwrap());
+//! assert!(matches!(responses.next(), Some(Response::Point { .. })));
+//! assert!(matches!(
+//!     responses.next(),
+//!     Some(Response::Done { delivered: 1, .. })
+//! ));
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod protocol;
+pub mod server;
+
+pub use protocol::{
+    machine_token, parse_kernel, parse_request, parse_response, window_token, DeliveryMode,
+    Request, RequestError, Response, SweepRequest, TraceSource, DEFAULT_ITERATIONS, MAX_ITERATIONS,
+    MAX_POINTS,
+};
+#[cfg(unix)]
+pub use server::serve_unix;
+pub use server::{serve_connection, serve_local, serve_tcp, Submission, SweepServer};

@@ -1,0 +1,132 @@
+//! The `dae-serve` binary: a long-lived sweep server over one shared
+//! [`dae_core::SweepSession`].
+//!
+//! ```text
+//! dae-serve [--stdin]            serve newline-delimited requests on stdin,
+//!                                responses on stdout (default; exits at EOF
+//!                                once every sweep has finished)
+//! dae-serve --tcp ADDR           listen on a TCP address (e.g. 127.0.0.1:7878)
+//! dae-serve --unix PATH          listen on a Unix-domain socket
+//! dae-serve --local FILE         run FILE's requests sequentially in-process
+//!                                and print canonical grid-order output (the
+//!                                oracle the smoke test diffs the served
+//!                                output against)
+//!       --no-cache               disable the session's sweep-result cache
+//! ```
+//!
+//! The wire format is specified in `docs/PROTOCOL.md`.  Diagnostics go to
+//! stderr; stdout carries only protocol lines.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use dae_core::SweepSession;
+use dae_serve::{serve_connection, serve_local, serve_tcp, SweepServer};
+use std::io::BufReader;
+use std::net::TcpListener;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+enum Mode {
+    Stdin,
+    Tcp(String),
+    Unix(String),
+    Local(String),
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: dae-serve [--stdin | --tcp ADDR | --unix PATH | --local FILE] [--no-cache]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut mode = Mode::Stdin;
+    let mut cache = true;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--stdin" => mode = Mode::Stdin,
+            "--tcp" => match args.next() {
+                Some(addr) => mode = Mode::Tcp(addr),
+                None => return usage(),
+            },
+            "--unix" => match args.next() {
+                Some(path) => mode = Mode::Unix(path),
+                None => return usage(),
+            },
+            "--local" => match args.next() {
+                Some(path) => mode = Mode::Local(path),
+                None => return usage(),
+            },
+            "--no-cache" => cache = false,
+            _ => return usage(),
+        }
+    }
+
+    let mut session = SweepSession::new();
+    session.set_cache_enabled(cache);
+    let server = Arc::new(SweepServer::with_session(session));
+
+    let result = match mode {
+        Mode::Stdin => {
+            eprintln!("dae-serve: serving stdin (cache {})", on_off(cache));
+            serve_connection(&server, std::io::stdin().lock(), std::io::stdout())
+        }
+        Mode::Tcp(addr) => match TcpListener::bind(&addr) {
+            Ok(listener) => {
+                eprintln!(
+                    "dae-serve: listening on tcp {} (cache {})",
+                    listener.local_addr().map_or(addr, |a| a.to_string()),
+                    on_off(cache)
+                );
+                serve_tcp(&server, &listener)
+            }
+            Err(e) => {
+                eprintln!("dae-serve: cannot bind {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        Mode::Unix(path) => serve_unix_at(&server, &path, cache),
+        Mode::Local(path) => match std::fs::File::open(&path) {
+            Ok(file) => serve_local(&server, BufReader::new(file), std::io::stdout()),
+            Err(e) => {
+                eprintln!("dae-serve: cannot open {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("dae-serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn on_off(enabled: bool) -> &'static str {
+    if enabled {
+        "on"
+    } else {
+        "off"
+    }
+}
+
+#[cfg(unix)]
+fn serve_unix_at(server: &Arc<SweepServer>, path: &str, cache: bool) -> std::io::Result<()> {
+    // A previous run's socket file would make the bind fail.
+    let _ = std::fs::remove_file(path);
+    let listener = std::os::unix::net::UnixListener::bind(path)?;
+    eprintln!(
+        "dae-serve: listening on unix {path} (cache {})",
+        on_off(cache)
+    );
+    dae_serve::serve_unix(server, &listener)
+}
+
+#[cfg(not(unix))]
+fn serve_unix_at(_server: &Arc<SweepServer>, _path: &str, _cache: bool) -> std::io::Result<()> {
+    Err(std::io::Error::other(
+        "unix-domain sockets are not available on this platform",
+    ))
+}

@@ -1,0 +1,895 @@
+//! The wire format of the sweep server.
+//!
+//! Everything is newline-delimited UTF-8 text — the vendored serde stub has
+//! no real serialization, so the protocol is a hand-written line format
+//! (swapping in a binary framing once the real crates are available is a
+//! contained change; see `docs/PROTOCOL.md` for the full specification and
+//! a worked transcript).  A request or response is one line; fields are
+//! space-separated `key=value` tokens after a leading verb, and only the
+//! trailing `msg=` field of an error may contain spaces.
+//!
+//! This module is the single source of truth for both directions: the
+//! server parses [`Request`]s and prints [`Response`]s, and clients (the
+//! end-to-end example, the tests, the smoke script) print requests and
+//! parse responses through the same types, so the two sides cannot drift.
+
+use dae_core::{Machine, SweepPoint, TraceId, WindowSpec};
+use dae_isa::Cycle;
+use dae_trace::{expand, Trace};
+use dae_workloads::{
+    gather_scatter, pointer_chase, reduction, stencil, stream, PerfectProgram, Workload,
+};
+use std::fmt;
+
+/// The largest accepted `iterations=` value: a million iterations of a
+/// ten-statement kernel is a ~10M-instruction trace per simulation — far
+/// beyond any figure of the paper, and a sensible ceiling for a shared
+/// server.
+pub const MAX_ITERATIONS: u64 = 1_000_000;
+
+/// The largest accepted grid (`machines × windows × mds`) per request;
+/// bigger studies split into several requests and interleave naturally.
+pub const MAX_POINTS: usize = 65_536;
+
+/// The default `iterations=` when a request omits the field (the quick
+/// experiment configuration's trace length).
+pub const DEFAULT_ITERATIONS: u64 = 300;
+
+/// How a request wants its results delivered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DeliveryMode {
+    /// `point` lines are written the moment each worker finishes
+    /// (completion order — the no-barrier shape).
+    #[default]
+    Stream,
+    /// `point` lines are written together, in grid order, once the whole
+    /// grid has completed.
+    Batch,
+}
+
+impl DeliveryMode {
+    fn token(self) -> &'static str {
+        match self {
+            DeliveryMode::Stream => "stream",
+            DeliveryMode::Batch => "batch",
+        }
+    }
+}
+
+/// What a sweep request simulates: a named workload or an inline kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceSource {
+    /// One of the seven PERFECT Club workload models (`trace=TRFD`, …).
+    Perfect(PerfectProgram),
+    /// A named synthetic workload (`trace=stream`, `trace=stencil`, …);
+    /// the stored name is normalised to lowercase.
+    Synthetic(String),
+    /// An inline kernel specification (`kernel=i;ld:%0;…`); see
+    /// [`parse_kernel`] for the grammar.
+    Inline(String),
+}
+
+impl TraceSource {
+    /// A canonical identity string: requests with equal keys (at equal
+    /// iteration counts) share one pinned lowering — and therefore the
+    /// session's sweep-result cache — on the server.
+    #[must_use]
+    pub fn key(&self) -> String {
+        match self {
+            TraceSource::Perfect(p) => format!("perfect:{}", p.name()),
+            TraceSource::Synthetic(name) => format!("synthetic:{name}"),
+            TraceSource::Inline(spec) => format!("kernel:{spec}"),
+        }
+    }
+
+    /// Expands the source into a trace of `iterations` iterations.
+    ///
+    /// # Errors
+    ///
+    /// An inline kernel that fails validation reports the builder's error.
+    pub fn trace(&self, iterations: u64) -> Result<Trace, String> {
+        match self {
+            TraceSource::Perfect(p) => Ok(p.workload().trace(iterations)),
+            TraceSource::Synthetic(name) => Ok(synthetic_by_name(name)
+                .expect("parsed synthetic names resolve")
+                .trace(iterations)),
+            TraceSource::Inline(spec) => Ok(expand(&parse_kernel(spec)?, iterations)),
+        }
+    }
+
+    fn request_field(&self) -> String {
+        match self {
+            TraceSource::Perfect(p) => format!("trace={}", p.name()),
+            TraceSource::Synthetic(name) => format!("trace={name}"),
+            TraceSource::Inline(spec) => format!("kernel={spec}"),
+        }
+    }
+}
+
+/// The named synthetic workloads the server accepts besides the PERFECT
+/// suite.  Names are canonical (hyphenated, lowercase); `parse_request`
+/// normalises aliases *before* the name reaches [`TraceSource`], so
+/// `pointer_chase` and `pointer-chase` share one key — and therefore one
+/// pinned lowering and one set of cache entries — on the server.
+fn synthetic_by_name(name: &str) -> Option<Workload> {
+    match name {
+        "stream" => Some(stream()),
+        "stencil" => Some(stencil()),
+        "pointer-chase" => Some(pointer_chase()),
+        "reduction" => Some(reduction()),
+        "gather-scatter" => Some(gather_scatter()),
+        _ => None,
+    }
+}
+
+/// One parsed `sweep` request: a grid of (machine × window × MD) points
+/// against one trace source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepRequest {
+    /// The client-chosen request tag echoed on every response line.
+    pub id: String,
+    /// What to simulate.
+    pub source: TraceSource,
+    /// Trace length in kernel iterations.
+    pub iterations: u64,
+    /// The machines of the grid.
+    pub machines: Vec<Machine>,
+    /// The window sizes of the grid.
+    pub windows: Vec<WindowSpec>,
+    /// The memory differentials of the grid.
+    pub mds: Vec<Cycle>,
+    /// Result delivery shape.
+    pub mode: DeliveryMode,
+}
+
+impl SweepRequest {
+    /// The request's grid in canonical order — machines outermost, then
+    /// windows, then memory differentials — addressed at the pinned
+    /// lowering `id`.  `point` responses carry this order's index.
+    #[must_use]
+    pub fn points(&self, id: TraceId) -> Vec<SweepPoint> {
+        let mut points =
+            Vec::with_capacity(self.machines.len() * self.windows.len() * self.mds.len());
+        for &machine in &self.machines {
+            for &window in &self.windows {
+                for &md in &self.mds {
+                    points.push((id, machine, window, md));
+                }
+            }
+        }
+        points
+    }
+}
+
+impl fmt::Display for SweepRequest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sweep id={} {} iterations={} machines={} windows={} mds={} mode={}",
+            self.id,
+            self.source.request_field(),
+            self.iterations,
+            join(self.machines.iter().map(|&m| machine_token(m).to_string())),
+            join(self.windows.iter().map(window_token)),
+            join(self.mds.iter().map(Cycle::to_string)),
+            self.mode.token(),
+        )
+    }
+}
+
+/// One parsed request line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Submit a sweep grid.
+    Sweep(SweepRequest),
+    /// Cancel an active sweep: pending points are dropped, the `done` line
+    /// still arrives with the dropped count.
+    Cancel {
+        /// The id of the request to cancel.
+        id: String,
+    },
+    /// Ask for the server's session / cache / pool counters.
+    Stats,
+}
+
+/// A rejected request line: the reply carries the request id when one was
+/// recovered from the line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestError {
+    /// The `id=` field of the offending line, if it parsed.
+    pub id: Option<String>,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl RequestError {
+    fn new(id: Option<&str>, message: impl Into<String>) -> Self {
+        RequestError {
+            id: id.map(str::to_string),
+            message: message.into(),
+        }
+    }
+}
+
+/// One response line, as written by the server and parsed by clients.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// One finished sweep point.
+    Point {
+        /// The request the point belongs to.
+        id: String,
+        /// The point's index in the request's canonical grid order.
+        index: usize,
+        /// The machine of the point.
+        machine: Machine,
+        /// The window of the point.
+        window: WindowSpec,
+        /// The memory differential of the point.
+        md: Cycle,
+        /// The simulated (or cached) execution time.
+        cycles: Cycle,
+    },
+    /// A request finished (delivered + dropped == points; `cached` counts
+    /// points answered from the sweep-result cache).
+    Done {
+        /// The finished request.
+        id: String,
+        /// Grid size.
+        points: usize,
+        /// Points delivered as `point` lines.
+        delivered: usize,
+        /// Points dropped by cancellation.
+        dropped: usize,
+        /// Delivered points that came from the cache.
+        cached: u64,
+    },
+    /// Acknowledgement that a cancel was applied (the `done` line of the
+    /// cancelled request follows separately).
+    Cancelled {
+        /// The request being cancelled.
+        id: String,
+    },
+    /// A rejected request or server-side failure.
+    Error {
+        /// The offending request, when known.
+        id: Option<String>,
+        /// Human-readable reason (the only field that may contain spaces).
+        message: String,
+    },
+    /// The reply to `stats`: named monotone counters.
+    Stats {
+        /// `(name, value)` pairs, in the server's canonical order.
+        fields: Vec<(String, u64)>,
+    },
+}
+
+impl fmt::Display for Response {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Response::Point {
+                id,
+                index,
+                machine,
+                window,
+                md,
+                cycles,
+            } => write!(
+                f,
+                "point id={id} index={index} machine={} window={} md={md} cycles={cycles}",
+                machine_token(*machine),
+                window_token(window),
+            ),
+            Response::Done {
+                id,
+                points,
+                delivered,
+                dropped,
+                cached,
+            } => write!(
+                f,
+                "done id={id} points={points} delivered={delivered} dropped={dropped} cached={cached}"
+            ),
+            Response::Cancelled { id } => write!(f, "cancelled id={id}"),
+            Response::Error { id, message } => match id {
+                Some(id) => write!(f, "error id={id} msg={message}"),
+                None => write!(f, "error msg={message}"),
+            },
+            Response::Stats { fields } => {
+                f.write_str("stats")?;
+                for (name, value) in fields {
+                    write!(f, " {name}={value}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+fn join(items: impl Iterator<Item = String>) -> String {
+    items.collect::<Vec<_>>().join(",")
+}
+
+/// The protocol token of a machine (`dm` / `swsm` / `scalar`).
+#[must_use]
+pub fn machine_token(machine: Machine) -> &'static str {
+    match machine {
+        Machine::Decoupled => "dm",
+        Machine::Superscalar => "swsm",
+        Machine::Scalar => "scalar",
+    }
+}
+
+fn parse_machine(token: &str) -> Result<Machine, String> {
+    match token {
+        "dm" => Ok(Machine::Decoupled),
+        "swsm" => Ok(Machine::Superscalar),
+        "scalar" => Ok(Machine::Scalar),
+        other => Err(format!(
+            "unknown machine '{other}' (expected dm, swsm or scalar)"
+        )),
+    }
+}
+
+/// The protocol token of a window (`32` / `inf`).
+#[must_use]
+pub fn window_token(window: &WindowSpec) -> String {
+    match window {
+        WindowSpec::Entries(n) => n.to_string(),
+        WindowSpec::Unlimited => "inf".to_string(),
+    }
+}
+
+fn parse_window(token: &str) -> Result<WindowSpec, String> {
+    if token == "inf" {
+        return Ok(WindowSpec::Unlimited);
+    }
+    match token.parse::<usize>() {
+        Ok(n) if n > 0 => Ok(WindowSpec::Entries(n)),
+        _ => Err(format!(
+            "bad window '{token}' (expected a positive integer or 'inf')"
+        )),
+    }
+}
+
+/// Splits a request/response line into its verb and `key=value` fields.
+fn fields(line: &str) -> (Option<&str>, Vec<(&str, &str)>) {
+    let mut tokens = line.split_whitespace();
+    let verb = tokens.next();
+    let pairs = tokens.filter_map(|token| token.split_once('=')).collect();
+    (verb, pairs)
+}
+
+fn lookup<'a>(pairs: &[(&str, &'a str)], key: &str) -> Option<&'a str> {
+    pairs.iter().find(|&&(k, _)| k == key).map(|&(_, v)| v)
+}
+
+fn valid_id(id: &str) -> bool {
+    !id.is_empty()
+        && id
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.'))
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// Returns a [`RequestError`] (carrying the line's `id=` when one was
+/// recovered) for unknown verbs, missing or malformed fields, and
+/// over-limit grids.
+pub fn parse_request(line: &str) -> Result<Request, RequestError> {
+    let (verb, pairs) = fields(line);
+    let id = lookup(&pairs, "id");
+    let err = |message: String| Err(RequestError::new(id, message));
+    match verb {
+        Some("stats") => Ok(Request::Stats),
+        Some("cancel") => match id {
+            Some(id) if valid_id(id) => Ok(Request::Cancel { id: id.to_string() }),
+            _ => err("cancel needs id=<request-id>".to_string()),
+        },
+        Some("sweep") => {
+            let Some(id_str) = id else {
+                return err("sweep needs id=<request-id>".to_string());
+            };
+            if !valid_id(id_str) {
+                return err(format!(
+                    "bad id '{id_str}' (letters, digits, '_', '-', '.' only)"
+                ));
+            }
+            let source = match (lookup(&pairs, "trace"), lookup(&pairs, "kernel")) {
+                (Some(_), Some(_)) => {
+                    return err("give either trace= or kernel=, not both".to_string())
+                }
+                (None, None) => return err("sweep needs trace=<name> or kernel=<spec>".to_string()),
+                (Some(name), None) => match PerfectProgram::from_name(name) {
+                    Some(p) => TraceSource::Perfect(p),
+                    None => {
+                        // Canonical form: lowercase, hyphenated — aliases
+                        // must map to one identity key.
+                        let canonical = name.to_ascii_lowercase().replace('_', "-");
+                        if synthetic_by_name(&canonical).is_some() {
+                            TraceSource::Synthetic(canonical)
+                        } else {
+                            return err(format!("unknown trace '{name}'"));
+                        }
+                    }
+                },
+                (None, Some(spec)) => {
+                    // Validate eagerly so a bad kernel is rejected at parse
+                    // time, before anything is pinned.
+                    if let Err(e) = parse_kernel(spec) {
+                        return err(format!("bad kernel: {e}"));
+                    }
+                    TraceSource::Inline(spec.to_string())
+                }
+            };
+            let iterations = match lookup(&pairs, "iterations") {
+                None => DEFAULT_ITERATIONS,
+                Some(token) => match token.parse::<u64>() {
+                    Ok(n) if (1..=MAX_ITERATIONS).contains(&n) => n,
+                    _ => {
+                        return err(format!(
+                            "bad iterations '{token}' (expected 1..={MAX_ITERATIONS})"
+                        ))
+                    }
+                },
+            };
+            let machines = match lookup(&pairs, "machines") {
+                None => return err("sweep needs machines=<dm,swsm,scalar list>".to_string()),
+                Some(list) => match list
+                    .split(',')
+                    .map(parse_machine)
+                    .collect::<Result<Vec<_>, _>>()
+                {
+                    Ok(machines) if !machines.is_empty() => machines,
+                    Ok(_) => return err("machines= must not be empty".to_string()),
+                    Err(e) => return err(e),
+                },
+            };
+            let windows = match lookup(&pairs, "windows") {
+                None => return err("sweep needs windows=<size list>".to_string()),
+                Some(list) => match list
+                    .split(',')
+                    .map(parse_window)
+                    .collect::<Result<Vec<_>, _>>()
+                {
+                    Ok(windows) if !windows.is_empty() => windows,
+                    Ok(_) => return err("windows= must not be empty".to_string()),
+                    Err(e) => return err(e),
+                },
+            };
+            let mds = match lookup(&pairs, "mds") {
+                None => return err("sweep needs mds=<memory differential list>".to_string()),
+                Some(list) => {
+                    match list
+                        .split(',')
+                        .map(|t| {
+                            t.parse::<Cycle>()
+                                .map_err(|_| format!("bad memory differential '{t}'"))
+                        })
+                        .collect::<Result<Vec<_>, _>>()
+                    {
+                        Ok(mds) if !mds.is_empty() => mds,
+                        Ok(_) => return err("mds= must not be empty".to_string()),
+                        Err(e) => return err(e),
+                    }
+                }
+            };
+            let mode = match lookup(&pairs, "mode") {
+                None | Some("stream") => DeliveryMode::Stream,
+                Some("batch") => DeliveryMode::Batch,
+                Some(other) => return err(format!("bad mode '{other}' (stream or batch)")),
+            };
+            // Checked product: huge (duplicate-laden) lists must hit the
+            // cap, not wrap around it.
+            let grid = machines
+                .len()
+                .checked_mul(windows.len())
+                .and_then(|n| n.checked_mul(mds.len()));
+            if grid.is_none_or(|g| g > MAX_POINTS) {
+                return err(format!(
+                    "grid of {} points exceeds the {MAX_POINTS} cap",
+                    grid.map_or_else(|| "far too many".to_string(), |g| g.to_string())
+                ));
+            }
+            Ok(Request::Sweep(SweepRequest {
+                id: id_str.to_string(),
+                source,
+                iterations,
+                machines,
+                windows,
+                mds,
+                mode,
+            }))
+        }
+        Some(other) => err(format!("unknown verb '{other}'")),
+        None => err("empty request".to_string()),
+    }
+}
+
+/// Parses one response line (the client half of the protocol).
+///
+/// # Errors
+///
+/// Returns a description of the malformed line.
+pub fn parse_response(line: &str) -> Result<Response, String> {
+    let (verb, pairs) = fields(line);
+    let need = |key: &str| lookup(&pairs, key).ok_or_else(|| format!("missing {key}= in '{line}'"));
+    let need_num = |key: &str| -> Result<u64, String> {
+        need(key)?
+            .parse::<u64>()
+            .map_err(|_| format!("bad {key}= in '{line}'"))
+    };
+    match verb {
+        Some("point") => Ok(Response::Point {
+            id: need("id")?.to_string(),
+            index: need_num("index")? as usize,
+            machine: parse_machine(need("machine")?)?,
+            window: parse_window(need("window")?)?,
+            md: need_num("md")?,
+            cycles: need_num("cycles")?,
+        }),
+        Some("done") => Ok(Response::Done {
+            id: need("id")?.to_string(),
+            points: need_num("points")? as usize,
+            delivered: need_num("delivered")? as usize,
+            dropped: need_num("dropped")? as usize,
+            cached: need_num("cached")?,
+        }),
+        Some("cancelled") => Ok(Response::Cancelled {
+            id: need("id")?.to_string(),
+        }),
+        Some("error") => {
+            let (head, message) = line
+                .split_once("msg=")
+                .ok_or_else(|| format!("missing msg= in '{line}'"))?;
+            // Only the fields *before* msg= belong to the frame: the
+            // free-text message may itself contain `id=` tokens (e.g.
+            // "cancel needs id=<request-id>").
+            let (_, head_pairs) = fields(head);
+            Ok(Response::Error {
+                id: lookup(&head_pairs, "id").map(str::to_string),
+                message: message.to_string(),
+            })
+        }
+        Some("stats") => Ok(Response::Stats {
+            fields: pairs
+                .iter()
+                .map(|&(k, v)| {
+                    v.parse::<u64>()
+                        .map(|v| (k.to_string(), v))
+                        .map_err(|_| format!("bad counter {k}= in '{line}'"))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+        }),
+        _ => Err(format!("unknown response '{line}'")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The inline kernel grammar
+// ---------------------------------------------------------------------------
+
+/// Parses an inline kernel specification into a validated kernel.
+///
+/// The grammar (one loop body; statement `k` produces value `%k`):
+///
+/// ```text
+/// spec  :=  stmt (';' stmt)*
+/// stmt  :=  'i'                     induction variable (i = i + 1)
+///        |  'ld:' refs              strided 8-byte load  (address inputs)
+///        |  'st:' refs              strided 8-byte store (value + address inputs)
+///        |  'add:' refs             floating point add
+///        |  'mul:' refs             floating point multiply
+///        |  'div:' refs             floating point divide
+///        |  'int:' refs             integer / address arithmetic
+/// refs  :=  ref (',' ref)*
+/// ref   :=  '%' N                   value of statement N, same iteration
+///        |  '%' N '@' D             value of statement N, D iterations back
+///        |  '$' K                   loop-invariant value K
+/// ```
+///
+/// Every load and store draws from its own non-aliasing address region.
+/// Example — daxpy (`y[i] = a*x[i] + y[i]`):
+///
+/// ```text
+/// i;ld:%0;ld:%0;mul:%1,$0;add:%3,%2;st:%4,%0
+/// ```
+///
+/// # Errors
+///
+/// Reports the first offending statement or reference, or the kernel
+/// builder's own validation error (dangling reference, non-causal local
+/// dependence, empty kernel).
+pub fn parse_kernel(spec: &str) -> Result<dae_isa::Kernel, String> {
+    use dae_isa::{KernelBuilder, Operand};
+
+    let statements: Vec<&str> = spec.split(';').collect();
+    let total = statements.len();
+    let parse_ref = |token: &str, stmt: usize| -> Result<Operand, String> {
+        let bad = |why: &str| Err(format!("statement {stmt}: {why} in reference '{token}'"));
+        if let Some(rest) = token.strip_prefix('$') {
+            return match rest.parse::<u32>() {
+                Ok(k) => Ok(Operand::Invariant(k)),
+                Err(_) => bad("bad invariant index"),
+            };
+        }
+        let Some(rest) = token.strip_prefix('%') else {
+            return bad("expected '%N', '%N@D' or '$K'");
+        };
+        let (index, distance) = match rest.split_once('@') {
+            None => (rest, None),
+            Some((index, distance)) => (index, Some(distance)),
+        };
+        let Ok(index) = index.parse::<usize>() else {
+            return bad("bad statement index");
+        };
+        if index >= total {
+            return bad("reference beyond the last statement");
+        }
+        match distance {
+            None => Ok(Operand::Local(index)),
+            Some(d) => match d.parse::<u32>() {
+                Ok(d) if d >= 1 => Ok(Operand::Carried {
+                    stmt: index,
+                    distance: d,
+                }),
+                _ => bad("carried distance must be >= 1"),
+            },
+        }
+    };
+
+    let mut b = KernelBuilder::new("inline");
+    for (k, stmt) in statements.iter().enumerate() {
+        let (op, refs) = match stmt.split_once(':') {
+            None => (*stmt, Vec::new()),
+            Some((op, refs)) => (
+                op,
+                refs.split(',')
+                    .map(|token| parse_ref(token, k))
+                    .collect::<Result<Vec<_>, _>>()?,
+            ),
+        };
+        // One region per statement, spaced like the workload models so no
+        // two memory statements alias.
+        let base = 0x0100_0000u64 * (k as u64 + 1);
+        let id = match op {
+            "i" => b.induction(),
+            "ld" => b.load_strided(&refs, base, 8),
+            "st" => b.store_strided(&refs, base, 8),
+            "add" => b.fp_add(&refs),
+            "mul" => b.fp_mul(&refs),
+            "div" => b.fp_div(&refs),
+            "int" => b.int(&refs),
+            other => return Err(format!("statement {k}: unknown operation '{other}'")),
+        };
+        debug_assert_eq!(id, k, "builder statement ids track spec indices");
+    }
+    b.build().map_err(|e| format!("{e:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sweep_line() -> &'static str {
+        "sweep id=fig4 trace=TRFD iterations=200 machines=dm,swsm windows=8,32,inf mds=0,60 mode=batch"
+    }
+
+    #[test]
+    fn sweep_requests_roundtrip() {
+        let Ok(Request::Sweep(req)) = parse_request(sweep_line()) else {
+            panic!("sweep line must parse");
+        };
+        assert_eq!(req.id, "fig4");
+        assert_eq!(req.source, TraceSource::Perfect(PerfectProgram::Trfd));
+        assert_eq!(req.iterations, 200);
+        assert_eq!(req.machines, vec![Machine::Decoupled, Machine::Superscalar]);
+        assert_eq!(
+            req.windows,
+            vec![
+                WindowSpec::Entries(8),
+                WindowSpec::Entries(32),
+                WindowSpec::Unlimited
+            ]
+        );
+        assert_eq!(req.mds, vec![0, 60]);
+        assert_eq!(req.mode, DeliveryMode::Batch);
+        // Display renders the canonical form, which re-parses identically.
+        assert_eq!(parse_request(&req.to_string()), Ok(Request::Sweep(req)));
+    }
+
+    #[test]
+    fn grid_order_is_machine_then_window_then_md() {
+        let Ok(Request::Sweep(req)) = parse_request(sweep_line()) else {
+            panic!("sweep line must parse");
+        };
+        let mut session = dae_core::SweepSession::new();
+        let id = session.pin_trace(&stream().trace(10));
+        let points = req.points(id);
+        assert_eq!(points.len(), 12);
+        assert_eq!(
+            points[0],
+            (id, Machine::Decoupled, WindowSpec::Entries(8), 0)
+        );
+        assert_eq!(
+            points[1],
+            (id, Machine::Decoupled, WindowSpec::Entries(8), 60)
+        );
+        assert_eq!(
+            points[2],
+            (id, Machine::Decoupled, WindowSpec::Entries(32), 0)
+        );
+        assert_eq!(
+            points[6],
+            (id, Machine::Superscalar, WindowSpec::Entries(8), 0)
+        );
+    }
+
+    #[test]
+    fn defaults_and_aliases_apply() {
+        let Ok(Request::Sweep(req)) =
+            parse_request("sweep id=a trace=stream machines=dm windows=16 mds=60")
+        else {
+            panic!("minimal sweep must parse");
+        };
+        assert_eq!(req.iterations, DEFAULT_ITERATIONS);
+        assert_eq!(req.mode, DeliveryMode::Stream);
+        assert_eq!(req.source, TraceSource::Synthetic("stream".to_string()));
+        assert!(req.source.trace(50).is_ok());
+    }
+
+    #[test]
+    fn malformed_sweeps_are_rejected_with_their_id() {
+        for (line, needle) in [
+            ("sweep trace=TRFD machines=dm windows=8 mds=0", "id="),
+            ("sweep id=x machines=dm windows=8 mds=0", "trace="),
+            (
+                "sweep id=x trace=NOPE machines=dm windows=8 mds=0",
+                "unknown trace",
+            ),
+            (
+                "sweep id=x trace=TRFD machines=vliw windows=8 mds=0",
+                "unknown machine",
+            ),
+            (
+                "sweep id=x trace=TRFD machines=dm windows=0 mds=0",
+                "bad window",
+            ),
+            (
+                "sweep id=x trace=TRFD machines=dm windows=8 mds=big",
+                "bad memory differential",
+            ),
+            (
+                "sweep id=x trace=TRFD machines=dm windows=8 mds=0 mode=carrier",
+                "bad mode",
+            ),
+            (
+                "sweep id=x trace=TRFD iterations=0 machines=dm windows=8 mds=0",
+                "bad iterations",
+            ),
+            (
+                "sweep id=b@d trace=TRFD machines=dm windows=8 mds=0",
+                "bad id",
+            ),
+            ("warp id=x", "unknown verb"),
+        ] {
+            let err = parse_request(line).expect_err(line);
+            assert!(
+                err.message.contains(needle),
+                "'{line}' → '{}' (wanted '{needle}')",
+                err.message
+            );
+            if line.contains("id=x") {
+                assert_eq!(err.id.as_deref(), Some("x"), "{line}");
+            }
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip_through_display() {
+        let responses = [
+            Response::Point {
+                id: "a".to_string(),
+                index: 3,
+                machine: Machine::Superscalar,
+                window: WindowSpec::Unlimited,
+                md: 60,
+                cycles: 1234,
+            },
+            Response::Done {
+                id: "a".to_string(),
+                points: 12,
+                delivered: 8,
+                dropped: 4,
+                cached: 2,
+            },
+            Response::Cancelled {
+                id: "a".to_string(),
+            },
+            Response::Error {
+                id: Some("a".to_string()),
+                message: "something with spaces".to_string(),
+            },
+            Response::Error {
+                id: None,
+                message: "no id recovered".to_string(),
+            },
+            Response::Stats {
+                fields: vec![("pinned".to_string(), 3), ("cache_hits".to_string(), 44)],
+            },
+        ];
+        for response in responses {
+            assert_eq!(parse_response(&response.to_string()), Ok(response.clone()));
+        }
+    }
+
+    #[test]
+    fn inline_kernels_build_and_reject() {
+        // daxpy: y[i] = a*x[i] + y[i]
+        let kernel = parse_kernel("i;ld:%0;ld:%0;mul:%1,$0;add:%3,%2;st:%4,%0").expect("daxpy");
+        assert_eq!(kernel.len(), 6);
+        // A carried self-reference (pointer chase shape) is legal.
+        assert!(parse_kernel("i;ld:%1@1;add:%1,$0").is_ok());
+        for (spec, needle) in [
+            ("i;frob:%0", "unknown operation"),
+            ("i;ld:%9", "beyond the last"),
+            ("i;ld:%0@0", "distance must be"),
+            ("i;ld:x", "expected"),
+            ("i;ld:%1", ""), // non-causal local reference → builder error
+        ] {
+            let err = parse_kernel(spec).expect_err(spec);
+            assert!(err.contains(needle), "'{spec}' → '{err}'");
+        }
+    }
+
+    #[test]
+    fn error_messages_containing_id_tokens_do_not_confuse_attribution() {
+        // An id-less error whose free text mentions `id=` must stay
+        // id-less through the Display/parse round trip.
+        let response = Response::Error {
+            id: None,
+            message: "cancel needs id=<request-id>".to_string(),
+        };
+        assert_eq!(parse_response(&response.to_string()), Ok(response));
+    }
+
+    #[test]
+    fn synthetic_aliases_share_one_identity_key() {
+        let parse = |line: &str| {
+            let Ok(Request::Sweep(req)) = parse_request(line) else {
+                panic!("{line}");
+            };
+            req.source.key()
+        };
+        let hyphen = parse("sweep id=x trace=pointer-chase machines=dm windows=8 mds=0");
+        let underscore = parse("sweep id=x trace=POINTER_CHASE machines=dm windows=8 mds=0");
+        assert_eq!(hyphen, underscore, "aliases must pin one lowering");
+    }
+
+    #[test]
+    fn oversized_grids_are_rejected_without_overflow() {
+        // Duplicates are legal list entries, so the cap must count them.
+        let windows: Vec<String> = vec!["8".to_string(); 300];
+        let mds: Vec<String> = vec!["0".to_string(); 300];
+        let line = format!(
+            "sweep id=x trace=TRFD machines=dm windows={} mds={}",
+            windows.join(","),
+            mds.join(",")
+        );
+        let err = parse_request(&line).expect_err("90000 points exceed the cap");
+        assert!(err.message.contains("cap"), "{}", err.message);
+    }
+
+    #[test]
+    fn cancel_and_stats_parse() {
+        assert_eq!(
+            parse_request("cancel id=fig4"),
+            Ok(Request::Cancel {
+                id: "fig4".to_string()
+            })
+        );
+        assert_eq!(parse_request("stats"), Ok(Request::Stats));
+        assert!(parse_request("cancel").is_err());
+    }
+}

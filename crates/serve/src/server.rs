@@ -1,0 +1,433 @@
+//! The serving layer: one shared [`SweepSession`] multiplexed across
+//! client connections.
+//!
+//! A [`SweepServer`] owns the session (and a map resolving request trace
+//! sources to pinned lowerings) behind one mutex.  The mutex is held only
+//! while a request is *submitted* — resolving the trace, pinning a missing
+//! lowering, and handing the grid to
+//! [`SweepSession::stream_cancellable`], which returns immediately — so
+//! the simulations themselves run unlocked on the global worker pool and
+//! grids from concurrent clients interleave point by point.
+//!
+//! Each connection runs [`serve_connection`]: a reader loop that parses
+//! request lines and, per sweep, a detached *drainer* thread that copies
+//! the stream's results to the connection writer as tagged `point` lines
+//! (stream mode) or in grid order once complete (batch mode), followed by
+//! a `done` line.  Because every line is tagged with its request id, a
+//! client may keep several sweeps in flight and cancel any of them
+//! mid-flight ([`CancelToken`]); pending points of a cancelled request are
+//! never simulated.
+
+use crate::protocol::{parse_request, DeliveryMode, Request, Response, SweepRequest};
+use dae_core::{CancelToken, SweepSession, SweepStream, TraceId};
+use dae_machines::pool_diagnostics;
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A long-lived sweep service over one shared [`SweepSession`].
+///
+/// Clone-free sharing: wrap it in an [`Arc`] and hand it to any number of
+/// connection handlers ([`serve_connection`], [`serve_tcp`],
+/// [`serve_unix`]).
+#[derive(Debug)]
+pub struct SweepServer {
+    state: Mutex<ServerState>,
+}
+
+#[derive(Debug)]
+struct ServerState {
+    session: SweepSession,
+    /// Resolves trace sources to their pinned lowering: `(source key,
+    /// iterations) → TraceId`.  Requests with equal keys share one
+    /// lowering — and therefore the session's sweep-result cache —
+    /// across every client.
+    programs: HashMap<(String, u64), TraceId>,
+}
+
+/// A submitted sweep: the result stream plus the handle that cancels it.
+#[derive(Debug)]
+pub struct Submission {
+    /// Per-point results, in completion order.
+    pub stream: SweepStream,
+    /// Cancels the not-yet-started points of this request.
+    pub token: CancelToken,
+}
+
+impl Default for SweepServer {
+    fn default() -> Self {
+        SweepServer::new()
+    }
+}
+
+impl SweepServer {
+    /// A server over a fresh session (result cache enabled).
+    #[must_use]
+    pub fn new() -> Self {
+        SweepServer::with_session(SweepSession::new())
+    }
+
+    /// A server over a caller-configured session (scalar mode, cache
+    /// toggle).
+    #[must_use]
+    pub fn with_session(session: SweepSession) -> Self {
+        SweepServer {
+            state: Mutex::new(ServerState {
+                session,
+                programs: HashMap::new(),
+            }),
+        }
+    }
+
+    /// Submits a sweep request: resolves (pinning on first sight) the
+    /// trace source, enqueues the grid on the shared session, and returns
+    /// the result stream with its cancellation token.  Returns as soon as
+    /// the points are queued — results arrive on the stream as workers
+    /// finish.
+    ///
+    /// # Errors
+    ///
+    /// Reports an inline kernel that fails validation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server mutex was poisoned by a panicking submission.
+    pub fn submit(&self, request: &SweepRequest) -> Result<Submission, String> {
+        let key = (request.source.key(), request.iterations);
+        // Fast path: the source is already pinned — submit under one brief
+        // lock.
+        {
+            let mut state = self.state.lock().expect("server state poisoned");
+            if let Some(&id) = state.programs.get(&key) {
+                return Ok(Self::enqueue(&mut state, request, id));
+            }
+        }
+        // First sight: trace expansion and lowering are pure and can take
+        // whole milliseconds at large iteration counts, so they run
+        // *outside* the lock — a client pinning a big program must not
+        // stall every other client's submissions.
+        let trace = request.source.trace(request.iterations)?;
+        let lowered = dae_core::LoweredTrace::new(&trace);
+        let mut state = self.state.lock().expect("server state poisoned");
+        let id = match state.programs.get(&key) {
+            // Another client pinned the same source while we lowered; use
+            // theirs (and drop ours) so both share one cache identity.
+            Some(&id) => id,
+            None => {
+                let id = state.session.pin_lowered(lowered);
+                state.programs.insert(key, id);
+                id
+            }
+        };
+        Ok(Self::enqueue(&mut state, request, id))
+    }
+
+    /// Enqueues the request's grid on the locked session.
+    fn enqueue(state: &mut ServerState, request: &SweepRequest, id: TraceId) -> Submission {
+        let points = request.points(id);
+        let token = CancelToken::new();
+        let stream = state.session.stream_cancellable(&points, &token);
+        Submission { stream, token }
+    }
+
+    /// The counters behind the `stats` reply: session activity, pin and
+    /// sweep-result cache state, and the process-wide simulation-pool
+    /// diagnostics (`dae_machines::pool_diagnostics`), in one flat list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server mutex was poisoned by a panicking submission.
+    #[must_use]
+    pub fn stats_fields(&self) -> Vec<(String, u64)> {
+        let state = self.state.lock().expect("server state poisoned");
+        let stats = state.session.stats();
+        let cache = state.session.cache_stats();
+        let pools = pool_diagnostics();
+        vec![
+            ("pinned".to_string(), stats.pinned_traces),
+            ("pin_hits".to_string(), stats.pin_hits),
+            ("batched_points".to_string(), stats.batched_points),
+            ("streamed_points".to_string(), stats.streamed_points),
+            ("cache_entries".to_string(), cache.entries as u64),
+            ("cache_hits".to_string(), cache.hits),
+            ("cache_misses".to_string(), cache.misses),
+            ("warm_unit_takes".to_string(), pools.warm_unit_takes),
+            ("fresh_unit_takes".to_string(), pools.fresh_unit_takes),
+            ("template_hits".to_string(), pools.template_hits),
+        ]
+    }
+}
+
+/// One in-flight request of a connection, as the reader loop tracks it.
+struct Active {
+    token: CancelToken,
+    finished: Arc<AtomicBool>,
+}
+
+fn write_line<W: Write>(writer: &Mutex<W>, response: &Response) -> bool {
+    let mut writer = writer.lock().expect("connection writer poisoned");
+    // A failed write means the client went away; callers use the signal to
+    // cancel the work they were relaying.
+    writeln!(writer, "{response}")
+        .and_then(|()| writer.flush())
+        .is_ok()
+}
+
+/// Drains one submission to the shared connection writer: `point` lines
+/// (immediately in stream mode, sorted into grid order in batch mode)
+/// followed by the request's `done` accounting line.
+fn drain<W: Write>(mut submission: Submission, id: &str, mode: DeliveryMode, writer: &Mutex<W>) {
+    let total = submission.stream.total();
+    let mut delivered = 0usize;
+    let mut cached = 0u64;
+    let point_line = |p: &dae_core::StreamedPoint| {
+        let (_, machine, window, md) = p.point;
+        Response::Point {
+            id: id.to_string(),
+            index: p.index,
+            machine,
+            window,
+            md,
+            cycles: p.cycles,
+        }
+    };
+    match mode {
+        DeliveryMode::Stream => {
+            for point in submission.stream.by_ref() {
+                delivered += 1;
+                cached += u64::from(point.cached);
+                if !write_line(writer, &point_line(&point)) {
+                    // The client is gone: stop simulating what no one will
+                    // read.  The stream still drains (skipped points are
+                    // cheap), keeping the accounting consistent.
+                    submission.token.cancel();
+                }
+            }
+        }
+        DeliveryMode::Batch => {
+            let mut points: Vec<_> = submission.stream.by_ref().collect();
+            points.sort_by_key(|p| p.index);
+            delivered = points.len();
+            for point in &points {
+                cached += u64::from(point.cached);
+                write_line(writer, &point_line(point));
+            }
+        }
+    }
+    let _ = write_line(
+        writer,
+        &Response::Done {
+            id: id.to_string(),
+            points: total,
+            delivered,
+            dropped: submission.stream.skipped(),
+            cached,
+        },
+    );
+}
+
+/// Serves one client connection: reads newline-delimited requests from
+/// `reader` until end of file, writes tagged responses to `writer`.
+/// Several sweeps may be in flight at once (each drains on its own
+/// thread); the call returns once the input is exhausted *and* every
+/// submitted sweep has written its `done` line.
+///
+/// # Errors
+///
+/// Propagates read errors on the request stream; client-side write errors
+/// only stop the affected response stream.
+pub fn serve_connection<R, W>(server: &Arc<SweepServer>, reader: R, writer: W) -> io::Result<()>
+where
+    R: BufRead,
+    W: Write + Send,
+{
+    let writer = Mutex::new(writer);
+    // Scoped drainer threads: every submitted sweep is joined (its `done`
+    // line written) before this call returns, even on a read error.
+    std::thread::scope(|scope| {
+        let mut active: HashMap<String, Active> = HashMap::new();
+        for line in reader.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            match parse_request(&line) {
+                Err(e) => {
+                    write_line(
+                        &writer,
+                        &Response::Error {
+                            id: e.id,
+                            message: e.message,
+                        },
+                    );
+                }
+                Ok(Request::Stats) => {
+                    write_line(
+                        &writer,
+                        &Response::Stats {
+                            fields: server.stats_fields(),
+                        },
+                    );
+                }
+                Ok(Request::Cancel { id }) => match active.get(&id) {
+                    Some(request) if !request.finished.load(Ordering::Acquire) => {
+                        request.token.cancel();
+                        write_line(&writer, &Response::Cancelled { id });
+                    }
+                    _ => {
+                        write_line(
+                            &writer,
+                            &Response::Error {
+                                id: Some(id),
+                                message: "no such active request".to_string(),
+                            },
+                        );
+                    }
+                },
+                Ok(Request::Sweep(request)) => {
+                    active.retain(|_, a| !a.finished.load(Ordering::Acquire));
+                    if active.contains_key(&request.id) {
+                        write_line(
+                            &writer,
+                            &Response::Error {
+                                id: Some(request.id),
+                                message: "request id already active".to_string(),
+                            },
+                        );
+                        continue;
+                    }
+                    match server.submit(&request) {
+                        Err(message) => {
+                            write_line(
+                                &writer,
+                                &Response::Error {
+                                    id: Some(request.id),
+                                    message,
+                                },
+                            );
+                        }
+                        Ok(submission) => {
+                            let finished = Arc::new(AtomicBool::new(false));
+                            active.insert(
+                                request.id.clone(),
+                                Active {
+                                    token: submission.token.clone(),
+                                    finished: Arc::clone(&finished),
+                                },
+                            );
+                            let writer = &writer;
+                            let finished = Arc::clone(&finished);
+                            scope.spawn(move || {
+                                drain(submission, &request.id, request.mode, writer);
+                                finished.store(true, Ordering::Release);
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    })
+}
+
+/// Runs the same requests *sequentially in-process* — each sweep drains to
+/// completion, in grid order, before the next line is read — producing the
+/// canonical output the streamed server paths are diffed against (the
+/// `--local` mode of the binary, used by `scripts/serve_smoke.sh`).
+/// `cancel` is rejected (nothing is ever in flight here).
+///
+/// # Errors
+///
+/// Propagates read and write errors.
+pub fn serve_local<R, W>(server: &Arc<SweepServer>, reader: R, mut writer: W) -> io::Result<()>
+where
+    R: BufRead,
+    W: Write,
+{
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match parse_request(&line) {
+            Err(e) => Some(Response::Error {
+                id: e.id,
+                message: e.message,
+            }),
+            Ok(Request::Stats) => Some(Response::Stats {
+                fields: server.stats_fields(),
+            }),
+            Ok(Request::Cancel { id }) => Some(Response::Error {
+                id: Some(id),
+                message: "local mode runs requests to completion; nothing to cancel".to_string(),
+            }),
+            Ok(Request::Sweep(request)) => match server.submit(&request) {
+                Err(message) => Some(Response::Error {
+                    id: Some(request.id),
+                    message,
+                }),
+                Ok(submission) => {
+                    // Batch-order delivery regardless of the requested
+                    // mode: local output is the order-independent oracle.
+                    let lock = Mutex::new(&mut writer);
+                    drain(submission, &request.id, DeliveryMode::Batch, &lock);
+                    None
+                }
+            },
+        };
+        if let Some(response) = response {
+            writeln!(writer, "{response}")?;
+        }
+    }
+    Ok(())
+}
+
+/// Accepts TCP connections forever, serving each on its own thread over
+/// the shared server.
+///
+/// # Errors
+///
+/// Propagates accept errors (per-connection I/O errors only end that
+/// connection).
+pub fn serve_tcp(server: &Arc<SweepServer>, listener: &TcpListener) -> io::Result<()> {
+    for connection in listener.incoming() {
+        let connection = connection?;
+        let server = Arc::clone(server);
+        std::thread::spawn(move || {
+            let reader = match connection.try_clone() {
+                Ok(read_half) => BufReader::new(read_half),
+                Err(_) => return,
+            };
+            let _ = serve_connection(&server, reader, connection);
+        });
+    }
+    Ok(())
+}
+
+/// Accepts Unix-domain connections forever, serving each on its own
+/// thread over the shared server.
+///
+/// # Errors
+///
+/// Propagates accept errors (per-connection I/O errors only end that
+/// connection).
+#[cfg(unix)]
+pub fn serve_unix(
+    server: &Arc<SweepServer>,
+    listener: &std::os::unix::net::UnixListener,
+) -> io::Result<()> {
+    for connection in listener.incoming() {
+        let connection = connection?;
+        let server = Arc::clone(server);
+        std::thread::spawn(move || {
+            let reader = match connection.try_clone() {
+                Ok(read_half) => BufReader::new(read_half),
+                Err(_) => return,
+            };
+            let _ = serve_connection(&server, reader, connection);
+        });
+    }
+    Ok(())
+}

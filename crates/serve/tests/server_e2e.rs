@@ -1,0 +1,342 @@
+//! End-to-end server tests: clients over real sockets (and the stdin-shaped
+//! in-memory path) must receive exactly the in-process `SweepSession`
+//! results, correctly tagged per request, with the cache answering repeats
+//! and cancellation dropping pending points.
+
+use dae_core::{SweepSession, TraceId};
+use dae_serve::{
+    parse_request, parse_response, serve_connection, serve_tcp, Request, Response, SweepServer,
+};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+
+/// Starts a server on an ephemeral TCP port, returning the port.
+fn start_tcp_server() -> u16 {
+    let server = Arc::new(SweepServer::new());
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let port = listener.local_addr().expect("local addr").port();
+    std::thread::spawn(move || {
+        let _ = serve_tcp(&server, &listener);
+    });
+    port
+}
+
+/// The in-process oracle: the request's canonical grid run on a private
+/// session, exactly what the served `point` lines must reproduce.
+fn oracle(line: &str) -> Vec<u64> {
+    let Ok(Request::Sweep(request)) = parse_request(line) else {
+        panic!("oracle line must be a sweep request: {line}");
+    };
+    let mut session = SweepSession::new();
+    let trace = request
+        .source
+        .trace(request.iterations)
+        .expect("oracle source expands");
+    let id = session.pin_trace(&trace);
+    session.sweep_multi(&request.points(id))
+}
+
+/// Grid size of a request line.
+fn grid_len(line: &str) -> usize {
+    let Ok(Request::Sweep(request)) = parse_request(line) else {
+        panic!("not a sweep request: {line}");
+    };
+    request.points(TraceId::from_raw_for_tests()).len()
+}
+
+/// One request's collected responses: cycles by grid index plus the final
+/// `done` accounting.
+struct Collected {
+    points: HashMap<usize, u64>,
+    done: Option<Response>,
+}
+
+/// Reads tagged responses until a `done` line has arrived for every id in
+/// `ids`; panics on `error` lines and on points tagged for unknown
+/// requests.
+fn read_all<R: BufRead>(reader: &mut R, ids: &[&str]) -> HashMap<String, Collected> {
+    let mut collected: HashMap<String, Collected> = ids
+        .iter()
+        .map(|&id| {
+            (
+                id.to_string(),
+                Collected {
+                    points: HashMap::new(),
+                    done: None,
+                },
+            )
+        })
+        .collect();
+    while collected.values().any(|c| c.done.is_none()) {
+        let mut line = String::new();
+        assert!(
+            reader.read_line(&mut line).expect("read response") > 0,
+            "connection closed with requests outstanding"
+        );
+        match parse_response(line.trim_end()).expect("well-formed response") {
+            Response::Point {
+                id, index, cycles, ..
+            } => {
+                let entry = collected
+                    .get_mut(&id)
+                    .unwrap_or_else(|| panic!("point tagged for unknown request '{id}'"));
+                assert!(
+                    entry.points.insert(index, cycles).is_none(),
+                    "point {index} of {id} delivered twice"
+                );
+            }
+            done @ Response::Done { .. } => {
+                let Response::Done { ref id, .. } = done else {
+                    unreachable!()
+                };
+                let entry = collected
+                    .get_mut(id)
+                    .unwrap_or_else(|| panic!("done tagged for unknown request '{id}'"));
+                assert!(entry.done.is_none(), "two done lines for {id}");
+                entry.done = Some(done);
+            }
+            Response::Cancelled { .. } => {}
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+    collected
+}
+
+trait TraceIdTestExt {
+    fn from_raw_for_tests() -> TraceId;
+}
+
+impl TraceIdTestExt for TraceId {
+    /// Grid sizing only needs *a* TraceId; borrow one from a scratch
+    /// session.
+    fn from_raw_for_tests() -> TraceId {
+        let mut session = SweepSession::new();
+        session.pin_trace(&dae_workloads::stream().trace(1))
+    }
+}
+
+/// Two clients on separate sockets, submitting interleaved grids (one of
+/// them two tagged requests on one connection), receive exactly the
+/// in-process session results.
+#[test]
+fn interleaved_tcp_clients_receive_in_process_results() {
+    let alpha = "sweep id=alpha trace=TRFD iterations=120 machines=dm,swsm windows=8,32 mds=0,60 mode=stream";
+    let gamma =
+        "sweep id=gamma trace=stream iterations=100 machines=dm windows=16 mds=0,60 mode=stream";
+    let beta =
+        "sweep id=beta trace=MDG iterations=120 machines=dm,scalar windows=16,64 mds=60 mode=batch";
+
+    let port = start_tcp_server();
+    let mut client_a = TcpStream::connect(("127.0.0.1", port)).expect("connect a");
+    let mut client_b = TcpStream::connect(("127.0.0.1", port)).expect("connect b");
+    let mut reader_a = BufReader::new(client_a.try_clone().expect("clone a"));
+    let mut reader_b = BufReader::new(client_b.try_clone().expect("clone b"));
+
+    // Interleave submissions: both of client A's requests are in flight
+    // together, concurrently with client B's.
+    writeln!(client_a, "{alpha}").unwrap();
+    writeln!(client_b, "{beta}").unwrap();
+    writeln!(client_a, "{gamma}").unwrap();
+
+    let from_a = read_all(&mut reader_a, &["alpha", "gamma"]);
+    let from_b = read_all(&mut reader_b, &["beta"]);
+
+    for (line, id, client) in [
+        (alpha, "alpha", &from_a),
+        (gamma, "gamma", &from_a),
+        (beta, "beta", &from_b),
+    ] {
+        let expected = oracle(line);
+        let got = &client[id];
+        assert_eq!(got.points.len(), expected.len(), "{line}");
+        for (index, cycles) in expected.iter().enumerate() {
+            assert_eq!(got.points[&index], *cycles, "point {index} of '{line}'");
+        }
+        let Some(Response::Done {
+            points: total,
+            delivered,
+            dropped,
+            ..
+        }) = got.done
+        else {
+            unreachable!()
+        };
+        assert_eq!(total, expected.len());
+        assert_eq!(delivered, expected.len());
+        assert_eq!(dropped, 0);
+    }
+}
+
+/// A repeated request over the socket is answered from the sweep-result
+/// cache — identical cycles, `done cached=` equal to the grid size.
+#[test]
+fn repeated_requests_hit_the_cache_across_the_wire() {
+    let first = "sweep id=r1 trace=FLO52Q iterations=100 machines=dm,swsm windows=8,32 mds=0,60 mode=stream";
+    let second = "sweep id=r2 trace=FLO52Q iterations=100 machines=dm,swsm windows=8,32 mds=0,60 mode=stream";
+
+    let port = start_tcp_server();
+    let mut client = TcpStream::connect(("127.0.0.1", port)).expect("connect");
+    let mut reader = BufReader::new(client.try_clone().expect("clone"));
+
+    writeln!(client, "{first}").unwrap();
+    let cold = read_all(&mut reader, &["r1"]).remove("r1").unwrap();
+    // Submitted only after r1's done line: every point is resident now.
+    writeln!(client, "{second}").unwrap();
+    let warm = read_all(&mut reader, &["r2"]).remove("r2").unwrap();
+
+    let n = grid_len(first);
+    assert_eq!(cold.points.len(), n);
+    assert_eq!(
+        warm.points, cold.points,
+        "cached repeat must be bit-for-bit identical"
+    );
+    let Some(Response::Done { cached, .. }) = cold.done else {
+        unreachable!()
+    };
+    assert_eq!(cached, 0, "a cold request simulates everything");
+    let Some(Response::Done { cached, .. }) = warm.done else {
+        unreachable!()
+    };
+    assert_eq!(
+        cached, n as u64,
+        "a warm repeat is answered entirely from cache"
+    );
+}
+
+/// Cancelling an in-flight request drops its pending points: the `done`
+/// accounting always balances and delivered points are still bit-for-bit
+/// correct.  Whether any point is still pending when the cancel lands is
+/// a race (guaranteed-drop semantics are pinned deterministically at the
+/// session layer by `a_cancelled_stream_skips_pending_points`), so the
+/// wire-path drop is asserted over a few attempts on fresh servers — a
+/// fresh server each time, because a warm cache would deliver every
+/// point at submission and leave nothing pending.
+#[test]
+fn cancellation_drops_pending_points_and_accounting_balances() {
+    let big = "sweep id=big trace=QCD iterations=200 machines=dm,swsm windows=4,8,12,16,24,32,48,64 mds=0,20,40,60,80,100,120,140 mode=stream";
+    let total = grid_len(big);
+    let expected = oracle(big);
+    let mut any_dropped = false;
+
+    for attempt in 0..5 {
+        let port = start_tcp_server();
+        let mut client = TcpStream::connect(("127.0.0.1", port)).expect("connect");
+        let mut reader = BufReader::new(client.try_clone().expect("clone"));
+
+        writeln!(client, "{big}").unwrap();
+        writeln!(client, "cancel id=big").unwrap();
+
+        let mut saw_ack = false;
+        let mut delivered_points: HashMap<usize, u64> = HashMap::new();
+        let done = loop {
+            let mut line = String::new();
+            assert!(
+                reader.read_line(&mut line).expect("read") > 0,
+                "closed early"
+            );
+            match parse_response(line.trim_end()).expect("well-formed response") {
+                Response::Cancelled { id } => {
+                    assert_eq!(id, "big");
+                    saw_ack = true;
+                }
+                Response::Point { index, cycles, .. } => {
+                    delivered_points.insert(index, cycles);
+                }
+                done @ Response::Done { .. } => break done,
+                // The cancel can lose the race with the last point: the
+                // server then reports it as no longer active.
+                Response::Error { id, .. } => assert_eq!(id.as_deref(), Some("big")),
+                other => panic!("unexpected: {other:?}"),
+            }
+        };
+
+        let Response::Done {
+            points,
+            delivered,
+            dropped,
+            ..
+        } = done
+        else {
+            unreachable!()
+        };
+        assert_eq!(points, total);
+        assert_eq!(delivered + dropped, points, "accounting must balance");
+        assert_eq!(delivered, delivered_points.len());
+        assert!(
+            saw_ack || dropped == 0,
+            "dropped points require an acknowledged cancel"
+        );
+        // The delivered subset still matches the oracle.
+        for (index, cycles) in &delivered_points {
+            assert_eq!(*cycles, expected[*index], "delivered point {index}");
+        }
+        if dropped > 0 {
+            any_dropped = true;
+            break;
+        }
+        eprintln!("attempt {attempt}: cancel lost the race (all {points} points ran); retrying");
+    }
+    assert!(
+        any_dropped,
+        "a cancel racing a {total}-point grid should drop pending points in at least one of 5 attempts"
+    );
+}
+
+/// The stdin-shaped path (one in-memory connection, no sockets): tagged
+/// concurrent sweeps, a stats reply and error replies all arrive on one
+/// writer, and sweep results equal the oracle.
+#[test]
+fn stdin_shaped_connections_serve_tagged_requests_and_stats() {
+    let one = "sweep id=one trace=TRACK iterations=90 machines=dm windows=8,32 mds=60 mode=stream";
+    let two = "sweep id=two kernel=i;ld:%0;ld:%0;mul:%1,$0;add:%3,%2;st:%4,%0 iterations=150 machines=dm,swsm windows=16 mds=0,60 mode=batch";
+    let input = format!("{one}\n{two}\nstats\nnonsense here\n");
+
+    let server = Arc::new(SweepServer::new());
+    let mut output = Vec::new();
+    serve_connection(&server, input.as_bytes(), &mut output).expect("serve");
+    let text = String::from_utf8(output).expect("utf8 output");
+
+    let mut per_id: HashMap<String, HashMap<usize, u64>> = HashMap::new();
+    let mut dones = 0;
+    let mut saw_stats = false;
+    let mut saw_error = false;
+    for line in text.lines() {
+        match parse_response(line).expect("well-formed response") {
+            Response::Point {
+                id, index, cycles, ..
+            } => {
+                per_id.entry(id).or_default().insert(index, cycles);
+            }
+            Response::Done {
+                delivered, points, ..
+            } => {
+                assert_eq!(delivered, points);
+                dones += 1;
+            }
+            Response::Stats { fields } => {
+                saw_stats = true;
+                assert!(fields.iter().any(|(name, _)| name == "cache_entries"));
+            }
+            Response::Error { message, .. } => {
+                saw_error = true;
+                assert!(message.contains("unknown verb"));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+    assert_eq!(dones, 2);
+    assert!(saw_stats && saw_error);
+    for line in [one, two] {
+        let Ok(Request::Sweep(request)) = parse_request(line) else {
+            unreachable!()
+        };
+        let expected = oracle(line);
+        let got = &per_id[&request.id];
+        assert_eq!(got.len(), expected.len());
+        for (index, cycles) in expected.iter().enumerate() {
+            assert_eq!(got[&index], *cycles, "{line} point {index}");
+        }
+    }
+}

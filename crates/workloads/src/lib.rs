@@ -4,7 +4,7 @@
 //! benchmarks.  Those Fortran programs (and the authors' tracing
 //! infrastructure) are not available, so this crate provides calibrated
 //! synthetic stand-ins — see [`PerfectProgram`] and the module documentation
-//! of [`perfect`](crate::perfect()) models — plus a handful of micro-pattern
+//! of the [`PerfectProgram`] models — plus a handful of micro-pattern
 //! kernels and a random-kernel generator used by property tests.
 //!
 //! Every workload is a [`Workload`]: a static kernel plus metadata (expected

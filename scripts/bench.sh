@@ -7,8 +7,9 @@
 # BENCH_simulator_throughput.json at the repository root (stamped with the
 # commit hash it was measured at) and fails if any enforced speedup floor
 # is broken: DM 3.4x pipeline / 2.4x scheduler-only, SWSM 3.0x / 2.5x,
-# scalar 3.5x / 2.8x, and 0.98x for both the pooled-sweep and the
-# session-vs-per-call benchmarks (see the floor constants in
+# scalar 3.5x / 2.8x, 0.98x for both the pooled-sweep and the
+# session-vs-per-call benchmarks, and 1.0x for the cache-warm-vs-cold
+# benchmark (see the floor constants in
 # crates/bench/src/bin/bench_throughput.rs).
 set -euo pipefail
 cd "$(dirname "$0")/.."

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Server smoke test: pipes a small request file into the dae-serve binary
+# (the real stdin path, streamed/batched responses in completion order)
+# and diffs the tagged point lines against the in-process session result
+# (--local mode runs the same requests sequentially and prints canonical
+# grid-order output).  Sorting both sides removes the completion-order
+# nondeterminism; the cycles must match bit for bit.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -q -p dae-serve
+bin=target/release/dae-serve
+req=target/serve-smoke-requests.txt
+
+cat > "$req" <<'EOF'
+sweep id=a trace=TRFD iterations=120 machines=dm,swsm windows=8,32 mds=0,60 mode=stream
+sweep id=b trace=MDG iterations=120 machines=dm,scalar windows=16,inf mds=60 mode=batch
+sweep id=c kernel=i;ld:%0;ld:%0;mul:%1,$0;add:%3,%2;st:%4,%0 iterations=150 machines=dm,swsm windows=8,32 mds=0,60 mode=stream
+sweep id=d trace=TRFD iterations=120 machines=dm,swsm windows=8,32 mds=0,60 mode=stream
+EOF
+
+"$bin" --local "$req" | grep '^point' | sort > target/serve-smoke-expected.txt
+"$bin" --stdin < "$req" > target/serve-smoke-raw.txt
+grep '^point' target/serve-smoke-raw.txt | sort > target/serve-smoke-got.txt
+
+diff -u target/serve-smoke-expected.txt target/serve-smoke-got.txt
+
+# Every request must have completed with nothing dropped.
+for id in a b c d; do
+  grep -q "^done id=$id .*dropped=0" target/serve-smoke-raw.txt
+done
+
+echo "serve smoke OK: $(wc -l < target/serve-smoke-got.txt) streamed points match the in-process results"

@@ -1,0 +1,231 @@
+//! Sweep-result cache differential suite: cached, uncached and naive
+//! reference results must be bit-for-bit identical on randomized grids
+//! across all three machines; overlapping EWR-style figure grids must
+//! actually *hit*; and identity must be conservative — a re-lowered
+//! (distinct `Arc`) copy of the same program never falsely hits the
+//! first copy's entries.
+
+use dae::core::{
+    dm_config, equivalent_window_figure, equivalent_window_figure_in, swsm_config,
+    window_ratio_claim, window_ratio_claim_in, ExperimentConfig, Machine, SweepPoint, SweepSession,
+    WindowSpec,
+};
+use dae::machines::{DecoupledMachine, ScalarConfig, ScalarReference, SuperscalarMachine};
+use dae::trace::Trace;
+use dae::workloads::random_kernel;
+use dae::PerfectProgram;
+use proptest::prelude::*;
+
+/// The naive-reference execution time of one sweep point: the retained
+/// seed scheduler driven cycle by cycle, constructed from scratch.
+fn reference_cycles(trace: &Trace, machine: Machine, window: WindowSpec, md: u64) -> u64 {
+    match machine {
+        Machine::Decoupled => DecoupledMachine::new(dm_config(window, md))
+            .run_reference(trace)
+            .cycles(),
+        Machine::Superscalar => SuperscalarMachine::new(swsm_config(window, md))
+            .run_reference(trace)
+            .cycles(),
+        Machine::Scalar => ScalarReference::new(ScalarConfig::new(md))
+            .run_reference(trace)
+            .cycles(),
+    }
+}
+
+/// Decodes a proptest-generated raw point into a sweep point.
+fn decode_point(machine: u8, window: u8, md: u64) -> (Machine, WindowSpec, u64) {
+    let machine = match machine % 3 {
+        0 => Machine::Decoupled,
+        1 => Machine::Superscalar,
+        _ => Machine::Scalar,
+    };
+    let window = match window % 5 {
+        0 => WindowSpec::Entries(4),
+        1 => WindowSpec::Entries(13),
+        2 => WindowSpec::Entries(32),
+        3 => WindowSpec::Entries(128),
+        _ => WindowSpec::Unlimited,
+    };
+    (machine, window, md)
+}
+
+/// Runs `points` three ways — a caching session (twice, so the second run
+/// is answered from the cache), an uncached session, and the naive
+/// reference per point — and asserts bit-for-bit equality everywhere.
+fn assert_cached_uncached_and_reference_agree(
+    trace: &Trace,
+    points: &[(Machine, WindowSpec, u64)],
+) {
+    let mut cached = SweepSession::new();
+    assert!(cached.cache_enabled(), "sessions cache by default");
+    let c = cached.pin_trace(trace);
+    let first = cached.sweep(c, points);
+    let second = cached.sweep(c, points);
+    let full: Vec<SweepPoint> = points.iter().map(|&(m, w, md)| (c, m, w, md)).collect();
+    let streamed = cached.stream(&full).collect_ordered();
+
+    let mut uncached = SweepSession::new();
+    uncached.set_cache_enabled(false);
+    let u = uncached.pin_trace(trace);
+    let plain = uncached.sweep(u, points);
+
+    assert_eq!(first, plain, "cached first run != uncached run");
+    assert_eq!(second, plain, "cache-served repeat != uncached run");
+    assert_eq!(streamed, plain, "cache-served stream != uncached run");
+    for (&(machine, window, md), &cycles) in points.iter().zip(&plain) {
+        assert_eq!(
+            cycles,
+            reference_cycles(trace, machine, window, md),
+            "{machine} w={window} md={md} diverges from the naive reference"
+        );
+    }
+
+    // The repeat and the stream were answered without simulating: every
+    // distinct point was simulated exactly once across all three passes.
+    let stats = cached.cache_stats();
+    assert!(stats.entries <= points.len());
+    assert_eq!(
+        stats.misses, stats.entries as u64,
+        "one simulation per entry"
+    );
+    assert_eq!(
+        stats.hits + stats.misses,
+        3 * points.len() as u64,
+        "every pass accounted each point as a hit or a miss"
+    );
+    assert_eq!(
+        uncached.cache_stats().hits + uncached.cache_stats().misses,
+        0
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 10, ..ProptestConfig::default() })]
+
+    /// Randomized grids over random kernels: caching never changes a
+    /// result, and repeats never re-simulate.
+    #[test]
+    fn cache_is_invisible_on_random_kernels(
+        seed in 4000u64..8000,
+        stmts in 6usize..24,
+        raw_points in proptest::collection::vec((0u8..6, 0u8..10, 0u64..80), 1..6)
+    ) {
+        let kernel = random_kernel(seed, stmts);
+        let trace = dae::trace::expand(&kernel, 25);
+        prop_assume!(!trace.is_empty());
+        let points: Vec<_> = raw_points
+            .into_iter()
+            .map(|(m, w, md)| decode_point(m, w, md))
+            .collect();
+        assert_cached_uncached_and_reference_agree(&trace, &points);
+    }
+
+    /// Randomized grids over the PERFECT workloads.
+    #[test]
+    fn cache_is_invisible_on_perfect_workloads(
+        program_idx in 0usize..7,
+        raw_points in proptest::collection::vec((0u8..6, 0u8..10, 0u64..80), 1..5)
+    ) {
+        let trace = PerfectProgram::ALL[program_idx].workload().trace(40);
+        let points: Vec<_> = raw_points
+            .into_iter()
+            .map(|(m, w, md)| decode_point(m, w, md))
+            .collect();
+        assert_cached_uncached_and_reference_agree(&trace, &points);
+    }
+}
+
+/// The motivating workload shape: the equivalent-window-ratio figure and
+/// the §5 window-ratio claim sweep heavily overlapping grids (the claim
+/// re-visits the figure's SWSM search windows and its DM point at MD =
+/// 60).  Sharing a session, the second generator must *hit* — and both
+/// must produce exactly the figures a cold one-shot run produces.
+#[test]
+fn overlapping_ewr_grids_hit_the_cache_and_figures_are_unchanged() {
+    let cfg = ExperimentConfig {
+        iterations: 120,
+        dm_windows: vec![8, 32, 64],
+        swsm_windows: vec![8, 32, 64],
+        equivalence_search_windows: vec![8, 16, 32, 64, 128, 256],
+        memory_differentials: vec![0, 60],
+    };
+    let mut session = SweepSession::new();
+
+    let fig = equivalent_window_figure_in(&mut session, PerfectProgram::Mdg, &cfg);
+    let after_figure = session.cache_stats();
+    assert!(after_figure.misses > 0, "a cold session simulates");
+
+    let claim = window_ratio_claim_in(&mut session, &cfg, 32, 60);
+    let after_claim = session.cache_stats();
+    let claim_hits = after_claim.hits - after_figure.hits;
+    assert!(
+        claim_hits >= cfg.equivalence_search_windows.len() as u64,
+        "the claim's MDG search grid must come from the figure's entries \
+         (hit {claim_hits} of at least {})",
+        cfg.equivalence_search_windows.len()
+    );
+
+    // Repeating the whole figure re-simulates nothing at all.
+    let again = equivalent_window_figure_in(&mut session, PerfectProgram::Mdg, &cfg);
+    let after_repeat = session.cache_stats();
+    assert_eq!(
+        after_repeat.misses, after_claim.misses,
+        "a repeated figure must not simulate a single point"
+    );
+
+    // And every cached figure equals its cold one-shot counterpart.
+    assert_eq!(fig, equivalent_window_figure(PerfectProgram::Mdg, &cfg));
+    assert_eq!(again, fig);
+    assert_eq!(claim, window_ratio_claim(&cfg, 32, 60));
+}
+
+/// Identity is the pinned lowering, not structural equality: re-lowering
+/// the same source trace into a second pin must *miss* everywhere (a
+/// conservative cache can never alias two lowerings that merely look
+/// alike), while re-pinning the same program through `pin_program`
+/// resolves to the same identity and hits.
+#[test]
+fn a_relowered_copy_of_the_same_program_does_not_falsely_hit() {
+    let trace = PerfectProgram::Trfd.workload().trace(80);
+    let grid: Vec<(Machine, WindowSpec, u64)> = vec![
+        (Machine::Decoupled, WindowSpec::Entries(16), 60),
+        (Machine::Superscalar, WindowSpec::Entries(32), 60),
+        (Machine::Scalar, WindowSpec::Entries(1), 60),
+    ];
+    let mut session = SweepSession::new();
+
+    // Two separate pins of the same source trace: distinct lowerings,
+    // distinct identities.
+    let first = session.pin_trace(&trace);
+    let second = session.pin_trace(&trace);
+    assert_ne!(first, second);
+
+    let first_cycles = session.sweep(first, &grid);
+    let between = session.cache_stats();
+    assert_eq!(between.misses, grid.len() as u64);
+
+    let second_cycles = session.sweep(second, &grid);
+    let after = session.cache_stats();
+    assert_eq!(first_cycles, second_cycles, "same program, same results");
+    assert_eq!(
+        after.hits, between.hits,
+        "a re-lowered copy must not hit the original's entries"
+    );
+    assert_eq!(
+        after.misses,
+        2 * grid.len() as u64,
+        "every point of the copy simulated afresh"
+    );
+    assert_eq!(after.entries, 2 * grid.len());
+
+    // The sanctioned dedup path: pin_program returns the *same* identity,
+    // and that one hits.
+    let mut programs = SweepSession::new();
+    let a = programs.pin_program(PerfectProgram::Trfd, 80);
+    let b = programs.pin_program(PerfectProgram::Trfd, 80);
+    assert_eq!(a, b);
+    let _ = programs.sweep(a, &grid);
+    let _ = programs.sweep(b, &grid);
+    assert_eq!(programs.cache_stats().hits, grid.len() as u64);
+    assert_eq!(programs.cache_stats().misses, grid.len() as u64);
+}

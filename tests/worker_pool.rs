@@ -31,6 +31,9 @@ fn grid() -> Vec<(Machine, WindowSpec, u64)> {
 #[test]
 fn sim_pools_stay_warm_across_separate_sweep_invocations() {
     let mut session = SweepSession::new();
+    // This test pins the *pool* lifecycle, so the second sweep must really
+    // simulate: the result cache would answer it without touching a pool.
+    session.set_cache_enabled(false);
     let id = session.pin_program(PerfectProgram::Mdg, 120);
 
     // First invocation: fills every worker's thread-local pool (and
@@ -65,6 +68,8 @@ fn sim_pools_stay_warm_across_separate_sweep_invocations() {
 #[test]
 fn warm_sessions_hit_the_stream_templates() {
     let mut session = SweepSession::new();
+    // As above: the repeat must reach the simulator, not the result cache.
+    session.set_cache_enabled(false);
     let id = session.pin_program(PerfectProgram::Trfd, 100);
     let dm_grid: Vec<(Machine, WindowSpec, u64)> = (0..4)
         .map(|i| (Machine::Decoupled, WindowSpec::Entries(8 << i), 60))

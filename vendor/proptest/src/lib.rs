@@ -204,7 +204,7 @@ pub mod strategy {
         (A, B, C, D, E);
     }
 
-    /// Uniform choice between boxed strategies (backs [`prop_oneof!`]).
+    /// Uniform choice between boxed strategies (backs `prop_oneof!`).
     pub struct Union<T> {
         options: Vec<Box<dyn Strategy<Value = T>>>,
     }
@@ -227,7 +227,7 @@ pub mod strategy {
             Union { options }
         }
 
-        /// Boxes a strategy (helper for [`prop_oneof!`]).
+        /// Boxes a strategy (helper for `prop_oneof!`).
         #[must_use]
         pub fn boxed<S: Strategy<Value = T> + 'static>(
             strategy: S,
