@@ -44,6 +44,8 @@
 
 mod experiment;
 mod experiments;
+#[doc(hidden)]
+pub mod fault;
 mod metrics;
 mod report;
 mod session;
@@ -60,8 +62,8 @@ pub use experiments::{
 pub use metrics::{equivalent_window_ratio, latency_hiding_effectiveness, speedup, WindowCurve};
 pub use report::{fmt_metric, TextTable};
 pub use session::{
-    CacheStats, CancelToken, SessionStats, StreamedPoint, SweepPoint, SweepSession, SweepStream,
-    TraceId,
+    CacheStats, CancelToken, SessionStats, StreamWait, StreamedPoint, SweepEvent, SweepPoint,
+    SweepSession, SweepStream, TraceId,
 };
 
 /// A convenience prelude re-exporting the types most examples need.

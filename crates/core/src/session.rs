@@ -41,25 +41,37 @@
 //!   same program into a second [`TraceId`] can never alias the first's
 //!   entries.
 //! * **Cancellation.**  [`SweepSession::stream_cancellable`] ties a grid to
-//!   a [`CancelToken`]; cancelling drops every not-yet-started point (the
-//!   stream's `done` accounting still balances — see
-//!   [`SweepStream::skipped`]), which is what lets a serving front end
-//!   abandon superseded requests mid-flight.
+//!   a [`CancelToken`]; cancelling drops every not-yet-started point *and*
+//!   cooperatively aborts points already simulating (the run engine polls
+//!   the token every few hundred events — see
+//!   [`dae_machines::with_abort_token`]).  The stream's accounting still
+//!   balances: `delivered + skipped + aborted + failed == total` (see
+//!   [`SweepStream::skipped`], [`SweepStream::aborted`],
+//!   [`SweepStream::failed`]), which is what lets a serving front end
+//!   abandon superseded requests mid-flight without burning workers on
+//!   doomed points.
+//! * **Fault isolation.**  A panicking point is reported as a
+//!   [`SweepEvent::Failed`] through [`SweepStream::next_event`] (servers),
+//!   or re-thrown on the consuming thread by the plain [`Iterator`] path
+//!   (figure generators); either way the cache is never populated with a
+//!   partial result and the worker pool survives.
 //!
 //! Streamed, batched, one-shot (`LoweredTrace::sweep`), cached and
 //! naive-reference results are bit-for-bit identical —
 //! `tests/session_differential.rs` and `tests/sweep_cache.rs` hold all of
 //! them to each other on randomized grids across all three machines.
 
-use crate::{LoweredTrace, Machine, ScalarMode, WindowSpec};
+use crate::{fault, LoweredTrace, Machine, ScalarMode, WindowSpec};
 use dae_isa::Cycle;
+use dae_machines::{with_abort_token, AbortToken, AbortedSimulation};
 use dae_trace::Trace;
 use dae_workloads::PerfectProgram;
 use rayon::prelude::*;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
+use std::time::Duration;
 
 /// Handle to a program pinned in a [`SweepSession`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -100,10 +112,14 @@ pub struct CacheStats {
 /// A cancellation handle shared between a caller and the in-flight jobs of
 /// a streamed sweep ([`SweepSession::stream_cancellable`]).
 ///
-/// Cancellation is cooperative and point-grained: a point whose worker has
-/// not started it yet is skipped (its simulation never runs and the stream
-/// reports it in [`SweepStream::skipped`]); a point already simulating runs
-/// to completion and is delivered normally.  Cloning shares the same flag,
+/// Cancellation is cooperative and acts at two grains.  A point whose
+/// worker has not started it yet is skipped (its simulation never runs and
+/// the stream reports it in [`SweepStream::skipped`]); a point already
+/// simulating is aborted mid-run — the engine polls the token's flag every
+/// few hundred event-loop iterations
+/// ([`dae_machines::ABORT_POLL_INTERVAL`]) and unwinds out of the
+/// simulation, so even a multi-millisecond point stops within microseconds
+/// ([`SweepStream::aborted`] counts these).  Cloning shares the same flag,
 /// and cancelling is idempotent.
 #[derive(Debug, Clone, Default)]
 pub struct CancelToken(Arc<AtomicBool>);
@@ -115,8 +131,9 @@ impl CancelToken {
         CancelToken::default()
     }
 
-    /// Requests cancellation: every point of every stream holding this
-    /// token that has not started simulating yet will be skipped.
+    /// Requests cancellation: pending points of every stream holding this
+    /// token are skipped, and points already simulating abort at their next
+    /// engine poll.
     pub fn cancel(&self) {
         self.0.store(true, Ordering::Release);
     }
@@ -125,6 +142,12 @@ impl CancelToken {
     #[must_use]
     pub fn is_cancelled(&self) -> bool {
         self.0.load(Ordering::Acquire)
+    }
+
+    /// The same flag viewed as the engine-facing abort token (installed
+    /// around each point's simulation by the stream worker).
+    fn abort_token(&self) -> AbortToken {
+        AbortToken::from_flag(Arc::clone(&self.0))
     }
 }
 
@@ -146,14 +169,18 @@ struct SweepCache {
 }
 
 impl SweepCache {
+    /// The cache map, recovering from mutex poisoning: entries are only
+    /// ever written whole (a `HashMap::insert` of a finished result), so a
+    /// panic that poisons the lock cannot leave a torn entry behind — the
+    /// map is as valid after recovery as before.  A panicking point must
+    /// fail only its own request, not wedge the cache for every later one.
+    fn map(&self) -> std::sync::MutexGuard<'_, HashMap<CacheKey, Cycle>> {
+        self.map.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// The cached execution time of `key`, counting a hit when present.
     fn lookup(&self, key: &CacheKey) -> Option<Cycle> {
-        let cycles = self
-            .map
-            .lock()
-            .expect("sweep cache poisoned")
-            .get(key)
-            .copied();
+        let cycles = self.map().get(key).copied();
         if cycles.is_some() {
             self.hits.fetch_add(1, Ordering::Relaxed);
         }
@@ -163,17 +190,14 @@ impl SweepCache {
     /// Records a simulated result (counted as a miss — a simulation ran).
     fn insert(&self, key: CacheKey, cycles: Cycle) {
         self.misses.fetch_add(1, Ordering::Relaxed);
-        self.map
-            .lock()
-            .expect("sweep cache poisoned")
-            .insert(key, cycles);
+        self.map().insert(key, cycles);
     }
 
     fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.map.lock().expect("sweep cache poisoned").len(),
+            entries: self.map().len(),
         }
     }
 }
@@ -259,7 +283,7 @@ impl SweepSession {
     /// Drops every cached sweep result (the hit/miss counters, which are
     /// monotone diagnostics, are kept).
     pub fn clear_cache(&mut self) {
-        self.cache.map.lock().expect("sweep cache poisoned").clear();
+        self.cache.map().clear();
     }
 
     /// The number of pinned programs.
@@ -449,8 +473,11 @@ impl SweepSession {
 
     /// [`SweepSession::stream`] tied to a [`CancelToken`]: cancelling the
     /// token skips every point no worker has started yet (skipped points
-    /// are counted by [`SweepStream::skipped`] instead of being yielded),
-    /// while points already simulating complete and are delivered normally.
+    /// are counted by [`SweepStream::skipped`] instead of being yielded)
+    /// and cooperatively aborts points already simulating (counted by
+    /// [`SweepStream::aborted`]) — the run engine polls the token
+    /// mid-simulation, so cancellation latency is bounded by a few hundred
+    /// simulated events, not by the slowest point's full runtime.
     ///
     /// Cache-resident points are delivered immediately (before this call
     /// returns they are already queued on the stream, marked
@@ -472,7 +499,7 @@ impl SweepSession {
         for (index, &point) in points.iter().enumerate() {
             let (id, machine, window, md) = point;
             if token.is_cancelled() {
-                let _ = tx.send(Delivery::Skipped);
+                let _ = tx.send(Delivery::Skipped(index));
                 continue;
             }
             if self.cache_enabled {
@@ -493,7 +520,7 @@ impl SweepSession {
             let tx = tx.clone();
             rayon::spawn(move || {
                 if token.is_cancelled() {
-                    let _ = tx.send(Delivery::Skipped);
+                    let _ = tx.send(Delivery::Skipped(index));
                     return;
                 }
                 // Second-chance lookup: an identical point earlier in this
@@ -507,11 +534,23 @@ impl SweepSession {
                     }));
                     return;
                 }
+                // The token doubles as the engine-facing abort flag: the
+                // run loop polls it and unwinds with `AbortedSimulation` if
+                // it is set, which the catch below tells apart from a real
+                // panic.  Fault-injection hooks (test-only, see
+                // [`crate::fault`]) fire inside the catch so an injected
+                // panic takes the same path a genuine one would.
+                let abort = token.abort_token();
                 let result = catch_unwind(AssertUnwindSafe(|| {
-                    trace.machine_cycles_in(machine, window, md, scalar_mode)
+                    fault::on_point_start();
+                    with_abort_token(&abort, || {
+                        trace.machine_cycles_in(machine, window, md, scalar_mode)
+                    })
                 }));
                 // A send can only fail if the stream was dropped early;
-                // the remaining points are simply discarded then.
+                // the remaining points are simply discarded then.  The
+                // cache is only written for completed points — an aborted
+                // or panicked simulation leaves no trace in it.
                 let _ = tx.send(match result {
                     Ok(cycles) => {
                         if let Some(cache) = &cache {
@@ -524,7 +563,8 @@ impl SweepSession {
                             cached: false,
                         })
                     }
-                    Err(payload) => Delivery::Panicked(payload),
+                    Err(payload) if payload.is::<AbortedSimulation>() => Delivery::Aborted(index),
+                    Err(payload) => Delivery::Panicked(index, payload),
                 });
             });
         }
@@ -533,6 +573,8 @@ impl SweepSession {
             remaining: points.len(),
             total: points.len(),
             skipped: 0,
+            aborted: 0,
+            failed: 0,
         }
     }
 
@@ -560,22 +602,73 @@ pub struct StreamedPoint {
 }
 
 /// What a streamed job sends back: a finished point, a cancellation skip,
-/// or a panic payload to re-throw on the consuming thread.
+/// a mid-simulation abort, or a panic payload (with the point's grid index
+/// attached so event consumers can attribute the failure).
 enum Delivery {
     Done(StreamedPoint),
-    Skipped,
-    Panicked(Box<dyn std::any::Any + Send>),
+    Skipped(usize),
+    Aborted(usize),
+    Panicked(usize, Box<dyn std::any::Any + Send>),
+}
+
+/// One stream outcome as seen by [`SweepStream::next_event`]: every
+/// submitted point produces exactly one event, so a consumer that counts
+/// them always reaches `total` — cancellation, abort and panic included.
+#[derive(Debug)]
+pub enum SweepEvent {
+    /// A point finished (simulated or cache-answered).
+    Point(StreamedPoint),
+    /// A point was cancelled before its simulation started.
+    Skipped {
+        /// The point's index in the submitted grid.
+        index: usize,
+    },
+    /// A point's simulation was cooperatively aborted mid-run.
+    Aborted {
+        /// The point's index in the submitted grid.
+        index: usize,
+    },
+    /// A point's simulation panicked on its worker.  The panic is contained
+    /// here — the pool survives and the cache holds no partial result.
+    Failed {
+        /// The point's index in the submitted grid.
+        index: usize,
+        /// The panic message, if it carried one.
+        message: String,
+    },
+}
+
+/// The outcome of a bounded wait on a stream
+/// ([`SweepStream::next_event_timeout`]).
+#[derive(Debug)]
+pub enum StreamWait {
+    /// An event arrived within the timeout.
+    Event(SweepEvent),
+    /// Nothing arrived within the timeout; the stream is still live.
+    TimedOut,
+    /// Every point has already been accounted for.
+    Exhausted,
 }
 
 /// An in-flight streamed sweep: iterating yields each point as its worker
 /// finishes.  Dropping the stream early abandons undelivered results (the
 /// in-flight simulations still complete on the workers).
+///
+/// Two consumption styles exist.  The plain [`Iterator`] yields finished
+/// points only, silently accounting skips and aborts and **re-throwing** a
+/// worker panic on the consuming thread — the right semantics for figure
+/// generators, where a panicking simulation is a bug that should fail the
+/// run.  [`SweepStream::next_event`] yields every outcome as a
+/// [`SweepEvent`] and never unwinds — the right semantics for a server,
+/// which must keep serving other clients when one request's point panics.
 #[derive(Debug)]
 pub struct SweepStream {
     rx: mpsc::Receiver<Delivery>,
     remaining: usize,
     total: usize,
     skipped: usize,
+    aborted: usize,
+    failed: usize,
 }
 
 impl SweepStream {
@@ -585,12 +678,80 @@ impl SweepStream {
         self.total
     }
 
-    /// Points skipped by cancellation so far (never yielded by the
-    /// iterator; `delivered + skipped == total` once the stream is
-    /// exhausted).
+    /// Points skipped by cancellation before starting, so far
+    /// (`delivered + skipped + aborted + failed == total` once the stream
+    /// is exhausted).
     #[must_use]
     pub fn skipped(&self) -> usize {
         self.skipped
+    }
+
+    /// Points cooperatively aborted mid-simulation, so far.
+    #[must_use]
+    pub fn aborted(&self) -> usize {
+        self.aborted
+    }
+
+    /// Points whose simulation panicked, so far.  Only advanced by the
+    /// event API — the [`Iterator`] path re-throws the panic instead.
+    #[must_use]
+    pub fn failed(&self) -> usize {
+        self.failed
+    }
+
+    /// Accounts one delivery into the stream's counters and maps it to the
+    /// public event.
+    fn account(&mut self, delivery: Delivery) -> SweepEvent {
+        self.remaining -= 1;
+        match delivery {
+            Delivery::Done(point) => SweepEvent::Point(point),
+            Delivery::Skipped(index) => {
+                self.skipped += 1;
+                SweepEvent::Skipped { index }
+            }
+            Delivery::Aborted(index) => {
+                self.aborted += 1;
+                SweepEvent::Aborted { index }
+            }
+            Delivery::Panicked(index, payload) => {
+                self.failed += 1;
+                SweepEvent::Failed {
+                    index,
+                    // `as_ref` matters: `&payload` would unsize the Box
+                    // itself into `dyn Any` and the downcasts would miss.
+                    message: panic_message(payload.as_ref()),
+                }
+            }
+        }
+    }
+
+    /// The next outcome of any kind, blocking until one arrives; `None`
+    /// once every submitted point has produced its event.  Unlike the
+    /// [`Iterator`] path this never unwinds: a worker panic arrives as
+    /// [`SweepEvent::Failed`].
+    pub fn next_event(&mut self) -> Option<SweepEvent> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let delivery = self.rx.recv().expect("sweep workers disappeared");
+        Some(self.account(delivery))
+    }
+
+    /// [`SweepStream::next_event`] with a bounded wait — the deadline
+    /// primitive: a server waits for the request's remaining budget and
+    /// treats [`StreamWait::TimedOut`] as "cancel the token, then drain the
+    /// (now fast-aborting) residue".
+    pub fn next_event_timeout(&mut self, timeout: Duration) -> StreamWait {
+        if self.remaining == 0 {
+            return StreamWait::Exhausted;
+        }
+        match self.rx.recv_timeout(timeout) {
+            Ok(delivery) => StreamWait::Event(self.account(delivery)),
+            Err(mpsc::RecvTimeoutError::Timeout) => StreamWait::TimedOut,
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                panic!("sweep workers disappeared")
+            }
+        }
     }
 
     /// Drains the stream into grid order: element `i` is the execution
@@ -607,6 +768,19 @@ impl SweepStream {
     }
 }
 
+/// Best-effort extraction of a panic payload's message (`&str` and
+/// `String` payloads cover `panic!`/`assert!`; anything else gets a
+/// placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "simulation panicked".to_string()
+    }
+}
+
 impl Iterator for SweepStream {
     type Item = StreamedPoint;
 
@@ -618,13 +792,18 @@ impl Iterator for SweepStream {
                     return Some(point);
                 }
                 // A cancelled point: account for it and keep draining.
-                Delivery::Skipped => {
+                Delivery::Skipped(_) => {
                     self.remaining -= 1;
                     self.skipped += 1;
                 }
+                // An abort mid-simulation: likewise accounted, not yielded.
+                Delivery::Aborted(_) => {
+                    self.remaining -= 1;
+                    self.aborted += 1;
+                }
                 // A point's simulation panicked on its worker: re-throw
                 // here, on the thread consuming the stream.
-                Delivery::Panicked(payload) => resume_unwind(payload),
+                Delivery::Panicked(_, payload) => resume_unwind(payload),
             }
         }
         None

@@ -1,0 +1,162 @@
+//! Session-level fault tolerance: cancellation aborts running points with
+//! balanced accounting, worker panics surface as events instead of
+//! unwinding the consumer, and neither ever leaves a partial result in the
+//! sweep cache.
+//!
+//! The fault-injection hooks (`dae_core::fault`) are process-global, so
+//! every test in this binary serializes on [`FAULT_LOCK`] — including the
+//! ones that arm nothing, which must not run while a peer has a hook armed.
+
+use dae_core::{fault, CancelToken, Machine, SweepEvent, SweepPoint, SweepSession, WindowSpec};
+use dae_workloads::PerfectProgram;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+/// Serializes the binary's tests and guarantees hook reset even if the
+/// previous holder panicked.
+fn faults() -> MutexGuard<'static, ()> {
+    let guard = FAULT_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    fault::reset();
+    guard
+}
+
+fn grid(session: &mut SweepSession) -> Vec<SweepPoint> {
+    let id = session.pin_program(PerfectProgram::Trfd, 120);
+    vec![
+        (id, Machine::Decoupled, WindowSpec::Entries(16), 60),
+        (id, Machine::Superscalar, WindowSpec::Entries(32), 60),
+        (id, Machine::Decoupled, WindowSpec::Entries(64), 0),
+        (id, Machine::Scalar, WindowSpec::Entries(1), 60),
+    ]
+}
+
+/// Cancelling mid-flight aborts the points that are already simulating and
+/// skips the rest; the accounting balances, nothing lands in the cache,
+/// and the session then produces correct results for the same grid.
+#[test]
+fn cancellation_aborts_running_points_with_balanced_accounting() {
+    let _guard = faults();
+    let mut session = SweepSession::new();
+    let points = grid(&mut session);
+
+    // Every point sleeps before simulating, so at cancel time each started
+    // point is still pre-simulation and hits the engine's first-iteration
+    // abort poll with the flag already set: nothing can complete.
+    fault::slow_every_point_ms(150);
+    let token = CancelToken::new();
+    let mut stream = session.stream_cancellable(&points, &token);
+    std::thread::sleep(Duration::from_millis(40));
+    token.cancel();
+
+    let mut delivered = 0;
+    while let Some(event) = stream.next_event() {
+        match event {
+            SweepEvent::Point(_) => delivered += 1,
+            SweepEvent::Skipped { .. } | SweepEvent::Aborted { .. } => {}
+            SweepEvent::Failed { index, message } => {
+                panic!("point {index} failed unexpectedly: {message}")
+            }
+        }
+    }
+    assert_eq!(delivered, 0, "no point can finish through the sleep");
+    assert_eq!(
+        delivered + stream.skipped() + stream.aborted() + stream.failed(),
+        stream.total(),
+        "accounting must balance"
+    );
+    assert!(
+        stream.aborted() >= 1,
+        "at least the first point was already started and must abort \
+         (aborted: {}, skipped: {})",
+        stream.aborted(),
+        stream.skipped()
+    );
+    assert_eq!(
+        session.cache_stats().entries,
+        0,
+        "aborted points must leave no cache entries"
+    );
+
+    // Post-fault: the same grid on the same session is correct.
+    fault::reset();
+    let clean: Vec<u64> = session.stream(&points).collect_ordered();
+    let reference = session.sweep_multi(&points);
+    assert_eq!(clean, reference);
+    assert!(clean.iter().all(|&c| c > 0));
+}
+
+/// An injected worker panic surfaces as exactly one `Failed` event; the
+/// other points deliver, the cache only holds the completed ones, and the
+/// pool keeps serving.
+#[test]
+fn a_panicking_point_fails_alone_and_spares_the_cache() {
+    let _guard = faults();
+    let mut session = SweepSession::new();
+    let points = grid(&mut session);
+
+    fault::panic_on_nth_start(1);
+    let mut stream = session.stream(&points);
+    let mut delivered = 0;
+    let mut failures = Vec::new();
+    while let Some(event) = stream.next_event() {
+        match event {
+            SweepEvent::Point(point) => {
+                assert!(point.cycles > 0);
+                delivered += 1;
+            }
+            SweepEvent::Failed { index, message } => failures.push((index, message)),
+            SweepEvent::Skipped { .. } | SweepEvent::Aborted { .. } => {
+                panic!("nothing was cancelled here")
+            }
+        }
+    }
+    assert_eq!(failures.len(), 1, "exactly one point was sabotaged");
+    assert!(
+        failures[0].1.contains("injected fault"),
+        "the panic message travels with the event: {:?}",
+        failures[0]
+    );
+    assert_eq!(delivered, points.len() - 1);
+    assert_eq!(stream.failed(), 1);
+    assert_eq!(
+        session.cache_stats().entries,
+        points.len() - 1,
+        "the failed point must not be cached"
+    );
+
+    // Post-fault: re-running the grid heals the hole and matches the
+    // batched oracle bit for bit.
+    let healed: Vec<u64> = session.stream(&points).collect_ordered();
+    let reference = session.sweep_multi(&points);
+    assert_eq!(healed, reference);
+}
+
+/// The timeout-capable wait: an idle stream times out without consuming an
+/// event, then yields the event once it arrives.
+#[test]
+fn next_event_timeout_reports_idle_streams() {
+    use dae_core::StreamWait;
+
+    let _guard = faults();
+    let mut session = SweepSession::new();
+    let points = grid(&mut session);
+
+    fault::slow_every_point_ms(120);
+    let mut stream = session.stream(&points);
+    match stream.next_event_timeout(Duration::from_millis(5)) {
+        StreamWait::TimedOut => {}
+        other => panic!("a sleeping grid cannot produce an event in 5 ms: {other:?}"),
+    }
+    fault::reset();
+    let mut outcomes = 0;
+    loop {
+        match stream.next_event_timeout(Duration::from_secs(30)) {
+            StreamWait::Event(_) => outcomes += 1,
+            StreamWait::TimedOut => panic!("the grid must finish"),
+            StreamWait::Exhausted => break,
+        }
+    }
+    assert_eq!(outcomes, stream.total());
+}

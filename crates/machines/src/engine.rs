@@ -52,6 +52,7 @@
 //!    pin their unit's horizon to the very next cycle, so a polling unit is
 //!    never asleep in the first place.
 
+use crate::abort::AbortChecker;
 use dae_isa::Cycle;
 use dae_ooo::{EventUnit, SchedulerUnit};
 
@@ -88,11 +89,19 @@ pub(crate) trait MachineSpec<U: SchedulerUnit> {
 /// scalar) monomorphise straight into [`run_event_single`], which has no
 /// multi-unit bookkeeping to begin with.
 ///
+/// Both event loops poll the thread's installed abort token (see
+/// [`crate::with_abort_token`]) every [`crate::ABORT_POLL_INTERVAL`]
+/// iterations, so a cancelled point unwinds mid-run instead of burning its
+/// worker to completion.  The lockstep reference loop is deliberately left
+/// uninstrumented: it is the oracle the event loops are differentially held
+/// to, and it never runs under a server token.
+///
 /// # Panics
 ///
 /// Panics if the clock reaches `safety_bound` cycles, which indicates a
 /// machine deadlock (e.g. a cross wakeup that can never arrive) rather than
-/// a slow program.
+/// a slow program.  Unwinds with [`crate::AbortedSimulation`] when the
+/// installed abort token is signalled.
 pub(crate) fn run_event<U, S, const N: usize>(
     units: &mut [U; N],
     spec: &mut S,
@@ -109,6 +118,7 @@ pub(crate) fn run_event<U, S, const N: usize>(
         return;
     }
     let n = N;
+    let mut aborts = AbortChecker::install();
     // Cycles already settled into each unit's statistics: cycles
     // `[0, synced[u])` are accounted, via steps or bulk idle advances.
     let mut synced = [0 as Cycle; N];
@@ -117,6 +127,7 @@ pub(crate) fn run_event<U, S, const N: usize>(
     let mut horizon: [Option<Cycle>; N] = [None; N];
     let mut now: Cycle = 0;
     loop {
+        aborts.poll();
         for u in 0..n {
             if due[u] {
                 let lag = now - synced[u];
@@ -210,8 +221,10 @@ where
     if units[0].is_done() {
         return;
     }
+    let mut aborts = AbortChecker::install();
     let mut now: Cycle = 0;
     loop {
+        aborts.poll();
         spec.step_unit(units, 0, now);
         spec.sample(units, 1);
         if units[0].is_done() {

@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod abort;
 mod config;
 mod dm;
 mod engine;
@@ -52,6 +53,7 @@ mod result;
 mod scalar;
 mod swsm;
 
+pub use abort::{with_abort_token, AbortToken, AbortedSimulation, ABORT_POLL_INTERVAL};
 pub use config::{
     DmConfig, ScalarConfig, SwsmConfig, PAPER_AU_ISSUE_WIDTH, PAPER_DU_ISSUE_WIDTH,
     PAPER_SWSM_ISSUE_WIDTH,

@@ -50,9 +50,12 @@ pub mod server;
 
 pub use protocol::{
     machine_token, parse_kernel, parse_request, parse_response, window_token, DeliveryMode,
-    Request, RequestError, Response, SweepRequest, TraceSource, DEFAULT_ITERATIONS, MAX_ITERATIONS,
-    MAX_POINTS,
+    DoneStatus, Request, RequestError, Response, ShutdownMode, SweepRequest, TraceSource,
+    DEFAULT_ITERATIONS, MAX_ITERATIONS, MAX_POINTS,
 };
 #[cfg(unix)]
 pub use server::serve_unix;
-pub use server::{serve_connection, serve_local, serve_tcp, Submission, SweepServer};
+pub use server::{
+    await_drained, serve_connection, serve_local, serve_tcp, ClientGuard, ServerLimits, Submission,
+    SubmitError, SweepServer,
+};

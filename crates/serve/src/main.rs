@@ -16,16 +16,25 @@
 //!
 //! The wire format is specified in `docs/PROTOCOL.md`.  Diagnostics go to
 //! stderr; stdout carries only protocol lines.
+//!
+//! The socket modes exit cleanly when any connection sends `shutdown`
+//! (`mode=drain` finishes in-flight sweeps, `mode=abort` cancels them);
+//! with no libc binding in the offline build there is no signal handler,
+//! so the protocol verb is the supported shutdown path.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 use dae_core::SweepSession;
-use dae_serve::{serve_connection, serve_local, serve_tcp, SweepServer};
+use dae_serve::{await_drained, serve_connection, serve_local, serve_tcp, SweepServer};
 use std::io::BufReader;
 use std::net::TcpListener;
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
+
+/// How long the socket modes wait for in-flight work after shutdown.
+const DRAIN_TIMEOUT: Duration = Duration::from_secs(60);
 
 enum Mode {
     Stdin,
@@ -95,6 +104,13 @@ fn main() -> ExitCode {
             }
         },
     };
+    // Socket modes return from their accept loops when a `shutdown`
+    // request arrives; give the in-flight drainers a bounded window to
+    // write their final `done` lines before the process exits.
+    if server.is_shutting_down() && !await_drained(&server, DRAIN_TIMEOUT) {
+        eprintln!("dae-serve: shutdown drain timed out with work still queued");
+        return ExitCode::FAILURE;
+    }
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {

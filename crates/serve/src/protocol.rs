@@ -56,6 +56,78 @@ impl DeliveryMode {
     }
 }
 
+/// How a `shutdown` request treats in-flight work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShutdownMode {
+    /// Stop admitting requests, let in-flight sweeps finish (default).
+    #[default]
+    Drain,
+    /// Stop admitting requests and cancel every in-flight sweep (their
+    /// `done` lines still arrive, with cancelled/timeout accounting).
+    Abort,
+}
+
+impl ShutdownMode {
+    fn token(self) -> &'static str {
+        match self {
+            ShutdownMode::Drain => "drain",
+            ShutdownMode::Abort => "abort",
+        }
+    }
+}
+
+impl fmt::Display for ShutdownMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.token())
+    }
+}
+
+/// The terminal status of a request, reported on its `done` line.
+///
+/// One status per request, by severity: a deadline expiry reports
+/// `timeout` even if points also failed; failures outrank a plain client
+/// cancellation; `cancelled` covers client `cancel` lines, dead-client
+/// cleanup and shutdown aborts; `ok` means every point was delivered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DoneStatus {
+    /// Every point of the grid was delivered.
+    #[default]
+    Ok,
+    /// The request was cancelled (client `cancel`, dead client, shutdown).
+    Cancelled,
+    /// The request's `deadline_ms` expired before the grid finished.
+    Timeout,
+    /// At least one point's simulation failed (worker panic).
+    Error,
+}
+
+impl DoneStatus {
+    fn token(self) -> &'static str {
+        match self {
+            DoneStatus::Ok => "ok",
+            DoneStatus::Cancelled => "cancelled",
+            DoneStatus::Timeout => "timeout",
+            DoneStatus::Error => "error",
+        }
+    }
+
+    fn parse(token: &str) -> Result<Self, String> {
+        match token {
+            "ok" => Ok(DoneStatus::Ok),
+            "cancelled" => Ok(DoneStatus::Cancelled),
+            "timeout" => Ok(DoneStatus::Timeout),
+            "error" => Ok(DoneStatus::Error),
+            other => Err(format!("unknown done status '{other}'")),
+        }
+    }
+}
+
+impl fmt::Display for DoneStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.token())
+    }
+}
+
 /// What a sweep request simulates: a named workload or an inline kernel.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TraceSource {
@@ -140,6 +212,11 @@ pub struct SweepRequest {
     pub mds: Vec<Cycle>,
     /// Result delivery shape.
     pub mode: DeliveryMode,
+    /// Wall-clock budget in milliseconds: when it expires the server
+    /// cancels the remaining points (mid-simulation included), delivers
+    /// what finished, and closes the request with `status=timeout`.
+    /// `None` means no deadline.
+    pub deadline_ms: Option<u64>,
 }
 
 impl SweepRequest {
@@ -173,7 +250,11 @@ impl fmt::Display for SweepRequest {
             join(self.windows.iter().map(window_token)),
             join(self.mds.iter().map(Cycle::to_string)),
             self.mode.token(),
-        )
+        )?;
+        if let Some(deadline) = self.deadline_ms {
+            write!(f, " deadline_ms={deadline}")?;
+        }
+        Ok(())
     }
 }
 
@@ -190,6 +271,12 @@ pub enum Request {
     },
     /// Ask for the server's session / cache / pool counters.
     Stats,
+    /// Stop admitting new sweeps and shut the server down, draining or
+    /// aborting in-flight work.
+    Shutdown {
+        /// What happens to in-flight sweeps.
+        mode: ShutdownMode,
+    },
 }
 
 /// A rejected request line: the reply carries the request id when one was
@@ -229,8 +316,9 @@ pub enum Response {
         /// The simulated (or cached) execution time.
         cycles: Cycle,
     },
-    /// A request finished (delivered + dropped == points; `cached` counts
-    /// points answered from the sweep-result cache).
+    /// A request finished.  The accounting always balances —
+    /// `delivered + dropped + aborted + failed == points` — and `cached`
+    /// counts delivered points answered from the sweep-result cache.
     Done {
         /// The finished request.
         id: String,
@@ -238,16 +326,36 @@ pub enum Response {
         points: usize,
         /// Points delivered as `point` lines.
         delivered: usize,
-        /// Points dropped by cancellation.
+        /// Points dropped by cancellation before their simulation started.
         dropped: usize,
+        /// Points cooperatively aborted mid-simulation.
+        aborted: usize,
+        /// Points whose simulation failed (worker panic, isolated to this
+        /// request).
+        failed: usize,
         /// Delivered points that came from the cache.
         cached: u64,
+        /// The request's terminal status.
+        status: DoneStatus,
     },
     /// Acknowledgement that a cancel was applied (the `done` line of the
     /// cancelled request follows separately).
     Cancelled {
         /// The request being cancelled.
         id: String,
+    },
+    /// A sweep was refused by admission control: the server (or this
+    /// client) already has too much queued.  Nothing was submitted; retry
+    /// after the hinted delay.
+    Busy {
+        /// The refused request.
+        id: String,
+        /// Points currently queued against the exceeded limit.
+        queued: usize,
+        /// The limit that refused the request.
+        limit: usize,
+        /// A retry hint, in milliseconds.
+        retry_after_ms: u64,
     },
     /// A rejected request or server-side failure.
     Error {
@@ -260,6 +368,12 @@ pub enum Response {
     Stats {
         /// `(name, value)` pairs, in the server's canonical order.
         fields: Vec<(String, u64)>,
+    },
+    /// Acknowledgement of a `shutdown` request: the server stops admitting
+    /// sweeps and will exit once in-flight work settles.
+    Shutdown {
+        /// The mode that was applied to in-flight work.
+        mode: ShutdownMode,
     },
 }
 
@@ -284,12 +398,26 @@ impl fmt::Display for Response {
                 points,
                 delivered,
                 dropped,
+                aborted,
+                failed,
                 cached,
+                status,
             } => write!(
                 f,
-                "done id={id} points={points} delivered={delivered} dropped={dropped} cached={cached}"
+                "done id={id} points={points} delivered={delivered} dropped={dropped} \
+                 aborted={aborted} failed={failed} cached={cached} status={}",
+                status.token()
             ),
             Response::Cancelled { id } => write!(f, "cancelled id={id}"),
+            Response::Busy {
+                id,
+                queued,
+                limit,
+                retry_after_ms,
+            } => write!(
+                f,
+                "busy id={id} queued={queued} limit={limit} retry_after_ms={retry_after_ms}"
+            ),
             Response::Error { id, message } => match id {
                 Some(id) => write!(f, "error id={id} msg={message}"),
                 None => write!(f, "error msg={message}"),
@@ -301,6 +429,7 @@ impl fmt::Display for Response {
                 }
                 Ok(())
             }
+            Response::Shutdown { mode } => write!(f, "shutdown mode={}", mode.token()),
         }
     }
 }
@@ -383,6 +512,15 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
     let err = |message: String| Err(RequestError::new(id, message));
     match verb {
         Some("stats") => Ok(Request::Stats),
+        Some("shutdown") => match lookup(&pairs, "mode") {
+            None | Some("drain") => Ok(Request::Shutdown {
+                mode: ShutdownMode::Drain,
+            }),
+            Some("abort") => Ok(Request::Shutdown {
+                mode: ShutdownMode::Abort,
+            }),
+            Some(other) => err(format!("bad shutdown mode '{other}' (drain or abort)")),
+        },
         Some("cancel") => match id {
             Some(id) if valid_id(id) => Ok(Request::Cancel { id: id.to_string() }),
             _ => err("cancel needs id=<request-id>".to_string()),
@@ -480,6 +618,17 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
                 Some("batch") => DeliveryMode::Batch,
                 Some(other) => return err(format!("bad mode '{other}' (stream or batch)")),
             };
+            let deadline_ms = match lookup(&pairs, "deadline_ms") {
+                None => None,
+                Some(token) => match token.parse::<u64>() {
+                    Ok(ms) if ms > 0 => Some(ms),
+                    _ => {
+                        return err(format!(
+                            "bad deadline_ms '{token}' (expected a positive integer)"
+                        ))
+                    }
+                },
+            };
             // Checked product: huge (duplicate-laden) lists must hit the
             // cap, not wrap around it.
             let grid = machines
@@ -500,6 +649,7 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
                 windows,
                 mds,
                 mode,
+                deadline_ms,
             }))
         }
         Some(other) => err(format!("unknown verb '{other}'")),
@@ -534,11 +684,29 @@ pub fn parse_response(line: &str) -> Result<Response, String> {
             points: need_num("points")? as usize,
             delivered: need_num("delivered")? as usize,
             dropped: need_num("dropped")? as usize,
+            aborted: need_num("aborted")? as usize,
+            failed: need_num("failed")? as usize,
             cached: need_num("cached")?,
+            status: DoneStatus::parse(need("status")?)?,
         }),
         Some("cancelled") => Ok(Response::Cancelled {
             id: need("id")?.to_string(),
         }),
+        Some("busy") => Ok(Response::Busy {
+            id: need("id")?.to_string(),
+            queued: need_num("queued")? as usize,
+            limit: need_num("limit")? as usize,
+            retry_after_ms: need_num("retry_after_ms")?,
+        }),
+        Some("shutdown") => match need("mode")? {
+            "drain" => Ok(Response::Shutdown {
+                mode: ShutdownMode::Drain,
+            }),
+            "abort" => Ok(Response::Shutdown {
+                mode: ShutdownMode::Abort,
+            }),
+            other => Err(format!("unknown shutdown mode '{other}'")),
+        },
         Some("error") => {
             let (head, message) = line
                 .split_once("msg=")
@@ -801,11 +969,23 @@ mod tests {
                 id: "a".to_string(),
                 points: 12,
                 delivered: 8,
-                dropped: 4,
+                dropped: 2,
+                aborted: 1,
+                failed: 1,
                 cached: 2,
+                status: DoneStatus::Timeout,
             },
             Response::Cancelled {
                 id: "a".to_string(),
+            },
+            Response::Busy {
+                id: "a".to_string(),
+                queued: 70_000,
+                limit: 65_536,
+                retry_after_ms: 50,
+            },
+            Response::Shutdown {
+                mode: ShutdownMode::Abort,
             },
             Response::Error {
                 id: Some("a".to_string()),
@@ -891,5 +1071,37 @@ mod tests {
         );
         assert_eq!(parse_request("stats"), Ok(Request::Stats));
         assert!(parse_request("cancel").is_err());
+    }
+
+    #[test]
+    fn deadlines_parse_and_roundtrip() {
+        let line = "sweep id=x trace=TRFD machines=dm windows=8 mds=0 deadline_ms=250";
+        let Ok(Request::Sweep(req)) = parse_request(line) else {
+            panic!("deadline sweep must parse");
+        };
+        assert_eq!(req.deadline_ms, Some(250));
+        assert_eq!(parse_request(&req.to_string()), Ok(Request::Sweep(req)));
+        for bad in ["deadline_ms=0", "deadline_ms=-5", "deadline_ms=soon"] {
+            let line = format!("sweep id=x trace=TRFD machines=dm windows=8 mds=0 {bad}");
+            let err = parse_request(&line).expect_err(&line);
+            assert!(err.message.contains("bad deadline_ms"), "{}", err.message);
+        }
+    }
+
+    #[test]
+    fn shutdown_requests_parse() {
+        assert_eq!(
+            parse_request("shutdown"),
+            Ok(Request::Shutdown {
+                mode: ShutdownMode::Drain
+            })
+        );
+        assert_eq!(
+            parse_request("shutdown mode=abort"),
+            Ok(Request::Shutdown {
+                mode: ShutdownMode::Abort
+            })
+        );
+        assert!(parse_request("shutdown mode=later").is_err());
     }
 }

@@ -15,17 +15,88 @@
 //! (stream mode) or in grid order once complete (batch mode), followed by
 //! a `done` line.  Because every line is tagged with its request id, a
 //! client may keep several sweeps in flight and cancel any of them
-//! mid-flight ([`CancelToken`]); pending points of a cancelled request are
-//! never simulated.
+//! mid-flight ([`CancelToken`]).
+//!
+//! ## Fault tolerance
+//!
+//! The server is built to degrade gracefully, never to wedge:
+//!
+//! * **Cancellation is deep.**  A cancelled request's pending points are
+//!   never simulated, and its *running* points are cooperatively aborted
+//!   mid-simulation (the run engine polls the token) — cancel, deadline
+//!   expiry, dead-client cleanup and `shutdown mode=abort` all reclaim the
+//!   workers within microseconds.
+//! * **Deadlines.**  A sweep with `deadline_ms=` is cancelled when the
+//!   budget expires; finished points are delivered and the `done` line
+//!   reports `status=timeout`.
+//! * **Admission control.**  [`ServerLimits`] bounds the global queue
+//!   depth and the per-client in-flight points; an over-limit sweep is
+//!   refused with a structured `busy` line (retry hint included) instead
+//!   of queueing without bound.
+//! * **Panic isolation.**  A panicking point produces an `error` line and
+//!   a `failed` count on its own request only; the session reports it as
+//!   an event (no unwind into the drainer), the sweep cache is never
+//!   populated with partial results, and every lock the server shares is
+//!   poison-recovering, so one bad point cannot take the process down.
+//! * **Graceful shutdown.**  A `shutdown` request stops admission and
+//!   either drains or aborts in-flight work; the accept loops exit and the
+//!   binary terminates once the queue is empty.
 
-use crate::protocol::{parse_request, DeliveryMode, Request, Response, SweepRequest};
-use dae_core::{CancelToken, SweepSession, SweepStream, TraceId};
+use crate::protocol::{
+    parse_request, DeliveryMode, DoneStatus, Request, Response, ShutdownMode, SweepRequest,
+};
+use dae_core::{CancelToken, StreamWait, SweepEvent, SweepSession, SweepStream, TraceId};
 use dae_machines::pool_diagnostics;
 use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::TcpListener;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, Weak};
+use std::time::{Duration, Instant};
+
+/// Admission-control bounds for a [`SweepServer`].
+///
+/// The defaults admit any single legal request (both limits are at least
+/// [`crate::MAX_POINTS`], the largest grid the protocol accepts) while
+/// bounding what a misbehaving client — or a crowd of well-behaved ones —
+/// can pile onto the queue.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerLimits {
+    /// The most points one client may have queued or running at once.
+    pub max_client_in_flight: usize,
+    /// The most points the whole server may have queued or running.
+    pub max_queue_depth: usize,
+    /// The retry hint written on `busy` rejections, in milliseconds.
+    pub retry_after_ms: u64,
+}
+
+impl Default for ServerLimits {
+    fn default() -> Self {
+        ServerLimits {
+            max_client_in_flight: crate::protocol::MAX_POINTS,
+            max_queue_depth: 4 * crate::protocol::MAX_POINTS,
+            retry_after_ms: 50,
+        }
+    }
+}
+
+/// Why a submission was refused (see [`SweepServer::submit_for`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// Admission control refused the sweep: too much is already queued
+    /// against `limit`.  Nothing was submitted; retry after the hint.
+    Busy {
+        /// Points currently counted against the exceeded limit.
+        queued: usize,
+        /// The exceeded limit.
+        limit: usize,
+        /// Retry hint, in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The request is invalid (bad inline kernel) or the server is
+    /// shutting down.
+    Rejected(String),
+}
 
 /// A long-lived sweep service over one shared [`SweepSession`].
 ///
@@ -35,6 +106,16 @@ use std::sync::{Arc, Mutex};
 #[derive(Debug)]
 pub struct SweepServer {
     state: Mutex<ServerState>,
+    limits: ServerLimits,
+    /// Points queued or running across all clients (admission increments
+    /// under the state lock; drainers decrement as events settle).
+    queue_depth: Arc<AtomicUsize>,
+    shutting_down: AtomicBool,
+    /// Monotone fault-path counters, reported by `stats`.
+    aborted_points: AtomicU64,
+    failed_points: AtomicU64,
+    timeout_requests: AtomicU64,
+    busy_rejections: AtomicU64,
 }
 
 #[derive(Debug)]
@@ -45,6 +126,43 @@ struct ServerState {
     /// lowering — and therefore the session's sweep-result cache —
     /// across every client.
     programs: HashMap<(String, u64), TraceId>,
+    /// Registered clients: id → live in-flight point counter.
+    clients: HashMap<u64, Arc<AtomicUsize>>,
+    next_client: u64,
+    /// Cancellation handles of live submissions (for `shutdown
+    /// mode=abort`); entries whose liveness handle is dead are pruned
+    /// opportunistically.
+    active: Vec<(Weak<()>, CancelToken)>,
+}
+
+/// Releases a submission's admission reservation: one point at a time as
+/// the drainer settles events, and whatever remains when the submission is
+/// dropped (so a stream abandoned mid-way cannot leak queue depth).
+#[derive(Debug)]
+struct AdmissionGuard {
+    global: Arc<AtomicUsize>,
+    client: Option<Arc<AtomicUsize>>,
+    remaining: usize,
+}
+
+impl AdmissionGuard {
+    fn release(&mut self, n: usize) {
+        let n = n.min(self.remaining);
+        if n == 0 {
+            return;
+        }
+        self.remaining -= n;
+        self.global.fetch_sub(n, Ordering::Relaxed);
+        if let Some(client) = &self.client {
+            client.fetch_sub(n, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Drop for AdmissionGuard {
+    fn drop(&mut self) {
+        self.release(self.remaining);
+    }
 }
 
 /// A submitted sweep: the result stream plus the handle that cancels it.
@@ -52,8 +170,44 @@ struct ServerState {
 pub struct Submission {
     /// Per-point results, in completion order.
     pub stream: SweepStream,
-    /// Cancels the not-yet-started points of this request.
+    /// Cancels this request: pending points are skipped, running points
+    /// abort mid-simulation.
     pub token: CancelToken,
+    /// Admission bookkeeping (released per settled event, remainder on
+    /// drop).
+    guard: AdmissionGuard,
+    /// Liveness handle for the server's shutdown registry.
+    _live: Arc<()>,
+}
+
+/// One connection's registration with the server: its identity in
+/// `stats` (`client_<id>=<in_flight>`) and the counter admission control
+/// charges its sweeps against.  Deregisters on drop.
+#[derive(Debug)]
+pub struct ClientGuard<'a> {
+    server: &'a SweepServer,
+    id: u64,
+    in_flight: Arc<AtomicUsize>,
+}
+
+impl ClientGuard<'_> {
+    /// The server-assigned client id.
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Points this client currently has queued or running.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for ClientGuard<'_> {
+    fn drop(&mut self) {
+        self.server.lock_state().clients.remove(&self.id);
+    }
 }
 
 impl Default for SweepServer {
@@ -63,54 +217,162 @@ impl Default for SweepServer {
 }
 
 impl SweepServer {
-    /// A server over a fresh session (result cache enabled).
+    /// A server over a fresh session (result cache enabled), default
+    /// limits.
     #[must_use]
     pub fn new() -> Self {
         SweepServer::with_session(SweepSession::new())
     }
 
     /// A server over a caller-configured session (scalar mode, cache
-    /// toggle).
+    /// toggle), default limits.
     #[must_use]
     pub fn with_session(session: SweepSession) -> Self {
+        SweepServer::with_session_and_limits(session, ServerLimits::default())
+    }
+
+    /// A server with explicit admission-control limits (fault suites use
+    /// tiny ones; production keeps the defaults).
+    #[must_use]
+    pub fn with_session_and_limits(session: SweepSession, limits: ServerLimits) -> Self {
         SweepServer {
             state: Mutex::new(ServerState {
                 session,
                 programs: HashMap::new(),
+                clients: HashMap::new(),
+                next_client: 1,
+                active: Vec::new(),
             }),
+            limits,
+            queue_depth: Arc::new(AtomicUsize::new(0)),
+            shutting_down: AtomicBool::new(false),
+            aborted_points: AtomicU64::new(0),
+            failed_points: AtomicU64::new(0),
+            timeout_requests: AtomicU64::new(0),
+            busy_rejections: AtomicU64::new(0),
         }
     }
 
-    /// Submits a sweep request: resolves (pinning on first sight) the
-    /// trace source, enqueues the grid on the shared session, and returns
-    /// the result stream with its cancellation token.  Returns as soon as
-    /// the points are queued — results arrive on the stream as workers
-    /// finish.
+    /// The server's admission limits.
+    #[must_use]
+    pub fn limits(&self) -> ServerLimits {
+        self.limits
+    }
+
+    /// Points currently queued or running across all clients.
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        self.queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// Whether a `shutdown` request has been accepted (new sweeps are
+    /// refused from then on).
+    #[must_use]
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutting_down.load(Ordering::Acquire)
+    }
+
+    /// The server state, recovering from mutex poisoning.  Every mutation
+    /// under this lock is transactional (insertions of whole entries,
+    /// counter bumps), so a panicking holder cannot leave torn state — and
+    /// a server that keeps serving other clients after one request
+    /// panicked is the whole point of the fault-tolerance layer.
+    fn lock_state(&self) -> MutexGuard<'_, ServerState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Registers a connection for per-client admission accounting and
+    /// `stats` visibility.
+    #[must_use]
+    pub fn register_client(&self) -> ClientGuard<'_> {
+        let mut state = self.lock_state();
+        let id = state.next_client;
+        state.next_client += 1;
+        let in_flight = Arc::new(AtomicUsize::new(0));
+        state.clients.insert(id, Arc::clone(&in_flight));
+        ClientGuard {
+            server: self,
+            id,
+            in_flight,
+        }
+    }
+
+    /// Stops admitting sweeps.  `Drain` lets in-flight work finish;
+    /// `Abort` additionally cancels every live submission (their `done`
+    /// lines still arrive, with the usual balanced accounting).
+    pub fn shutdown(&self, mode: ShutdownMode) {
+        self.shutting_down.store(true, Ordering::Release);
+        if mode == ShutdownMode::Abort {
+            let mut state = self.lock_state();
+            state.active.retain(|(live, token)| {
+                if live.upgrade().is_some() {
+                    token.cancel();
+                    true
+                } else {
+                    false
+                }
+            });
+        }
+    }
+
+    /// [`SweepServer::submit_for`] without a client registration —
+    /// admission is checked against the global queue only.
     ///
     /// # Errors
     ///
-    /// Reports an inline kernel that fails validation.
+    /// See [`SweepServer::submit_for`].
+    pub fn submit(&self, request: &SweepRequest) -> Result<Submission, SubmitError> {
+        self.submit_for(request, None)
+    }
+
+    /// Submits a sweep request: checks admission, resolves (pinning on
+    /// first sight) the trace source, enqueues the grid on the shared
+    /// session, and returns the result stream with its cancellation
+    /// token.  Returns as soon as the points are queued — results arrive
+    /// on the stream as workers finish.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the server mutex was poisoned by a panicking submission.
-    pub fn submit(&self, request: &SweepRequest) -> Result<Submission, String> {
-        let key = (request.source.key(), request.iterations);
-        // Fast path: the source is already pinned — submit under one brief
-        // lock.
-        {
-            let mut state = self.state.lock().expect("server state poisoned");
-            if let Some(&id) = state.programs.get(&key) {
-                return Ok(Self::enqueue(&mut state, request, id));
-            }
+    /// [`SubmitError::Busy`] when the global queue-depth cap or the
+    /// client's in-flight cap would be exceeded (nothing is submitted);
+    /// [`SubmitError::Rejected`] for invalid inline kernels and for any
+    /// sweep after shutdown began.
+    pub fn submit_for(
+        &self,
+        request: &SweepRequest,
+        client: Option<&ClientGuard<'_>>,
+    ) -> Result<Submission, SubmitError> {
+        if self.is_shutting_down() {
+            return Err(SubmitError::Rejected(
+                "server is shutting down; not accepting new sweeps".to_string(),
+            ));
         }
+        let points = request.machines.len() * request.windows.len() * request.mds.len();
+        let key = (request.source.key(), request.iterations);
+        // Admission + fast-path submit under one brief lock.  Only
+        // submissions (which hold the lock) increment the depth counters,
+        // so the check-then-reserve pair is exact; drainers decrementing
+        // concurrently can only make room, never take it.
+        let reserved = {
+            let mut state = self.lock_state();
+            self.admit(points, client)?;
+            let guard = self.reserve(points, client);
+            if let Some(&id) = state.programs.get(&key) {
+                return Ok(Self::enqueue(&mut state, request, id, guard));
+            }
+            guard
+        };
         // First sight: trace expansion and lowering are pure and can take
         // whole milliseconds at large iteration counts, so they run
         // *outside* the lock — a client pinning a big program must not
-        // stall every other client's submissions.
-        let trace = request.source.trace(request.iterations)?;
+        // stall every other client's submissions.  The reservation above
+        // stays held: the points are committed capacity either way.
+        let trace = request
+            .source
+            .trace(request.iterations)
+            .map_err(SubmitError::Rejected)?;
         let lowered = dae_core::LoweredTrace::new(&trace);
-        let mut state = self.state.lock().expect("server state poisoned");
+        let mut state = self.lock_state();
         let id = match state.programs.get(&key) {
             // Another client pinned the same source while we lowered; use
             // theirs (and drop ours) so both share one cache identity.
@@ -121,31 +383,82 @@ impl SweepServer {
                 id
             }
         };
-        Ok(Self::enqueue(&mut state, request, id))
+        Ok(Self::enqueue(&mut state, request, id, reserved))
     }
 
-    /// Enqueues the request's grid on the locked session.
-    fn enqueue(state: &mut ServerState, request: &SweepRequest, id: TraceId) -> Submission {
+    /// The admission check (caller holds the state lock).
+    fn admit(&self, points: usize, client: Option<&ClientGuard<'_>>) -> Result<(), SubmitError> {
+        let busy = |queued: usize, limit: usize| {
+            self.busy_rejections.fetch_add(1, Ordering::Relaxed);
+            Err(SubmitError::Busy {
+                queued,
+                limit,
+                retry_after_ms: self.limits.retry_after_ms,
+            })
+        };
+        let depth = self.queue_depth.load(Ordering::Relaxed);
+        if depth + points > self.limits.max_queue_depth {
+            return busy(depth, self.limits.max_queue_depth);
+        }
+        if let Some(client) = client {
+            let in_flight = client.in_flight.load(Ordering::Relaxed);
+            if in_flight + points > self.limits.max_client_in_flight {
+                return busy(in_flight, self.limits.max_client_in_flight);
+            }
+        }
+        Ok(())
+    }
+
+    /// Reserves `points` of queue capacity (caller holds the state lock
+    /// and has passed [`SweepServer::admit`]).
+    fn reserve(&self, points: usize, client: Option<&ClientGuard<'_>>) -> AdmissionGuard {
+        self.queue_depth.fetch_add(points, Ordering::Relaxed);
+        let client = client.map(|c| {
+            c.in_flight.fetch_add(points, Ordering::Relaxed);
+            Arc::clone(&c.in_flight)
+        });
+        AdmissionGuard {
+            global: Arc::clone(&self.queue_depth),
+            client,
+            remaining: points,
+        }
+    }
+
+    /// Enqueues the request's grid on the locked session and registers the
+    /// submission for shutdown cancellation.
+    fn enqueue(
+        state: &mut ServerState,
+        request: &SweepRequest,
+        id: TraceId,
+        guard: AdmissionGuard,
+    ) -> Submission {
         let points = request.points(id);
         let token = CancelToken::new();
         let stream = state.session.stream_cancellable(&points, &token);
-        Submission { stream, token }
+        let live = Arc::new(());
+        state.active.retain(|(l, _)| l.upgrade().is_some());
+        state.active.push((Arc::downgrade(&live), token.clone()));
+        Submission {
+            stream,
+            token,
+            guard,
+            _live: live,
+        }
     }
 
     /// The counters behind the `stats` reply: session activity, pin and
-    /// sweep-result cache state, and the process-wide simulation-pool
-    /// diagnostics (`dae_machines::pool_diagnostics`), in one flat list.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the server mutex was poisoned by a panicking submission.
+    /// sweep-result cache state, queue depth and per-client in-flight
+    /// points, the fault-path counters, and the process-wide
+    /// simulation-pool diagnostics (`dae_machines::pool_diagnostics`), in
+    /// one flat list.
     #[must_use]
     pub fn stats_fields(&self) -> Vec<(String, u64)> {
-        let state = self.state.lock().expect("server state poisoned");
+        let state = self.lock_state();
         let stats = state.session.stats();
         let cache = state.session.cache_stats();
         let pools = pool_diagnostics();
-        vec![
+        let pool_stats = rayon::global_pool_stats();
+        let mut fields = vec![
             ("pinned".to_string(), stats.pinned_traces),
             ("pin_hits".to_string(), stats.pin_hits),
             ("batched_points".to_string(), stats.batched_points),
@@ -156,7 +469,38 @@ impl SweepServer {
             ("warm_unit_takes".to_string(), pools.warm_unit_takes),
             ("fresh_unit_takes".to_string(), pools.fresh_unit_takes),
             ("template_hits".to_string(), pools.template_hits),
-        ]
+            (
+                "queue_depth".to_string(),
+                self.queue_depth.load(Ordering::Relaxed) as u64,
+            ),
+            ("clients".to_string(), state.clients.len() as u64),
+            (
+                "aborted_points".to_string(),
+                self.aborted_points.load(Ordering::Relaxed),
+            ),
+            (
+                "failed_points".to_string(),
+                self.failed_points.load(Ordering::Relaxed),
+            ),
+            (
+                "timeout_requests".to_string(),
+                self.timeout_requests.load(Ordering::Relaxed),
+            ),
+            (
+                "busy_rejections".to_string(),
+                self.busy_rejections.load(Ordering::Relaxed),
+            ),
+            ("worker_task_panics".to_string(), pool_stats.task_panics),
+        ];
+        let mut clients: Vec<_> = state.clients.iter().collect();
+        clients.sort_by_key(|&(&id, _)| id);
+        for (&id, in_flight) in clients {
+            fields.push((
+                format!("client_{id}"),
+                in_flight.load(Ordering::Relaxed) as u64,
+            ));
+        }
+        fields
     }
 }
 
@@ -167,7 +511,9 @@ struct Active {
 }
 
 fn write_line<W: Write>(writer: &Mutex<W>, response: &Response) -> bool {
-    let mut writer = writer.lock().expect("connection writer poisoned");
+    // Poison recovery: a writer is a byte sink whose worst torn state is a
+    // partial line on a connection that is being abandoned anyway.
+    let mut writer = writer.lock().unwrap_or_else(PoisonError::into_inner);
     // A failed write means the client went away; callers use the signal to
     // cancel the work they were relaying.
     writeln!(writer, "{response}")
@@ -176,12 +522,30 @@ fn write_line<W: Write>(writer: &Mutex<W>, response: &Response) -> bool {
 }
 
 /// Drains one submission to the shared connection writer: `point` lines
-/// (immediately in stream mode, sorted into grid order in batch mode)
-/// followed by the request's `done` accounting line.
-fn drain<W: Write>(mut submission: Submission, id: &str, mode: DeliveryMode, writer: &Mutex<W>) {
+/// (immediately in stream mode, sorted into grid order in batch mode),
+/// `error` lines for points whose simulation failed, and finally the
+/// request's `done` accounting line with its terminal status.
+///
+/// A deadline, when present, bounds the whole drain: on expiry the token
+/// is cancelled (running points abort mid-simulation) and the residue is
+/// collected with `status=timeout`.  A failed client write likewise
+/// cancels the token — dead-client cleanup stops simulating what no one
+/// will read, *including* the points already running.
+fn drain<W: Write>(
+    server: &SweepServer,
+    mut submission: Submission,
+    id: &str,
+    mode: DeliveryMode,
+    deadline_ms: Option<u64>,
+    writer: &Mutex<W>,
+) {
     let total = submission.stream.total();
+    let deadline = deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+    let mut timed_out = false;
     let mut delivered = 0usize;
     let mut cached = 0u64;
+    let mut batched: Vec<dae_core::StreamedPoint> = Vec::new();
+    let mut failures: Vec<Response> = Vec::new();
     let point_line = |p: &dae_core::StreamedPoint| {
         let (_, machine, window, md) = p.point;
         Response::Point {
@@ -193,37 +557,102 @@ fn drain<W: Write>(mut submission: Submission, id: &str, mode: DeliveryMode, wri
             cycles: p.cycles,
         }
     };
-    match mode {
-        DeliveryMode::Stream => {
-            for point in submission.stream.by_ref() {
+    loop {
+        let event = match deadline.filter(|_| !timed_out) {
+            // Deadline armed: wait only for the remaining budget.
+            Some(at) => {
+                let budget = at.saturating_duration_since(Instant::now());
+                match submission.stream.next_event_timeout(budget) {
+                    StreamWait::Event(event) => event,
+                    StreamWait::Exhausted => break,
+                    StreamWait::TimedOut => {
+                        // Budget spent: cancel (running points abort at
+                        // their next engine poll) and drain the residue
+                        // without a deadline — it settles in microseconds.
+                        timed_out = true;
+                        server.timeout_requests.fetch_add(1, Ordering::Relaxed);
+                        submission.token.cancel();
+                        continue;
+                    }
+                }
+            }
+            None => match submission.stream.next_event() {
+                Some(event) => event,
+                None => break,
+            },
+        };
+        submission.guard.release(1);
+        match event {
+            SweepEvent::Point(point) => {
                 delivered += 1;
                 cached += u64::from(point.cached);
-                if !write_line(writer, &point_line(&point)) {
-                    // The client is gone: stop simulating what no one will
-                    // read.  The stream still drains (skipped points are
-                    // cheap), keeping the accounting consistent.
-                    submission.token.cancel();
+                match mode {
+                    DeliveryMode::Stream => {
+                        if !write_line(writer, &point_line(&point)) {
+                            // The client is gone: stop simulating what no
+                            // one will read — pending points skip, running
+                            // points abort.  The stream still drains,
+                            // keeping the accounting consistent.
+                            submission.token.cancel();
+                        }
+                    }
+                    DeliveryMode::Batch => batched.push(point),
+                }
+            }
+            SweepEvent::Skipped { .. } => {}
+            SweepEvent::Aborted { .. } => {
+                server.aborted_points.fetch_add(1, Ordering::Relaxed);
+            }
+            SweepEvent::Failed { index, message } => {
+                server.failed_points.fetch_add(1, Ordering::Relaxed);
+                let error = Response::Error {
+                    id: Some(id.to_string()),
+                    message: format!("point {index} failed: {message}"),
+                };
+                match mode {
+                    DeliveryMode::Stream => {
+                        if !write_line(writer, &error) {
+                            submission.token.cancel();
+                        }
+                    }
+                    DeliveryMode::Batch => failures.push(error),
                 }
             }
         }
-        DeliveryMode::Batch => {
-            let mut points: Vec<_> = submission.stream.by_ref().collect();
-            points.sort_by_key(|p| p.index);
-            delivered = points.len();
-            for point in &points {
-                cached += u64::from(point.cached);
-                write_line(writer, &point_line(point));
-            }
+    }
+    if mode == DeliveryMode::Batch {
+        batched.sort_by_key(|p| p.index);
+        for point in &batched {
+            write_line(writer, &point_line(point));
+        }
+        for error in &failures {
+            write_line(writer, error);
         }
     }
+    let aborted = submission.stream.aborted();
+    let failed = submission.stream.failed();
+    let dropped = submission.stream.skipped();
+    // One status per request, by severity (see `DoneStatus`).
+    let status = if timed_out {
+        DoneStatus::Timeout
+    } else if failed > 0 {
+        DoneStatus::Error
+    } else if dropped + aborted > 0 {
+        DoneStatus::Cancelled
+    } else {
+        DoneStatus::Ok
+    };
     let _ = write_line(
         writer,
         &Response::Done {
             id: id.to_string(),
             points: total,
             delivered,
-            dropped: submission.stream.skipped(),
+            dropped,
+            aborted,
+            failed,
             cached,
+            status,
         },
     );
 }
@@ -233,6 +662,13 @@ fn drain<W: Write>(mut submission: Submission, id: &str, mode: DeliveryMode, wri
 /// Several sweeps may be in flight at once (each drains on its own
 /// thread); the call returns once the input is exhausted *and* every
 /// submitted sweep has written its `done` line.
+///
+/// The connection registers as a client for admission control: its sweeps
+/// are bounded by [`ServerLimits::max_client_in_flight`] and its live
+/// point count appears in `stats` as `client_<id>=`.  A `shutdown`
+/// request stops the whole server admitting new sweeps and, in abort
+/// mode, cancels in-flight work everywhere; this connection then stops
+/// reading further requests (its in-flight drainers still finish).
 ///
 /// # Errors
 ///
@@ -244,6 +680,7 @@ where
     W: Write + Send,
 {
     let writer = Mutex::new(writer);
+    let client = server.register_client();
     // Scoped drainer threads: every submitted sweep is joined (its `done`
     // line written) before this call returns, even on a read error.
     std::thread::scope(|scope| {
@@ -270,6 +707,14 @@ where
                             fields: server.stats_fields(),
                         },
                     );
+                }
+                Ok(Request::Shutdown { mode }) => {
+                    server.shutdown(mode);
+                    write_line(&writer, &Response::Shutdown { mode });
+                    // Stop reading: nothing this connection could send
+                    // would be admitted.  The scope still joins the
+                    // in-flight drainers, so their `done` lines land.
+                    break;
                 }
                 Ok(Request::Cancel { id }) => match active.get(&id) {
                     Some(request) if !request.finished.load(Ordering::Acquire) => {
@@ -298,8 +743,23 @@ where
                         );
                         continue;
                     }
-                    match server.submit(&request) {
-                        Err(message) => {
+                    match server.submit_for(&request, Some(&client)) {
+                        Err(SubmitError::Busy {
+                            queued,
+                            limit,
+                            retry_after_ms,
+                        }) => {
+                            write_line(
+                                &writer,
+                                &Response::Busy {
+                                    id: request.id,
+                                    queued,
+                                    limit,
+                                    retry_after_ms,
+                                },
+                            );
+                        }
+                        Err(SubmitError::Rejected(message)) => {
                             write_line(
                                 &writer,
                                 &Response::Error {
@@ -318,9 +778,17 @@ where
                                 },
                             );
                             let writer = &writer;
+                            let server = Arc::clone(server);
                             let finished = Arc::clone(&finished);
                             scope.spawn(move || {
-                                drain(submission, &request.id, request.mode, writer);
+                                drain(
+                                    &server,
+                                    submission,
+                                    &request.id,
+                                    request.mode,
+                                    request.deadline_ms,
+                                    writer,
+                                );
                                 finished.store(true, Ordering::Release);
                             });
                         }
@@ -336,7 +804,8 @@ where
 /// completion, in grid order, before the next line is read — producing the
 /// canonical output the streamed server paths are diffed against (the
 /// `--local` mode of the binary, used by `scripts/serve_smoke.sh`).
-/// `cancel` is rejected (nothing is ever in flight here).
+/// `cancel` is rejected (nothing is ever in flight here); `shutdown` stops
+/// reading.
 ///
 /// # Errors
 ///
@@ -359,20 +828,37 @@ where
             Ok(Request::Stats) => Some(Response::Stats {
                 fields: server.stats_fields(),
             }),
+            Ok(Request::Shutdown { mode }) => {
+                server.shutdown(mode);
+                writeln!(writer, "{}", Response::Shutdown { mode })?;
+                return Ok(());
+            }
             Ok(Request::Cancel { id }) => Some(Response::Error {
                 id: Some(id),
                 message: "local mode runs requests to completion; nothing to cancel".to_string(),
             }),
             Ok(Request::Sweep(request)) => match server.submit(&request) {
-                Err(message) => Some(Response::Error {
+                Err(SubmitError::Busy { queued, limit, .. }) => Some(Response::Error {
+                    id: Some(request.id),
+                    message: format!("server busy ({queued} of {limit} points queued)"),
+                }),
+                Err(SubmitError::Rejected(message)) => Some(Response::Error {
                     id: Some(request.id),
                     message,
                 }),
                 Ok(submission) => {
                     // Batch-order delivery regardless of the requested
                     // mode: local output is the order-independent oracle.
+                    // Deadlines are ignored here for the same reason.
                     let lock = Mutex::new(&mut writer);
-                    drain(submission, &request.id, DeliveryMode::Batch, &lock);
+                    drain(
+                        server,
+                        submission,
+                        &request.id,
+                        DeliveryMode::Batch,
+                        None,
+                        &lock,
+                    );
                     None
                 }
             },
@@ -384,30 +870,51 @@ where
     Ok(())
 }
 
-/// Accepts TCP connections forever, serving each on its own thread over
-/// the shared server.
+/// How often the accept loops wake to check for shutdown.
+const ACCEPT_POLL: Duration = Duration::from_millis(50);
+
+/// Accepts TCP connections until a `shutdown` request arrives (from any
+/// connection), serving each on its own thread over the shared server.
+/// Returns once shutdown begins; the binary then waits for the queue to
+/// drain ([`await_drained`]) before exiting.
 ///
 /// # Errors
 ///
 /// Propagates accept errors (per-connection I/O errors only end that
 /// connection).
 pub fn serve_tcp(server: &Arc<SweepServer>, listener: &TcpListener) -> io::Result<()> {
-    for connection in listener.incoming() {
-        let connection = connection?;
-        let server = Arc::clone(server);
-        std::thread::spawn(move || {
-            let reader = match connection.try_clone() {
-                Ok(read_half) => BufReader::new(read_half),
-                Err(_) => return,
-            };
-            let _ = serve_connection(&server, reader, connection);
-        });
+    // Non-blocking accept so the loop can observe shutdown: with no libc
+    // binding available there is no signal handling, and a blocking accept
+    // would pin the process past the shutdown verb.
+    listener.set_nonblocking(true)?;
+    loop {
+        if server.is_shutting_down() {
+            return Ok(());
+        }
+        match listener.accept() {
+            Ok((connection, _)) => {
+                let server = Arc::clone(server);
+                std::thread::spawn(move || {
+                    if connection.set_nonblocking(false).is_err() {
+                        return;
+                    }
+                    let reader = match connection.try_clone() {
+                        Ok(read_half) => BufReader::new(read_half),
+                        Err(_) => return,
+                    };
+                    let _ = serve_connection(&server, reader, connection);
+                });
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(e) => return Err(e),
+        }
     }
-    Ok(())
 }
 
-/// Accepts Unix-domain connections forever, serving each on its own
-/// thread over the shared server.
+/// Accepts Unix-domain connections until shutdown, serving each on its own
+/// thread over the shared server (see [`serve_tcp`]).
 ///
 /// # Errors
 ///
@@ -418,16 +925,43 @@ pub fn serve_unix(
     server: &Arc<SweepServer>,
     listener: &std::os::unix::net::UnixListener,
 ) -> io::Result<()> {
-    for connection in listener.incoming() {
-        let connection = connection?;
-        let server = Arc::clone(server);
-        std::thread::spawn(move || {
-            let reader = match connection.try_clone() {
-                Ok(read_half) => BufReader::new(read_half),
-                Err(_) => return,
-            };
-            let _ = serve_connection(&server, reader, connection);
-        });
+    listener.set_nonblocking(true)?;
+    loop {
+        if server.is_shutting_down() {
+            return Ok(());
+        }
+        match listener.accept() {
+            Ok((connection, _)) => {
+                let server = Arc::clone(server);
+                std::thread::spawn(move || {
+                    if connection.set_nonblocking(false).is_err() {
+                        return;
+                    }
+                    let reader = match connection.try_clone() {
+                        Ok(read_half) => BufReader::new(read_half),
+                        Err(_) => return,
+                    };
+                    let _ = serve_connection(&server, reader, connection);
+                });
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(e) => return Err(e),
+        }
     }
-    Ok(())
+}
+
+/// Blocks until the server's queue is empty (every in-flight point
+/// settled) or `timeout` passes — the exit path of the socket modes after
+/// shutdown.  Returns whether the queue drained.
+pub fn await_drained(server: &SweepServer, timeout: Duration) -> bool {
+    let give_up = Instant::now() + timeout;
+    while server.queue_depth() > 0 {
+        if Instant::now() >= give_up {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    true
 }

@@ -1,0 +1,530 @@
+//! Fault-injection end-to-end suite: the server must survive panicking
+//! points, expired deadlines, admission pressure, mid-stream disconnects,
+//! oversized grids and shutdown — each with balanced `done` accounting,
+//! and each followed by a bit-for-bit correct sweep to prove nothing was
+//! poisoned.
+//!
+//! The fault hooks (`dae_core::fault`) are process-global, so every test
+//! in this binary serializes on [`FAULT_LOCK`] — including the ones that
+//! arm nothing.
+
+use dae_core::{fault, SweepSession};
+use dae_serve::{
+    await_drained, parse_request, parse_response, serve_connection, serve_tcp, DoneStatus, Request,
+    Response, ServerLimits, ShutdownMode, SweepServer,
+};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+/// Serializes the binary's tests and guarantees hook reset even if the
+/// previous holder panicked.
+fn faults() -> MutexGuard<'static, ()> {
+    let guard = FAULT_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    fault::reset();
+    guard
+}
+
+/// A four-point grid over the TRFD kernel (distinct enough to exercise
+/// several machines, small enough to drain in milliseconds unfaulted).
+fn sweep_line(id: &str, extra: &str) -> String {
+    format!(
+        "sweep id={id} trace=TRFD iterations=120 machines=dm,swsm windows=16 mds=0,60 \
+         mode=stream{extra}"
+    )
+}
+
+/// The in-process oracle for one request line: the canonical grid on a
+/// private session.
+fn oracle(line: &str) -> Vec<u64> {
+    let Ok(Request::Sweep(request)) = parse_request(line) else {
+        panic!("oracle line must be a sweep request: {line}");
+    };
+    let mut session = SweepSession::new();
+    let trace = request
+        .source
+        .trace(request.iterations)
+        .expect("oracle source expands");
+    let id = session.pin_trace(&trace);
+    session.sweep_multi(&request.points(id))
+}
+
+/// Everything one request produced on the wire.
+#[derive(Default)]
+struct Outcome {
+    points: HashMap<usize, u64>,
+    errors: Vec<String>,
+    done: Option<Response>,
+}
+
+/// Runs `input` through a fresh stdin-shaped connection on `server` and
+/// groups the responses by request id (errors without an id land under
+/// `""`).
+fn run(server: &Arc<SweepServer>, input: &str) -> HashMap<String, Outcome> {
+    let mut output = Vec::new();
+    serve_connection(server, input.as_bytes(), &mut output).expect("serve");
+    let mut outcomes: HashMap<String, Outcome> = HashMap::new();
+    for line in String::from_utf8(output).expect("utf8").lines() {
+        match parse_response(line).expect("well-formed response") {
+            Response::Point {
+                id, index, cycles, ..
+            } => {
+                outcomes.entry(id).or_default().points.insert(index, cycles);
+            }
+            Response::Error { id, message } => {
+                outcomes
+                    .entry(id.unwrap_or_default())
+                    .or_default()
+                    .errors
+                    .push(message);
+            }
+            done @ Response::Done { .. } => {
+                let Response::Done { id, .. } = &done else {
+                    unreachable!()
+                };
+                let id = id.clone();
+                outcomes.entry(id).or_default().done = Some(done);
+            }
+            busy @ Response::Busy { .. } => {
+                let Response::Busy { id, .. } = &busy else {
+                    unreachable!()
+                };
+                let id = id.clone();
+                outcomes.entry(id).or_default().done = Some(busy);
+            }
+            Response::Shutdown { .. } | Response::Stats { .. } | Response::Cancelled { .. } => {}
+        }
+    }
+    outcomes
+}
+
+/// Asserts that `server` still serves correctly: a fresh sweep of the
+/// canonical grid matches the in-process oracle bit for bit.
+fn assert_still_serving(server: &Arc<SweepServer>, id: &str) {
+    fault::reset();
+    let line = sweep_line(id, "");
+    let outcomes = run(server, &format!("{line}\n"));
+    let outcome = &outcomes[id];
+    let expected = oracle(&line);
+    assert_eq!(outcome.points.len(), expected.len(), "post-fault sweep");
+    for (index, cycles) in expected.iter().enumerate() {
+        assert_eq!(
+            outcome.points[&index], *cycles,
+            "post-fault point {index} must match the reference"
+        );
+    }
+    let Some(Response::Done {
+        delivered,
+        dropped,
+        aborted,
+        failed,
+        status,
+        ..
+    }) = outcome.done
+    else {
+        panic!("post-fault sweep must finish");
+    };
+    assert_eq!(delivered, expected.len());
+    assert_eq!(dropped + aborted + failed, 0);
+    assert_eq!(status, DoneStatus::Ok);
+}
+
+/// An injected point panic produces one `error` line and a `done` with
+/// `failed=1 status=error`; the other points deliver correctly and the
+/// server keeps serving bit-for-bit afterwards.
+#[test]
+fn a_panicking_point_fails_its_own_request_only() {
+    let _guard = faults();
+    let server = Arc::new(SweepServer::new());
+    let line = sweep_line("wounded", "");
+    let expected = oracle(&line);
+
+    fault::panic_on_nth_start(1);
+    let outcomes = run(&server, &format!("{line}\n"));
+    let outcome = &outcomes["wounded"];
+    assert_eq!(outcome.errors.len(), 1, "exactly one point was sabotaged");
+    assert!(
+        outcome.errors[0].contains("injected fault"),
+        "the panic message travels to the client: {:?}",
+        outcome.errors
+    );
+    let Some(Response::Done {
+        points,
+        delivered,
+        dropped,
+        aborted,
+        failed,
+        status,
+        ..
+    }) = outcome.done
+    else {
+        panic!("the request must still finish");
+    };
+    assert_eq!(points, expected.len());
+    assert_eq!(failed, 1);
+    assert_eq!(delivered, expected.len() - 1);
+    assert_eq!(delivered + dropped + aborted + failed, points);
+    assert_eq!(status, DoneStatus::Error);
+    for (index, cycles) in &outcome.points {
+        assert_eq!(*cycles, expected[*index], "delivered point {index}");
+    }
+
+    assert_still_serving(&server, "healed");
+}
+
+/// A sweep whose deadline expires is cancelled mid-flight: running points
+/// abort, the `done` reports `status=timeout` with balanced accounting,
+/// and the request returns long before the grid could have finished.
+#[test]
+fn an_expired_deadline_cancels_the_sweep_mid_flight() {
+    let _guard = faults();
+    let server = Arc::new(SweepServer::new());
+
+    // Every point sleeps 300 ms before simulating; the request allows 40.
+    fault::slow_every_point_ms(300);
+    let line = sweep_line("late", " deadline_ms=40");
+    let started = Instant::now();
+    let outcomes = run(&server, &format!("{line}\n"));
+    let elapsed = started.elapsed();
+    let outcome = &outcomes["late"];
+    let Some(Response::Done {
+        points,
+        delivered,
+        dropped,
+        aborted,
+        failed,
+        status,
+        ..
+    }) = outcome.done
+    else {
+        panic!("a timed-out request must still write its done line");
+    };
+    assert_eq!(status, DoneStatus::Timeout);
+    assert_eq!(delivered, 0, "no point can finish through a 300 ms sleep");
+    assert_eq!(delivered + dropped + aborted + failed, points);
+    assert!(
+        aborted >= 1,
+        "points already sleeping at expiry must abort (aborted={aborted}, dropped={dropped})"
+    );
+    // Each worker sleeps once (300 ms), aborts on its first engine poll,
+    // and never picks up another point; a full run would cost ~4 sleeps on
+    // a narrow pool, plus simulation time.
+    assert!(
+        elapsed < Duration::from_millis(900),
+        "expiry must cut the request short, not run the grid: {elapsed:?}"
+    );
+    let fields = server.stats_fields();
+    let field = |name: &str| {
+        fields
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("stats must report {name}"))
+            .1
+    };
+    assert_eq!(field("timeout_requests"), 1);
+    assert!(field("aborted_points") >= 1);
+
+    assert_still_serving(&server, "punctual");
+}
+
+/// Admission control: a sweep exceeding the global queue cap is refused
+/// with a structured `busy` line (nothing submitted, nothing leaked), a
+/// sweep within the cap still runs, and the per-client cap binds too.
+#[test]
+fn over_limit_sweeps_get_busy_with_a_retry_hint() {
+    let _guard = faults();
+    let limits = ServerLimits {
+        max_client_in_flight: 3,
+        max_queue_depth: 3,
+        retry_after_ms: 25,
+    };
+    let server = Arc::new(SweepServer::with_session_and_limits(
+        SweepSession::new(),
+        limits,
+    ));
+
+    // Four points > both caps; the same grid shrunk to two fits.
+    let big = sweep_line("big", "");
+    let small = "sweep id=small trace=TRFD iterations=120 machines=dm windows=16 mds=0,60 \
+                 mode=stream";
+    let outcomes = run(&server, &format!("{big}\n{small}\n"));
+    let Some(Response::Busy {
+        queued,
+        limit,
+        retry_after_ms,
+        ..
+    }) = outcomes["big"].done
+    else {
+        panic!("the oversized sweep must be refused with busy");
+    };
+    assert_eq!(limit, 3);
+    assert_eq!(queued, 0, "nothing was queued when the refusal happened");
+    assert_eq!(retry_after_ms, 25);
+    let Some(Response::Done {
+        delivered, status, ..
+    }) = outcomes["small"].done
+    else {
+        panic!("the small sweep fits under the cap");
+    };
+    assert_eq!(delivered, 2);
+    assert_eq!(status, DoneStatus::Ok);
+    assert_eq!(
+        server.queue_depth(),
+        0,
+        "refusals and completions must both release their reservations"
+    );
+    let rejections = server
+        .stats_fields()
+        .iter()
+        .find(|(n, _)| n == "busy_rejections")
+        .expect("stats report rejections")
+        .1;
+    assert_eq!(rejections, 1);
+
+    // Still serving (with a grid that fits under the tiny caps): the
+    // repeat of the admitted sweep is answered correctly — and from cache.
+    let again = run(&server, &format!("{small}\n"));
+    let outcome = &again["small"];
+    let reference = oracle(small);
+    assert_eq!(outcome.points.len(), reference.len());
+    for (index, cycles) in reference.iter().enumerate() {
+        assert_eq!(outcome.points[&index], *cycles, "post-busy point {index}");
+    }
+    let Some(Response::Done { cached, .. }) = outcome.done else {
+        panic!("the repeat must finish");
+    };
+    assert_eq!(cached, reference.len() as u64);
+}
+
+/// A grid larger than the protocol's hard cap is rejected at parse time
+/// with an `error` line and the server keeps serving.
+#[test]
+fn oversized_grids_are_rejected_outright() {
+    let _guard = faults();
+    let server = Arc::new(SweepServer::new());
+    // 2 machines × 33 windows × 1000 mds = 66 000 points > MAX_POINTS.
+    let windows: Vec<String> = (1..=33).map(|w| (w * 2).to_string()).collect();
+    let mds: Vec<String> = (0..1000).map(|m| m.to_string()).collect();
+    let oversized = format!(
+        "sweep id=huge trace=TRFD iterations=120 machines=dm,swsm windows={} mds={} mode=stream",
+        windows.join(","),
+        mds.join(",")
+    );
+    let outcomes = run(&server, &format!("{oversized}\n"));
+    let errors = &outcomes["huge"].errors;
+    assert_eq!(errors.len(), 1, "one structured rejection: {errors:?}");
+    assert!(
+        errors[0].contains("points"),
+        "the rejection names the cap: {errors:?}"
+    );
+    assert!(outcomes["huge"].done.is_none(), "nothing was submitted");
+
+    assert_still_serving(&server, "after-huge");
+}
+
+/// Dead-client cleanup: when a streaming client disconnects mid-sweep, the
+/// failed write cancels the request — pending points are skipped and
+/// running points abort — so the queue drains long before the grid could
+/// have finished, almost nothing is simulated, and the server keeps
+/// serving.  (That a cancelled token aborts a point *mid-simulation* is
+/// pinned deterministically by the deadline test above, whose expiry fires
+/// while workers sleep; here the cancel races worker boundaries, so the
+/// drop-vs-abort split is not asserted.)
+#[test]
+fn a_mid_stream_disconnect_cancels_the_sweep() {
+    let _guard = faults();
+    let server = Arc::new(SweepServer::new());
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let port = listener.local_addr().expect("addr").port();
+    {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || {
+            let _ = serve_tcp(&server, &listener);
+        });
+    }
+
+    // A wide slow grid: 320 points × 150 ms sleep each — over three
+    // seconds of sleep even for a 16-worker pool, 48 s for one worker.
+    // The client reads one point line and vanishes; a later delivery's
+    // write fails, cancelling the token.
+    fault::slow_every_point_ms(150);
+    let mds: Vec<String> = (0..20).map(|m| (m * 7).to_string()).collect();
+    let wide = format!(
+        "sweep id=wide trace=TRFD iterations=120 machines=dm,swsm \
+         windows=4,8,12,16,24,32,48,64 mds={} mode=stream",
+        mds.join(",")
+    );
+    {
+        let mut client = TcpStream::connect(("127.0.0.1", port)).expect("connect");
+        let mut reader = BufReader::new(client.try_clone().expect("clone"));
+        writeln!(client, "{wide}").unwrap();
+        let mut line = String::new();
+        assert!(reader.read_line(&mut line).expect("first point") > 0);
+        assert!(line.starts_with("point "), "unexpected line: {line}");
+        // Dropping both halves closes the socket abruptly from the
+        // server's point of view: its next writes fail.
+    }
+
+    // The queue must drain far faster than the grid could possibly run:
+    // cancellation skips the pending points and aborts the in-flight ones.
+    let deadline = Instant::now() + Duration::from_millis(2_500);
+    while server.queue_depth() > 0 {
+        assert!(
+            Instant::now() < deadline,
+            "disconnect must drain the queue, not run the grid (depth {})",
+            server.queue_depth()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let cache_entries = server
+        .stats_fields()
+        .iter()
+        .find(|(n, _)| n == "cache_entries")
+        .expect("stats report cache entries")
+        .1;
+    assert!(
+        cache_entries < 160,
+        "most of the grid must never simulate after the client vanished \
+         (cache_entries={cache_entries})"
+    );
+
+    assert_still_serving(&server, "after-disconnect");
+}
+
+/// Graceful shutdown, drain mode: in-flight sweeps finish and write their
+/// `done` lines, the shutdown is acknowledged, and later sweeps on the
+/// same server are refused.
+#[test]
+fn shutdown_drain_finishes_in_flight_work_then_refuses_new_sweeps() {
+    let _guard = faults();
+    let server = Arc::new(SweepServer::new());
+    let line = sweep_line("final", "");
+    let expected = oracle(&line);
+
+    let mut output = Vec::new();
+    serve_connection(
+        &server,
+        format!("{line}\nshutdown\n").as_bytes(),
+        &mut output,
+    )
+    .expect("serve");
+    let text = String::from_utf8(output).expect("utf8");
+    let mut saw_ack = false;
+    let mut done = None;
+    for wire in text.lines() {
+        match parse_response(wire).expect("well-formed") {
+            Response::Shutdown { mode } => {
+                assert_eq!(mode, ShutdownMode::Drain);
+                saw_ack = true;
+            }
+            d @ Response::Done { .. } => done = Some(d),
+            Response::Point { .. } => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+    assert!(saw_ack, "shutdown must be acknowledged");
+    let Some(Response::Done {
+        delivered, status, ..
+    }) = done
+    else {
+        panic!("the in-flight sweep must drain to its done line");
+    };
+    assert_eq!(delivered, expected.len(), "drain mode finishes the work");
+    assert_eq!(status, DoneStatus::Ok);
+    assert!(server.is_shutting_down());
+    assert!(await_drained(&server, Duration::from_secs(5)));
+
+    // A later connection is refused.
+    let refused = run(&server, &format!("{}\n", sweep_line("too-late", "")));
+    let errors = &refused["too-late"].errors;
+    assert_eq!(errors.len(), 1);
+    assert!(
+        errors[0].contains("shutting down"),
+        "the refusal says why: {errors:?}"
+    );
+}
+
+/// Graceful shutdown, abort mode: a slow in-flight sweep on another
+/// connection is cancelled (its done line arrives with balanced
+/// accounting and aborted points), the accept loop exits, and the queue
+/// drains.
+#[test]
+fn shutdown_abort_cancels_in_flight_work_everywhere() {
+    let _guard = faults();
+    let server = Arc::new(SweepServer::new());
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let port = listener.local_addr().expect("addr").port();
+    let accept_loop = {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || serve_tcp(&server, &listener))
+    };
+
+    fault::slow_every_point_ms(400);
+    let wide = "sweep id=doomed trace=TRFD iterations=120 machines=dm,swsm \
+                windows=4,8,16,32 mds=0,20,40,60 mode=stream";
+    let mut victim = TcpStream::connect(("127.0.0.1", port)).expect("connect");
+    let mut victim_reader = BufReader::new(victim.try_clone().expect("clone"));
+    writeln!(victim, "{wide}").unwrap();
+    // Let the submission land and the first points start sleeping.
+    std::thread::sleep(Duration::from_millis(100));
+    assert!(server.queue_depth() > 0, "the sweep must be in flight");
+
+    let mut admin = TcpStream::connect(("127.0.0.1", port)).expect("connect admin");
+    let mut admin_reader = BufReader::new(admin.try_clone().expect("clone admin"));
+    writeln!(admin, "shutdown mode=abort").unwrap();
+    let mut ack = String::new();
+    assert!(admin_reader.read_line(&mut ack).expect("ack") > 0);
+    assert!(
+        matches!(
+            parse_response(ack.trim_end()),
+            Ok(Response::Shutdown {
+                mode: ShutdownMode::Abort
+            })
+        ),
+        "unexpected ack: {ack}"
+    );
+
+    // The victim's done line arrives promptly — cancelled, balanced.
+    let done = loop {
+        let mut line = String::new();
+        assert!(
+            victim_reader.read_line(&mut line).expect("victim read") > 0,
+            "victim connection must carry a done line"
+        );
+        match parse_response(line.trim_end()).expect("well-formed") {
+            done @ Response::Done { .. } => break done,
+            Response::Point { .. } | Response::Error { .. } => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    };
+    let Response::Done {
+        points,
+        delivered,
+        dropped,
+        aborted,
+        failed,
+        status,
+        ..
+    } = done
+    else {
+        unreachable!()
+    };
+    assert_eq!(delivered + dropped + aborted + failed, points);
+    assert!(
+        dropped + aborted > 0,
+        "abort-mode shutdown cancels the in-flight sweep"
+    );
+    assert_eq!(status, DoneStatus::Cancelled);
+    assert!(
+        await_drained(&server, Duration::from_secs(5)),
+        "the queue drains after an abort shutdown"
+    );
+    accept_loop
+        .join()
+        .expect("accept loop exits")
+        .expect("accept loop exits cleanly");
+}

@@ -1,0 +1,117 @@
+//! Property fuzz of the wire-format parsers: no input line — raw bytes,
+//! token soup, or a near-miss mutation of a valid request — may ever make
+//! `parse_request` (or `parse_response`) panic.  Malformed lines must come
+//! back as structured `Err`s, and whatever parses must survive a
+//! print/parse round trip.
+
+use dae_serve::{parse_request, parse_response, Request};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// A fragment drawn from the protocol's own vocabulary: verbs, field
+/// names, values, separators — the inputs most likely to reach deep
+/// parser states.
+fn vocab() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("sweep".to_string()),
+        Just("cancel".to_string()),
+        Just("stats".to_string()),
+        Just("shutdown".to_string()),
+        Just("id=a".to_string()),
+        Just("id=".to_string()),
+        Just("trace=TRFD".to_string()),
+        Just("trace=".to_string()),
+        Just("kernel=i;ld:%0;add:%1,$0".to_string()),
+        Just("kernel=;;;".to_string()),
+        Just("iterations=120".to_string()),
+        Just("iterations=99999999999999999999".to_string()),
+        Just("machines=dm,swsm".to_string()),
+        Just("machines=,".to_string()),
+        Just("windows=16".to_string()),
+        Just("windows=0".to_string()),
+        Just("mds=0,60".to_string()),
+        Just("mds=-1".to_string()),
+        Just("mode=stream".to_string()),
+        Just("mode=sideways".to_string()),
+        Just("deadline_ms=250".to_string()),
+        Just("deadline_ms=0".to_string()),
+        Just("deadline_ms=-7".to_string()),
+        Just("deadline_ms=soon".to_string()),
+        Just("mode=abort".to_string()),
+        Just("=".to_string()),
+        Just("==".to_string()),
+        Just("sweep=sweep".to_string()),
+        (0u32..0x80)
+            .prop_map(|c| { char::from_u32(c).map_or_else(String::new, |c| c.to_string()) }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    /// Arbitrary bytes, lossily decoded: the parser returns Ok or Err,
+    /// never panics, and never accepts a line with interior NULs as a
+    /// sweep.
+    #[test]
+    fn arbitrary_bytes_never_panic_the_request_parser(bytes in vec(any::<u8>(), 0..200)) {
+        let line = String::from_utf8_lossy(&bytes);
+        let _ = parse_request(&line);
+        let _ = parse_response(&line);
+    }
+
+    /// Token soup from the protocol's own vocabulary, glued with spaces:
+    /// the highest-coverage malformed inputs.  Whatever parses as a
+    /// request must survive a print → parse round trip.
+    #[test]
+    fn vocabulary_soup_never_panics_and_roundtrips_when_accepted(
+        tokens in vec(vocab(), 0..12),
+    ) {
+        let line = tokens.join(" ");
+        if let Ok(request) = parse_request(&line) {
+            let printed = match &request {
+                Request::Sweep(sweep) => sweep.to_string(),
+                Request::Cancel { id } => format!("cancel id={id}"),
+                Request::Stats => "stats".to_string(),
+                Request::Shutdown { mode } => format!("shutdown mode={mode}"),
+            };
+            let reparsed = parse_request(&printed).unwrap_or_else(|e| {
+                panic!("printed form of accepted request must reparse: '{printed}': {e:?}")
+            });
+            prop_assert_eq!(request, reparsed);
+        }
+        let _ = parse_response(&line);
+    }
+
+    /// Single-field mutations of a known-good sweep line: flip one field
+    /// to an arbitrary value; the parser must still never panic.
+    #[test]
+    fn mutated_sweeps_never_panic(
+        field in 0usize..7,
+        value in vec(any::<u8>(), 0..24),
+    ) {
+        let fields = [
+            "id=fz",
+            "trace=TRFD",
+            "iterations=120",
+            "machines=dm",
+            "windows=16",
+            "mds=60",
+            "mode=stream",
+        ];
+        let value = String::from_utf8_lossy(&value).into_owned();
+        let mutated: Vec<String> = fields
+            .iter()
+            .enumerate()
+            .map(|(i, f)| {
+                if i == field {
+                    let name = f.split('=').next().expect("field has a name");
+                    format!("{name}={value}")
+                } else {
+                    (*f).to_string()
+                }
+            })
+            .collect();
+        let line = format!("sweep {}", mutated.join(" "));
+        let _ = parse_request(&line);
+    }
+}

@@ -256,23 +256,34 @@ fn cancellation_drops_pending_points_and_accounting_balances() {
             points,
             delivered,
             dropped,
+            aborted,
+            failed,
+            status,
             ..
         } = done
         else {
             unreachable!()
         };
         assert_eq!(points, total);
-        assert_eq!(delivered + dropped, points, "accounting must balance");
+        assert_eq!(
+            delivered + dropped + aborted + failed,
+            points,
+            "accounting must balance"
+        );
+        assert_eq!(failed, 0, "nothing injects faults here");
         assert_eq!(delivered, delivered_points.len());
         assert!(
-            saw_ack || dropped == 0,
-            "dropped points require an acknowledged cancel"
+            saw_ack || dropped + aborted == 0,
+            "dropped or aborted points require an acknowledged cancel"
         );
+        if dropped + aborted > 0 {
+            assert_eq!(status, dae_serve::DoneStatus::Cancelled);
+        }
         // The delivered subset still matches the oracle.
         for (index, cycles) in &delivered_points {
             assert_eq!(*cycles, expected[*index], "delivered point {index}");
         }
-        if dropped > 0 {
+        if dropped + aborted > 0 {
             any_dropped = true;
             break;
         }
@@ -280,7 +291,7 @@ fn cancellation_drops_pending_points_and_accounting_balances() {
     }
     assert!(
         any_dropped,
-        "a cancel racing a {total}-point grid should drop pending points in at least one of 5 attempts"
+        "a cancel racing a {total}-point grid should drop or abort points in at least one of 5 attempts"
     );
 }
 
@@ -317,7 +328,26 @@ fn stdin_shaped_connections_serve_tagged_requests_and_stats() {
             }
             Response::Stats { fields } => {
                 saw_stats = true;
-                assert!(fields.iter().any(|(name, _)| name == "cache_entries"));
+                for required in [
+                    "cache_entries",
+                    "queue_depth",
+                    "clients",
+                    "aborted_points",
+                    "failed_points",
+                    "timeout_requests",
+                    "busy_rejections",
+                ] {
+                    assert!(
+                        fields.iter().any(|(name, _)| name == required),
+                        "stats must report {required}: {fields:?}"
+                    );
+                }
+                // This connection is registered, so its in-flight count
+                // appears under its server-assigned client id.
+                assert!(
+                    fields.iter().any(|(name, _)| name.starts_with("client_")),
+                    "stats must report per-client in-flight points: {fields:?}"
+                );
             }
             Response::Error { message, .. } => {
                 saw_error = true;

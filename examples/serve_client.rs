@@ -49,9 +49,12 @@ fn read_all(
                 delivered,
                 dropped,
                 cached,
+                status,
+                ..
             } => {
                 assert_eq!(delivered, points, "nothing was cancelled here");
                 assert_eq!(dropped, 0);
+                assert_eq!(status, dae_serve::DoneStatus::Ok);
                 collected.get_mut(&id).expect("known id").1 = cached;
                 outstanding -= 1;
             }

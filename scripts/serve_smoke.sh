@@ -27,7 +27,28 @@ diff -u target/serve-smoke-expected.txt target/serve-smoke-got.txt
 
 # Every request must have completed with nothing dropped.
 for id in a b c d; do
-  grep -q "^done id=$id .*dropped=0" target/serve-smoke-raw.txt
+  grep -q "^done id=$id .*dropped=0.*status=ok" target/serve-smoke-raw.txt
 done
 
-echo "serve smoke OK: $(wc -l < target/serve-smoke-got.txt) streamed points match the in-process results"
+# Robustness: malformed input and an oversized grid must each come back as
+# a structured error — not a crash, not a hang — and must not stop the
+# server answering a valid request on the same connection.
+req_bad=target/serve-smoke-bad-requests.txt
+{
+  printf 'sweep id=bad trace=NOPE machines=dm windows=16 mds=60\n'
+  printf 'warp id=x speed=9\n'
+  printf '==== %% not even close\n'
+  printf 'sweep id=huge trace=TRFD machines=dm,swsm,scalar windows=%s mds=%s\n' \
+    "$(seq 1 200 | paste -sd, -)" "$(seq 0 149 | paste -sd, -)"
+  printf 'sweep id=ok trace=TRFD iterations=120 machines=dm windows=16 mds=60 mode=stream\n'
+} > "$req_bad"
+
+"$bin" --stdin < "$req_bad" > target/serve-smoke-bad-raw.txt
+n_errors=$(grep -c '^error' target/serve-smoke-bad-raw.txt)
+[ "$n_errors" -eq 4 ] || {
+  echo "expected 4 error lines, got $n_errors"; exit 1
+}
+grep -q '^error id=huge .*exceeds' target/serve-smoke-bad-raw.txt
+grep -q '^done id=ok .*delivered=1.*status=ok' target/serve-smoke-bad-raw.txt
+
+echo "serve smoke OK: $(wc -l < target/serve-smoke-got.txt) streamed points match the in-process results; malformed and oversized requests rejected cleanly"

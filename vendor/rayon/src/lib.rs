@@ -119,6 +119,7 @@ struct Shared {
     batches: AtomicU64,
     tasks: AtomicU64,
     items: AtomicU64,
+    task_panics: AtomicU64,
 }
 
 /// Reuse / lifecycle counters of a pool (diagnostics for tests; see the
@@ -134,6 +135,9 @@ pub struct PoolStats {
     pub tasks: u64,
     /// Batch items executed (or skipped after a batch panic).
     pub items: u64,
+    /// `spawn`ed tasks that panicked (caught by the worker, which
+    /// survives; an observability hook for fault-tolerance suites).
+    pub task_panics: u64,
 }
 
 /// A persistent pool of worker threads fed by a shared work queue.
@@ -169,6 +173,7 @@ impl ThreadPool {
                 batches: AtomicU64::new(0),
                 tasks: AtomicU64::new(0),
                 items: AtomicU64::new(0),
+                task_panics: AtomicU64::new(0),
             }),
             threads: threads.max(1),
             handles: Mutex::new(Vec::new()),
@@ -189,6 +194,7 @@ impl ThreadPool {
             batches: self.shared.batches.load(Ordering::Relaxed),
             tasks: self.shared.tasks.load(Ordering::Relaxed),
             items: self.shared.items.load(Ordering::Relaxed),
+            task_panics: self.shared.task_panics.load(Ordering::Relaxed),
         }
     }
 
@@ -336,8 +342,11 @@ fn worker_loop(shared: &Shared) {
             Work::Task(task) => {
                 shared.tasks.fetch_add(1, Ordering::Relaxed);
                 // Keep the worker alive through a panicking task; the
-                // payload is intentionally dropped (see `spawn`).
-                let _ = catch_unwind(AssertUnwindSafe(task));
+                // payload is intentionally dropped (see `spawn`), but the
+                // panic is counted so fault suites can observe it.
+                if catch_unwind(AssertUnwindSafe(task)).is_err() {
+                    shared.task_panics.fetch_add(1, Ordering::Relaxed);
+                }
             }
         }
     }
