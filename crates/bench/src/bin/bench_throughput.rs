@@ -36,6 +36,24 @@
 //! the skip-identical-points win; cached and cold results are asserted
 //! identical first.
 //!
+//! Two scheduler-shape benchmarks round out the suite.  A **contention**
+//! benchmark floods the worker pool's bulk band with a constantly refilled
+//! backlog grid and interleaves single-point probe requests, recording
+//! p50/p99 probe latency twice: tagged `interactive` (the priority
+//! scheduler pulls them past the backlog) and tagged like the backlog
+//! itself (bulk band, same client — the FIFO shape every request had
+//! before priorities existed).  The enforced floor is the acceptance
+//! bound: the prioritized p99 must never exceed the FIFO-shaped p99.  A
+//! **skew** benchmark runs a skewed-cost grid (sixty cheap points, four
+//! 4×-cost points parked at the tail) on the work-stealing pool versus an
+//! emulation of the old fixed-chunk FIFO pool (scoped threads claiming
+//! `total / (4 × threads)`-point chunks off a shared cursor): under FIFO
+//! chunking the expensive tail lands in one thread's final chunk and
+//! serializes, while the stealing deques split it across idle workers.
+//! On a single hardware thread both sides serialize identically, so the
+//! floor is a loss guard (like the sweep/session floors) and the
+//! committed ratio is the trend signal.
+//!
 //! Each pipeline is timed as a warm burst (the sweep drivers run the same
 //! machine back to back, so warm-cache cost is the deployed cost), taking
 //! the minimum over several repetitions to reject load spikes on shared
@@ -49,7 +67,10 @@
 //! floors** — CI runs this on every push so a regression below the floor
 //! fails fast — but does not overwrite the committed baseline JSON.
 
-use dae_core::{LoweredTrace, Machine, SweepSession, WindowSpec};
+use dae_core::{
+    CancelToken, LoweredTrace, Machine, Priority, RequestClass, SweepEvent, SweepPoint,
+    SweepSession, WindowSpec,
+};
 use dae_machines::{
     DecoupledMachine, DmConfig, ScalarConfig, ScalarReference, SimPool, SuperscalarMachine,
     SwsmConfig,
@@ -57,7 +78,7 @@ use dae_machines::{
 use dae_trace::{expand_swsm, lower_scalar, partition, PartitionMode};
 use dae_workloads::PerfectProgram;
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -120,6 +141,25 @@ const SESSION_FLOOR: f64 = 0.98;
 /// never be slower than cold.
 const CACHE_FLOOR: f64 = 1.0;
 
+/// Floor for the contention benchmark: the p99 latency of an
+/// `interactive`-tagged probe must never exceed the p99 of the same probe
+/// tagged like the backlog (bulk band, backlog client — the pre-priority
+/// FIFO shape).  This is the acceptance bound itself; the measured ratio
+/// is far above it whenever the backlog holds more than a handful of
+/// queued points, because the FIFO-shaped probe waits for every one of
+/// them while the interactive probe waits only for the points already
+/// *running*.
+const CONTENTION_FLOOR: f64 = 1.0;
+
+/// Floor for the skewed-grid benchmark: work stealing versus the old
+/// fixed-chunk FIFO shape.  On one hardware thread both sides serialize
+/// the same work (ratio ≈ 1.0) and the FIFO side additionally pays its
+/// per-call thread spawn, so like the sweep/session floors this is a loss
+/// guard — stealing must never make a skewed grid meaningfully *slower* —
+/// and the committed ratio (well above 1 on multi-core boxes, where the
+/// expensive tail chunk serializes under FIFO) is the trend signal.
+const SKEW_FLOOR: f64 = 0.95;
+
 /// Smoke-mode floors: shorter traces amortise per-run fixed costs less and
 /// the reduced repetition count rejects less noise, so CI's fast tripwire
 /// uses a wider margin.  A real regression of the event-driven engine
@@ -140,6 +180,12 @@ const SMOKE_SESSION_FLOOR: f64 = 0.97;
 /// The cache floor needs no smoke widening: the measured ratio is a
 /// lookup against a simulation, far from break-even in any mode.
 const SMOKE_CACHE_FLOOR: f64 = 1.0;
+/// The contention floor is the acceptance bound and holds in any mode:
+/// a prioritized probe never waits for queued bulk points, so its p99
+/// cannot exceed the FIFO-shaped one even on a short smoke backlog.
+const SMOKE_CONTENTION_FLOOR: f64 = 1.0;
+/// The skew floor is already a loss guard; smoke mode needs no widening.
+const SMOKE_SKEW_FLOOR: f64 = 0.95;
 
 /// Times one pipeline as a warm burst: one untimed warm-up call, then the
 /// minimum single-run time over `reps` repetitions.
@@ -227,6 +273,44 @@ impl CacheMeasurement {
     }
 }
 
+/// One contention measurement: p50/p99 latency of single-point probes
+/// racing a refilled bulk backlog, once tagged `interactive` and once
+/// tagged like the backlog itself (the FIFO shape).
+struct ContentionMeasurement {
+    name: String,
+    interactive_p50_ns: f64,
+    interactive_p99_ns: f64,
+    fifo_p50_ns: f64,
+    fifo_p99_ns: f64,
+}
+
+impl ContentionMeasurement {
+    fn p99_ratio(&self) -> f64 {
+        self.fifo_p99_ns / self.interactive_p99_ns
+    }
+}
+
+/// One skew measurement: a skewed-cost grid on the work-stealing pool
+/// versus the old fixed-chunk FIFO shape.
+struct SkewMeasurement {
+    name: String,
+    stealing_ns: f64,
+    fifo_ns: f64,
+}
+
+impl SkewMeasurement {
+    fn speedup(&self) -> f64 {
+        self.fifo_ns / self.stealing_ns
+    }
+}
+
+/// The `p`-th percentile of an ascending-sorted latency sample (nearest
+/// rank; `p` in (0, 1]).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let rank = (sorted.len() as f64 * p).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
 /// The minimum of `f` over the measurements whose name starts with
 /// `prefix` (the per-machine floor checks).
 fn min_over(results: &[Measurement], prefix: &str, f: impl Fn(&Measurement) -> f64) -> f64 {
@@ -281,6 +365,8 @@ fn main() {
     let mut sweeps: Vec<SweepMeasurement> = Vec::new();
     let mut sessions: Vec<SessionMeasurement> = Vec::new();
     let mut caches: Vec<CacheMeasurement> = Vec::new();
+    let mut contentions: Vec<ContentionMeasurement> = Vec::new();
+    let mut skews: Vec<SkewMeasurement> = Vec::new();
     // The sweep benchmark's (window, MD) grid: a slice of the figure
     // sweeps' real parameter space, small windows and MD = 0 included so
     // per-point construction is a visible share of the cheap points.
@@ -580,6 +666,165 @@ fn main() {
         }
     }
 
+    // Contention mode: single-point probe requests interleaved with a
+    // constantly refilled bulk backlog on one shared session (the
+    // multi-client serving shape).  Each probe is timed from submission to
+    // its point event, first tagged `interactive` from its own client,
+    // then tagged exactly like the backlog (bulk band, same client) — the
+    // FIFO discipline every request got before the priority scheduler.
+    // Alternating the two legs probe-by-probe keeps load spikes fair, as
+    // in the other close-measurement benchmarks (here the contrast is
+    // anything but close: the FIFO-shaped probe waits for the whole queued
+    // backlog, the interactive one only for the points already running).
+    {
+        let probes = if smoke { 12 } else { 40 };
+        let mut session = SweepSession::new();
+        // Cache off: every probe and every backlog point must really
+        // simulate, or the backlog would evaporate after one pass.
+        session.set_cache_enabled(false);
+        let sid = session.pin_program(PerfectProgram::Trfd, iterations);
+        let mut backlog_grid: Vec<SweepPoint> = Vec::new();
+        for _ in 0..12 {
+            for &w in &[4usize, 8, 16, 32] {
+                for &md in &[0u64, 20, 40, MD] {
+                    backlog_grid.push((sid, Machine::Decoupled, WindowSpec::Entries(w), md));
+                }
+            }
+        }
+        let probe_point: Vec<SweepPoint> =
+            vec![(sid, Machine::Decoupled, WindowSpec::Entries(16), MD)];
+
+        // Keep at least one backlog grid's worth of bulk jobs queued ahead
+        // of every probe (the pool's band gauge is the refill signal).
+        let mut backlog: Vec<(CancelToken, dae_core::SweepStream)> = Vec::new();
+        let refill =
+            |session: &mut SweepSession,
+             backlog: &mut Vec<(CancelToken, dae_core::SweepStream)>| {
+                while rayon::global_pool_stats().queued_bulk < 96 {
+                    let token = CancelToken::new();
+                    let stream = session.stream_classified(
+                        &backlog_grid,
+                        &token,
+                        RequestClass::new(Priority::Bulk, 1),
+                    );
+                    backlog.push((token, stream));
+                }
+            };
+        let probe = |session: &mut SweepSession, class: RequestClass| -> f64 {
+            let token = CancelToken::new();
+            let t0 = Instant::now();
+            let mut stream = session.stream_classified(&probe_point, &token, class);
+            match stream.next_event() {
+                Some(SweepEvent::Point(point)) => assert!(point.cycles > 0),
+                other => panic!("the probe must deliver its point: {other:?}"),
+            }
+            let ns = t0.elapsed().as_nanos() as f64;
+            assert!(stream.next_event().is_none());
+            ns
+        };
+
+        let mut interactive = Vec::with_capacity(probes);
+        let mut fifo = Vec::with_capacity(probes);
+        for _ in 0..probes {
+            refill(&mut session, &mut backlog);
+            interactive.push(probe(
+                &mut session,
+                RequestClass::new(Priority::Interactive, 2),
+            ));
+            refill(&mut session, &mut backlog);
+            fifo.push(probe(&mut session, RequestClass::new(Priority::Bulk, 1)));
+        }
+
+        // Wind the backlog down: cancellation claim-drops the queued jobs.
+        for (token, _) in &backlog {
+            token.cancel();
+        }
+        for (_, stream) in &mut backlog {
+            while stream.next_event().is_some() {}
+        }
+
+        interactive.sort_by(f64::total_cmp);
+        fifo.sort_by(f64::total_cmp);
+        contentions.push(ContentionMeasurement {
+            name: format!("probe{probes}_under_bulk{}/trfd", backlog_grid.len()),
+            interactive_p50_ns: percentile(&interactive, 0.50),
+            interactive_p99_ns: percentile(&interactive, 0.99),
+            fifo_p50_ns: percentile(&fifo, 0.50),
+            fifo_p99_ns: percentile(&fifo, 0.99),
+        });
+    }
+
+    // Skew mode: a grid whose tail is far more expensive than its head —
+    // sixty points on a short trace, then four points on a 4×-length
+    // trace.  The stealing pool splits the tail across whatever workers go
+    // idle; the old pool's fixed `total / (4 × threads)`-point chunks
+    // (emulated here with scoped threads over a shared cursor, the same
+    // shape the session benchmark uses for its per-call side) hand the
+    // entire tail to whichever thread claims the last chunk.
+    {
+        let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let short_trace = PerfectProgram::Trfd.workload().trace(iterations);
+        let long_trace = PerfectProgram::Trfd.workload().trace(iterations * 4);
+        let lowered_short = LoweredTrace::new(&short_trace);
+        let lowered_long = LoweredTrace::new(&long_trace);
+        let mut grid: Vec<bool> = vec![false; 60];
+        grid.extend([true; 4]);
+        let eval = |&expensive: &bool| {
+            if expensive {
+                lowered_long.dm_cycles(WindowSpec::Entries(WINDOW), MD)
+            } else {
+                lowered_short.dm_cycles(WindowSpec::Entries(WINDOW), MD)
+            }
+        };
+        let naive: Vec<u64> = grid.iter().map(eval).collect();
+        let pool = rayon::ThreadPool::new(threads);
+        assert_eq!(
+            pool.map(grid.clone(), |p| eval(&p)),
+            naive,
+            "skewed-grid differential check failed"
+        );
+
+        let run_stealing = || pool.map(grid.clone(), |p| eval(&p)).iter().sum::<u64>();
+        let run_fifo = || {
+            let chunk = grid.len().div_ceil(4 * threads).max(1);
+            let cursor = AtomicUsize::new(0);
+            let sum = AtomicU64::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(|| loop {
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= grid.len() {
+                            break;
+                        }
+                        let mut local = 0u64;
+                        for p in &grid[start..(start + chunk).min(grid.len())] {
+                            local += eval(p);
+                        }
+                        sum.fetch_add(local, Ordering::Relaxed);
+                    });
+                }
+            });
+            sum.load(Ordering::Relaxed)
+        };
+        // Interleaved min-of-reps, like the sweep and session benchmarks.
+        std::hint::black_box(run_stealing());
+        std::hint::black_box(run_fifo());
+        let (mut stealing_ns, mut fifo_ns) = (f64::INFINITY, f64::INFINITY);
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            std::hint::black_box(run_stealing());
+            stealing_ns = stealing_ns.min(t0.elapsed().as_nanos() as f64);
+            let t0 = Instant::now();
+            std::hint::black_box(run_fifo());
+            fifo_ns = fifo_ns.min(t0.elapsed().as_nanos() as f64);
+        }
+        skews.push(SkewMeasurement {
+            name: format!("dm_skew{}tail4_w{WINDOW}_md{MD}/trfd", grid.len()),
+            stealing_ns,
+            fifo_ns,
+        });
+    }
+
     println!(
         "{:<28} {:>12} {:>12} {:>12} {:>9} {:>9}",
         "benchmark", "event ns", "old-pipe ns", "naive ns", "pipeline", "scheduler"
@@ -638,6 +883,36 @@ fn main() {
         );
     }
 
+    println!(
+        "\n{:<30} {:>11} {:>11} {:>11} {:>11} {:>9}",
+        "contention benchmark", "prio p50", "prio p99", "fifo p50", "fifo p99", "p99 ratio"
+    );
+    for c in &contentions {
+        println!(
+            "{:<30} {:>11.0} {:>11.0} {:>11.0} {:>11.0} {:>8.1}x",
+            c.name,
+            c.interactive_p50_ns,
+            c.interactive_p99_ns,
+            c.fifo_p50_ns,
+            c.fifo_p99_ns,
+            c.p99_ratio()
+        );
+    }
+
+    println!(
+        "\n{:<36} {:>12} {:>12} {:>9}",
+        "skew benchmark", "stealing ns", "fifo ns", "speedup"
+    );
+    for s in &skews {
+        println!(
+            "{:<36} {:>12.0} {:>12.0} {:>8.2}x",
+            s.name,
+            s.stealing_ns,
+            s.fifo_ns,
+            s.speedup()
+        );
+    }
+
     let min_dm_pipeline = min_over(&results, "dm_w", Measurement::pipeline_speedup);
     let min_dm_scheduler = min_over(&results, "dm_w", Measurement::scheduler_speedup);
     let min_swsm_pipeline = min_over(&results, "swsm_", Measurement::pipeline_speedup);
@@ -656,13 +931,23 @@ fn main() {
         .iter()
         .map(CacheMeasurement::speedup)
         .fold(f64::INFINITY, f64::min);
+    let min_contention = contentions
+        .iter()
+        .map(ContentionMeasurement::p99_ratio)
+        .fold(f64::INFINITY, f64::min);
+    let min_skew = skews
+        .iter()
+        .map(SkewMeasurement::speedup)
+        .fold(f64::INFINITY, f64::min);
     println!(
         "\nminimum speedups at MD = {MD} (pipeline / scheduler-only): \
          DM {min_dm_pipeline:.2}x / {min_dm_scheduler:.2}x, \
          SWSM {min_swsm_pipeline:.2}x / {min_swsm_scheduler:.2}x, \
          scalar {min_scalar_pipeline:.2}x / {min_scalar_scheduler:.2}x; \
          sweep pooling {min_sweep:.2}x; session vs per-call {min_session:.2}x; \
-         cache-warm vs cold {min_cache:.0}x"
+         cache-warm vs cold {min_cache:.0}x; \
+         prioritized vs FIFO probe p99 {min_contention:.1}x; \
+         skewed-grid stealing vs FIFO chunks {min_skew:.2}x"
     );
 
     if smoke {
@@ -718,9 +1003,39 @@ fn main() {
             );
             json.push_str(if i + 1 == caches.len() { "\n" } else { ",\n" });
         }
+        json.push_str("  ],\n  \"contention_benchmarks\": [\n");
+        for (i, c) in contentions.iter().enumerate() {
+            let _ = write!(
+                json,
+                "    {{\"name\": \"{}\", \"interactive_p50_ns\": {:.0}, \"interactive_p99_ns\": {:.0}, \"fifo_p50_ns\": {:.0}, \"fifo_p99_ns\": {:.0}, \"p99_ratio\": {:.3}}}",
+                c.name,
+                c.interactive_p50_ns,
+                c.interactive_p99_ns,
+                c.fifo_p50_ns,
+                c.fifo_p99_ns,
+                c.p99_ratio()
+            );
+            json.push_str(if i + 1 == contentions.len() {
+                "\n"
+            } else {
+                ",\n"
+            });
+        }
+        json.push_str("  ],\n  \"skew_benchmarks\": [\n");
+        for (i, s) in skews.iter().enumerate() {
+            let _ = write!(
+                json,
+                "    {{\"name\": \"{}\", \"stealing_ns\": {:.0}, \"fifo_ns\": {:.0}, \"speedup\": {:.3}}}",
+                s.name,
+                s.stealing_ns,
+                s.fifo_ns,
+                s.speedup()
+            );
+            json.push_str(if i + 1 == skews.len() { "\n" } else { ",\n" });
+        }
         let _ = write!(
             json,
-            "  ],\n  \"config\": {{\"iterations\": {iterations}, \"window\": {WINDOW}, \"memory_differential\": {MD}, \"commit\": \"{}\"}},\n  \"min_dm_pipeline_speedup\": {min_dm_pipeline:.3},\n  \"min_dm_scheduler_speedup\": {min_dm_scheduler:.3},\n  \"min_swsm_pipeline_speedup\": {min_swsm_pipeline:.3},\n  \"min_swsm_scheduler_speedup\": {min_swsm_scheduler:.3},\n  \"min_scalar_pipeline_speedup\": {min_scalar_pipeline:.3},\n  \"min_scalar_scheduler_speedup\": {min_scalar_scheduler:.3},\n  \"min_sweep_speedup\": {min_sweep:.3},\n  \"min_session_speedup\": {min_session:.3},\n  \"min_cache_speedup\": {min_cache:.3}\n}}\n",
+            "  ],\n  \"config\": {{\"iterations\": {iterations}, \"window\": {WINDOW}, \"memory_differential\": {MD}, \"commit\": \"{}\"}},\n  \"min_dm_pipeline_speedup\": {min_dm_pipeline:.3},\n  \"min_dm_scheduler_speedup\": {min_dm_scheduler:.3},\n  \"min_swsm_pipeline_speedup\": {min_swsm_pipeline:.3},\n  \"min_swsm_scheduler_speedup\": {min_swsm_scheduler:.3},\n  \"min_scalar_pipeline_speedup\": {min_scalar_pipeline:.3},\n  \"min_scalar_scheduler_speedup\": {min_scalar_scheduler:.3},\n  \"min_sweep_speedup\": {min_sweep:.3},\n  \"min_session_speedup\": {min_session:.3},\n  \"min_cache_speedup\": {min_cache:.3},\n  \"min_contention_p99_ratio\": {min_contention:.3},\n  \"min_skew_speedup\": {min_skew:.3}\n}}\n",
             commit_hash()
         );
         std::fs::write("BENCH_simulator_throughput.json", json).expect("write baseline json");
@@ -730,7 +1045,7 @@ fn main() {
     // Every floor applies in both modes (smoke uses the wider constants);
     // the per-machine checks run in CI on every push, so any machine's
     // engine path regressing — not just the DM's — fails fast.
-    let floors: [(&str, f64, f64); 9] = if smoke {
+    let floors: [(&str, f64, f64); 11] = if smoke {
         [
             ("DM pipeline", min_dm_pipeline, SMOKE_PIPELINE_FLOOR),
             ("DM scheduler-only", min_dm_scheduler, SMOKE_SCHEDULER_FLOOR),
@@ -757,6 +1072,12 @@ fn main() {
             ("sweep pooling", min_sweep, SMOKE_SWEEP_FLOOR),
             ("session vs per-call", min_session, SMOKE_SESSION_FLOOR),
             ("cache-warm vs cold", min_cache, SMOKE_CACHE_FLOOR),
+            (
+                "prioritized probe p99",
+                min_contention,
+                SMOKE_CONTENTION_FLOOR,
+            ),
+            ("skewed-grid stealing", min_skew, SMOKE_SKEW_FLOOR),
         ]
     } else {
         [
@@ -781,6 +1102,8 @@ fn main() {
             ("sweep pooling", min_sweep, SWEEP_FLOOR),
             ("session vs per-call", min_session, SESSION_FLOOR),
             ("cache-warm vs cold", min_cache, CACHE_FLOOR),
+            ("prioritized probe p99", min_contention, CONTENTION_FLOOR),
+            ("skewed-grid stealing", min_skew, SKEW_FLOOR),
         ]
     };
     for (name, measured, floor) in floors {

@@ -62,9 +62,14 @@ pub use experiments::{
 pub use metrics::{equivalent_window_ratio, latency_hiding_effectiveness, speedup, WindowCurve};
 pub use report::{fmt_metric, TextTable};
 pub use session::{
-    CacheStats, CancelToken, SessionStats, StreamWait, StreamedPoint, SweepEvent, SweepPoint,
-    SweepSession, SweepStream, TraceId,
+    CacheStats, CancelToken, RequestClass, SessionStats, StreamWait, StreamedPoint, SweepEvent,
+    SweepPoint, SweepSession, SweepStream, TraceId,
 };
+
+/// The worker pool's scheduling band for streamed point jobs (re-exported
+/// from the vendored pool so servers can classify requests; see
+/// [`RequestClass`] and [`SweepSession::stream_classified`]).
+pub use rayon::Priority;
 
 /// A convenience prelude re-exporting the types most examples need.
 pub mod prelude {

@@ -49,7 +49,16 @@
 //!   [`SweepStream::skipped`], [`SweepStream::aborted`],
 //!   [`SweepStream::failed`]), which is what lets a serving front end
 //!   abandon superseded requests mid-flight without burning workers on
-//!   doomed points.
+//!   doomed points.  The token additionally rides into the worker pool's
+//!   queue, so jobs cancelled while still queued are dropped at claim time
+//!   (in bulk, without occupying dispatch turns) yet still account
+//!   themselves as skipped.
+//! * **Priority and fair share.**  [`SweepSession::stream_classified`]
+//!   tags a grid's jobs with a [`RequestClass`] — a [`Priority`] band
+//!   (interactive > normal > bulk) plus a client id.  The pool serves
+//!   higher bands first and interleaves clients round-robin within a band
+//!   (FIFO per client, so queue order is request age), which keeps a bulk
+//!   figure grid from freezing an interactive single-point probe.
 //! * **Fault isolation.**  A panicking point is reported as a
 //!   [`SweepEvent::Failed`] through [`SweepStream::next_event`] (servers),
 //!   or re-thrown on the consuming thread by the plain [`Iterator`] path
@@ -67,6 +76,7 @@ use dae_machines::{with_abort_token, AbortToken, AbortedSimulation};
 use dae_trace::Trace;
 use dae_workloads::PerfectProgram;
 use rayon::prelude::*;
+use rayon::Priority;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -148,6 +158,35 @@ impl CancelToken {
     /// around each point's simulation by the stream worker).
     fn abort_token(&self) -> AbortToken {
         AbortToken::from_flag(Arc::clone(&self.0))
+    }
+
+    /// The raw flag, shared with the worker pool so a queued job whose
+    /// token was cancelled is dropped at claim time (it still runs its
+    /// short-circuit path and accounts itself as skipped) instead of
+    /// taking a fair-share dispatch turn.
+    fn flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.0)
+    }
+}
+
+/// The scheduling identity of a streamed request: which [`Priority`] band
+/// its point jobs enter and which client's fair-share queue they join.
+/// Within one client's queue jobs stay FIFO (submission order *is* request
+/// age), clients in a band are served round-robin, and higher bands always
+/// go first — so a bulk grid can no longer freeze an interactive probe.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RequestClass {
+    /// The priority band (interactive > normal > bulk).
+    pub priority: Priority,
+    /// The fair-share queue key; unclassified work shares client 0.
+    pub client: u64,
+}
+
+impl RequestClass {
+    /// A class in `priority`'s band under `client`'s fair-share queue.
+    #[must_use]
+    pub fn new(priority: Priority, client: u64) -> Self {
+        RequestClass { priority, client }
     }
 }
 
@@ -494,6 +533,29 @@ impl SweepSession {
         points: &[SweepPoint],
         token: &CancelToken,
     ) -> SweepStream {
+        self.stream_classified(points, token, RequestClass::default())
+    }
+
+    /// [`SweepSession::stream_cancellable`] with an explicit scheduling
+    /// class: every point job enters `class.priority`'s band under
+    /// `class.client`'s fair-share queue on the worker pool, so a serving
+    /// front end can let `priority=interactive` probes overtake a queued
+    /// bulk grid and interleave concurrent clients round-robin.  The
+    /// token's flag rides along with each queued job — jobs cancelled
+    /// while still queued are dropped at claim time (they take their
+    /// short-circuit path immediately, counted by the stream as skipped,
+    /// never delivered) instead of occupying dispatch turns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a point names a `TraceId` not pinned in this session.
+    #[must_use]
+    pub fn stream_classified(
+        &mut self,
+        points: &[SweepPoint],
+        token: &CancelToken,
+        class: RequestClass,
+    ) -> SweepStream {
         self.stats.streamed_points += points.len() as u64;
         let (tx, rx) = mpsc::channel();
         for (index, &point) in points.iter().enumerate() {
@@ -518,7 +580,8 @@ impl SweepSession {
             let cache = self.cache_enabled.then(|| Arc::clone(&self.cache));
             let token = token.clone();
             let tx = tx.clone();
-            rayon::spawn(move || {
+            let flag = token.flag();
+            rayon::spawn_prioritized(class.priority, class.client, Some(flag), move || {
                 if token.is_cancelled() {
                     let _ = tx.send(Delivery::Skipped(index));
                     return;

@@ -160,3 +160,74 @@ fn next_event_timeout_reports_idle_streams() {
     }
     assert_eq!(outcomes, stream.total());
 }
+
+/// Racing cancellation against the work-stealing claim path: with a wide
+/// grid queued behind one slow point, jobs cancelled *while still queued*
+/// are dropped at claim time (the pool's `claim_drops` counter advances)
+/// and surface as `Skipped` — never `Point` — no matter which worker claims
+/// them, and the accounting still balances.
+#[test]
+fn jobs_cancelled_while_queued_are_dropped_at_claim_time() {
+    let _guard = faults();
+    let mut session = SweepSession::new();
+    let id = session.pin_program(PerfectProgram::Trfd, 120);
+    let mut points = Vec::new();
+    for &window in &[4usize, 8, 12, 16, 24, 32, 48, 64] {
+        for &md in &[0u64, 20, 40, 60] {
+            points.push((id, Machine::Decoupled, WindowSpec::Entries(window), md));
+            points.push((id, Machine::Superscalar, WindowSpec::Entries(window), md));
+        }
+    }
+    assert_eq!(points.len(), 64);
+
+    // Each started point sleeps 100 ms before simulating, so when the
+    // cancel lands ~30 ms in, at most one point per worker has been claimed
+    // (and is still pre-simulation); the rest of the grid is queued.
+    fault::slow_every_point_ms(100);
+    let drops_before = rayon::global_pool_stats().claim_drops;
+    let token = CancelToken::new();
+    let mut stream = session.stream_cancellable(&points, &token);
+    std::thread::sleep(Duration::from_millis(30));
+    token.cancel();
+
+    let mut delivered = 0;
+    while let Some(event) = stream.next_event() {
+        match event {
+            SweepEvent::Point(_) => delivered += 1,
+            SweepEvent::Skipped { .. } | SweepEvent::Aborted { .. } => {}
+            SweepEvent::Failed { index, message } => {
+                panic!("point {index} failed unexpectedly: {message}")
+            }
+        }
+    }
+    let claim_drops = rayon::global_pool_stats().claim_drops - drops_before;
+
+    assert_eq!(delivered, 0, "no point can finish through the sleep");
+    assert_eq!(
+        delivered + stream.skipped() + stream.aborted() + stream.failed(),
+        stream.total(),
+        "accounting must balance even for claim-dropped jobs"
+    );
+    assert!(
+        claim_drops >= 1,
+        "with ~60 jobs still queued at cancel time, some must be dropped \
+         at claim (claim_drops delta: {claim_drops})"
+    );
+    assert!(
+        stream.skipped() as u64 >= claim_drops,
+        "every claim-dropped job surfaces as Skipped, never Point \
+         (skipped: {}, claim drops: {claim_drops})",
+        stream.skipped()
+    );
+    assert_eq!(
+        session.cache_stats().entries,
+        0,
+        "cancelled points must leave no cache entries"
+    );
+
+    // Post-fault: the same grid on the same session is correct.
+    fault::reset();
+    let clean: Vec<u64> = session.stream(&points).collect_ordered();
+    let reference = session.sweep_multi(&points);
+    assert_eq!(clean, reference);
+}

@@ -53,6 +53,10 @@ pub use protocol::{
     DoneStatus, Request, RequestError, Response, ShutdownMode, SweepRequest, TraceSource,
     DEFAULT_ITERATIONS, MAX_ITERATIONS, MAX_POINTS,
 };
+
+/// The scheduling band of a sweep request's point jobs (the wire
+/// `priority=` field), re-exported from `dae_core` for clients.
+pub use dae_core::Priority;
 #[cfg(unix)]
 pub use server::serve_unix;
 pub use server::{

@@ -13,7 +13,7 @@
 //! end-to-end example, the tests, the smoke script) print requests and
 //! parse responses through the same types, so the two sides cannot drift.
 
-use dae_core::{Machine, SweepPoint, TraceId, WindowSpec};
+use dae_core::{Machine, Priority, SweepPoint, TraceId, WindowSpec};
 use dae_isa::Cycle;
 use dae_trace::{expand, Trace};
 use dae_workloads::{
@@ -217,6 +217,11 @@ pub struct SweepRequest {
     /// what finished, and closes the request with `status=timeout`.
     /// `None` means no deadline.
     pub deadline_ms: Option<u64>,
+    /// The scheduling band the request's point jobs enter on the worker
+    /// pool: `interactive` jumps every queued bulk grid, `bulk` yields to
+    /// everyone else.  Defaults to [`Priority::Normal`]; within a band,
+    /// concurrent clients are served round-robin.
+    pub priority: Priority,
 }
 
 impl SweepRequest {
@@ -253,6 +258,11 @@ impl fmt::Display for SweepRequest {
         )?;
         if let Some(deadline) = self.deadline_ms {
             write!(f, " deadline_ms={deadline}")?;
+        }
+        // The default band is elided so pre-priority request lines print
+        // (and golden transcripts diff) unchanged.
+        if self.priority != Priority::Normal {
+            write!(f, " priority={}", self.priority)?;
         }
         Ok(())
     }
@@ -629,6 +639,17 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
                     }
                 },
             };
+            let priority = match lookup(&pairs, "priority") {
+                None => Priority::Normal,
+                Some(token) => match Priority::parse(token) {
+                    Some(priority) => priority,
+                    None => {
+                        return err(format!(
+                            "bad priority '{token}' (expected interactive, normal or bulk)"
+                        ))
+                    }
+                },
+            };
             // Checked product: huge (duplicate-laden) lists must hit the
             // cap, not wrap around it.
             let grid = machines
@@ -650,6 +671,7 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
                 mds,
                 mode,
                 deadline_ms,
+                priority,
             }))
         }
         Some(other) => err(format!("unknown verb '{other}'")),
@@ -1085,6 +1107,38 @@ mod tests {
             let line = format!("sweep id=x trace=TRFD machines=dm windows=8 mds=0 {bad}");
             let err = parse_request(&line).expect_err(&line);
             assert!(err.message.contains("bad deadline_ms"), "{}", err.message);
+        }
+    }
+
+    #[test]
+    fn priorities_parse_and_roundtrip() {
+        for (token, priority) in [
+            ("interactive", Priority::Interactive),
+            ("normal", Priority::Normal),
+            ("bulk", Priority::Bulk),
+        ] {
+            let line =
+                format!("sweep id=x trace=TRFD machines=dm windows=8 mds=0 priority={token}");
+            let Ok(Request::Sweep(req)) = parse_request(&line) else {
+                panic!("priority sweep must parse: {line}");
+            };
+            assert_eq!(req.priority, priority);
+            assert_eq!(parse_request(&req.to_string()), Ok(Request::Sweep(req)));
+        }
+        // Omitted means normal, and the default band never prints (so
+        // pre-priority golden transcripts stay bit-for-bit).
+        let Ok(Request::Sweep(req)) =
+            parse_request("sweep id=x trace=TRFD machines=dm windows=8 mds=0")
+        else {
+            panic!("plain sweep must parse");
+        };
+        assert_eq!(req.priority, Priority::Normal);
+        assert!(!req.to_string().contains("priority="));
+        for bad in ["priority=", "priority=urgent", "priority=Interactive"] {
+            let line = format!("sweep id=x trace=TRFD machines=dm windows=8 mds=0 {bad}");
+            let err = parse_request(&line).expect_err(&line);
+            assert!(err.message.contains("bad priority"), "{}", err.message);
+            assert_eq!(err.id.as_deref(), Some("x"), "id must be recovered");
         }
     }
 

@@ -5,9 +5,12 @@
 //! sources to pinned lowerings) behind one mutex.  The mutex is held only
 //! while a request is *submitted* — resolving the trace, pinning a missing
 //! lowering, and handing the grid to
-//! [`SweepSession::stream_cancellable`], which returns immediately — so
+//! [`SweepSession::stream_classified`], which returns immediately — so
 //! the simulations themselves run unlocked on the global worker pool and
-//! grids from concurrent clients interleave point by point.
+//! grids from concurrent clients interleave point by point.  Each grid's
+//! jobs are tagged with the request's `priority=` band and the
+//! connection's client id: the pool serves interactive jobs before queued
+//! bulk grids and interleaves clients round-robin within a band.
 //!
 //! Each connection runs [`serve_connection`]: a reader loop that parses
 //! request lines and, per sweep, a detached *drainer* thread that copies
@@ -45,7 +48,9 @@
 use crate::protocol::{
     parse_request, DeliveryMode, DoneStatus, Request, Response, ShutdownMode, SweepRequest,
 };
-use dae_core::{CancelToken, StreamWait, SweepEvent, SweepSession, SweepStream, TraceId};
+use dae_core::{
+    CancelToken, RequestClass, StreamWait, SweepEvent, SweepSession, SweepStream, TraceId,
+};
 use dae_machines::pool_diagnostics;
 use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, Write};
@@ -353,12 +358,16 @@ impl SweepServer {
         // submissions (which hold the lock) increment the depth counters,
         // so the check-then-reserve pair is exact; drainers decrementing
         // concurrently can only make room, never take it.
+        // Jobs are tagged with the connection's client id, so the pool's
+        // fair-share rotor interleaves concurrent clients round-robin
+        // within a priority band (clientless submissions share queue 0).
+        let client_id = client.map_or(0, |c| c.id());
         let reserved = {
             let mut state = self.lock_state();
             self.admit(points, client)?;
             let guard = self.reserve(points, client);
             if let Some(&id) = state.programs.get(&key) {
-                return Ok(Self::enqueue(&mut state, request, id, guard));
+                return Ok(Self::enqueue(&mut state, request, id, client_id, guard));
             }
             guard
         };
@@ -383,7 +392,7 @@ impl SweepServer {
                 id
             }
         };
-        Ok(Self::enqueue(&mut state, request, id, reserved))
+        Ok(Self::enqueue(&mut state, request, id, client_id, reserved))
     }
 
     /// The admission check (caller holds the state lock).
@@ -430,11 +439,13 @@ impl SweepServer {
         state: &mut ServerState,
         request: &SweepRequest,
         id: TraceId,
+        client_id: u64,
         guard: AdmissionGuard,
     ) -> Submission {
         let points = request.points(id);
         let token = CancelToken::new();
-        let stream = state.session.stream_cancellable(&points, &token);
+        let class = RequestClass::new(request.priority, client_id);
+        let stream = state.session.stream_classified(&points, &token, class);
         let live = Arc::new(());
         state.active.retain(|(l, _)| l.upgrade().is_some());
         state.active.push((Arc::downgrade(&live), token.clone()));
@@ -491,6 +502,18 @@ impl SweepServer {
                 self.busy_rejections.load(Ordering::Relaxed),
             ),
             ("worker_task_panics".to_string(), pool_stats.task_panics),
+            // Work-stealing scheduler counters: steal traffic, claim-time
+            // drops of cancelled jobs, and the per-band queue-depth gauges.
+            ("steals".to_string(), pool_stats.steals),
+            ("steal_attempts".to_string(), pool_stats.steal_attempts),
+            ("local_pops".to_string(), pool_stats.local_pops),
+            ("claim_drops".to_string(), pool_stats.claim_drops),
+            (
+                "queued_interactive".to_string(),
+                pool_stats.queued_interactive,
+            ),
+            ("queued_normal".to_string(), pool_stats.queued_normal),
+            ("queued_bulk".to_string(), pool_stats.queued_bulk),
         ];
         let mut clients: Vec<_> = state.clients.iter().collect();
         clients.sort_by_key(|&(&id, _)| id);

@@ -528,3 +528,122 @@ fn shutdown_abort_cancels_in_flight_work_everywhere() {
         .expect("accept loop exits")
         .expect("accept loop exits cleanly");
 }
+
+/// The scheduling tentpole, end to end: with a slow 64-point bulk grid
+/// (`priority=bulk`) queued by one client, a `priority=interactive`
+/// single-point probe from another client is claimed ahead of every queued
+/// bulk point — it completes (bit-for-bit correct) while most of the bulk
+/// grid is still waiting, instead of queueing behind it.
+#[test]
+fn an_interactive_probe_overtakes_a_queued_bulk_grid() {
+    let _guard = faults();
+    let server = Arc::new(SweepServer::new());
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let port = listener.local_addr().expect("addr").port();
+    {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || {
+            let _ = serve_tcp(&server, &listener);
+        });
+    }
+
+    // Every point sleeps 60 ms: the 64-point bulk grid is ~4 s of queued
+    // work for one worker, and still far from drained on a wide pool when
+    // the probe lands.
+    fault::slow_every_point_ms(60);
+    let bulk = "sweep id=bulkload trace=TRFD iterations=120 machines=dm,swsm \
+                windows=4,8,12,16,24,32,48,64 mds=0,20,40,60 mode=stream priority=bulk";
+    let mut bulk_client = TcpStream::connect(("127.0.0.1", port)).expect("connect bulk");
+    let mut bulk_reader = BufReader::new(bulk_client.try_clone().expect("clone bulk"));
+    writeln!(bulk_client, "{bulk}").unwrap();
+    let submitted = Instant::now();
+    while server.queue_depth() == 0 {
+        assert!(
+            submitted.elapsed() < Duration::from_secs(5),
+            "bulk grid must be admitted"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    // Let the workers claim their first bulk points before probing.
+    std::thread::sleep(Duration::from_millis(80));
+
+    let probe = "sweep id=probe trace=TRFD iterations=120 machines=dm windows=16 mds=60 \
+                 mode=stream priority=interactive";
+    let expected = oracle(probe);
+    let mut probe_client = TcpStream::connect(("127.0.0.1", port)).expect("connect probe");
+    let mut probe_reader = BufReader::new(probe_client.try_clone().expect("clone probe"));
+    let started = Instant::now();
+    writeln!(probe_client, "{probe}").unwrap();
+    let mut probe_cycles = None;
+    let done = loop {
+        let mut line = String::new();
+        assert!(
+            probe_reader.read_line(&mut line).expect("probe read") > 0,
+            "probe connection must carry a done line"
+        );
+        match parse_response(line.trim_end()).expect("well-formed") {
+            Response::Point { cycles, .. } => probe_cycles = Some(cycles),
+            done @ Response::Done { .. } => break done,
+            other => panic!("unexpected: {other:?}"),
+        }
+    };
+    let probe_latency = started.elapsed();
+    let backlog_at_done = server.queue_depth();
+    let Response::Done {
+        delivered, status, ..
+    } = done
+    else {
+        unreachable!()
+    };
+    assert_eq!(delivered, 1);
+    assert_eq!(status, DoneStatus::Ok);
+    assert_eq!(
+        probe_cycles,
+        Some(expected[0]),
+        "priority scheduling must not change results"
+    );
+    // The probe waited for at most the points already *running* (one per
+    // worker, 60 ms each) plus its own sleep — never for the queued bulk
+    // backlog, which alone is seconds of work.
+    assert!(
+        probe_latency < Duration::from_millis(1_000),
+        "an interactive probe must overtake the queued bulk grid: {probe_latency:?}"
+    );
+    assert!(
+        backlog_at_done > 8,
+        "most of the bulk grid must still be queued when the probe finishes \
+         (backlog={backlog_at_done})"
+    );
+
+    // Wind the bulk grid down quickly and check its accounting balances.
+    writeln!(bulk_client, "cancel id=bulkload").unwrap();
+    let done = loop {
+        let mut line = String::new();
+        assert!(
+            bulk_reader.read_line(&mut line).expect("bulk read") > 0,
+            "bulk connection must carry a done line"
+        );
+        match parse_response(line.trim_end()).expect("well-formed") {
+            done @ Response::Done { .. } => break done,
+            Response::Point { .. } | Response::Cancelled { .. } => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    };
+    let Response::Done {
+        points,
+        delivered,
+        dropped,
+        aborted,
+        failed,
+        status,
+        ..
+    } = done
+    else {
+        unreachable!()
+    };
+    assert_eq!(points, 64);
+    assert_eq!(delivered + dropped + aborted + failed, points);
+    assert_eq!(status, DoneStatus::Cancelled);
+
+    assert_still_serving(&server, "after-probe");
+}

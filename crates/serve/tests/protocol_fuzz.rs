@@ -37,6 +37,11 @@ fn vocab() -> impl Strategy<Value = String> {
         Just("deadline_ms=0".to_string()),
         Just("deadline_ms=-7".to_string()),
         Just("deadline_ms=soon".to_string()),
+        Just("priority=interactive".to_string()),
+        Just("priority=bulk".to_string()),
+        Just("priority=normal".to_string()),
+        Just("priority=urgent".to_string()),
+        Just("priority=".to_string()),
         Just("mode=abort".to_string()),
         Just("=".to_string()),
         Just("==".to_string()),
@@ -86,7 +91,7 @@ proptest! {
     /// to an arbitrary value; the parser must still never panic.
     #[test]
     fn mutated_sweeps_never_panic(
-        field in 0usize..7,
+        field in 0usize..8,
         value in vec(any::<u8>(), 0..24),
     ) {
         let fields = [
@@ -97,6 +102,7 @@ proptest! {
             "windows=16",
             "mds=60",
             "mode=stream",
+            "priority=normal",
         ];
         let value = String::from_utf8_lossy(&value).into_owned();
         let mutated: Vec<String> = fields
@@ -113,5 +119,29 @@ proptest! {
             .collect();
         let line = format!("sweep {}", mutated.join(" "));
         let _ = parse_request(&line);
+    }
+
+    /// The `priority=` field specifically: any value either parses as one
+    /// of the three scheduling bands (and then survives the print → parse
+    /// round trip) or comes back as a structured error carrying the
+    /// request id — never a panic.
+    #[test]
+    fn arbitrary_priority_values_error_structurally(value in vec(any::<u8>(), 0..24)) {
+        let value = String::from_utf8_lossy(&value).into_owned();
+        let line = format!(
+            "sweep id=fz trace=TRFD iterations=120 machines=dm windows=16 \
+             mds=60 mode=stream priority={value}"
+        );
+        match parse_request(&line) {
+            Ok(Request::Sweep(sweep)) => {
+                let reparsed = parse_request(&sweep.to_string());
+                prop_assert_eq!(Ok(Request::Sweep(sweep)), reparsed);
+            }
+            Ok(other) => prop_assert!(false, "a sweep line cannot parse as {:?}", other),
+            Err(error) => {
+                prop_assert!(!error.message.is_empty());
+                prop_assert_eq!(error.id.as_deref(), Some("fz"));
+            }
+        }
     }
 }

@@ -51,4 +51,34 @@ n_errors=$(grep -c '^error' target/serve-smoke-bad-raw.txt)
 grep -q '^error id=huge .*exceeds' target/serve-smoke-bad-raw.txt
 grep -q '^done id=ok .*delivered=1.*status=ok' target/serve-smoke-bad-raw.txt
 
-echo "serve smoke OK: $(wc -l < target/serve-smoke-got.txt) streamed points match the in-process results; malformed and oversized requests rejected cleanly"
+# Multi-client contention: a TCP server under a wide bulk grid from one
+# client while a second client sends a single-point interactive request.
+# Both must complete (the whole section is under `timeout`, so a priority
+# inversion or a scheduler hang fails the smoke rather than wedging it).
+port=7943
+"$bin" --tcp 127.0.0.1:$port --no-cache > target/serve-smoke-tcp.log 2>&1 &
+srv=$!
+trap 'kill $srv 2>/dev/null || true' EXIT
+for _ in $(seq 1 50); do
+  if exec 3<>/dev/tcp/127.0.0.1/$port 2>/dev/null; then exec 3>&-; break; fi
+  sleep 0.1
+done
+
+timeout 120 bash -c "
+  exec 4<>/dev/tcp/127.0.0.1/$port
+  printf 'sweep id=big trace=TRFD iterations=120 machines=dm,swsm windows=4,8,12,16,24,32,48,64 mds=0,20,40,60 mode=stream priority=bulk\n' >&4
+  (
+    exec 5<>/dev/tcp/127.0.0.1/$port
+    printf 'sweep id=fast trace=TRFD iterations=120 machines=dm windows=16 mds=60 mode=stream priority=interactive\n' >&5
+    grep -m1 '^done id=fast .*delivered=1.*status=ok' <&5 > target/serve-smoke-fast.txt
+  ) &
+  fastpid=\$!
+  grep -m1 '^done id=big .*dropped=0.*status=ok' <&4 > target/serve-smoke-big.txt
+  wait \$fastpid
+"
+[ -s target/serve-smoke-fast.txt ] || { echo "interactive client got no done line"; exit 1; }
+[ -s target/serve-smoke-big.txt ] || { echo "bulk client got no done line"; exit 1; }
+kill $srv 2>/dev/null || true
+trap - EXIT
+
+echo "serve smoke OK: $(wc -l < target/serve-smoke-got.txt) streamed points match the in-process results; malformed and oversized requests rejected cleanly; concurrent bulk + interactive clients both completed"

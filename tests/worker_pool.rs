@@ -151,3 +151,136 @@ fn global_pool_survives_panicking_parallel_calls() {
     let cycles = session.sweep(id, &grid());
     assert!(cycles.iter().all(|&c| c > 0));
 }
+
+/// Randomized stress over the work-stealing deques: four external
+/// submitter threads race fire-and-forget spawns, skew-cost batches and a
+/// batch that panics while its sibling spans sit exposed to thieves, all
+/// on one 4-worker pool. Every batch returns in order, the panic reaches
+/// only its own submitter, every spawned task runs by drop time, and the
+/// pool's accounting is exact.
+#[test]
+fn randomized_push_steal_stress_survives_mid_flight_panics() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    let pool = rayon::ThreadPool::new(4);
+    let spawned_ran = Arc::new(AtomicUsize::new(0));
+    let expected_spawns = Arc::new(AtomicUsize::new(0));
+    let expected_items = Arc::new(AtomicUsize::new(0));
+
+    std::thread::scope(|scope| {
+        for submitter in 0u64..4 {
+            let pool = &pool;
+            let spawned_ran = Arc::clone(&spawned_ran);
+            let expected_spawns = Arc::clone(&expected_spawns);
+            let expected_items = Arc::clone(&expected_items);
+            scope.spawn(move || {
+                // Deterministic xorshift per submitter: reproducible op
+                // mixes, diverging interleavings.
+                let mut state = 0x9E37_79B9_7F4A_7C15u64 ^ (submitter + 1);
+                let mut next = move || {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    state
+                };
+                for _round in 0..12 {
+                    match next() % 4 {
+                        0 => {
+                            expected_spawns.fetch_add(16, Ordering::Relaxed);
+                            for _ in 0..16 {
+                                let ran = Arc::clone(&spawned_ran);
+                                pool.spawn(move || {
+                                    ran.fetch_add(1, Ordering::Relaxed);
+                                });
+                            }
+                        }
+                        1 => {
+                            expected_items.fetch_add(96, Ordering::Relaxed);
+                            let result = catch_unwind(AssertUnwindSafe(|| {
+                                let _: Vec<u64> = pool.map((0u64..96).collect(), |x| {
+                                    for _ in 0..(x % 13) * 40 {
+                                        std::hint::spin_loop();
+                                    }
+                                    assert!(x != 57, "injected failure");
+                                    x
+                                });
+                            }));
+                            assert!(result.is_err(), "the batch panic must propagate");
+                        }
+                        _ => {
+                            expected_items.fetch_add(128, Ordering::Relaxed);
+                            let skew = next() % 11;
+                            let out: Vec<u64> = pool.map((0u64..128).collect(), move |x| {
+                                // Skewed spin: early items cost more, so
+                                // idle workers must steal the tail.
+                                for _ in 0..(x % (skew + 2)) * 25 {
+                                    std::hint::spin_loop();
+                                }
+                                x.wrapping_mul(2_654_435_761).rotate_left((x % 31) as u32)
+                            });
+                            let expect: Vec<u64> = (0u64..128)
+                                .map(|x| x.wrapping_mul(2_654_435_761).rotate_left((x % 31) as u32))
+                                .collect();
+                            assert_eq!(out, expect, "stolen spans must land in order");
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    let stats = pool.stats();
+    assert_eq!(
+        stats.items,
+        expected_items.load(Ordering::Relaxed) as u64,
+        "every batch item is accounted exactly once, panicked batches included"
+    );
+    assert!(
+        stats.local_pops + stats.steals > 0,
+        "the deques must have moved work (local pops: {}, steals: {})",
+        stats.local_pops,
+        stats.steals
+    );
+    assert_eq!(stats.task_panics, 0, "no fire-and-forget task panics here");
+
+    // Drop drains the queued fire-and-forget tasks and joins.
+    let expected = expected_spawns.load(Ordering::Relaxed);
+    drop(pool);
+    assert_eq!(spawned_ran.load(Ordering::Relaxed), expected);
+}
+
+/// Differential guarantee for the stealing scheduler: pooled sweeps are
+/// bit-for-bit equal to a naive sequential reference at every worker count
+/// from 1 through 8 and beyond — scheduling order, stealing and span
+/// splitting can never change a simulated cycle count.
+#[test]
+fn pooled_sweeps_match_the_naive_reference_at_every_worker_count() {
+    use dae::core::{dm_cycles, scalar_cycles, swsm_cycles};
+
+    let trace = PerfectProgram::Trfd.workload().trace(80);
+    let mut grid: Vec<(Machine, WindowSpec, u64)> = Vec::new();
+    for &window in &[4usize, 8, 16, 32, 64, 128] {
+        for &md in &[0u64, 30, 60] {
+            grid.push((Machine::Decoupled, WindowSpec::Entries(window), md));
+            grid.push((Machine::Superscalar, WindowSpec::Entries(window), md));
+        }
+    }
+    grid.push((Machine::Scalar, WindowSpec::Entries(1), 60));
+
+    let eval = |&(machine, window, md): &(Machine, WindowSpec, u64)| match machine {
+        Machine::Decoupled => dm_cycles(&trace, window, md),
+        Machine::Superscalar => swsm_cycles(&trace, window, md),
+        Machine::Scalar => scalar_cycles(&trace, md),
+    };
+    let naive: Vec<u64> = grid.iter().map(eval).collect();
+
+    for threads in [1usize, 2, 3, 4, 5, 6, 7, 8, 12] {
+        let pool = rayon::ThreadPool::new(threads);
+        let pooled: Vec<u64> = pool.map(grid.clone(), |point| eval(&point));
+        assert_eq!(
+            pooled, naive,
+            "a {threads}-worker pool must match the sequential reference bit for bit"
+        );
+    }
+}

@@ -1,37 +1,59 @@
-//! Offline stand-in for `rayon` over a **persistent worker pool**.
+//! Offline stand-in for `rayon` over a **work-stealing persistent pool**.
 //!
 //! Supports the `into_par_iter()` / `par_iter()` → `map(..)` → `collect()`
 //! shape used by the experiment sweeps, plus `rayon::spawn` for `'static`
 //! fire-and-forget tasks (the streaming sweep sessions in `dae-core` feed
-//! per-point jobs through it and collect results over a channel).
+//! per-point jobs through it and collect results over a channel) and
+//! [`ThreadPool::spawn_prioritized`] for tasks tagged with a [`Priority`]
+//! band, a client id and an optional cancellation flag.
 //!
-//! Unlike the original stub — which spawned fresh scoped threads for every
-//! `par_iter` call, so worker-thread-local state (the machine crate's
-//! `SimPool`s) died between calls — the pool here is **long-lived**:
+//! Unlike the original stub — which fed every worker from one shared
+//! condvar-guarded FIFO queue — scheduling here is the real-rayon design:
 //!
-//! * workers are spawned lazily on the first piece of submitted work and
-//!   then live for the pool's lifetime, so `thread_local!` scratch on a
-//!   worker stays warm across separate parallel calls;
-//! * work arrives over a condvar-guarded queue; a parallel map is one
-//!   shared *batch* descriptor from which workers (and the calling thread,
-//!   which participates) claim **chunks** of indices through an atomic
-//!   cursor, so uneven items still pack tightly;
-//! * a panicking closure is caught on the worker, recorded, and re-thrown
-//!   on the calling thread once the batch has fully drained — the queue is
-//!   never deadlocked and the pool stays usable afterwards;
-//! * dropping a [`ThreadPool`] finishes the queued work, signals shutdown
+//! * **Per-worker deques with stealing.**  A parallel map is split into
+//!   contiguous index *spans* distributed across per-worker deques.  A
+//!   worker splits its span in half as it goes, pushing the upper half back
+//!   onto its own deque (LIFO — it pops its own most-recent split next, for
+//!   locality), while idle workers steal the *oldest, largest* span from a
+//!   victim's deque (FIFO).  Skewed per-item costs therefore rebalance at
+//!   the grid tail instead of idling workers.  The calling thread
+//!   participates as before (it steals spans of its own batch), so batches
+//!   submitted from inside a worker always make progress.
+//! * **A priority dispatcher for spawned tasks.**  `spawn`ed jobs enter a
+//!   central three-band dispatcher (interactive > normal > bulk); within a
+//!   band, per-client FIFO queues are served round-robin, so one client's
+//!   10k-point grid cannot freeze another client's single-point probe.
+//!   Workers claim the interactive band before their own deque, and the
+//!   normal/bulk bands before stealing.
+//! * **Claim-time cancellation drop.**  A job whose cancellation flag is
+//!   already set when a worker claims it is drained in bulk (the whole
+//!   cancelled prefix of the queue in one claim) and executed only in its
+//!   short-circuit form — the job closures observe their token and account
+//!   themselves as skipped — instead of occupying fair-share turns one
+//!   dispatch cycle at a time.  [`PoolStats::claim_drops`] counts them.
+//! * Workers are spawned lazily on the first piece of submitted work and
+//!   live for the pool's lifetime, so `thread_local!` scratch (the machine
+//!   crate's `SimPool`s) stays warm across separate parallel calls.
+//! * A panicking closure is caught on the worker, recorded, and re-thrown
+//!   on the calling thread once the batch has fully drained — remaining
+//!   spans of a panicked batch are skipped (but still accounted) and the
+//!   pool stays usable afterwards.
+//! * Dropping a [`ThreadPool`] finishes the queued work, signals shutdown
 //!   and joins every worker.  (The implicit global pool lives in a static
 //!   and is never dropped, like real rayon's.)
 //!
-//! [`PoolStats`] exposes spawn/batch/item counters so lifecycle tests can
-//! assert that workers are *reused* across calls rather than respawned.
-//! The thread count follows `std::thread::available_parallelism()`.
+//! [`PoolStats`] exposes spawn/batch/item counters plus steal, local-pop,
+//! victim-visit and claim-drop counters and per-band queue-depth gauges, so
+//! lifecycle tests can assert reuse *and* scheduling behaviour.  The thread
+//! count follows `std::thread::available_parallelism()`.
 
+use std::cell::Cell;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// Everything the call sites import.
 pub mod prelude {
@@ -39,22 +61,83 @@ pub mod prelude {
 }
 
 // ---------------------------------------------------------------------------
-// The worker pool
+// Priorities
+// ---------------------------------------------------------------------------
+
+/// The scheduling band of a spawned task: workers always serve a higher
+/// band before a lower one, and serve clients round-robin within a band.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Latency-sensitive probes: claimed before everything else, including
+    /// the claiming worker's own batch spans.
+    Interactive,
+    /// The default band (plain `spawn` lands here).
+    #[default]
+    Normal,
+    /// Throughput work that must never starve the other bands.
+    Bulk,
+}
+
+impl Priority {
+    /// All bands, highest priority first.
+    pub const ALL: [Priority; 3] = [Priority::Interactive, Priority::Normal, Priority::Bulk];
+
+    /// The band's index, 0 (most urgent) to 2.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The band's wire token.
+    #[must_use]
+    pub fn token(self) -> &'static str {
+        match self {
+            Priority::Interactive => "interactive",
+            Priority::Normal => "normal",
+            Priority::Bulk => "bulk",
+        }
+    }
+
+    /// Parses a wire token (`interactive` / `normal` / `bulk`).
+    #[must_use]
+    pub fn parse(token: &str) -> Option<Self> {
+        match token {
+            "interactive" => Some(Priority::Interactive),
+            "normal" => Some(Priority::Normal),
+            "bulk" => Some(Priority::Bulk),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Priority {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.token())
+    }
+}
+
+impl std::str::FromStr for Priority {
+    type Err = ();
+    fn from_str(s: &str) -> Result<Self, ()> {
+        Priority::parse(s).ok_or(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Batches and spans
 // ---------------------------------------------------------------------------
 
 /// A lifetime-erased indexed batch: `runner(i)` processes item `i`.
 ///
 /// The runner reference is transmuted to `'static` when the batch is built;
 /// soundness rests on [`ThreadPool::run_batch`] not returning until every
-/// item has been accounted for (see the SAFETY comment there), after which
-/// no worker touches the runner again — exhausted batches are only popped
-/// and dropped.
+/// item has been accounted for (see the SAFETY comment there).  An item is
+/// accounted *after* its runner call returns, so `done == total` implies no
+/// thread is inside the runner.
 struct Batch {
     runner: &'static (dyn Fn(usize) + Sync),
     total: usize,
-    chunk: usize,
-    cursor: AtomicUsize,
-    /// Set by the first panicking item; later chunks are skipped (their
+    /// Set by the first panicking item; later spans are skipped (their
     /// items still count as accounted) and the payload is re-thrown by the
     /// caller.
     panicked: AtomicBool,
@@ -66,81 +149,242 @@ struct Batch {
 }
 
 impl Batch {
-    /// Claims and processes chunks until the cursor is exhausted.
-    fn drain(&self, items_counter: &AtomicU64) {
-        loop {
-            let start = self.cursor.fetch_add(self.chunk, Ordering::Relaxed);
-            if start >= self.total {
-                return;
-            }
-            let end = self.total.min(start + self.chunk);
-            for i in start..end {
-                if self.panicked.load(Ordering::Acquire) {
-                    break;
-                }
-                if let Err(payload) = catch_unwind(AssertUnwindSafe(|| (self.runner)(i))) {
-                    let mut slot = self.panic.lock().expect("panic slot poisoned");
-                    if slot.is_none() {
-                        *slot = Some(payload);
-                    }
-                    self.panicked.store(true, Ordering::Release);
-                }
-            }
-            items_counter.fetch_add((end - start) as u64, Ordering::Relaxed);
-            let mut done = self.done.lock().expect("done counter poisoned");
-            *done += end - start;
-            if *done == self.total {
-                self.done_cv.notify_all();
-            }
-        }
-    }
-
-    /// Blocks until every item has been accounted for.
-    fn wait(&self) {
+    /// Accounts `k` items as finished, waking the waiting caller when the
+    /// batch completes.
+    fn account(&self, k: usize, items_counter: &AtomicU64) {
+        items_counter.fetch_add(k as u64, Ordering::Relaxed);
         let mut done = self.done.lock().expect("done counter poisoned");
-        while *done < self.total {
-            done = self.done_cv.wait(done).expect("done counter poisoned");
+        *done += k;
+        if *done == self.total {
+            self.done_cv.notify_all();
         }
+    }
+
+    /// Waits up to `timeout` for completion; returns whether the batch is
+    /// complete.
+    fn wait_done_for(&self, timeout: Duration) -> bool {
+        let done = self.done.lock().expect("done counter poisoned");
+        if *done == self.total {
+            return true;
+        }
+        let (done, _) = self
+            .done_cv
+            .wait_timeout(done, timeout)
+            .expect("done counter poisoned");
+        *done == self.total
+    }
+
+    /// Records a panic payload (first writer wins) and poisons the batch.
+    fn record_panic(&self, payload: Box<dyn std::any::Any + Send>) {
+        let mut slot = self.panic.lock().expect("panic slot poisoned");
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+        self.panicked.store(true, Ordering::Release);
     }
 }
 
-/// A unit of queued work: a shared batch handle or a boxed `'static` task.
-enum Work {
-    Batch(Arc<Batch>),
-    Task(Box<dyn FnOnce() + Send + 'static>),
+/// A contiguous index range `[lo, hi)` of a batch, resident in a deque.
+struct Span {
+    batch: Arc<Batch>,
+    lo: usize,
+    hi: usize,
 }
 
-/// Queue state shared between the pool handle and its workers.
+// ---------------------------------------------------------------------------
+// The priority dispatcher
+// ---------------------------------------------------------------------------
+
+/// A queued `'static` task plus its optional cancellation flag.
+struct Job {
+    cancelled: Option<Arc<AtomicBool>>,
+    run: Box<dyn FnOnce() + Send + 'static>,
+}
+
+/// One client's FIFO of queued jobs within a band.
+struct ClientQueue {
+    client: u64,
+    jobs: VecDeque<Job>,
+}
+
+/// One priority band: per-client FIFO queues served round-robin.
+struct Band {
+    /// Sorted by client id (insertion keeps the order).
+    queues: Vec<ClientQueue>,
+    /// The client served last; the next claim starts after it (wrapping),
+    /// which is what makes service within the band fair-share.
+    last_served: u64,
+}
+
+/// The central queue for spawned tasks: three bands, claimed in order.
+struct Dispatcher {
+    bands: [Band; 3],
+}
+
+impl Dispatcher {
+    fn new() -> Self {
+        Dispatcher {
+            bands: std::array::from_fn(|_| Band {
+                queues: Vec::new(),
+                last_served: u64::MAX,
+            }),
+        }
+    }
+
+    fn push(&mut self, band: usize, client: u64, job: Job) {
+        let band = &mut self.bands[band];
+        match band.queues.binary_search_by_key(&client, |q| q.client) {
+            Ok(i) => band.queues[i].jobs.push_back(job),
+            Err(i) => band.queues.insert(
+                i,
+                ClientQueue {
+                    client,
+                    jobs: VecDeque::from_iter([job]),
+                },
+            ),
+        }
+    }
+
+    /// Claims from one band: round-robin over clients, FIFO within a
+    /// client (FIFO order *is* request age).  Jobs whose cancellation flag
+    /// is already set are drained into `dropped` — the whole cancelled
+    /// prefix in one claim — and the first live job (if any) is returned.
+    fn pop(&mut self, band: usize) -> (Option<Job>, Vec<Job>) {
+        let band = &mut self.bands[band];
+        let mut dropped = Vec::new();
+        let mut live = None;
+        if !band.queues.is_empty() {
+            let n = band.queues.len();
+            let start = band
+                .queues
+                .iter()
+                .position(|q| q.client > band.last_served)
+                .unwrap_or(0);
+            'scan: for off in 0..n {
+                let queue = &mut band.queues[(start + off) % n];
+                while let Some(job) = queue.jobs.pop_front() {
+                    let cancelled = job
+                        .cancelled
+                        .as_ref()
+                        .is_some_and(|flag| flag.load(Ordering::Acquire));
+                    if cancelled {
+                        dropped.push(job);
+                    } else {
+                        band.last_served = queue.client;
+                        live = Some(job);
+                        break 'scan;
+                    }
+                }
+            }
+            band.queues.retain(|q| !q.jobs.is_empty());
+        }
+        (live, dropped)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The worker pool
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    /// Identifies the pool (by id) and worker index of the current thread.
+    static WORKER: Cell<Option<(u64, usize)>> = const { Cell::new(None) };
+}
+
+/// Pool identities for the `WORKER` thread-local (never reused).
+static POOL_IDS: AtomicU64 = AtomicU64::new(0);
+
+/// State shared between the pool handle and its workers.
 struct Shared {
-    queue: Mutex<VecDeque<Work>>,
-    available: Condvar,
+    id: u64,
+    /// One span deque per worker: the owner pushes/pops the back (LIFO),
+    /// thieves pop the front (FIFO — the oldest span is the largest).
+    deques: Vec<Mutex<VecDeque<Span>>>,
+    dispatcher: Mutex<Dispatcher>,
+    /// Sleep coordination: workers park on `wake` under `sleep` after
+    /// re-checking `epoch`; every push bumps `epoch` *before* notifying,
+    /// so a worker that scanned stale state re-scans instead of sleeping
+    /// through the wakeup.
+    sleep: Mutex<()>,
+    wake: Condvar,
+    epoch: AtomicU64,
+    sleepers: AtomicUsize,
     shutdown: AtomicBool,
+    // Lifecycle and scheduling counters (see `PoolStats`).
     workers_spawned: AtomicU64,
     batches: AtomicU64,
     tasks: AtomicU64,
     items: AtomicU64,
     task_panics: AtomicU64,
+    steals: AtomicU64,
+    steal_attempts: AtomicU64,
+    local_pops: AtomicU64,
+    claim_drops: AtomicU64,
+    /// Per-band queued-job depth gauges (interactive, normal, bulk).
+    queued: [AtomicU64; 3],
+}
+
+impl Shared {
+    /// Announces new work: bump the epoch, then wake parked workers.  The
+    /// epoch bump must precede the sleeper check — a worker that scanned
+    /// before the push re-checks the epoch under the sleep mutex before
+    /// waiting, so the wakeup cannot be lost.
+    fn notify(&self) {
+        self.epoch.fetch_add(1, Ordering::Release);
+        if self.sleepers.load(Ordering::Acquire) > 0 {
+            let _guard = self.sleep.lock().expect("sleep mutex poisoned");
+            self.wake.notify_all();
+        }
+    }
+
+    /// Pushes a span onto deque `target` and wakes workers.
+    fn push_span(&self, target: usize, span: Span) {
+        self.deques[target]
+            .lock()
+            .expect("span deque poisoned")
+            .push_back(span);
+        self.notify();
+    }
 }
 
 /// Reuse / lifecycle counters of a pool (diagnostics for tests; see the
 /// crate docs).  `workers_spawned` staying flat across two parallel calls
-/// while `batches` advances is the worker-reuse signal.
+/// while `batches` advances is the worker-reuse signal; `steals` vs
+/// `local_pops` is the work-distribution signal.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PoolStats {
     /// Worker threads ever spawned by the pool.
     pub workers_spawned: u64,
     /// Parallel batches (one per `par_iter`-style call) submitted.
     pub batches: u64,
-    /// `spawn`ed tasks executed by workers.
+    /// Queued tasks executed by workers (including claim-dropped jobs run
+    /// in their short-circuit form).
     pub tasks: u64,
     /// Batch items executed (or skipped after a batch panic).
     pub items: u64,
-    /// `spawn`ed tasks that panicked (caught by the worker, which
-    /// survives; an observability hook for fault-tolerance suites).
+    /// Queued tasks that panicked (caught by the worker, which survives;
+    /// an observability hook for fault-tolerance suites).
     pub task_panics: u64,
+    /// Spans taken from another worker's deque (successful steals).
+    pub steals: u64,
+    /// Victim deques inspected while trying to steal (visits, successful
+    /// or not).
+    pub steal_attempts: u64,
+    /// Spans a worker popped back off its own deque (LIFO locality hits).
+    pub local_pops: u64,
+    /// Jobs whose cancellation flag was already set at claim time, drained
+    /// in bulk and run only in their short-circuit form.
+    pub claim_drops: u64,
+    /// Jobs currently queued in the interactive band (a gauge, not
+    /// monotone).
+    pub queued_interactive: u64,
+    /// Jobs currently queued in the normal band (a gauge).
+    pub queued_normal: u64,
+    /// Jobs currently queued in the bulk band (a gauge).
+    pub queued_bulk: u64,
 }
 
-/// A persistent pool of worker threads fed by a shared work queue.
+/// A persistent pool of work-stealing worker threads.
 ///
 /// Workers spawn lazily on the first submitted work and live until the pool
 /// is dropped; `Drop` lets the queued work finish, then joins every worker.
@@ -164,18 +408,29 @@ impl ThreadPool {
     /// first use; at least one).
     #[must_use]
     pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
         ThreadPool {
             shared: Arc::new(Shared {
-                queue: Mutex::new(VecDeque::new()),
-                available: Condvar::new(),
+                id: POOL_IDS.fetch_add(1, Ordering::Relaxed),
+                deques: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+                dispatcher: Mutex::new(Dispatcher::new()),
+                sleep: Mutex::new(()),
+                wake: Condvar::new(),
+                epoch: AtomicU64::new(0),
+                sleepers: AtomicUsize::new(0),
                 shutdown: AtomicBool::new(false),
                 workers_spawned: AtomicU64::new(0),
                 batches: AtomicU64::new(0),
                 tasks: AtomicU64::new(0),
                 items: AtomicU64::new(0),
                 task_panics: AtomicU64::new(0),
+                steals: AtomicU64::new(0),
+                steal_attempts: AtomicU64::new(0),
+                local_pops: AtomicU64::new(0),
+                claim_drops: AtomicU64::new(0),
+                queued: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
             }),
-            threads: threads.max(1),
+            threads,
             handles: Mutex::new(Vec::new()),
         }
     }
@@ -189,12 +444,20 @@ impl ThreadPool {
     /// A snapshot of the pool's lifecycle counters.
     #[must_use]
     pub fn stats(&self) -> PoolStats {
+        let s = &self.shared;
         PoolStats {
-            workers_spawned: self.shared.workers_spawned.load(Ordering::Relaxed),
-            batches: self.shared.batches.load(Ordering::Relaxed),
-            tasks: self.shared.tasks.load(Ordering::Relaxed),
-            items: self.shared.items.load(Ordering::Relaxed),
-            task_panics: self.shared.task_panics.load(Ordering::Relaxed),
+            workers_spawned: s.workers_spawned.load(Ordering::Relaxed),
+            batches: s.batches.load(Ordering::Relaxed),
+            tasks: s.tasks.load(Ordering::Relaxed),
+            items: s.items.load(Ordering::Relaxed),
+            task_panics: s.task_panics.load(Ordering::Relaxed),
+            steals: s.steals.load(Ordering::Relaxed),
+            steal_attempts: s.steal_attempts.load(Ordering::Relaxed),
+            local_pops: s.local_pops.load(Ordering::Relaxed),
+            claim_drops: s.claim_drops.load(Ordering::Relaxed),
+            queued_interactive: s.queued[0].load(Ordering::Relaxed),
+            queued_normal: s.queued[1].load(Ordering::Relaxed),
+            queued_bulk: s.queued[2].load(Ordering::Relaxed),
         }
     }
 
@@ -204,27 +467,51 @@ impl ThreadPool {
         if !handles.is_empty() {
             return;
         }
-        for _ in 0..self.threads {
+        for index in 0..self.threads {
             let shared = Arc::clone(&self.shared);
             shared.workers_spawned.fetch_add(1, Ordering::Relaxed);
-            handles.push(std::thread::spawn(move || worker_loop(&shared)));
+            handles.push(std::thread::spawn(move || worker_loop(&shared, index)));
         }
     }
 
-    /// Enqueues `work` and wakes workers.
-    fn inject(&self, work: Work) {
-        self.ensure_workers();
-        let mut queue = self.shared.queue.lock().expect("work queue poisoned");
-        queue.push_back(work);
-        drop(queue);
-        self.shared.available.notify_all();
+    /// Runs a fire-and-forget task on the pool (normal band, client 0).  A
+    /// panic inside the task is caught on the worker (the pool survives);
+    /// real rayon aborts instead, so portable callers should not rely on
+    /// panicking tasks.
+    pub fn spawn(&self, task: impl FnOnce() + Send + 'static) {
+        self.spawn_prioritized(Priority::Normal, 0, None, task);
     }
 
-    /// Runs a fire-and-forget task on the pool.  A panic inside the task is
-    /// caught on the worker (the pool survives); real rayon aborts instead,
-    /// so portable callers should not rely on panicking tasks.
-    pub fn spawn(&self, task: impl FnOnce() + Send + 'static) {
-        self.inject(Work::Task(Box::new(task)));
+    /// Queues a task in `priority`'s band under `client`'s FIFO queue.
+    /// Within a band, clients are served round-robin; a task whose
+    /// `cancelled` flag is set by the time a worker claims it is drained
+    /// without occupying a fair-share turn (the closure still runs, in
+    /// whatever short-circuit form it takes when its token is cancelled,
+    /// so submitter-side accounting — e.g. a stream's `skipped` counter —
+    /// stays balanced).
+    pub fn spawn_prioritized(
+        &self,
+        priority: Priority,
+        client: u64,
+        cancelled: Option<Arc<AtomicBool>>,
+        task: impl FnOnce() + Send + 'static,
+    ) {
+        self.ensure_workers();
+        let band = priority.index();
+        self.shared
+            .dispatcher
+            .lock()
+            .expect("dispatcher poisoned")
+            .push(
+                band,
+                client,
+                Job {
+                    cancelled,
+                    run: Box::new(task),
+                },
+            );
+        self.shared.queued[band].fetch_add(1, Ordering::Relaxed);
+        self.shared.notify();
     }
 
     /// Runs `runner(i)` for every `i in 0..total` across the workers and
@@ -236,38 +523,103 @@ impl ThreadPool {
         }
         self.shared.batches.fetch_add(1, Ordering::Relaxed);
         // SAFETY: the transmute only erases the reference's lifetime so the
-        // batch can sit in the long-lived queue.  `run_batch` does not
-        // return before `batch.wait()` observes every item accounted for,
-        // and a worker only dereferences `runner` while claiming chunks,
-        // which is impossible once all items are accounted (the cursor is
-        // exhausted) — so no access outlives this call frame.
+        // batch can sit in the long-lived deques.  `run_batch` does not
+        // return before the batch's `done` counter reaches `total`; an item
+        // is accounted only after its runner call returns (or is skipped
+        // without calling the runner), and a span's items stay unaccounted
+        // while it sits in a deque or is being processed — so once the
+        // caller observes completion, no span of this batch exists anywhere
+        // and no thread can touch `runner` again.
         #[allow(clippy::missing_transmute_annotations)]
         let runner: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(runner) };
-        let chunk = total.div_ceil(4 * self.threads).max(1);
         let batch = Arc::new(Batch {
             runner,
             total,
-            chunk,
-            cursor: AtomicUsize::new(0),
             panicked: AtomicBool::new(false),
             panic: Mutex::new(None),
             done: Mutex::new(0),
             done_cv: Condvar::new(),
         });
-        // One queue entry per worker that could usefully join in; workers
-        // finding the cursor already exhausted just drop their handle.
-        let copies = self.threads.min(total.div_ceil(chunk));
-        for _ in 0..copies {
-            self.inject(Work::Batch(Arc::clone(&batch)));
+        self.ensure_workers();
+        // A worker submitting a nested batch keeps the spans on its own
+        // deque (they sit above its outer spans, and LIFO pops find them
+        // first); an external caller spreads one span per worker.
+        let me = WORKER
+            .with(Cell::get)
+            .and_then(|(id, index)| (id == self.shared.id).then_some(index));
+        let spans = self.threads.min(total);
+        let per = total.div_ceil(spans);
+        let mut lo = 0;
+        let mut slot = 0;
+        while lo < total {
+            let hi = total.min(lo + per);
+            let target = me.unwrap_or(slot % self.threads);
+            self.shared.push_span(
+                target,
+                Span {
+                    batch: Arc::clone(&batch),
+                    lo,
+                    hi,
+                },
+            );
+            lo = hi;
+            slot += 1;
         }
         // The calling thread participates instead of blocking — this also
         // guarantees progress for batches submitted from inside a worker.
-        batch.drain(&self.shared.items);
-        batch.wait();
+        // It takes only spans of its *own* batch (so it cannot get stuck
+        // behind another caller's long item) and pushes its splits back
+        // where it found them.
+        loop {
+            if let Some((target, span)) = self.claim_own_span(&batch, me) {
+                process_span(&self.shared, span, target);
+                continue;
+            }
+            if batch.wait_done_for(Duration::from_millis(1)) {
+                break;
+            }
+        }
         let payload = batch.panic.lock().expect("panic slot poisoned").take();
         if let Some(payload) = payload {
             resume_unwind(payload);
         }
+    }
+
+    /// Finds a span of `batch` for the caller to process: the caller's own
+    /// deque first (newest split, LIFO) when it is a worker of this pool,
+    /// then other deques (oldest span first, like a thief).  Returns the
+    /// deque index the span came from — splits go back there.
+    fn claim_own_span(&self, batch: &Arc<Batch>, me: Option<usize>) -> Option<(usize, Span)> {
+        if let Some(index) = me {
+            let mut deque = self.shared.deques[index]
+                .lock()
+                .expect("span deque poisoned");
+            if let Some(pos) = deque.iter().rposition(|s| Arc::ptr_eq(&s.batch, batch)) {
+                let span = deque.remove(pos).expect("position just found");
+                drop(deque);
+                self.shared.local_pops.fetch_add(1, Ordering::Relaxed);
+                return Some((index, span));
+            }
+        }
+        let n = self.shared.deques.len();
+        let start = me.map_or(0, |i| i + 1);
+        for off in 0..n {
+            let victim = (start + off) % n;
+            if Some(victim) == me {
+                continue;
+            }
+            self.shared.steal_attempts.fetch_add(1, Ordering::Relaxed);
+            let mut deque = self.shared.deques[victim]
+                .lock()
+                .expect("span deque poisoned");
+            if let Some(pos) = deque.iter().position(|s| Arc::ptr_eq(&s.batch, batch)) {
+                let span = deque.remove(pos).expect("position just found");
+                drop(deque);
+                self.shared.steals.fetch_add(1, Ordering::Relaxed);
+                return Some((victim, span));
+            }
+        }
+        None
     }
 
     /// Maps `items` through `f` in parallel on this pool, preserving item
@@ -306,13 +658,13 @@ impl ThreadPool {
 impl Drop for ThreadPool {
     fn drop(&mut self) {
         {
-            // The store and notify must happen under the queue mutex:
-            // otherwise a worker that just observed (queue empty, shutdown
+            // The store and notify must happen under the sleep mutex:
+            // otherwise a worker that just observed (no work, shutdown
             // false) could park *after* this notify and sleep through it,
             // deadlocking the join below.
-            let _queue = self.shared.queue.lock().expect("work queue poisoned");
+            let _guard = self.shared.sleep.lock().expect("sleep mutex poisoned");
             self.shared.shutdown.store(true, Ordering::Release);
-            self.shared.available.notify_all();
+            self.shared.wake.notify_all();
         }
         let mut handles = self.handles.lock().expect("worker handles poisoned");
         for handle in handles.drain(..) {
@@ -321,34 +673,135 @@ impl Drop for ThreadPool {
     }
 }
 
-/// The worker body: pop work until shutdown is signalled and the queue is
-/// empty.
-fn worker_loop(shared: &Shared) {
+// ---------------------------------------------------------------------------
+// Worker internals
+// ---------------------------------------------------------------------------
+
+/// Processes a span: repeatedly split off the upper half onto deque
+/// `target` (stealable) and keep the lower, run the single remaining item,
+/// account it.  A panicked batch's spans are accounted without running.
+fn process_span(shared: &Shared, span: Span, target: usize) {
+    let Span { batch, lo, mut hi } = span;
     loop {
-        let work = {
-            let mut queue = shared.queue.lock().expect("work queue poisoned");
-            loop {
-                if let Some(work) = queue.pop_front() {
-                    break work;
-                }
-                if shared.shutdown.load(Ordering::Acquire) {
-                    return;
-                }
-                queue = shared.available.wait(queue).expect("work queue poisoned");
-            }
-        };
-        match work {
-            Work::Batch(batch) => batch.drain(&shared.items),
-            Work::Task(task) => {
-                shared.tasks.fetch_add(1, Ordering::Relaxed);
-                // Keep the worker alive through a panicking task; the
-                // payload is intentionally dropped (see `spawn`), but the
-                // panic is counted so fault suites can observe it.
-                if catch_unwind(AssertUnwindSafe(task)).is_err() {
-                    shared.task_panics.fetch_add(1, Ordering::Relaxed);
-                }
-            }
+        if batch.panicked.load(Ordering::Acquire) {
+            batch.account(hi - lo, &shared.items);
+            return;
         }
+        if hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            shared.push_span(
+                target,
+                Span {
+                    batch: Arc::clone(&batch),
+                    lo: mid,
+                    hi,
+                },
+            );
+            hi = mid;
+        } else {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| (batch.runner)(lo))) {
+                batch.record_panic(payload);
+            }
+            batch.account(1, &shared.items);
+            return;
+        }
+    }
+}
+
+/// Runs one claimed dispatcher job under `catch_unwind`.
+fn run_job(shared: &Shared, job: Job) {
+    shared.tasks.fetch_add(1, Ordering::Relaxed);
+    if catch_unwind(AssertUnwindSafe(job.run)).is_err() {
+        shared.task_panics.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Claims from one dispatcher band; returns whether any progress was made
+/// (a live job run, or cancelled jobs drained).
+fn claim_band(shared: &Shared, band: usize) -> bool {
+    if shared.queued[band].load(Ordering::Acquire) == 0 {
+        return false;
+    }
+    let (live, dropped) = shared
+        .dispatcher
+        .lock()
+        .expect("dispatcher poisoned")
+        .pop(band);
+    let claimed = dropped.len() + usize::from(live.is_some());
+    if claimed == 0 {
+        return false;
+    }
+    shared.queued[band].fetch_sub(claimed as u64, Ordering::Relaxed);
+    if !dropped.is_empty() {
+        shared
+            .claim_drops
+            .fetch_add(dropped.len() as u64, Ordering::Relaxed);
+        for job in dropped {
+            run_job(shared, job);
+        }
+    }
+    if let Some(job) = live {
+        run_job(shared, job);
+    }
+    true
+}
+
+/// One scheduling round of a worker: interactive band, then the worker's
+/// own deque (LIFO), then the normal and bulk bands, then stealing (FIFO
+/// from each victim).  Returns whether any work was done.
+fn find_and_run_work(shared: &Shared, index: usize) -> bool {
+    if claim_band(shared, 0) {
+        return true;
+    }
+    let span = shared.deques[index]
+        .lock()
+        .expect("span deque poisoned")
+        .pop_back();
+    if let Some(span) = span {
+        shared.local_pops.fetch_add(1, Ordering::Relaxed);
+        process_span(shared, span, index);
+        return true;
+    }
+    if claim_band(shared, 1) || claim_band(shared, 2) {
+        return true;
+    }
+    let n = shared.deques.len();
+    for off in 1..n {
+        let victim = (index + off) % n;
+        shared.steal_attempts.fetch_add(1, Ordering::Relaxed);
+        let span = shared.deques[victim]
+            .lock()
+            .expect("span deque poisoned")
+            .pop_front();
+        if let Some(span) = span {
+            shared.steals.fetch_add(1, Ordering::Relaxed);
+            process_span(shared, span, index);
+            return true;
+        }
+    }
+    false
+}
+
+/// The worker body: scheduling rounds until shutdown is signalled and no
+/// work remains (queued work is drained before exit).
+fn worker_loop(shared: &Arc<Shared>, index: usize) {
+    WORKER.with(|w| w.set(Some((shared.id, index))));
+    loop {
+        let epoch = shared.epoch.load(Ordering::Acquire);
+        if find_and_run_work(shared, index) {
+            continue;
+        }
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let mut guard = shared.sleep.lock().expect("sleep mutex poisoned");
+        shared.sleepers.fetch_add(1, Ordering::Release);
+        while shared.epoch.load(Ordering::Acquire) == epoch
+            && !shared.shutdown.load(Ordering::Acquire)
+        {
+            guard = shared.wake.wait(guard).expect("sleep mutex poisoned");
+        }
+        shared.sleepers.fetch_sub(1, Ordering::Release);
     }
 }
 
@@ -375,9 +828,21 @@ pub fn global_pool_stats() -> PoolStats {
         .map_or_else(PoolStats::default, ThreadPool::stats)
 }
 
-/// Runs a `'static` fire-and-forget task on the global pool.
+/// Runs a `'static` fire-and-forget task on the global pool (normal band).
 pub fn spawn(task: impl FnOnce() + Send + 'static) {
     global_pool().spawn(task);
+}
+
+/// Runs a `'static` task on the global pool in `priority`'s band under
+/// `client`'s fair-share queue, with an optional claim-time cancellation
+/// flag.  See [`ThreadPool::spawn_prioritized`].
+pub fn spawn_prioritized(
+    priority: Priority,
+    client: u64,
+    cancelled: Option<Arc<AtomicBool>>,
+    task: impl FnOnce() + Send + 'static,
+) {
+    global_pool().spawn_prioritized(priority, client, cancelled, task);
 }
 
 // ---------------------------------------------------------------------------
@@ -608,5 +1073,175 @@ mod tests {
         });
         assert_eq!(rx.recv().expect("task ran"), 42);
         assert!(global_pool_stats().tasks >= 1);
+    }
+
+    #[test]
+    fn priority_tokens_roundtrip() {
+        for p in Priority::ALL {
+            assert_eq!(Priority::parse(p.token()), Some(p));
+            assert_eq!(p.token().parse::<Priority>(), Ok(p));
+        }
+        assert_eq!(Priority::parse("urgent"), None);
+        assert_eq!(Priority::default(), Priority::Normal);
+        assert!(Priority::Interactive.index() < Priority::Bulk.index());
+    }
+
+    /// A single-worker pool wedged on a gate task claims a queued
+    /// interactive job before the bulk backlog queued ahead of it.
+    #[test]
+    fn interactive_jobs_overtake_a_queued_bulk_backlog() {
+        let pool = ThreadPool::new(1);
+        let (gate_tx, gate_rx) = std::sync::mpsc::channel::<()>();
+        let (ready_tx, ready_rx) = std::sync::mpsc::channel::<()>();
+        pool.spawn(move || {
+            ready_tx.send(()).expect("test alive");
+            gate_rx.recv().expect("gate opened");
+        });
+        ready_rx.recv().expect("worker wedged on the gate");
+        let order = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..8u64 {
+            let order = Arc::clone(&order);
+            pool.spawn_prioritized(Priority::Bulk, 1, None, move || {
+                order.lock().expect("order").push(format!("bulk{i}"));
+            });
+        }
+        let order_i = Arc::clone(&order);
+        pool.spawn_prioritized(Priority::Interactive, 2, None, move || {
+            order_i
+                .lock()
+                .expect("order")
+                .push("interactive".to_string());
+        });
+        assert!(pool.stats().queued_bulk >= 8);
+        gate_tx.send(()).expect("worker alive");
+        drop(pool); // drains everything
+        let order = Arc::try_unwrap(order)
+            .expect("workers joined")
+            .into_inner()
+            .expect("order");
+        assert_eq!(
+            order.first().map(String::as_str),
+            Some("interactive"),
+            "the interactive job must run before the queued bulk backlog: {order:?}"
+        );
+        assert_eq!(order.len(), 9, "every queued job still runs");
+    }
+
+    /// Two clients sharing a band are served round-robin, not
+    /// submission-FIFO: a late second client is interleaved, not appended.
+    #[test]
+    fn clients_within_a_band_are_interleaved_fairly() {
+        let pool = ThreadPool::new(1);
+        let (gate_tx, gate_rx) = std::sync::mpsc::channel::<()>();
+        let (ready_tx, ready_rx) = std::sync::mpsc::channel::<()>();
+        pool.spawn(move || {
+            ready_tx.send(()).expect("test alive");
+            gate_rx.recv().expect("gate opened");
+        });
+        ready_rx.recv().expect("worker wedged on the gate");
+        let order = Arc::new(Mutex::new(Vec::new()));
+        for client in [1u64, 2] {
+            for i in 0..4u64 {
+                let order = Arc::clone(&order);
+                pool.spawn_prioritized(Priority::Bulk, client, None, move || {
+                    order.lock().expect("order").push((client, i));
+                });
+            }
+        }
+        gate_tx.send(()).expect("worker alive");
+        drop(pool);
+        let order = Arc::try_unwrap(order)
+            .expect("workers joined")
+            .into_inner()
+            .expect("order");
+        // Fair-share: client 2's first job must not wait behind all four of
+        // client 1's (strict FIFO would run (1,0)(1,1)(1,2)(1,3) first).
+        let first_c2 = order
+            .iter()
+            .position(|&(c, _)| c == 2)
+            .expect("client 2 ran");
+        assert!(
+            first_c2 <= 1,
+            "client 2 must be interleaved round-robin, got order {order:?}"
+        );
+        // FIFO within each client (queue order is request age).
+        for client in [1u64, 2] {
+            let per: Vec<u64> = order
+                .iter()
+                .filter(|&&(c, _)| c == client)
+                .map(|&(_, i)| i)
+                .collect();
+            assert_eq!(per, vec![0, 1, 2, 3], "client {client} must stay FIFO");
+        }
+    }
+
+    /// Jobs whose cancellation flag is set while queued are drained at
+    /// claim time (counted, still run in short-circuit form) rather than
+    /// dispatched one fair-share turn at a time.
+    #[test]
+    fn cancelled_jobs_are_dropped_at_claim_time() {
+        let pool = ThreadPool::new(1);
+        let (gate_tx, gate_rx) = std::sync::mpsc::channel::<()>();
+        let (ready_tx, ready_rx) = std::sync::mpsc::channel::<()>();
+        pool.spawn(move || {
+            ready_tx.send(()).expect("test alive");
+            gate_rx.recv().expect("gate opened");
+        });
+        ready_rx.recv().expect("worker wedged on the gate");
+        let flag = Arc::new(AtomicBool::new(false));
+        let skipped = Arc::new(AtomicUsize::new(0));
+        let executed = Arc::new(AtomicUsize::new(0));
+        for _ in 0..16 {
+            let flag = Arc::clone(&flag);
+            let skipped = Arc::clone(&skipped);
+            let executed = Arc::clone(&executed);
+            pool.spawn_prioritized(Priority::Bulk, 1, Some(Arc::clone(&flag)), move || {
+                // The short-circuit shape every cancellable job has: check
+                // the token, account, skip the expensive part.
+                if flag.load(Ordering::Acquire) {
+                    skipped.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    executed.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        flag.store(true, Ordering::Release); // cancel while everything is queued
+        gate_tx.send(()).expect("worker alive");
+        while skipped.load(Ordering::Relaxed) < 16 {
+            std::thread::yield_now();
+        }
+        let stats = pool.stats();
+        assert_eq!(
+            stats.claim_drops, 16,
+            "the whole backlog drains as claim drops"
+        );
+        assert_eq!(executed.load(Ordering::Relaxed), 0, "none may run live");
+        drop(pool);
+    }
+
+    /// Stealing really happens: a multi-worker pool with one worker wedged
+    /// mid-item lets the others steal its remaining spans.
+    #[test]
+    fn idle_workers_steal_from_a_busy_victim() {
+        let pool = ThreadPool::new(4);
+        let before = pool.stats();
+        // One expensive item (the victim worker sits in it) plus many cheap
+        // ones initially placed across deques; the cheap workers finish and
+        // then steal the slow worker's remaining span halves.
+        let ran = Arc::new(AtomicUsize::new(0));
+        let ran_in = Arc::clone(&ran);
+        let _: Vec<()> = pool.map((0..256usize).collect(), move |i| {
+            if i == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(40));
+            }
+            ran_in.fetch_add(1, Ordering::Relaxed);
+        });
+        let after = pool.stats();
+        assert_eq!(ran.load(Ordering::Relaxed), 256);
+        assert_eq!(after.items - before.items, 256);
+        assert!(
+            after.steals > before.steals || after.local_pops > before.local_pops,
+            "span scheduling must be observable in the counters: {after:?}"
+        );
     }
 }
