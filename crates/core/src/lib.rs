@@ -38,10 +38,6 @@
 //! assert!(dm > swsm);
 //! ```
 
-#![forbid(unsafe_code)]
-#![deny(missing_docs)]
-#![warn(missing_debug_implementations)]
-
 mod experiment;
 mod experiments;
 #[doc(hidden)]

@@ -47,10 +47,6 @@
 //! # Ok::<(), dae_isa::KernelError>(())
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
-
 mod builder;
 mod error;
 mod kernel;

@@ -1,0 +1,13 @@
+//! Seeded default-hasher violations; only `fast` names an explicit hasher.
+
+use std::collections::HashMap;
+
+struct Scratch {
+    slow: HashMap<u64, u64>,
+    fast: HashMap<u64, u64, FxBuildHasher>,
+    names: HashSet<String>,
+}
+
+fn build() -> HashMap<u64, u64> {
+    HashMap::new()
+}

@@ -1,0 +1,27 @@
+//! A seeded lock-order cycle: `forward` takes alpha then beta, `backward`
+//! takes beta then alpha — a classic ABBA deadlock — plus one bare
+//! `.lock().unwrap()`.
+
+struct Pair {
+    alpha: Mutex<u64>,
+    beta: Mutex<u64>,
+}
+
+impl Pair {
+    fn forward(&self) {
+        let a = self.alpha.lock().expect("alpha");
+        let b = self.beta.lock().expect("beta");
+        let _ = (*a, *b);
+    }
+
+    fn backward(&self) {
+        let b = self.beta.lock().expect("beta");
+        let a = self.alpha.lock().expect("alpha");
+        let _ = (*a, *b);
+    }
+
+    fn sloppy(&self) {
+        let a = self.alpha.lock().unwrap();
+        let _ = *a;
+    }
+}

@@ -1,0 +1,13 @@
+//! Seeded panic-path violations: one raw panic, one suppression with a
+//! reason (silenced), one bare suppression (reported).
+
+fn reply(input: Option<u64>, flag: bool) -> u64 {
+    if flag {
+        panic!("no reply");
+    }
+    // lint:allow(panic-path): startup-only path, runs before the listener binds
+    let port = input.expect("port");
+    // lint:allow(panic-path)
+    let value = input.unwrap();
+    port + value
+}

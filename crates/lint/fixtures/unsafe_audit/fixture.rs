@@ -1,0 +1,12 @@
+//! Seeded unsafe-audit violations: the first block carries its soundness
+//! argument, the second does not, and the census pin expects one block.
+
+fn erased() -> u64 {
+    // SAFETY: the value is a plain integer read through a valid reference.
+    let a = unsafe { core::ptr::read(&7u64) };
+    let x = a + 1;
+    let y = x * 2;
+    let z = y - 3;
+    let b = unsafe { core::ptr::read(&z) };
+    a + b
+}

@@ -1,0 +1,39 @@
+//! Structured lint diagnostics.
+
+use std::fmt;
+
+/// One finding: `file:line · rule-id · message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// 1-based line of the finding (1 for whole-file findings).
+    pub line: u32,
+    /// The rule that produced the finding (its suppression key).
+    pub rule: &'static str,
+    /// Human-readable description, one line.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// A new diagnostic.
+    #[must_use]
+    pub fn new(path: &str, line: u32, rule: &'static str, message: String) -> Self {
+        Diagnostic {
+            path: path.to_string(),
+            line,
+            rule,
+            message,
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{} · {} · {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}

@@ -1,0 +1,162 @@
+//! The lint driver: walk the tree, lex, run every rule, apply
+//! suppressions, sort.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::config::LintConfig;
+use crate::diag::Diagnostic;
+use crate::lexer::SourceFile;
+use crate::rules;
+
+/// Directory names the walker never descends into.  `fixtures` holds the
+/// seeded-violation corpus — linting it would report the violations it
+/// exists to seed.
+const SKIP_DIRS: &[&str] = &["target", "fixtures"];
+
+/// One parsed `lint:allow` suppression comment.
+#[derive(Debug)]
+struct Allow {
+    path: String,
+    line: u32,
+    rule: String,
+    /// Whether a non-empty `: reason` followed the rule id.
+    reasoned: bool,
+}
+
+/// Lexes every `.rs` file under `root` (skipping `target`, `fixtures` and
+/// dot-directories), with workspace-relative `/`-separated paths, sorted.
+///
+/// Public so the unsafe-census pin test can run [`rules::unsafe_census`]
+/// over exactly the files the linter sees.
+#[must_use]
+pub fn lex_workspace(root: &Path) -> Vec<SourceFile> {
+    let mut paths = Vec::new();
+    walk(root, &mut paths);
+    paths.sort();
+    paths
+        .iter()
+        .filter_map(|p| {
+            let text = fs::read_to_string(p).ok()?;
+            let rel = p
+                .strip_prefix(root)
+                .unwrap_or(p)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            Some(SourceFile::parse(&rel, &text))
+        })
+        .collect()
+}
+
+/// Recursively collects `.rs` paths under `dir`.
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if path.is_dir() {
+            if !name.starts_with('.') && !SKIP_DIRS.contains(&name.as_str()) {
+                walk(&path, out);
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Runs every rule over the tree described by `cfg` and returns the
+/// surviving findings, sorted by path, line and rule.
+///
+/// Suppression: a `// lint:allow(rule): reason` comment on the finding's
+/// line (or the line directly above) silences it.  A *bare* allow —
+/// `// lint:allow(rule)` with no reason — still silences its target but is
+/// itself reported as a `lint-allow` finding, unconditionally: the whole
+/// point of the syntax is that every suppression carries a written
+/// justification a reviewer signed off on.
+#[must_use]
+pub fn run(cfg: &LintConfig) -> Vec<Diagnostic> {
+    let files = lex_workspace(&cfg.root);
+    run_on(cfg, &files)
+}
+
+/// [`run`] over an already-lexed file set.
+#[must_use]
+pub fn run_on(cfg: &LintConfig, files: &[SourceFile]) -> Vec<Diagnostic> {
+    let mut findings = Vec::new();
+    let mut rules = rules::all();
+    for rule in &mut rules {
+        for file in files {
+            rule.check_file(file, cfg, &mut findings);
+        }
+        rule.finish(cfg, &mut findings);
+    }
+
+    let allows = collect_allows(files);
+    let mut out: Vec<Diagnostic> = findings
+        .into_iter()
+        .filter(|d| {
+            !allows.iter().any(|a| {
+                a.path == d.path && a.rule == d.rule && (a.line == d.line || a.line + 1 == d.line)
+            })
+        })
+        .collect();
+    for a in &allows {
+        if !a.reasoned {
+            out.push(Diagnostic::new(
+                &a.path,
+                a.line,
+                "lint-allow",
+                format!(
+                    "bare `lint:allow({})` without a reason — append `: <why this is \
+                     sound>`",
+                    a.rule
+                ),
+            ));
+        }
+    }
+
+    out.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.rule, a.message.as_str()).cmp(&(
+            b.path.as_str(),
+            b.line,
+            b.rule,
+            b.message.as_str(),
+        ))
+    });
+    out.dedup();
+    out
+}
+
+/// Parses `lint:allow(rule)[: reason]` suppression directives.  The
+/// directive must *start* the comment (after doc-comment markers), so
+/// prose that merely mentions the syntax — like this sentence — is not a
+/// suppression.
+fn collect_allows(files: &[SourceFile]) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for file in files {
+        for comment in &file.comments {
+            let text = comment.text.trim_start_matches(['/', '!']).trim_start();
+            let Some(rest) = text.strip_prefix("lint:allow(") else {
+                continue;
+            };
+            let Some(close) = rest.find(')') else {
+                continue;
+            };
+            let rule = rest[..close].trim().to_string();
+            let reasoned = rest[close + 1..]
+                .strip_prefix(':')
+                .is_some_and(|r| !r.trim().is_empty());
+            allows.push(Allow {
+                path: file.path.clone(),
+                line: comment.line,
+                rule,
+                reasoned,
+            });
+        }
+    }
+    allows
+}

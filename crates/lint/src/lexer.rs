@@ -1,0 +1,619 @@
+//! A lightweight Rust lexer: just enough structure for invariant linting.
+//!
+//! The linter's rules are token-sequence matchers, and the one thing a
+//! text-level matcher must never do is fire on prose — a doc comment that
+//! *mentions* `.unwrap()`, a test string containing `unsafe`, a protocol
+//! transcript embedding `format!`.  This lexer removes that whole failure
+//! class at the source: string literals, character literals and comments
+//! are stripped out of the code stream (comments are kept on the side,
+//! because two rules — `SAFETY:` auditing and `lint:allow` suppression —
+//! read them deliberately), and what remains is a flat token list with
+//! line numbers.
+//!
+//! It is deliberately *not* a parser.  There is no `syn` in the vendored
+//! workspace and pulling one in would violate the offline-stub policy
+//! (`vendor/README.md`); the rules only need tokens plus two structural
+//! facts this module also provides: which tokens sit inside `#[cfg(test)]`
+//! items (test code may unwrap and lock as it pleases), and matching-brace
+//! navigation for function extents.
+
+/// The coarse class of a [`Token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`unsafe`, `lock`, `Vec`, …).
+    Ident,
+    /// A single punctuation character (`.`, `:`, `{`, `!`, …).
+    Punct,
+    /// A string literal (content stripped; text is empty).
+    Str,
+    /// A character literal (content stripped; text is empty).
+    Char,
+    /// A numeric literal.
+    Num,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+}
+
+/// One lexed token: its class, its (stripped) text and the 1-based source
+/// line it starts on, plus whether it sits inside a `#[cfg(test)]` item.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// The token's class.
+    pub kind: TokKind,
+    /// The token text (empty for string/char literals).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+    /// Whether the token is inside a `#[cfg(test)]` item.
+    pub test: bool,
+}
+
+/// One comment (line `//…` or block `/*…*/` segment): the 1-based line it
+/// sits on and its text without the delimiters.  A block comment spanning
+/// several lines yields one entry per line, so "within N lines" checks
+/// work uniformly.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based source line.
+    pub line: u32,
+    /// Comment text without `//` / `/*` delimiters.
+    pub text: String,
+}
+
+/// A lexed source file: workspace-relative path, code tokens and comments.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// The code token stream (strings/chars stripped, comments removed).
+    pub tokens: Vec<Token>,
+    /// Every comment, one entry per source line it covers.
+    pub comments: Vec<Comment>,
+}
+
+impl SourceFile {
+    /// Lexes `text` as the contents of `path`.
+    #[must_use]
+    pub fn parse(path: &str, text: &str) -> SourceFile {
+        let (mut tokens, comments) = lex(text);
+        mark_test_items(&mut tokens);
+        SourceFile {
+            path: path.to_string(),
+            tokens,
+            comments,
+        }
+    }
+
+    /// Whether the token sequence starting at `i` matches `pat` texts
+    /// exactly.
+    #[must_use]
+    pub fn match_seq(&self, i: usize, pat: &[&str]) -> bool {
+        self.tokens.len().saturating_sub(i) >= pat.len()
+            && pat
+                .iter()
+                .enumerate()
+                .all(|(k, p)| self.tokens[i + k].text == *p)
+    }
+
+    /// All comment texts on `line`.
+    pub fn comments_on(&self, line: u32) -> impl Iterator<Item = &str> {
+        self.comments
+            .iter()
+            .filter(move |c| c.line == line)
+            .map(|c| c.text.as_str())
+    }
+
+    /// Whether any comment on lines `[from, to]` contains `needle`.
+    #[must_use]
+    pub fn comment_in_range_contains(&self, from: u32, to: u32, needle: &str) -> bool {
+        self.comments
+            .iter()
+            .any(|c| c.line >= from && c.line <= to && c.text.contains(needle))
+    }
+
+    /// The index just past the brace-balanced region opened by the `{` at
+    /// `open` (i.e. the index after its matching `}`); `tokens.len()` when
+    /// unbalanced.
+    #[must_use]
+    pub fn matching_brace_end(&self, open: usize) -> usize {
+        debug_assert_eq!(self.tokens[open].text, "{");
+        let mut depth = 0usize;
+        for (i, tok) in self.tokens.iter().enumerate().skip(open) {
+            match tok.text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return i + 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        self.tokens.len()
+    }
+
+    /// Token ranges `(body_start, body_end)` (exclusive of the braces) of
+    /// every non-test `fn name` in the file.
+    #[must_use]
+    pub fn function_bodies(&self, name: &str) -> Vec<(usize, usize)> {
+        let mut bodies = Vec::new();
+        let mut i = 0;
+        while i + 1 < self.tokens.len() {
+            if self.tokens[i].text == "fn"
+                && !self.tokens[i].test
+                && self.tokens[i + 1].text == name
+            {
+                // Scan past the signature (generics, params, return type,
+                // where clause — none of which contain braces) to the body.
+                let mut j = i + 2;
+                let mut nest = 0usize;
+                while j < self.tokens.len() && self.tokens[j].text != "{" {
+                    match self.tokens[j].text.as_str() {
+                        "(" | "[" => nest += 1,
+                        ")" | "]" => nest = nest.saturating_sub(1),
+                        // A top-level `;` is a trait method without a body —
+                        // nothing to scan.  (Nested ones are array types:
+                        // `[U; N]`.)
+                        ";" if nest == 0 => break,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if j < self.tokens.len() && self.tokens[j].text == "{" {
+                    let end = self.matching_brace_end(j);
+                    bodies.push((j + 1, end.saturating_sub(1)));
+                    i = end;
+                    continue;
+                }
+            }
+            i += 1;
+        }
+        bodies
+    }
+}
+
+/// Lexes source text into (tokens, comments).
+#[allow(clippy::too_many_lines)]
+fn lex(text: &str) -> (Vec<Token>, Vec<Comment>) {
+    let chars: Vec<char> = text.chars().collect();
+    let mut tokens = Vec::new();
+    let mut comments: Vec<Comment> = Vec::new();
+    let mut line: u32 = 1;
+    let mut i = 0usize;
+    let n = chars.len();
+
+    let mut push_comment = |line: u32, text: &str| {
+        comments.push(Comment {
+            line,
+            text: text.to_string(),
+        });
+    };
+
+    while i < n {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < n && chars[i + 1] == '/' => {
+                let start = i + 2;
+                let mut j = start;
+                while j < n && chars[j] != '\n' {
+                    j += 1;
+                }
+                let text: String = chars[start..j].iter().collect();
+                push_comment(line, &text);
+                i = j;
+            }
+            '/' if i + 1 < n && chars[i + 1] == '*' => {
+                // Nested block comment; emit one Comment per covered line.
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                let mut seg_start = j;
+                while j < n && depth > 0 {
+                    if chars[j] == '\n' {
+                        let text: String = chars[seg_start..j].iter().collect();
+                        push_comment(line, &text);
+                        line += 1;
+                        seg_start = j + 1;
+                        j += 1;
+                    } else if chars[j] == '/' && j + 1 < n && chars[j + 1] == '*' {
+                        depth += 1;
+                        j += 2;
+                    } else if chars[j] == '*' && j + 1 < n && chars[j + 1] == '/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                let end = j.saturating_sub(2).max(seg_start);
+                let text: String = chars[seg_start..end.min(n)].iter().collect();
+                push_comment(line, &text);
+                i = j;
+            }
+            '"' => {
+                let (next, newlines) = skip_string(&chars, i);
+                tokens.push(Token {
+                    kind: TokKind::Str,
+                    text: String::new(),
+                    line,
+                    test: false,
+                });
+                line += newlines;
+                i = next;
+            }
+            'r' | 'b' if starts_string(&chars, i) => {
+                let (next, newlines) = skip_raw_or_byte_string(&chars, i);
+                tokens.push(Token {
+                    kind: TokKind::Str,
+                    text: String::new(),
+                    line,
+                    test: false,
+                });
+                line += newlines;
+                i = next;
+            }
+            '\'' => {
+                // Lifetime vs char literal.
+                let (kind, next) = lifetime_or_char(&chars, i);
+                let text = if kind == TokKind::Lifetime {
+                    chars[i..next].iter().collect()
+                } else {
+                    String::new()
+                };
+                tokens.push(Token {
+                    kind,
+                    text,
+                    line,
+                    test: false,
+                });
+                i = next;
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i + 1;
+                while j < n && (chars[j].is_ascii_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+                tokens.push(Token {
+                    kind: TokKind::Num,
+                    text: chars[i..j].iter().collect(),
+                    line,
+                    test: false,
+                });
+                i = j;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut j = i + 1;
+                while j < n && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+                tokens.push(Token {
+                    kind: TokKind::Ident,
+                    text: chars[i..j].iter().collect(),
+                    line,
+                    test: false,
+                });
+                i = j;
+            }
+            c => {
+                tokens.push(Token {
+                    kind: TokKind::Punct,
+                    text: c.to_string(),
+                    line,
+                    test: false,
+                });
+                i += 1;
+            }
+        }
+    }
+    (tokens, comments)
+}
+
+/// Whether `chars[i]` begins a raw/byte string (`r"`, `r#"`, `b"`, `br"`,
+/// `br#"`) rather than an identifier starting with `r`/`b`.
+fn starts_string(chars: &[char], i: usize) -> bool {
+    let n = chars.len();
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+        if j < n && chars[j] == '\'' {
+            return true; // byte char b'x'
+        }
+    }
+    if j < n && chars[j] == 'r' {
+        j += 1;
+        while j < n && chars[j] == '#' {
+            j += 1;
+        }
+    }
+    j < n && chars[j] == '"'
+}
+
+/// Skips a plain `"…"` string starting at `chars[i]`; returns (index past
+/// the closing quote, newlines crossed).
+fn skip_string(chars: &[char], i: usize) -> (usize, u32) {
+    let n = chars.len();
+    let mut j = i + 1;
+    let mut newlines = 0;
+    while j < n {
+        match chars[j] {
+            '\\' => j += 2,
+            '\n' => {
+                newlines += 1;
+                j += 1;
+            }
+            '"' => return (j + 1, newlines),
+            _ => j += 1,
+        }
+    }
+    (n, newlines)
+}
+
+/// Skips a raw/byte string (or byte char) starting at `chars[i]`.
+fn skip_raw_or_byte_string(chars: &[char], i: usize) -> (usize, u32) {
+    let n = chars.len();
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+        if j < n && chars[j] == '\'' {
+            // b'x' byte char
+            let mut k = j + 1;
+            while k < n {
+                match chars[k] {
+                    '\\' => k += 2,
+                    '\'' => return (k + 1, 0),
+                    _ => k += 1,
+                }
+            }
+            return (n, 0);
+        }
+    }
+    let mut hashes = 0usize;
+    if j < n && chars[j] == 'r' {
+        j += 1;
+        while j < n && chars[j] == '#' {
+            hashes += 1;
+            j += 1;
+        }
+    }
+    debug_assert!(j < n && chars[j] == '"');
+    j += 1;
+    let mut newlines = 0;
+    while j < n {
+        if chars[j] == '\n' {
+            newlines += 1;
+            j += 1;
+        } else if chars[j] == '"' {
+            let mut k = j + 1;
+            let mut seen = 0usize;
+            while seen < hashes && k < n && chars[k] == '#' {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                return (k, newlines);
+            }
+            j += 1;
+        } else if hashes == 0 && chars[j] == '\\' && chars[j + 1..].first() == Some(&'"') {
+            // Plain r"…" has no escapes; this arm only applies to the
+            // degenerate case of a backslash before the closing quote in a
+            // non-raw byte string, which skip_string would have handled —
+            // keep scanning.
+            j += 1;
+        } else {
+            j += 1;
+        }
+    }
+    (n, newlines)
+}
+
+/// Distinguishes a lifetime from a char literal at a `'`.
+fn lifetime_or_char(chars: &[char], i: usize) -> (TokKind, usize) {
+    let n = chars.len();
+    if i + 1 >= n {
+        return (TokKind::Char, n);
+    }
+    let c1 = chars[i + 1];
+    if c1 == '\\' {
+        // '\n', '\'', '\\', '\u{…}' …
+        let mut j = i + 2;
+        if j < n {
+            j += 1; // the escaped char (or the 'u' of \u{…})
+        }
+        while j < n && chars[j] != '\'' {
+            j += 1;
+        }
+        return (TokKind::Char, (j + 1).min(n));
+    }
+    if c1.is_alphabetic() || c1 == '_' {
+        // 'a' (char) vs 'a / 'static (lifetime): a closing quote right
+        // after a single ident char means a char literal.
+        let mut j = i + 2;
+        while j < n && (chars[j].is_alphanumeric() || chars[j] == '_') {
+            j += 1;
+        }
+        if j < n && chars[j] == '\'' && j == i + 2 {
+            return (TokKind::Char, j + 1);
+        }
+        return (TokKind::Lifetime, j);
+    }
+    // '(' , '0' … — a plain char literal.
+    let mut j = i + 1;
+    while j < n && chars[j] != '\'' {
+        j += 1;
+    }
+    (TokKind::Char, (j + 1).min(n))
+}
+
+/// Marks every token inside a `#[cfg(test)]` item (module, function, use…)
+/// with `test = true`.  The item is whatever follows the attribute list:
+/// up to its `;` when no brace opens first, otherwise through the matching
+/// close brace.
+fn mark_test_items(tokens: &mut [Token]) {
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].text == "#" && i + 1 < tokens.len() && tokens[i + 1].text == "[" {
+            let attr_start = i;
+            let (is_test_attr, after_attr) = scan_attribute(tokens, i);
+            if !is_test_attr {
+                i = after_attr;
+                continue;
+            }
+            // Consume any further attributes between #[cfg(test)] and the
+            // item itself.
+            let mut j = after_attr;
+            while j + 1 < tokens.len() && tokens[j].text == "#" && tokens[j + 1].text == "[" {
+                let (_, next) = scan_attribute(tokens, j);
+                j = next;
+            }
+            // Skip the item: to `;` if it comes before any `{`, else
+            // through the matching `}`.
+            let mut k = j;
+            let mut end = tokens.len();
+            while k < tokens.len() {
+                match tokens[k].text.as_str() {
+                    ";" => {
+                        end = k + 1;
+                        break;
+                    }
+                    "{" => {
+                        let mut depth = 0usize;
+                        while k < tokens.len() {
+                            match tokens[k].text.as_str() {
+                                "{" => depth += 1,
+                                "}" => {
+                                    depth -= 1;
+                                    if depth == 0 {
+                                        break;
+                                    }
+                                }
+                                _ => {}
+                            }
+                            k += 1;
+                        }
+                        end = (k + 1).min(tokens.len());
+                        break;
+                    }
+                    _ => k += 1,
+                }
+            }
+            for tok in &mut tokens[attr_start..end] {
+                tok.test = true;
+            }
+            i = end;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+/// Scans the attribute starting at `#` `[`; returns (whether it contains
+/// both `cfg` and `test` tokens, index past the closing `]`).
+fn scan_attribute(tokens: &[Token], i: usize) -> (bool, usize) {
+    let mut depth = 0usize;
+    let mut has_cfg = false;
+    let mut has_test = false;
+    let mut j = i + 1;
+    while j < tokens.len() {
+        match tokens[j].text.as_str() {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return (has_cfg && has_test, j + 1);
+                }
+            }
+            "cfg" => has_cfg = true,
+            "test" => has_test = true,
+            _ => {}
+        }
+        j += 1;
+    }
+    (has_cfg && has_test, tokens.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_stripped() {
+        let src = r#"
+// a comment mentioning unwrap()
+fn f() {
+    let s = "unsafe in a string";
+    let c = 'u';
+}
+"#;
+        let f = SourceFile::parse("x.rs", src);
+        assert!(!f.tokens.iter().any(|t| t.text.contains("unwrap")));
+        assert!(!f.tokens.iter().any(|t| t.text == "unsafe"));
+        assert_eq!(f.comments.len(), 1);
+        assert!(f.comments[0].text.contains("unwrap()"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let f = SourceFile::parse("x.rs", "fn f<'a>(x: &'a str, c: char) { let y = 'z'; }");
+        let lifetimes: Vec<_> = f
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(
+            f.tokens.iter().filter(|t| t.kind == TokKind::Char).count(),
+            1
+        );
+        // The `str` after &'a must still lex as an ident.
+        assert!(f.tokens.iter().any(|t| t.text == "str"));
+    }
+
+    #[test]
+    fn cfg_test_items_are_marked() {
+        let src = "
+fn live() { x.unwrap(); }
+#[cfg(test)]
+mod tests {
+    fn t() { y.unwrap(); }
+}
+";
+        let f = SourceFile::parse("x.rs", src);
+        let unwraps: Vec<_> = f.tokens.iter().filter(|t| t.text == "unwrap").collect();
+        assert_eq!(unwraps.len(), 2);
+        assert!(!unwraps[0].test);
+        assert!(unwraps[1].test);
+    }
+
+    #[test]
+    fn multiline_chains_keep_token_order() {
+        let src = "fn f() {\n    self.shared\n        .dispatcher\n        .lock()\n        .expect(\"poisoned\")\n        .push(1);\n}\n";
+        let f = SourceFile::parse("x.rs", src);
+        let texts: Vec<&str> = f.tokens.iter().map(|t| t.text.as_str()).collect();
+        let needle = ["dispatcher", ".", "lock", "(", ")", ".", "expect"];
+        assert!(texts
+            .windows(needle.len())
+            .any(|w| w.iter().zip(needle.iter()).all(|(a, b)| a == b)));
+    }
+
+    #[test]
+    fn raw_strings_are_stripped() {
+        let f = SourceFile::parse("x.rs", r##"fn f() { let s = r#"vec![unsafe]"#; }"##);
+        assert!(!f.tokens.iter().any(|t| t.text == "unsafe"));
+    }
+
+    #[test]
+    fn function_bodies_are_found_with_generics() {
+        let src = "fn run<U, const N: usize>(x: [U; N]) -> usize { inner() }\nfn other() {}\n";
+        let f = SourceFile::parse("x.rs", src);
+        let bodies = f.function_bodies("run");
+        assert_eq!(bodies.len(), 1);
+        let (s, e) = bodies[0];
+        let texts: Vec<&str> = f.tokens[s..e].iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, ["inner", "(", ")"]);
+    }
+}

@@ -1,0 +1,28 @@
+//! `dae-lint`: workspace-native static analysis for the DAE simulator.
+//!
+//! The serving stack's load-bearing invariants — the allocation-free sweep
+//! hot path (PR 3), the single-`unsafe` census (PR 4/7), Fx hashing in the
+//! hot crates (PR 2), panic-free request handling (PR 6) and a cycle-free
+//! lock order (PRs 5–7) — exist in reviewers' heads and in prose.  This
+//! crate checks them mechanically: an offline, dependency-free linter with
+//! its own lightweight Rust lexer (no `syn`, per the vendored-stub
+//! policy), a rule-trait pass infrastructure, and structured diagnostics
+//! (`file:line · rule-id · message`).
+//!
+//! Run it as `cargo run -p dae-lint` (or `scripts/lint.sh`); it exits
+//! non-zero on findings and gates CI.  Suppress an individual finding with
+//! `// lint:allow(rule-id): reason` on the finding's line or the line
+//! above — a bare `lint:allow` without a reason is itself a finding.  The
+//! rule catalog lives in `docs/LINTS.md`.
+
+mod config;
+mod diag;
+mod engine;
+mod lexer;
+mod rules;
+
+pub use config::{HotRegion, LintConfig};
+pub use diag::Diagnostic;
+pub use engine::{lex_workspace, run, run_on};
+pub use lexer::{Comment, SourceFile, TokKind, Token};
+pub use rules::unsafe_census;

@@ -1,0 +1,40 @@
+//! The `dae-lint` binary: lint the workspace, print findings, exit
+//! non-zero if any survive suppression.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use dae_lint::LintConfig;
+
+/// The workspace root: `--root <path>` if given, else two levels up from
+/// this crate's manifest (`crates/lint` → the repository root).
+fn root_from_args() -> PathBuf {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--root" {
+            if let Some(path) = args.next() {
+                return PathBuf::from(path);
+            }
+        }
+    }
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn main() -> ExitCode {
+    let root = root_from_args();
+    let cfg = LintConfig::workspace(root);
+    let findings = dae_lint::run(&cfg);
+    if findings.is_empty() {
+        println!("dae-lint: clean");
+        return ExitCode::SUCCESS;
+    }
+    for finding in &findings {
+        println!("{finding}");
+    }
+    println!("dae-lint: {} finding(s)", findings.len());
+    ExitCode::FAILURE
+}

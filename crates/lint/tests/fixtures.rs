@@ -1,0 +1,79 @@
+//! The seeded-violation corpus: every rule must fire on its fixture and
+//! the findings must match the golden file exactly, so a silently dead
+//! rule (or a drifting message format) fails `cargo test`.
+
+use std::fs;
+use std::path::PathBuf;
+
+use dae_lint::{HotRegion, LintConfig};
+
+/// The fixture directory for `rule`.
+fn fixture_root(rule: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(rule)
+}
+
+/// Runs the linter over a fixture and compares against `expected.txt`.
+/// Set `DAE_LINT_UPDATE_GOLDENS=1` to rewrite the goldens instead (then
+/// review the diff).
+fn check(rule: &str, cfg: &LintConfig) {
+    let actual = dae_lint::run(cfg)
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join("\n");
+    let golden_path = fixture_root(rule).join("expected.txt");
+    if std::env::var_os("DAE_LINT_UPDATE_GOLDENS").is_some() {
+        fs::write(&golden_path, format!("{actual}\n"))
+            .unwrap_or_else(|e| panic!("write {}: {e}", golden_path.display()));
+        return;
+    }
+    let expected = fs::read_to_string(&golden_path)
+        .unwrap_or_else(|e| panic!("read {}: {e}", golden_path.display()));
+    assert_eq!(
+        actual.trim(),
+        expected.trim(),
+        "fixture `{rule}` findings drifted from the golden file"
+    );
+}
+
+#[test]
+fn hot_path_alloc_fires() {
+    let mut cfg = LintConfig::bare(fixture_root("hot_path_alloc"));
+    cfg.hot_regions = vec![HotRegion {
+        file: "fixture.rs".to_string(),
+        // `vanished` seeds the stale-designation finding.
+        functions: vec!["hot_loop".to_string(), "vanished".to_string()],
+    }];
+    check("hot_path_alloc", &cfg);
+}
+
+#[test]
+fn unsafe_audit_fires() {
+    let mut cfg = LintConfig::bare(fixture_root("unsafe_audit"));
+    // The fixture carries two blocks; the pin says one → census drift.
+    cfg.unsafe_allowlist = vec![("fixture.rs".to_string(), 1)];
+    check("unsafe_audit", &cfg);
+}
+
+#[test]
+fn lock_order_detects_cycle() {
+    let mut cfg = LintConfig::bare(fixture_root("lock_order"));
+    cfg.lock_paths = vec![String::new()];
+    check("lock_order", &cfg);
+}
+
+#[test]
+fn default_hasher_fires() {
+    let mut cfg = LintConfig::bare(fixture_root("default_hasher"));
+    cfg.hasher_paths = vec![String::new()];
+    check("default_hasher", &cfg);
+}
+
+#[test]
+fn panic_path_fires_and_suppression_round_trips() {
+    let mut cfg = LintConfig::bare(fixture_root("panic_path"));
+    cfg.panic_path_files = vec!["fixture.rs".to_string()];
+    check("panic_path", &cfg);
+}

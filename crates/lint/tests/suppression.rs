@@ -1,0 +1,74 @@
+//! Suppression semantics, pinned on in-memory sources: an allow with a
+//! reason silences its finding; a bare allow silences the finding but is
+//! itself reported; an allow for a different rule suppresses nothing.
+
+use dae_lint::{LintConfig, SourceFile};
+
+/// Runs the panic-path rule over one in-memory file.
+fn lint(src: &str) -> Vec<String> {
+    let mut cfg = LintConfig::bare(std::env::temp_dir());
+    cfg.panic_path_files = vec!["mem.rs".to_string()];
+    let files = vec![SourceFile::parse("mem.rs", src)];
+    dae_lint::run_on(&cfg, &files)
+        .iter()
+        .map(ToString::to_string)
+        .collect()
+}
+
+#[test]
+fn reasoned_allow_silences() {
+    let out = lint(
+        "fn f(x: Option<u64>) -> u64 {\n\
+         \x20   // lint:allow(panic-path): checked by the caller, cannot be None\n\
+         \x20   x.unwrap()\n\
+         }\n",
+    );
+    assert!(out.is_empty(), "expected clean, got: {out:?}");
+}
+
+#[test]
+fn reasoned_allow_on_same_line_silences() {
+    let out = lint(
+        "fn f(x: Option<u64>) -> u64 {\n\
+         \x20   x.unwrap() // lint:allow(panic-path): checked by the caller\n\
+         }\n",
+    );
+    assert!(out.is_empty(), "expected clean, got: {out:?}");
+}
+
+#[test]
+fn bare_allow_is_reported() {
+    let out = lint(
+        "fn f(x: Option<u64>) -> u64 {\n\
+         \x20   // lint:allow(panic-path)\n\
+         \x20   x.unwrap()\n\
+         }\n",
+    );
+    assert_eq!(out.len(), 1, "got: {out:?}");
+    assert!(out[0].contains("lint-allow"), "got: {out:?}");
+    assert!(!out[0].contains("panic-path ·"), "got: {out:?}");
+}
+
+#[test]
+fn allow_for_another_rule_does_not_silence() {
+    let out = lint(
+        "fn f(x: Option<u64>) -> u64 {\n\
+         \x20   // lint:allow(hot-path-alloc): wrong rule on purpose\n\
+         \x20   x.unwrap()\n\
+         }\n",
+    );
+    assert_eq!(out.len(), 1, "got: {out:?}");
+    assert!(out[0].contains("panic-path"), "got: {out:?}");
+}
+
+#[test]
+fn prose_mentioning_the_syntax_is_not_a_directive() {
+    let out = lint(
+        "/// Callers may suppress with `lint:allow(panic-path): reason`.\n\
+         fn f(x: Option<u64>) -> u64 {\n\
+         \x20   x.unwrap()\n\
+         }\n",
+    );
+    assert_eq!(out.len(), 1, "got: {out:?}");
+    assert!(out[0].contains("panic-path"), "got: {out:?}");
+}

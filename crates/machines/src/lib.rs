@@ -40,10 +40,6 @@
 //! # Ok::<(), dae_isa::KernelError>(())
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
-
 mod abort;
 mod config;
 mod dm;

@@ -23,10 +23,6 @@
 //! are purely bookkeeping (which data is present *when*), never holders of
 //! simulated data values.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
-
 mod cache;
 mod decoupled;
 mod fixed;

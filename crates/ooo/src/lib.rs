@@ -39,10 +39,6 @@
 //! assert_eq!(unit.max_completion(), 5);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
-
 mod calendar;
 mod complexity;
 mod config;

@@ -41,10 +41,6 @@
 //! ));
 //! ```
 
-#![forbid(unsafe_code)]
-#![deny(missing_docs)]
-#![warn(missing_debug_implementations)]
-
 pub mod protocol;
 pub mod server;
 

@@ -22,9 +22,6 @@
 //! with no libc binding in the offline build there is no signal handler,
 //! so the protocol verb is the supported shutdown path.
 
-#![forbid(unsafe_code)]
-#![deny(missing_docs)]
-
 use dae_core::SweepSession;
 use dae_serve::{await_drained, serve_connection, serve_local, serve_tcp, SweepServer};
 use std::io::BufReader;

@@ -158,12 +158,15 @@ impl TraceSource {
     ///
     /// # Errors
     ///
-    /// An inline kernel that fails validation reports the builder's error.
+    /// An inline kernel that fails validation reports the builder's error,
+    /// and a synthetic name that no longer resolves (a `TraceSource` built
+    /// by hand rather than through `parse_request`'s normalisation)
+    /// reports the unknown name.
     pub fn trace(&self, iterations: u64) -> Result<Trace, String> {
         match self {
             TraceSource::Perfect(p) => Ok(p.workload().trace(iterations)),
             TraceSource::Synthetic(name) => Ok(synthetic_by_name(name)
-                .expect("parsed synthetic names resolve")
+                .ok_or_else(|| format!("unknown synthetic trace '{name}'"))?
                 .trace(iterations)),
             TraceSource::Inline(spec) => Ok(expand(&parse_kernel(spec)?, iterations)),
         }

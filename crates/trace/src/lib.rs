@@ -43,10 +43,6 @@
 //! # Ok::<(), dae_isa::KernelError>(())
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
-
 mod analysis;
 mod classify;
 mod dyninst;

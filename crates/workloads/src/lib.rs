@@ -26,10 +26,6 @@
 //! assert!(trace.stats().memory_fraction() > 0.3);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
-
 mod meta;
 mod perfect;
 mod synthetic;

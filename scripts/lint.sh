@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Runs dae-lint, the workspace's own static analysis pass, over a clean
+# tree: hot-path allocation guard, unsafe census + SAFETY audit,
+# lock-order cycle detection, default-hasher mandate, and the serve
+# panic-path rule.  Exits non-zero on any finding; the rule catalog and
+# suppression syntax are documented in docs/LINTS.md.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run --release -q -p dae-lint

@@ -5,6 +5,10 @@
 # (--local mode runs the same requests sequentially and prints canonical
 # grid-order output).  Sorting both sides removes the completion-order
 # nondeterminism; the cycles must match bit for bit.
+#
+# Scripts index: bench.sh records the throughput baseline, lint.sh runs
+# the dae-lint static analysis gate (docs/LINTS.md), and this file smokes
+# the server; CI runs all three.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -35,9 +35,6 @@
 //! assert!(dm > swsm, "the decoupled machine hides a 60-cycle latency better");
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub use dae_core as core;
 pub use dae_isa as isa;
 pub use dae_machines as machines;
