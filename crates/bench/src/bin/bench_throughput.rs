@@ -666,6 +666,108 @@ fn main() {
         }
     }
 
+    // Restart-warm mode: the grid answered by a *fresh* session that
+    // replayed a persisted cache store (the `--cache-dir` relaunch shape —
+    // attach, file I/O included, then an all-hit sweep) versus an equally
+    // fresh session that has to simulate everything.  Bit-for-bit equality
+    // of both sides is asserted before anything is timed.
+    {
+        let grid: Vec<(Machine, WindowSpec, u64)> = [8usize, 16, 32, 64]
+            .iter()
+            .flat_map(|&w| {
+                [0u64, 20, 40, MD]
+                    .iter()
+                    .map(move |&md| (Machine::Decoupled, WindowSpec::Entries(w), md))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let dir = std::env::temp_dir().join(format!("dae-bench-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut seed = SweepSession::new();
+        seed.attach_cache_store(&dir).expect("bench store attaches");
+        let sid = seed.pin_program(PerfectProgram::Trfd, iterations);
+        let expected = seed.sweep(sid, &grid);
+        seed.persist_cache().expect("bench store compaction");
+        drop(seed);
+
+        let run_warm = || {
+            let mut s = SweepSession::new();
+            s.attach_cache_store(&dir).expect("bench store reattaches");
+            let id = s.pin_program(PerfectProgram::Trfd, iterations);
+            let out = s.sweep(id, &grid);
+            assert_eq!(
+                s.cache_stats().misses,
+                0,
+                "a restart-warm sweep must not simulate"
+            );
+            out
+        };
+        let run_cold = || {
+            let mut s = SweepSession::new();
+            let id = s.pin_program(PerfectProgram::Trfd, iterations);
+            s.sweep(id, &grid)
+        };
+        assert_eq!(run_warm(), expected, "restart-warm differential failed");
+        assert_eq!(run_cold(), expected, "restart-cold differential failed");
+        let (mut warm_ns, mut cold_ns) = (f64::INFINITY, f64::INFINITY);
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            std::hint::black_box(run_warm());
+            warm_ns = warm_ns.min(t0.elapsed().as_nanos() as f64);
+            let t0 = Instant::now();
+            std::hint::black_box(run_cold());
+            cold_ns = cold_ns.min(t0.elapsed().as_nanos() as f64);
+        }
+        caches.push(CacheMeasurement {
+            name: format!("dm_restart{}_store/TRFD", grid.len()),
+            warm_ns,
+            cold_ns,
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Eviction overhead: populating the same grid into a tightly
+        // bounded cache (limit 8 — constant cost-aware eviction churn)
+        // versus an unbounded one.  Reported, not floor-gated: both sides
+        // do identical simulation work and differ only by bookkeeping, so
+        // the ratio sits in measurement noise around 1.
+        let run_populate = |limit: Option<usize>| {
+            let mut s = SweepSession::new();
+            s.set_cache_limit(limit);
+            let id = s.pin_program(PerfectProgram::Trfd, iterations);
+            let out = s.sweep(id, &grid);
+            (out, s.cache_stats())
+        };
+        let (bounded_out, bounded_stats) = run_populate(Some(8));
+        assert_eq!(bounded_out, expected, "bounded-cache differential failed");
+        assert!(
+            bounded_stats.entries <= 8,
+            "the bound must hold under populate: {} entries",
+            bounded_stats.entries
+        );
+        assert!(
+            bounded_stats.evictions >= (grid.len() - 8) as u64,
+            "populating {} points through a bound of 8 must evict: {}",
+            grid.len(),
+            bounded_stats.evictions
+        );
+        let (mut unbounded_ns, mut bounded_ns) = (f64::INFINITY, f64::INFINITY);
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            std::hint::black_box(run_populate(None));
+            unbounded_ns = unbounded_ns.min(t0.elapsed().as_nanos() as f64);
+            let t0 = Instant::now();
+            std::hint::black_box(run_populate(Some(8)));
+            bounded_ns = bounded_ns.min(t0.elapsed().as_nanos() as f64);
+        }
+        println!(
+            "eviction overhead (limit 8, {} points): bounded {:.0} ns vs unbounded {:.0} ns ({:+.1}%)",
+            grid.len(),
+            bounded_ns,
+            unbounded_ns,
+            100.0 * (bounded_ns / unbounded_ns - 1.0)
+        );
+    }
+
     // Contention mode: single-point probe requests interleaved with a
     // constantly refilled bulk backlog on one shared session (the
     // multi-client serving shape).  Each probe is timed from submission to

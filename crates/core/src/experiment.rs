@@ -6,7 +6,8 @@ use dae_machines::{
     DecoupledMachine, DmConfig, ScalarConfig, ScalarReference, SuperscalarMachine, SwsmConfig,
 };
 use dae_trace::{
-    expand_swsm, lower_scalar, partition, DecoupledProgram, ScalarProgram, SwsmProgram, Trace,
+    expand_swsm, lower_scalar, partition, ContentHasher, DecoupledProgram, ScalarProgram,
+    SwsmProgram, Trace, TraceHash,
 };
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -123,6 +124,10 @@ pub struct LoweredTrace {
     /// `scalar analytic time = scalar_base + loads × MD`.
     scalar_base: Cycle,
     scalar_loads: Cycle,
+    /// Structural digest of every lowered stream plus the analytic scalar
+    /// coefficients — the process-independent identity the sweep cache
+    /// keys on (see [`LoweredTrace::content_hash`]).
+    content_hash: TraceHash,
 }
 
 impl LoweredTrace {
@@ -137,13 +142,32 @@ impl LoweredTrace {
         let scalar_base = ScalarReference::new(ScalarConfig::new(0)).analytic_cycles(trace);
         let scalar_loads =
             ScalarReference::new(ScalarConfig::new(1)).analytic_cycles(trace) - scalar_base;
+        let dm_program = partition(trace, dae_trace::PartitionMode::Tagged);
+        let swsm_program = expand_swsm(trace);
+        let scalar_program = lower_scalar(trace);
+        // Canonical digest over everything the simulators read: the three
+        // lowered streams (wakeup lists are derived from them), the trace
+        // length and the analytic scalar coefficients.  Computed once per
+        // lowering; two lowerings of the same trace — in any process —
+        // digest identically, which is what lets cache entries survive
+        // re-lowering and restarts.
+        let mut hasher = ContentHasher::new();
+        hasher.word(trace.len() as u64);
+        hasher.stream(&dm_program.au);
+        hasher.stream(&dm_program.du);
+        hasher.stream(&swsm_program.insts);
+        hasher.stream(&scalar_program.insts);
+        hasher.word(scalar_base);
+        hasher.word(scalar_loads);
+        let content_hash = hasher.finish();
         LoweredTrace {
             trace_instructions: trace.len(),
-            dm_program: partition(trace, dae_trace::PartitionMode::Tagged),
-            swsm_program: expand_swsm(trace),
-            scalar_program: lower_scalar(trace),
+            dm_program,
+            swsm_program,
+            scalar_program,
             scalar_base,
             scalar_loads,
+            content_hash,
         }
     }
 
@@ -151,6 +175,19 @@ impl LoweredTrace {
     #[must_use]
     pub fn trace_instructions(&self) -> usize {
         self.trace_instructions
+    }
+
+    /// The structural content hash of this lowering.
+    ///
+    /// Stable across re-lowering and across processes: any two
+    /// [`LoweredTrace`]s built from the same trace return the same hash,
+    /// and the cache differential suite pins hash-equal ⇒ bit-for-bit
+    /// equal sweep results.  [`SweepSession`] keys its result cache on
+    /// this (not on the pinned `Arc`), which is what makes cached figures
+    /// survive re-pinning and on-disk persistence meaningful.
+    #[must_use]
+    pub fn content_hash(&self) -> TraceHash {
+        self.content_hash
     }
 
     /// Execution time of the DM at one sweep point.

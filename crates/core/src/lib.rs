@@ -17,8 +17,10 @@
 //! * [`session`](crate::SweepSession) — persistent sweep sessions: lowered
 //!   programs pinned once over the long-lived worker pool, grids executed
 //!   batched or streamed (per-point delivery, no full-grid barrier), with
-//!   finished points cached by `(lowering, machine, window, MD)` and
-//!   per-stream cancellation ([`CancelToken`]);
+//!   finished points cached by `(content hash, machine, window, MD)` —
+//!   bounded by cost-aware LRU eviction, persistable to a versioned
+//!   on-disk store ([`CacheStore`]) — and per-stream cancellation
+//!   ([`CancelToken`]);
 //! * [`report`](crate::TextTable) — aligned text tables and CSV export so
 //!   the experiment binaries print exactly the rows/series the paper
 //!   reports.
@@ -45,6 +47,7 @@ pub mod fault;
 mod metrics;
 mod report;
 mod session;
+mod store;
 
 pub use experiment::{
     dm_config, dm_cycles, dm_window_curve, machine_cycles, scalar_cycles, swsm_config, swsm_cycles,
@@ -61,6 +64,11 @@ pub use session::{
     CacheStats, CancelToken, RequestClass, SessionStats, StreamWait, StreamedPoint, SweepEvent,
     SweepPoint, SweepSession, SweepStream, TraceId,
 };
+pub use store::{CacheStore, StoreLoad, StoreRecord};
+
+/// The structural lowering digest the sweep cache keys on (re-exported
+/// from `dae-trace`; see [`LoweredTrace::content_hash`]).
+pub use dae_trace::TraceHash;
 
 /// The worker pool's scheduling band for streamed point jobs (re-exported
 /// from the vendored pool so servers can classify requests; see

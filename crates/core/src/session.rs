@@ -28,18 +28,36 @@
 //!   [`ScalarMode::Simulated`](crate::ScalarMode) and sweep the scalar
 //!   machine through the same pooled simulator as the DM and the SWSM.
 //! * **Result caching.**  Every finished point is remembered keyed by
-//!   `(pinned-lowering identity, machine, window, MD)`, so a repeated point
-//!   is a table lookup instead of a simulation.  The figure grids overlap
-//!   heavily — the equivalent-window search re-sweeps the same SWSM windows
-//!   for every memory differential, and the suite-wide §5 claim re-visits
-//!   the per-figure grids — so repeated generators on one session skip
-//!   identical points entirely.  [`CacheStats`] exposes hit/miss/entry
-//!   counters ([`SweepSession::cache_stats`]); the cache can be switched
-//!   off per session ([`SweepSession::set_cache_enabled`]) for lifecycle
-//!   tests and benchmarks that must observe every simulation.  Identity is
-//!   the pinned `Arc` lowering, never structural equality: re-lowering the
-//!   same program into a second [`TraceId`] can never alias the first's
-//!   entries.
+//!   `(content hash, machine, window, MD)`, so a repeated point is a table
+//!   lookup instead of a simulation.  The figure grids overlap heavily —
+//!   the equivalent-window search re-sweeps the same SWSM windows for
+//!   every memory differential, and the suite-wide §5 claim re-visits the
+//!   per-figure grids — so repeated generators on one session skip
+//!   identical points entirely.  Identity is the *structural*
+//!   [`content hash`](LoweredTrace::content_hash) of the lowering, not the
+//!   pinned `Arc`: re-lowering the same program into a second [`TraceId`]
+//!   — or into a restarted process — aliases the first's entries by
+//!   construction, and the differential suite pins hash-equal ⇒
+//!   bit-for-bit-equal results.  The cache has a real lifecycle:
+//!   - a configurable bound ([`SweepSession::set_cache_limit`]) enforced
+//!     at every insert with *cost-aware* LRU eviction — the victim is the
+//!     cheapest-to-recompute entry (by measured simulation time) among
+//!     the coldest few, so one expensive point is not sacrificed to make
+//!     room for a cheap one;
+//!   - an optional on-disk store ([`SweepSession::attach_cache_store`],
+//!     `dae-serve --cache-dir`): entries append to a versioned log as
+//!     they are computed, load on startup, and compact to the resident
+//!     set on shutdown ([`SweepSession::persist_cache`]) — see
+//!     [`CacheStore`](crate::CacheStore);
+//!   - a generation fence: [`SweepSession::clear_cache`] invalidates
+//!     in-flight streamed jobs submitted before the clear, so their
+//!     results cannot repopulate the map (or the store) afterwards;
+//!   - [`CacheStats`] counters for all of it
+//!     ([`SweepSession::cache_stats`]), with the invariant
+//!     `hits + misses == lookups` maintained atomically with the map
+//!     operations they describe.  The cache can be switched off per
+//!     session ([`SweepSession::set_cache_enabled`]) for lifecycle tests
+//!     and benchmarks that must observe every simulation.
 //! * **Cancellation.**  [`SweepSession::stream_cancellable`] ties a grid to
 //!   a [`CancelToken`]; cancelling drops every not-yet-started point *and*
 //!   cooperatively aborts points already simulating (the run engine polls
@@ -70,18 +88,22 @@
 //! `tests/session_differential.rs` and `tests/sweep_cache.rs` hold all of
 //! them to each other on randomized grids across all three machines.
 
+use crate::store::{CacheStore, StoreRecord};
 use crate::{fault, LoweredTrace, Machine, ScalarMode, WindowSpec};
 use dae_isa::Cycle;
 use dae_machines::{with_abort_token, AbortToken, AbortedSimulation};
-use dae_trace::Trace;
+use dae_mem::LruMap;
+use dae_trace::{Trace, TraceHash};
 use dae_workloads::PerfectProgram;
 use rayon::prelude::*;
 use rayon::Priority;
 use std::collections::HashMap;
+use std::io;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex, PoisonError};
-use std::time::Duration;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
 
 /// Handle to a program pinned in a [`SweepSession`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -105,18 +127,32 @@ pub struct SessionStats {
 }
 
 /// Counters of a session's sweep-result cache (see
-/// [`SweepSession::cache_stats`]).  `hits` and `misses` are monotone;
-/// `entries` is the current resident size.
+/// [`SweepSession::cache_stats`]).  Everything except `entries` is
+/// monotone, and `hits + misses == lookups` always holds — each lookup is
+/// classified exactly once, under the same lock that consulted the map.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Points answered without running a simulation — from an entry left by
-    /// an earlier grid, or by deduplicating a repeat within one grid.
+    /// Points answered without dispatching a simulation — from an entry
+    /// left by an earlier grid (or loaded from disk), or by deduplicating
+    /// a repeat within one grid.
     pub hits: u64,
-    /// Simulations performed (and their results inserted) on behalf of
-    /// cache-enabled sweeps.
+    /// Points the cache could not answer, dispatched to the simulator.
     pub misses: u64,
-    /// Distinct `(lowering, machine, window, MD)` results currently held.
+    /// Cache consultations (`hits + misses`).
+    pub lookups: u64,
+    /// Distinct `(content hash, machine, window, MD)` results currently
+    /// held.
     pub entries: usize,
+    /// Entries evicted to keep the cache under its configured bound.
+    pub evictions: u64,
+    /// Entries adopted from an attached on-disk store at load time.
+    pub loaded: u64,
+    /// Entries appended to the attached on-disk store.
+    pub persisted: u64,
+    /// Abandoned segments skipped while loading the on-disk store (a
+    /// corrupt or truncated record suffix, or an unrecognized header) —
+    /// never a panic, never a refused start.
+    pub corrupt_records: u64,
 }
 
 /// A cancellation handle shared between a caller and the in-flight jobs of
@@ -190,53 +226,300 @@ impl RequestClass {
     }
 }
 
-/// A cache key: the pinned lowering's identity plus the machine parameters
-/// of the point.  [`TraceId`]s are never reused within a session and each
-/// denotes exactly one pinned `Arc` lowering, so id equality *is* stream
-/// identity — two separate `pin_trace` calls over the same source trace get
-/// distinct ids and therefore can never alias each other's entries.
-type CacheKey = (TraceId, Machine, WindowSpec, Cycle);
+/// A cache key: the *structural* identity of the lowering — its
+/// [`content hash`](LoweredTrace::content_hash) — plus the machine
+/// parameters of the point.  Two lowerings of the same trace share a key
+/// regardless of which [`TraceId`] pinned them, in which session, or in
+/// which process: that is what lets re-pinned programs and restarted
+/// servers reuse earlier figures, and what makes persisting entries to
+/// disk meaningful.  The differential suite pins the safety direction:
+/// hash-equal lowerings produce bit-for-bit-equal results.
+type CacheKey = (TraceHash, Machine, WindowSpec, Cycle);
+
+/// A resident cache entry: the figure plus the measured simulation time
+/// that the cost-aware eviction policy weighs.
+#[derive(Debug, Clone, Copy)]
+struct CacheEntry {
+    cycles: Cycle,
+    cost_nanos: u64,
+}
+
+/// How many of the coldest entries the eviction policy inspects before
+/// choosing the cheapest of them as victim.  Plain LRU is `1`; a small
+/// window keeps eviction O(log n) while letting an expensive-to-recompute
+/// entry survive a sweep of cheap newcomers.
+const EVICTION_SCAN: usize = 8;
+
+/// Everything the sweep-result cache owns, behind one lock: the recency
+/// map, the counters that describe it, the configured bound, the clear
+/// fence and the optional on-disk log.  Counters living *inside* the lock
+/// is deliberate — every update is atomic with the map operation it
+/// describes, so `hits + misses == lookups` cannot be broken by a panic
+/// or a race between the two (this used to be three separate atomics,
+/// which could).
+#[derive(Debug, Default)]
+struct CacheInner {
+    map: LruMap<CacheKey, CacheEntry>,
+    /// Maximum resident entries; `None` is unbounded.
+    limit: Option<usize>,
+    /// Bumped by every clear; inserts stamped with an older generation
+    /// are dropped, which is what makes `clear_cache` a fence against
+    /// in-flight streamed jobs.
+    generation: u64,
+    hits: u64,
+    misses: u64,
+    lookups: u64,
+    evictions: u64,
+    loaded: u64,
+    persisted: u64,
+    corrupt_records: u64,
+    /// The attached persistence log, if any.  Living under the same lock
+    /// as the map keeps the two consistent without nested locking.
+    store: Option<CacheStore>,
+}
+
+/// What a batched grid resolved against the cache in one locked pass (see
+/// [`SweepCache::resolve_batch`]).
+struct BatchResolution {
+    /// Per point: the cached figure, or `None` if it must be simulated.
+    resolved: Vec<Option<Cycle>>,
+    /// Per point: index into the deduplicated miss list (`usize::MAX` for
+    /// cache-resolved points).
+    slots: Vec<usize>,
+    /// Indices (into the submitted grid) of the distinct misses to
+    /// simulate, in first-occurrence order.
+    missing: Vec<usize>,
+    /// The generation to stamp the resulting inserts with.
+    generation: u64,
+}
 
 /// The shared half of the sweep-result cache: the session and every
 /// in-flight streamed job hold an `Arc` to it, so results computed after
 /// the submitting call returned still populate the cache.
 #[derive(Debug, Default)]
 struct SweepCache {
-    map: Mutex<HashMap<CacheKey, Cycle>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    inner: Mutex<CacheInner>,
 }
 
 impl SweepCache {
-    /// The cache map, recovering from mutex poisoning: entries are only
-    /// ever written whole (a `HashMap::insert` of a finished result), so a
-    /// panic that poisons the lock cannot leave a torn entry behind — the
-    /// map is as valid after recovery as before.  A panicking point must
-    /// fail only its own request, not wedge the cache for every later one.
-    fn map(&self) -> std::sync::MutexGuard<'_, HashMap<CacheKey, Cycle>> {
-        self.map.lock().unwrap_or_else(PoisonError::into_inner)
+    /// The cache state, recovering from mutex poisoning: the map is only
+    /// ever written whole entries and the counters are plain increments,
+    /// so a panic that poisons the lock cannot leave torn state behind —
+    /// everything is as valid after recovery as before.  A panicking
+    /// point must fail only its own request, not wedge the cache for
+    /// every later one.
+    fn inner(&self) -> MutexGuard<'_, CacheInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// The cached execution time of `key`, counting a hit when present.
+    /// The current clear-fence generation (captured at submit time by
+    /// streamed grids, re-checked by [`SweepCache::insert`]).
+    fn generation(&self) -> u64 {
+        self.inner().generation
+    }
+
+    /// The cached execution time of `key`, classifying the consultation
+    /// as a hit or a miss under the same lock that reads the map.
     fn lookup(&self, key: &CacheKey) -> Option<Cycle> {
-        let cycles = self.map().get(key).copied();
-        if cycles.is_some() {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+        let inner = &mut *self.inner();
+        inner.lookups += 1;
+        match inner.map.get(key).copied() {
+            Some(entry) => {
+                inner.hits += 1;
+                inner.map.touch(key);
+                Some(entry.cycles)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
         }
-        cycles
     }
 
-    /// Records a simulated result (counted as a miss — a simulation ran).
-    fn insert(&self, key: CacheKey, cycles: Cycle) {
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        self.map().insert(key, cycles);
+    /// Second-chance lookup for a worker that already holds a counted
+    /// miss for `key`: refreshes recency but classifies nothing, so the
+    /// point is not double-counted.
+    fn revisit(&self, key: &CacheKey) -> Option<Cycle> {
+        let inner = &mut *self.inner();
+        let entry = inner.map.get(key).copied();
+        if entry.is_some() {
+            inner.map.touch(key);
+        }
+        entry.map(|entry| entry.cycles)
+    }
+
+    /// Resolves a whole grid in one locked pass: cache hits, repeats
+    /// *within* the grid (deduplicated against the distinct-miss list)
+    /// and genuine misses are classified together, so the counters and
+    /// the map cannot diverge mid-grid.
+    fn resolve_batch(&self, keys: &[CacheKey]) -> BatchResolution {
+        let inner = &mut *self.inner();
+        let mut resolved = Vec::with_capacity(keys.len());
+        let mut slots = Vec::with_capacity(keys.len());
+        let mut missing = Vec::new();
+        let mut slot_of: HashMap<CacheKey, usize> = HashMap::new();
+        for (index, key) in keys.iter().enumerate() {
+            inner.lookups += 1;
+            if let Some(entry) = inner.map.get(key).copied() {
+                inner.hits += 1;
+                inner.map.touch(key);
+                resolved.push(Some(entry.cycles));
+                slots.push(usize::MAX);
+            } else if let Some(&slot) = slot_of.get(key) {
+                // A repeat of an unresolved point earlier in this grid:
+                // it rides that point's simulation, so it is a hit.
+                inner.hits += 1;
+                resolved.push(None);
+                slots.push(slot);
+            } else {
+                inner.misses += 1;
+                slot_of.insert(*key, missing.len());
+                resolved.push(None);
+                slots.push(missing.len());
+                missing.push(index);
+            }
+        }
+        BatchResolution {
+            resolved,
+            slots,
+            missing,
+            generation: inner.generation,
+        }
+    }
+
+    /// Records a simulated result, unless the cache was cleared since the
+    /// job captured `generation` (the clear fence).  Appends to the
+    /// attached store and then re-checks the bound — eviction runs *after*
+    /// the insert, so the cache never exceeds its limit even when a
+    /// completing worker re-inserts a key that was evicted between its
+    /// lookup miss and now.
+    fn insert(&self, key: CacheKey, cycles: Cycle, cost_nanos: u64, generation: u64) {
+        let inner = &mut *self.inner();
+        if inner.generation != generation {
+            return;
+        }
+        inner.map.insert(key, CacheEntry { cycles, cost_nanos });
+        if let Some(store) = inner.store.as_mut() {
+            if store.append(&record(key, cycles, cost_nanos)).is_ok() {
+                inner.persisted += 1;
+            }
+        }
+        enforce_limit(inner);
+    }
+
+    /// Empties the map, bumps the clear fence and truncates the attached
+    /// store (clearing means the persisted set too).
+    fn clear(&self) {
+        let inner = &mut *self.inner();
+        inner.map.clear();
+        inner.generation += 1;
+        if let Some(store) = inner.store.as_mut() {
+            // Best effort: an I/O failure here leaves stale records in
+            // the log, which the shutdown compaction rewrites anyway.
+            let _ = store.compact(&[]);
+        }
+    }
+
+    /// Sets the resident bound and evicts down to it immediately.
+    fn set_limit(&self, limit: Option<usize>) {
+        let inner = &mut *self.inner();
+        inner.limit = limit;
+        enforce_limit(inner);
+    }
+
+    fn limit(&self) -> Option<usize> {
+        self.inner().limit
+    }
+
+    /// Attaches `dir`'s on-disk log: replays every intact record into the
+    /// map (later records supersede earlier ones), adopts the corruption
+    /// count, and keeps the handle for appends.  Returns the number of
+    /// records replayed.
+    fn attach_store(&self, dir: &Path) -> io::Result<u64> {
+        let (store, load) = CacheStore::open(dir)?;
+        let inner = &mut *self.inner();
+        let replayed = load.records.len() as u64;
+        for record in load.records {
+            inner.map.insert(
+                (record.hash, record.machine, record.window, record.md),
+                CacheEntry {
+                    cycles: record.cycles,
+                    cost_nanos: record.cost_nanos,
+                },
+            );
+        }
+        inner.loaded += replayed;
+        inner.corrupt_records += load.corrupt_records;
+        inner.store = Some(store);
+        enforce_limit(inner);
+        Ok(replayed)
+    }
+
+    /// Compacts the attached store to the resident set, written in
+    /// recency order (coldest first) so a reload preserves the eviction
+    /// order too.  No-op without a store.
+    fn compact_store(&self) -> io::Result<()> {
+        let inner = &mut *self.inner();
+        let records: Vec<StoreRecord> = inner
+            .map
+            .iter_lru()
+            .map(|(&key, entry)| record(key, entry.cycles, entry.cost_nanos))
+            .collect();
+        match inner.store.as_mut() {
+            Some(store) => store.compact(&records),
+            None => Ok(()),
+        }
     }
 
     fn stats(&self) -> CacheStats {
+        let inner = self.inner();
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            entries: self.map().len(),
+            hits: inner.hits,
+            misses: inner.misses,
+            lookups: inner.lookups,
+            entries: inner.map.len(),
+            evictions: inner.evictions,
+            loaded: inner.loaded,
+            persisted: inner.persisted,
+            corrupt_records: inner.corrupt_records,
+        }
+    }
+}
+
+/// The store image of one resident entry.
+fn record(key: CacheKey, cycles: Cycle, cost_nanos: u64) -> StoreRecord {
+    let (hash, machine, window, md) = key;
+    StoreRecord {
+        hash,
+        machine,
+        window,
+        md,
+        cycles,
+        cost_nanos,
+    }
+}
+
+/// Evicts until the map respects the bound.  The victim each round is the
+/// *cheapest-to-recompute* entry (smallest measured simulation time)
+/// among the [`EVICTION_SCAN`] least recently used — recency picks the
+/// candidates, cost picks among them.
+fn enforce_limit(inner: &mut CacheInner) {
+    let Some(limit) = inner.limit else {
+        return;
+    };
+    while inner.map.len() > limit {
+        let victim = inner
+            .map
+            .iter_lru()
+            .take(EVICTION_SCAN)
+            .min_by_key(|&(_, entry)| entry.cost_nanos)
+            .map(|(&key, _)| key);
+        match victim {
+            Some(key) => {
+                inner.map.remove(&key);
+                inner.evictions += 1;
+            }
+            None => break,
         }
     }
 }
@@ -319,10 +602,49 @@ impl SweepSession {
         self.cache_enabled = enabled;
     }
 
-    /// Drops every cached sweep result (the hit/miss counters, which are
-    /// monotone diagnostics, are kept).
+    /// Drops every cached sweep result (the monotone diagnostic counters
+    /// are kept) and truncates the attached on-disk store, if any.
+    ///
+    /// Clearing is a *fence*: streamed jobs submitted before the clear
+    /// carry the previous cache generation, so their results — delivered
+    /// to their streams as usual — can no longer repopulate the map (or
+    /// the store) after this returns.
     pub fn clear_cache(&mut self) {
-        self.cache.map().clear();
+        self.cache.clear();
+    }
+
+    /// Bounds the cache to at most `limit` resident entries (`None`, the
+    /// default, is unbounded), evicting down immediately and at every
+    /// subsequent insert.  Eviction is cost-aware LRU: the victim is the
+    /// cheapest-to-recompute entry among the coldest few, so an expensive
+    /// point is not sacrificed to make room for a cheap one.
+    pub fn set_cache_limit(&mut self, limit: Option<usize>) {
+        self.cache.set_limit(limit);
+    }
+
+    /// The configured cache bound (`None` = unbounded).
+    #[must_use]
+    pub fn cache_limit(&self) -> Option<usize> {
+        self.cache.limit()
+    }
+
+    /// Attaches a persistent on-disk store rooted at `dir` (created if
+    /// absent): every intact record already in its log is replayed into
+    /// the cache — entries are keyed structurally, so figures computed by
+    /// an earlier process answer this session's sweeps — and results
+    /// computed from now on are appended as they finish.  Corrupt or
+    /// truncated log tails are skipped and counted
+    /// ([`CacheStats::corrupt_records`]), never a panic.  Returns the
+    /// number of records replayed.
+    pub fn attach_cache_store(&mut self, dir: &Path) -> io::Result<u64> {
+        self.cache.attach_store(dir)
+    }
+
+    /// Compacts the attached store down to the resident entries (dropping
+    /// superseded appends and evicted keys from the log).  The supported
+    /// shutdown path for `--cache-dir` servers; a no-op without a store.
+    pub fn persist_cache(&mut self) -> io::Result<()> {
+        self.cache.compact_store()
     }
 
     /// The number of pinned programs.
@@ -452,48 +774,34 @@ impl SweepSession {
                 .collect();
         }
 
-        // Resolve what the cache already knows, deduplicating repeats
-        // within the grid; only the distinct misses are simulated.
-        let mut resolved: Vec<Option<Cycle>> = Vec::with_capacity(points.len());
-        let mut missing: Vec<SweepPoint> = Vec::new();
-        let mut slot_of: HashMap<CacheKey, usize> = HashMap::new();
-        // `slot` indexes into `missing` for unresolved points.
-        let mut slots: Vec<usize> = Vec::with_capacity(points.len());
-        let mut dedup_hits = 0u64;
-        for &point in points {
-            if let Some(cycles) = self.cache.lookup(&point) {
-                resolved.push(Some(cycles));
-                slots.push(usize::MAX);
-            } else {
-                resolved.push(None);
-                match slot_of.get(&point) {
-                    Some(&slot) => {
-                        dedup_hits += 1;
-                        slots.push(slot);
-                    }
-                    None => {
-                        slot_of.insert(point, missing.len());
-                        slots.push(missing.len());
-                        missing.push(point);
-                    }
-                }
-            }
-        }
-        self.cache.hits.fetch_add(dedup_hits, Ordering::Relaxed);
-
-        let computed: Vec<Cycle> = missing
+        // Resolve the whole grid against the cache in one locked pass
+        // (hits, in-grid repeats and distinct misses classified together);
+        // only the distinct misses are simulated, each timed so its entry
+        // carries the cost the eviction policy weighs.
+        let keys: Vec<CacheKey> = points
+            .iter()
+            .map(|&(id, machine, window, md)| (traces[id.0].content_hash(), machine, window, md))
+            .collect();
+        let resolution = self.cache.resolve_batch(&keys);
+        let computed: Vec<(Cycle, u64)> = resolution
+            .missing
             .par_iter()
-            .map(|&(id, machine, window, md)| {
-                traces[id.0].machine_cycles_in(machine, window, md, scalar_mode)
+            .map(|&index| {
+                let (id, machine, window, md) = points[index];
+                let started = Instant::now();
+                let cycles = traces[id.0].machine_cycles_in(machine, window, md, scalar_mode);
+                (cycles, started.elapsed().as_nanos() as u64)
             })
             .collect();
-        for (&point, &cycles) in missing.iter().zip(&computed) {
-            self.cache.insert(point, cycles);
+        for (&index, &(cycles, cost_nanos)) in resolution.missing.iter().zip(&computed) {
+            self.cache
+                .insert(keys[index], cycles, cost_nanos, resolution.generation);
         }
-        resolved
+        resolution
+            .resolved
             .into_iter()
-            .zip(slots)
-            .map(|(cached, slot)| cached.unwrap_or_else(|| computed[slot]))
+            .zip(resolution.slots)
+            .map(|(cached, slot)| cached.unwrap_or_else(|| computed[slot].0))
             .collect()
     }
 
@@ -557,6 +865,10 @@ impl SweepSession {
         class: RequestClass,
     ) -> SweepStream {
         self.stats.streamed_points += points.len() as u64;
+        // Jobs carry the generation current at submit time; a clear_cache
+        // between now and a job's completion bumps it, fencing the stale
+        // insert out (the result still streams to the caller).
+        let generation = self.cache.generation();
         let (tx, rx) = mpsc::channel();
         for (index, &point) in points.iter().enumerate() {
             let (id, machine, window, md) = point;
@@ -564,8 +876,9 @@ impl SweepSession {
                 let _ = tx.send(Delivery::Skipped(index));
                 continue;
             }
+            let key = (self.traces[id.0].content_hash(), machine, window, md);
             if self.cache_enabled {
-                if let Some(cycles) = self.cache.lookup(&point) {
+                if let Some(cycles) = self.cache.lookup(&key) {
                     let _ = tx.send(Delivery::Done(StreamedPoint {
                         index,
                         point,
@@ -588,7 +901,9 @@ impl SweepSession {
                 }
                 // Second-chance lookup: an identical point earlier in this
                 // (or a concurrent) grid may have finished in the meantime.
-                if let Some(cycles) = cache.as_deref().and_then(|c| c.lookup(&point)) {
+                // `revisit` classifies nothing — this point was already
+                // counted as a miss at submit time.
+                if let Some(cycles) = cache.as_deref().and_then(|c| c.revisit(&key)) {
                     let _ = tx.send(Delivery::Done(StreamedPoint {
                         index,
                         point,
@@ -604,6 +919,7 @@ impl SweepSession {
                 // [`crate::fault`]) fire inside the catch so an injected
                 // panic takes the same path a genuine one would.
                 let abort = token.abort_token();
+                let started = Instant::now();
                 let result = catch_unwind(AssertUnwindSafe(|| {
                     fault::on_point_start();
                     with_abort_token(&abort, || {
@@ -617,7 +933,8 @@ impl SweepSession {
                 let _ = tx.send(match result {
                     Ok(cycles) => {
                         if let Some(cache) = &cache {
-                            cache.insert(point, cycles);
+                            let cost_nanos = started.elapsed().as_nanos() as u64;
+                            cache.insert(key, cycles, cost_nanos, generation);
                         }
                         Delivery::Done(StreamedPoint {
                             index,
@@ -1021,6 +1338,128 @@ mod tests {
         let second = session.sweep(id, &grid());
         assert_eq!(first, second);
         assert_eq!(session.cache_stats().misses, 8, "both grids simulated");
+    }
+
+    #[test]
+    fn eviction_prefers_the_cheapest_of_the_coldest() {
+        let cache = SweepCache::default();
+        cache.set_limit(Some(3));
+        let key = |n: u64| {
+            (
+                TraceHash::from_words(n, n),
+                Machine::Scalar,
+                WindowSpec::Entries(1),
+                0,
+            )
+        };
+        let generation = cache.generation();
+        cache.insert(key(1), 10, 1_000_000, generation);
+        cache.insert(key(2), 20, 10, generation); // cheap to recompute
+        cache.insert(key(3), 30, 1_000_000, generation);
+        // A fourth insert overflows the bound; the victim is the cheapest
+        // entry among the coldest few, not the strict LRU head.
+        cache.insert(key(4), 40, 1_000_000, generation);
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 3);
+        assert_eq!(stats.evictions, 1);
+        assert!(cache.revisit(&key(1)).is_some(), "expensive head survives");
+        assert!(cache.revisit(&key(2)).is_none(), "cheap entry evicted");
+        assert!(cache.revisit(&key(3)).is_some());
+        assert!(cache.revisit(&key(4)).is_some());
+        // Shrinking the limit evicts down immediately.
+        cache.set_limit(Some(1));
+        assert_eq!(cache.stats().entries, 1);
+        assert_eq!(cache.stats().evictions, 3);
+    }
+
+    #[test]
+    fn a_stale_generation_insert_is_fenced_out() {
+        let cache = SweepCache::default();
+        let key = (
+            TraceHash::from_words(7, 7),
+            Machine::Scalar,
+            WindowSpec::Entries(1),
+            0,
+        );
+        let stale = cache.generation();
+        cache.clear();
+        cache.insert(key, 10, 5, stale);
+        assert_eq!(
+            cache.stats().entries,
+            0,
+            "a pre-clear job cannot repopulate the cache"
+        );
+        cache.insert(key, 10, 5, cache.generation());
+        assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn lookup_accounting_is_exact_across_delivery_shapes() {
+        let mut session = SweepSession::new();
+        let id = session.pin_trace(&stream().trace(100));
+        let _ = session.sweep(id, &grid());
+        let full: Vec<SweepPoint> = grid().iter().map(|&(m, w, md)| (id, m, w, md)).collect();
+        let _ = session.stream(&full).collect_ordered();
+        let point = grid()[0];
+        let _ = session.sweep(id, &[point, point, point]);
+        let stats = session.cache_stats();
+        assert_eq!(stats.lookups, 4 + 4 + 3, "one classification per point");
+        assert_eq!(stats.hits + stats.misses, stats.lookups);
+        assert_eq!(stats.misses, 4);
+    }
+
+    #[test]
+    fn a_tiny_limit_survives_randomized_stress() {
+        let trace = stream().trace(60);
+        let mut session = SweepSession::new();
+        session.set_cache_limit(Some(3));
+        assert_eq!(session.cache_limit(), Some(3));
+        let id = session.pin_trace(&trace);
+        let mut reference = SweepSession::new();
+        reference.set_cache_enabled(false);
+        let rid = reference.pin_trace(&trace);
+        // Deterministic LCG so the stress is reproducible.
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            state >> 33
+        };
+        for round in 0..30 {
+            let count = 1 + (next() % 6) as usize;
+            let points: Vec<(Machine, WindowSpec, Cycle)> = (0..count)
+                .map(|_| {
+                    let machine = match next() % 3 {
+                        0 => Machine::Decoupled,
+                        1 => Machine::Superscalar,
+                        _ => Machine::Scalar,
+                    };
+                    let window = if next() % 4 == 0 {
+                        WindowSpec::Unlimited
+                    } else {
+                        WindowSpec::Entries(4 + (next() % 3) as usize * 12)
+                    };
+                    (machine, window, (next() % 4) * 20)
+                })
+                .collect();
+            let got = if round % 2 == 0 {
+                session.sweep(id, &points)
+            } else {
+                let full: Vec<SweepPoint> =
+                    points.iter().map(|&(m, w, md)| (id, m, w, md)).collect();
+                session.stream(&full).collect_ordered()
+            };
+            assert_eq!(got, reference.sweep(rid, &points), "round {round}");
+            let stats = session.cache_stats();
+            assert!(
+                stats.entries <= 3,
+                "bound violated in round {round}: {} entries",
+                stats.entries
+            );
+            assert_eq!(stats.hits + stats.misses, stats.lookups);
+        }
+        assert!(session.cache_stats().evictions > 0, "the bound did work");
     }
 
     #[test]

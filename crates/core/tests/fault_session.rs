@@ -133,6 +133,52 @@ fn a_panicking_point_fails_alone_and_spares_the_cache() {
     assert_eq!(healed, reference);
 }
 
+/// `clear_cache` is a *fence* against in-flight streamed jobs: points
+/// submitted before the clear — held pre-simulation by the slow-points
+/// hook so they finish strictly after it — still deliver to their stream,
+/// but their results carry a stale generation and must not repopulate the
+/// just-cleared cache.
+#[test]
+fn clearing_mid_stream_fences_out_in_flight_inserts() {
+    let _guard = faults();
+    let mut session = SweepSession::new();
+    let points = grid(&mut session);
+
+    // Every started point sleeps 120 ms before simulating, so the clear
+    // below lands while all of them are pre-simulation: each insert
+    // happens after the clear returned, with the pre-clear generation.
+    fault::slow_every_point_ms(120);
+    let mut stream = session.stream(&points);
+    std::thread::sleep(Duration::from_millis(30));
+    session.clear_cache();
+    fault::reset();
+
+    let mut delivered = 0;
+    while let Some(event) = stream.next_event() {
+        match event {
+            SweepEvent::Point(point) => {
+                assert!(point.cycles > 0);
+                assert!(!point.cached, "nothing was cached before this grid");
+                delivered += 1;
+            }
+            other => panic!("unexpected outcome: {other:?}"),
+        }
+    }
+    assert_eq!(delivered, points.len(), "the clear loses no results");
+    assert_eq!(
+        session.cache_stats().entries,
+        0,
+        "clear is a fence: pre-clear jobs must not repopulate the cache"
+    );
+
+    // Jobs submitted *after* the clear populate it again as usual, with
+    // results bit-for-bit equal to the fenced-out run.
+    let again: Vec<u64> = session.stream(&points).collect_ordered();
+    let reference = session.sweep_multi(&points);
+    assert_eq!(again, reference);
+    assert_eq!(session.cache_stats().entries, points.len());
+}
+
 /// The timeout-capable wait: an idle stream times out without consuming an
 /// event, then yields the event once it arrives.
 #[test]

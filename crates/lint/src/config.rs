@@ -108,6 +108,9 @@ impl LintConfig {
                 "crates/serve/src/protocol.rs".to_string(),
                 "crates/serve/src/server.rs".to_string(),
                 "crates/serve/src/main.rs".to_string(),
+                // PR 9: the persistent cache store must tolerate any
+                // on-disk corruption without panicking.
+                "crates/core/src/store.rs".to_string(),
             ],
             // PR 2: Fx hashing in the hot crates.
             hasher_paths: vec![

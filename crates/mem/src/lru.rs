@@ -15,11 +15,23 @@ use std::hash::Hash;
 
 /// A map whose entries remember when they were last inserted or touched,
 /// with cheap least-recently-used eviction.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct LruMap<K, V> {
     entries: FxHashMap<K, (u64, V)>,
     order: BTreeMap<u64, K>,
     clock: u64,
+}
+
+// Manual impl: the derive would needlessly require `K: Default` and
+// `V: Default`.
+impl<K, V> Default for LruMap<K, V> {
+    fn default() -> Self {
+        LruMap {
+            entries: FxHashMap::default(),
+            order: BTreeMap::new(),
+            clock: 0,
+        }
+    }
 }
 
 impl<K: Eq + Hash + Clone, V> LruMap<K, V> {
@@ -91,6 +103,24 @@ impl<K: Eq + Hash + Clone, V> LruMap<K, V> {
         Some(value)
     }
 
+    /// Iterates resident entries from least to most recently used without
+    /// touching them.  Used by cost-aware eviction policies that want to
+    /// inspect the coldest few entries before choosing a victim.
+    pub fn iter_lru(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.order.values().map(move |key| {
+            let (_, value) = &self.entries[key];
+            (key, value)
+        })
+    }
+
+    /// Removes every entry.  The recency clock keeps advancing, so stamps
+    /// issued after a clear still order correctly against survivors of
+    /// future fills.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.order.clear();
+    }
+
     /// Evicts and returns the least recently used entry.
     pub fn pop_lru(&mut self) -> Option<(K, V)> {
         let (&stamp, _) = self.order.iter().next()?;
@@ -147,5 +177,31 @@ mod tests {
         let mut lru: LruMap<u64, ()> = LruMap::new();
         lru.touch(&9);
         assert_eq!(lru.len(), 0);
+    }
+
+    #[test]
+    fn iter_lru_walks_recency_order_without_touching() {
+        let mut lru = LruMap::new();
+        lru.insert(1u64, 'a');
+        lru.insert(2, 'b');
+        lru.insert(3, 'c');
+        lru.touch(&1);
+        let order: Vec<u64> = lru.iter_lru().map(|(k, _)| *k).collect();
+        assert_eq!(order, vec![2, 3, 1]);
+        // Iterating must not have changed recency.
+        assert_eq!(lru.pop_lru().unwrap().0, 2);
+    }
+
+    #[test]
+    fn clear_empties_the_map_but_keeps_ordering_sound() {
+        let mut lru = LruMap::new();
+        lru.insert(1u64, ());
+        lru.insert(2, ());
+        lru.clear();
+        assert!(lru.is_empty());
+        assert_eq!(lru.iter_lru().count(), 0);
+        lru.insert(3, ());
+        lru.insert(4, ());
+        assert_eq!(lru.pop_lru().unwrap().0, 3);
     }
 }

@@ -45,9 +45,9 @@ pub mod protocol;
 pub mod server;
 
 pub use protocol::{
-    machine_token, parse_kernel, parse_request, parse_response, window_token, DeliveryMode,
-    DoneStatus, Request, RequestError, Response, ShutdownMode, SweepRequest, TraceSource,
-    DEFAULT_ITERATIONS, MAX_ITERATIONS, MAX_POINTS,
+    machine_token, parse_kernel, parse_request, parse_response, window_token, CacheAction,
+    DeliveryMode, DoneStatus, Request, RequestError, Response, ShutdownMode, SweepRequest,
+    TraceSource, DEFAULT_ITERATIONS, MAX_ITERATIONS, MAX_POINTS,
 };
 
 /// The scheduling band of a sweep request's point jobs (the wire

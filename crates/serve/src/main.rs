@@ -12,6 +12,11 @@
 //!                                oracle the smoke test diffs the served
 //!                                output against)
 //!       --no-cache               disable the session's sweep-result cache
+//!       --cache-dir DIR          persist the sweep-result cache in DIR:
+//!                                intact records are loaded on startup and
+//!                                the resident set is compacted back on
+//!                                clean exit, so a restarted server answers
+//!                                previously-served grids without simulating
 //! ```
 //!
 //! The wire format is specified in `docs/PROTOCOL.md`.  Diagnostics go to
@@ -41,13 +46,17 @@ enum Mode {
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: dae-serve [--stdin | --tcp ADDR | --unix PATH | --local FILE] [--no-cache]");
+    eprintln!(
+        "usage: dae-serve [--stdin | --tcp ADDR | --unix PATH | --local FILE] \
+         [--no-cache] [--cache-dir DIR]"
+    );
     ExitCode::from(2)
 }
 
 fn main() -> ExitCode {
     let mut mode = Mode::Stdin;
     let mut cache = true;
+    let mut cache_dir: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -65,13 +74,32 @@ fn main() -> ExitCode {
                 None => return usage(),
             },
             "--no-cache" => cache = false,
+            "--cache-dir" => match args.next() {
+                Some(dir) => cache_dir = Some(dir),
+                None => return usage(),
+            },
             _ => return usage(),
         }
     }
 
+    if cache_dir.is_some() && !cache {
+        eprintln!("dae-serve: --cache-dir needs the cache (drop --no-cache)");
+        return ExitCode::from(2);
+    }
     let mut session = SweepSession::new();
     session.set_cache_enabled(cache);
     let server = Arc::new(SweepServer::with_session(session));
+    if let Some(dir) = &cache_dir {
+        match server.attach_cache_store(std::path::Path::new(dir)) {
+            Ok(loaded) => {
+                eprintln!("dae-serve: cache store {dir} attached ({loaded} records loaded)")
+            }
+            Err(e) => {
+                eprintln!("dae-serve: cannot attach cache store {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
 
     let result = match mode {
         Mode::Stdin => {
@@ -107,6 +135,15 @@ fn main() -> ExitCode {
     if server.is_shutting_down() && !await_drained(&server, DRAIN_TIMEOUT) {
         eprintln!("dae-serve: shutdown drain timed out with work still queued");
         return ExitCode::FAILURE;
+    }
+    // Compact the persistent log down to the resident entries so the next
+    // launch replays exactly the warm set.  Every exit path above has
+    // settled in-flight work by now.
+    if cache_dir.is_some() {
+        if let Err(e) = server.persist_cache() {
+            eprintln!("dae-serve: cache store compaction failed: {e}");
+            return ExitCode::FAILURE;
+        }
     }
     match result {
         Ok(()) => ExitCode::SUCCESS,

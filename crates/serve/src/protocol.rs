@@ -271,6 +271,19 @@ impl fmt::Display for SweepRequest {
     }
 }
 
+/// What a `cache` request does to the server's sweep-result cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheAction {
+    /// `cache clear`: empty the cache (and truncate the persistent log,
+    /// when one is attached).  In-flight sweeps are fenced out — results
+    /// computed before the clear cannot repopulate it.
+    Clear,
+    /// `cache limit=N` / `cache limit=none`: bound the cache to at most
+    /// `N` resident entries (evicting down immediately), or lift the
+    /// bound.
+    Limit(Option<usize>),
+}
+
 /// One parsed request line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
@@ -284,6 +297,11 @@ pub enum Request {
     },
     /// Ask for the server's session / cache / pool counters.
     Stats,
+    /// Administer the sweep-result cache.
+    Cache {
+        /// What to do to it.
+        action: CacheAction,
+    },
     /// Stop admitting new sweeps and shut the server down, draining or
     /// aborting in-flight work.
     Shutdown {
@@ -382,6 +400,14 @@ pub enum Response {
         /// `(name, value)` pairs, in the server's canonical order.
         fields: Vec<(String, u64)>,
     },
+    /// Acknowledgement of a `cache` request: the cache's state after the
+    /// action was applied.
+    Cache {
+        /// Resident entries after the action.
+        entries: usize,
+        /// The bound in force (`None` = unbounded).
+        limit: Option<usize>,
+    },
     /// Acknowledgement of a `shutdown` request: the server stops admitting
     /// sweeps and will exit once in-flight work settles.
     Shutdown {
@@ -441,6 +467,13 @@ impl fmt::Display for Response {
                     write!(f, " {name}={value}")?;
                 }
                 Ok(())
+            }
+            Response::Cache { entries, limit } => {
+                write!(f, "cache entries={entries} limit=")?;
+                match limit {
+                    Some(limit) => write!(f, "{limit}"),
+                    None => f.write_str("none"),
+                }
             }
             Response::Shutdown { mode } => write!(f, "shutdown mode={}", mode.token()),
         }
@@ -525,6 +558,25 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
     let err = |message: String| Err(RequestError::new(id, message));
     match verb {
         Some("stats") => Ok(Request::Stats),
+        // `clear` is a bare token (not `key=value`), so the cache verb
+        // inspects the raw second token as well as the parsed pairs.
+        Some("cache") => match (line.split_whitespace().nth(1), lookup(&pairs, "limit")) {
+            (Some("clear"), None) => Ok(Request::Cache {
+                action: CacheAction::Clear,
+            }),
+            (_, Some("none")) => Ok(Request::Cache {
+                action: CacheAction::Limit(None),
+            }),
+            (_, Some(token)) => match token.parse::<usize>() {
+                Ok(n) if n > 0 => Ok(Request::Cache {
+                    action: CacheAction::Limit(Some(n)),
+                }),
+                _ => err(format!(
+                    "bad cache limit '{token}' (a positive integer or none)"
+                )),
+            },
+            _ => err("cache needs 'clear' or limit=<N|none>".to_string()),
+        },
         Some("shutdown") => match lookup(&pairs, "mode") {
             None | Some("drain") => Ok(Request::Shutdown {
                 mode: ShutdownMode::Drain,
@@ -722,6 +774,17 @@ pub fn parse_response(line: &str) -> Result<Response, String> {
             queued: need_num("queued")? as usize,
             limit: need_num("limit")? as usize,
             retry_after_ms: need_num("retry_after_ms")?,
+        }),
+        Some("cache") => Ok(Response::Cache {
+            entries: need_num("entries")? as usize,
+            limit: match need("limit")? {
+                "none" => None,
+                token => Some(
+                    token
+                        .parse::<usize>()
+                        .map_err(|_| format!("bad limit= in '{line}'"))?,
+                ),
+            },
         }),
         Some("shutdown") => match need("mode")? {
             "drain" => Ok(Response::Shutdown {
@@ -1143,6 +1206,55 @@ mod tests {
             assert!(err.message.contains("bad priority"), "{}", err.message);
             assert_eq!(err.id.as_deref(), Some("x"), "id must be recovered");
         }
+    }
+
+    #[test]
+    fn cache_requests_parse() {
+        assert_eq!(
+            parse_request("cache clear"),
+            Ok(Request::Cache {
+                action: CacheAction::Clear
+            })
+        );
+        assert_eq!(
+            parse_request("cache limit=64"),
+            Ok(Request::Cache {
+                action: CacheAction::Limit(Some(64))
+            })
+        );
+        assert_eq!(
+            parse_request("cache limit=none"),
+            Ok(Request::Cache {
+                action: CacheAction::Limit(None)
+            })
+        );
+        for bad in ["cache", "cache flush", "cache limit=0", "cache limit=lots"] {
+            assert!(parse_request(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn cache_responses_roundtrip() {
+        for response in [
+            Response::Cache {
+                entries: 12,
+                limit: Some(64),
+            },
+            Response::Cache {
+                entries: 0,
+                limit: None,
+            },
+        ] {
+            assert_eq!(parse_response(&response.to_string()), Ok(response.clone()));
+        }
+        assert_eq!(
+            Response::Cache {
+                entries: 3,
+                limit: None
+            }
+            .to_string(),
+            "cache entries=3 limit=none"
+        );
     }
 
     #[test]

@@ -46,7 +46,8 @@
 //!   binary terminates once the queue is empty.
 
 use crate::protocol::{
-    parse_request, DeliveryMode, DoneStatus, Request, Response, ShutdownMode, SweepRequest,
+    parse_request, CacheAction, DeliveryMode, DoneStatus, Request, Response, ShutdownMode,
+    SweepRequest,
 };
 use dae_core::{
     CancelToken, RequestClass, StreamWait, SweepEvent, SweepSession, SweepStream, TraceId,
@@ -457,6 +458,46 @@ impl SweepServer {
         }
     }
 
+    /// Applies a `cache` administration request and reports the cache's
+    /// state afterwards.  `Clear` empties the map, truncates the attached
+    /// store, and fences out every in-flight sweep's inserts; `Limit`
+    /// (re)bounds the resident set, evicting down immediately.
+    pub fn cache_action(&self, action: CacheAction) -> Response {
+        let mut state = self.lock_state();
+        match action {
+            CacheAction::Clear => state.session.clear_cache(),
+            CacheAction::Limit(limit) => state.session.set_cache_limit(limit),
+        }
+        Response::Cache {
+            entries: state.session.cache_stats().entries,
+            limit: state.session.cache_limit(),
+        }
+    }
+
+    /// Attaches a persistent cache store rooted at `dir` to the shared
+    /// session (see [`SweepSession::attach_cache_store`]), returning the
+    /// number of records replayed into the cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the store's I/O error when `dir` cannot be created or
+    /// its log cannot be read.
+    pub fn attach_cache_store(&self, dir: &std::path::Path) -> io::Result<u64> {
+        self.lock_state().session.attach_cache_store(dir)
+    }
+
+    /// Compacts the attached cache store down to the resident entries —
+    /// the supported shutdown path for `--cache-dir` servers.  A no-op
+    /// without a store.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the store's I/O error when the compacted log cannot be
+    /// written.
+    pub fn persist_cache(&self) -> io::Result<()> {
+        self.lock_state().session.persist_cache()
+    }
+
     /// The counters behind the `stats` reply: session activity, pin and
     /// sweep-result cache state, queue depth and per-client in-flight
     /// points, the fault-path counters, and the process-wide
@@ -477,6 +518,11 @@ impl SweepServer {
             ("cache_entries".to_string(), cache.entries as u64),
             ("cache_hits".to_string(), cache.hits),
             ("cache_misses".to_string(), cache.misses),
+            ("cache_lookups".to_string(), cache.lookups),
+            ("cache_evictions".to_string(), cache.evictions),
+            ("cache_loaded".to_string(), cache.loaded),
+            ("cache_persisted".to_string(), cache.persisted),
+            ("cache_corrupt_records".to_string(), cache.corrupt_records),
             ("warm_unit_takes".to_string(), pools.warm_unit_takes),
             ("fresh_unit_takes".to_string(), pools.fresh_unit_takes),
             ("template_hits".to_string(), pools.template_hits),
@@ -731,6 +777,9 @@ where
                         },
                     );
                 }
+                Ok(Request::Cache { action }) => {
+                    write_line(&writer, &server.cache_action(action));
+                }
                 Ok(Request::Shutdown { mode }) => {
                     server.shutdown(mode);
                     write_line(&writer, &Response::Shutdown { mode });
@@ -851,6 +900,7 @@ where
             Ok(Request::Stats) => Some(Response::Stats {
                 fields: server.stats_fields(),
             }),
+            Ok(Request::Cache { action }) => Some(server.cache_action(action)),
             Ok(Request::Shutdown { mode }) => {
                 server.shutdown(mode);
                 writeln!(writer, "{}", Response::Shutdown { mode })?;

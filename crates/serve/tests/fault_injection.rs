@@ -96,7 +96,10 @@ fn run(server: &Arc<SweepServer>, input: &str) -> HashMap<String, Outcome> {
                 let id = id.clone();
                 outcomes.entry(id).or_default().done = Some(busy);
             }
-            Response::Shutdown { .. } | Response::Stats { .. } | Response::Cancelled { .. } => {}
+            Response::Shutdown { .. }
+            | Response::Stats { .. }
+            | Response::Cancelled { .. }
+            | Response::Cache { .. } => {}
         }
     }
     outcomes

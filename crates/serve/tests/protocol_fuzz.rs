@@ -4,7 +4,7 @@
 //! back as structured `Err`s, and whatever parses must survive a
 //! print/parse round trip.
 
-use dae_serve::{parse_request, parse_response, Request};
+use dae_serve::{parse_request, parse_response, CacheAction, Request};
 use proptest::collection::vec;
 use proptest::prelude::*;
 
@@ -17,6 +17,12 @@ fn vocab() -> impl Strategy<Value = String> {
         Just("cancel".to_string()),
         Just("stats".to_string()),
         Just("shutdown".to_string()),
+        Just("cache".to_string()),
+        Just("clear".to_string()),
+        Just("limit=4".to_string()),
+        Just("limit=none".to_string()),
+        Just("limit=0".to_string()),
+        Just("limit=".to_string()),
         Just("id=a".to_string()),
         Just("id=".to_string()),
         Just("trace=TRFD".to_string()),
@@ -77,6 +83,11 @@ proptest! {
                 Request::Sweep(sweep) => sweep.to_string(),
                 Request::Cancel { id } => format!("cancel id={id}"),
                 Request::Stats => "stats".to_string(),
+                Request::Cache { action } => match action {
+                    CacheAction::Clear => "cache clear".to_string(),
+                    CacheAction::Limit(Some(n)) => format!("cache limit={n}"),
+                    CacheAction::Limit(None) => "cache limit=none".to_string(),
+                },
                 Request::Shutdown { mode } => format!("shutdown mode={mode}"),
             };
             let reparsed = parse_request(&printed).unwrap_or_else(|e| {

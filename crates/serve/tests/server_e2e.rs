@@ -5,7 +5,8 @@
 
 use dae_core::{SweepSession, TraceId};
 use dae_serve::{
-    parse_request, parse_response, serve_connection, serve_tcp, Request, Response, SweepServer,
+    parse_request, parse_response, serve_connection, serve_local, serve_tcp, Request, Response,
+    SweepServer,
 };
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
@@ -369,4 +370,97 @@ fn stdin_shaped_connections_serve_tagged_requests_and_stats() {
             assert_eq!(got[&index], *cycles, "{line} point {index}");
         }
     }
+}
+
+/// The `cache` verb and `--cache-dir` persistence, end to end: a cold
+/// server simulates a grid and compacts its store on shutdown; a fresh
+/// server attached to the same directory answers the identical grid
+/// entirely from the loaded entries (the `done` line's `cached` count
+/// equals the grid), `cache limit=` bounds the resident set, `cache
+/// clear` empties it, and `stats` reports the persistence counters.
+#[test]
+fn cache_verb_and_cache_dir_restarts_answer_grids_warm() {
+    let dir = std::env::temp_dir().join(format!("dae-serve-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let sweep =
+        "sweep id=warm trace=TRFD iterations=90 machines=dm,swsm windows=8,32 mds=0,60 mode=batch";
+    let expected = oracle(sweep);
+
+    // Cold run: everything simulated, nothing cached yet.
+    let cold = Arc::new(SweepServer::new());
+    assert_eq!(cold.attach_cache_store(&dir).expect("fresh dir"), 0);
+    let mut output = Vec::new();
+    serve_local(&cold, format!("{sweep}\n").as_bytes(), &mut output).expect("cold serve");
+    let text = String::from_utf8(output).expect("utf8");
+    let done = text.lines().last().expect("a done line");
+    let Ok(Response::Done {
+        cached, delivered, ..
+    }) = parse_response(done)
+    else {
+        panic!("expected a done line, got '{done}'");
+    };
+    assert_eq!(delivered, expected.len());
+    assert_eq!(cached, 0, "a cold store cannot answer anything");
+    cold.persist_cache().expect("shutdown compaction");
+    drop(cold);
+
+    // "Restart": a fresh server, fresh session, same directory.
+    let warm = Arc::new(SweepServer::new());
+    let loaded = warm.attach_cache_store(&dir).expect("warm dir");
+    assert_eq!(loaded as usize, expected.len(), "every record replays");
+    let input = format!("{sweep}\ncache limit=2\ncache clear\nstats\n");
+    let mut output = Vec::new();
+    serve_local(&warm, input.as_bytes(), &mut output).expect("warm serve");
+    let text = String::from_utf8(output).expect("utf8");
+
+    let mut cycles_by_index = HashMap::new();
+    let mut cache_replies = Vec::new();
+    let mut done_cached = None;
+    let mut stats_fields = None;
+    for line in text.lines() {
+        match parse_response(line).expect("well-formed response") {
+            Response::Point { index, cycles, .. } => {
+                cycles_by_index.insert(index, cycles);
+            }
+            Response::Done {
+                cached, delivered, ..
+            } => {
+                assert_eq!(delivered, expected.len());
+                done_cached = Some(cached);
+            }
+            Response::Cache { entries, limit } => cache_replies.push((entries, limit)),
+            Response::Stats { fields } => stats_fields = Some(fields),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+    for (index, cycles) in expected.iter().enumerate() {
+        assert_eq!(
+            cycles_by_index[&index], *cycles,
+            "warm point {index} must be bit-for-bit the cold result"
+        );
+    }
+    assert_eq!(
+        done_cached,
+        Some(expected.len() as u64),
+        "the restarted server simulated nothing"
+    );
+    // limit=2 evicted down to two entries; clear then emptied the map
+    // (the bound itself stays in force).
+    assert_eq!(cache_replies, vec![(2, Some(2)), (0, Some(2))]);
+    let fields = stats_fields.expect("a stats line");
+    let field = |name: &str| {
+        fields
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("stats must report {name}: {fields:?}"))
+            .1
+    };
+    assert_eq!(field("cache_loaded") as usize, expected.len());
+    assert_eq!(field("cache_misses"), 0, "no warm miss");
+    assert_eq!(field("cache_hits"), expected.len() as u64);
+    assert_eq!(field("cache_lookups"), expected.len() as u64);
+    assert_eq!(field("cache_corrupt_records"), 0);
+    assert!(field("cache_evictions") >= 1, "limit=2 must evict");
+    assert_eq!(field("cache_persisted"), 0, "nothing new was simulated");
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -45,6 +45,7 @@
 
 mod analysis;
 mod classify;
+mod content;
 mod dyninst;
 mod expand;
 mod machine_inst;
@@ -56,6 +57,7 @@ mod wakeup;
 
 pub use analysis::{critical_path, dataflow_depths, dataflow_summary, DataflowSummary};
 pub use classify::{classification_disagreement, classify};
+pub use content::{ContentHasher, TraceHash};
 pub use dyninst::{DepEdge, DepRole, DynInst, InstId};
 pub use expand::{expand, operand_role};
 pub use machine_inst::{stream_stats, Dep, DepList, ExecKind, MachineInst, MemTag, StreamStats};

@@ -55,6 +55,44 @@ n_errors=$(grep -c '^error' target/serve-smoke-bad-raw.txt)
 grep -q '^error id=huge .*exceeds' target/serve-smoke-bad-raw.txt
 grep -q '^done id=ok .*delivered=1.*status=ok' target/serve-smoke-bad-raw.txt
 
+# Restart warmth: run a grid with --cache-dir, let the server exit cleanly
+# (compacting the store), then relaunch on the same directory.  The second
+# server must replay the persisted records (cache_loaded > 0), answer the
+# repeated grid without a single simulation (done cached == delivered,
+# cache_misses=0), and produce bit-for-bit the first run's point lines.
+cache_dir=target/serve-smoke-cache
+rm -rf "$cache_dir"
+req_warm=target/serve-smoke-warm-requests.txt
+{
+  printf 'sweep id=w trace=TRFD iterations=120 machines=dm,swsm windows=8,32 mds=0,60 mode=stream\n'
+  printf 'stats\n'
+} > "$req_warm"
+
+"$bin" --stdin --cache-dir "$cache_dir" < "$req_warm" > target/serve-smoke-cold-raw.txt
+grep -q '^done id=w .*delivered=8.*cached=0.*status=ok' target/serve-smoke-cold-raw.txt
+# The stats reply races the async drainer, so only the field's presence is
+# deterministic here; the warm run's cache_loaded=8 proves the persisted
+# count below.
+grep '^stats' target/serve-smoke-cold-raw.txt | grep -q 'cache_persisted='
+[ -s "$cache_dir/sweep-cache.log" ] || { echo "cache log was not written"; exit 1; }
+
+"$bin" --stdin --cache-dir "$cache_dir" < "$req_warm" > target/serve-smoke-warm-raw.txt
+grep -q '^done id=w .*delivered=8.*cached=8.*status=ok' target/serve-smoke-warm-raw.txt \
+  || { echo "restarted server did not answer the grid from the cache"; exit 1; }
+warm_stats=$(grep '^stats' target/serve-smoke-warm-raw.txt)
+echo "$warm_stats" | grep -q 'cache_loaded=8' || { echo "no records loaded: $warm_stats"; exit 1; }
+echo "$warm_stats" | grep -q 'cache_misses=0' || { echo "warm run simulated: $warm_stats"; exit 1; }
+grep '^point' target/serve-smoke-cold-raw.txt | sort > target/serve-smoke-cold-points.txt
+grep '^point' target/serve-smoke-warm-raw.txt | sort > target/serve-smoke-warm-points.txt
+diff -u target/serve-smoke-cold-points.txt target/serve-smoke-warm-points.txt
+
+# The cache verb: a limit bounds the resident set, clear empties it.
+printf 'cache limit=2\ncache clear\ncache limit=none\n' \
+  | "$bin" --stdin --cache-dir "$cache_dir" > target/serve-smoke-cacheverb-raw.txt
+grep -q '^cache entries=2 limit=2' target/serve-smoke-cacheverb-raw.txt
+grep -q '^cache entries=0 limit=2' target/serve-smoke-cacheverb-raw.txt
+grep -q '^cache entries=0 limit=none' target/serve-smoke-cacheverb-raw.txt
+
 # Multi-client contention: a TCP server under a wide bulk grid from one
 # client while a second client sends a single-point interactive request.
 # Both must complete (the whole section is under `timeout`, so a priority
@@ -85,4 +123,4 @@ timeout 120 bash -c "
 kill $srv 2>/dev/null || true
 trap - EXIT
 
-echo "serve smoke OK: $(wc -l < target/serve-smoke-got.txt) streamed points match the in-process results; malformed and oversized requests rejected cleanly; concurrent bulk + interactive clients both completed"
+echo "serve smoke OK: $(wc -l < target/serve-smoke-got.txt) streamed points match the in-process results; malformed and oversized requests rejected cleanly; a restarted --cache-dir server answered its grid entirely from the persisted cache; concurrent bulk + interactive clients both completed"
