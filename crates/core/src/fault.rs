@@ -19,6 +19,7 @@
 //! change.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Once;
 use std::time::Duration;
 
 /// Disarmed sentinel for [`PANIC_COUNTDOWN`].
@@ -34,6 +35,38 @@ static SLOW_POINT_MS: AtomicU64 = AtomicU64::new(0);
 
 /// Points started since the process began (diagnostic; monotone).
 static POINTS_STARTED: AtomicU64 = AtomicU64::new(0);
+
+/// One-time environment arming (see [`arm_from_env`]).
+static ENV_ARM: Once = Once::new();
+
+/// Arms the hooks from the process environment, once, on the first point.
+///
+/// In-process suites arm the hooks programmatically, but the sharded
+/// fault tests spawn real backend *processes* and need to provoke faults
+/// inside them: `DAE_FAULT_SLOW_POINT_MS=<ms>` arms the slow-point hook
+/// and `DAE_FAULT_PANIC_ON_NTH=<n>` the panic hook, exactly as the
+/// corresponding functions would.  Unset, empty or unparsable variables
+/// leave the hooks disarmed — production processes pay only this
+/// `Once` check plus the usual two relaxed loads per point.
+fn arm_from_env() {
+    ENV_ARM.call_once(|| {
+        if let Some(ms) = env_u64("DAE_FAULT_SLOW_POINT_MS") {
+            if ms > 0 {
+                slow_every_point_ms(ms);
+            }
+        }
+        if let Some(n) = env_u64("DAE_FAULT_PANIC_ON_NTH") {
+            if n > 0 {
+                panic_on_nth_start(n);
+            }
+        }
+    });
+}
+
+/// A parsed `u64` environment variable, `None` when unset or malformed.
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
 
 /// Arms the panic hook: the `n`-th point to *start* simulating after this
 /// call panics with an "injected fault" message (`n` is 1-based; `n == 1`
@@ -63,6 +96,7 @@ pub fn points_started() -> u64 {
 /// The per-point entry hook, called by the stream worker inside its
 /// `catch_unwind` just before the simulation.  Fires any armed fault.
 pub(crate) fn on_point_start() {
+    arm_from_env();
     POINTS_STARTED.fetch_add(1, Ordering::Relaxed);
     let slow = SLOW_POINT_MS.load(Ordering::Relaxed);
     if slow > 0 {

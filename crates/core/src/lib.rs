@@ -45,6 +45,7 @@ mod experiments;
 #[doc(hidden)]
 pub mod fault;
 mod metrics;
+mod placement;
 mod report;
 mod session;
 mod store;
@@ -59,6 +60,7 @@ pub use experiments::{
     SpeedupFigure, SpeedupSeries, Table1, Table1Row, WindowRatioClaim,
 };
 pub use metrics::{equivalent_window_ratio, latency_hiding_effectiveness, speedup, WindowCurve};
+pub use placement::{cache_key_digest, SweepCacheKey};
 pub use report::{fmt_metric, TextTable};
 pub use session::{
     CacheStats, CancelToken, RequestClass, SessionStats, StreamWait, StreamedPoint, SweepEvent,

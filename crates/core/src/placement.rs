@@ -1,0 +1,96 @@
+//! Cache-key exposure for shard placement.
+//!
+//! The sweep-result cache keys every finished point by
+//! `(TraceHash, machine, window, MD)` — the structural identity of the
+//! lowering plus the machine parameters of the point (see
+//! [`SweepSession`](crate::SweepSession)).  A shard coordinator that
+//! partitions a grid across several `dae-serve` backends wants to place
+//! each point by *that same key*, so repeated grids land their repeated
+//! points on the same backend and every shard's result cache stays hot
+//! for its slice.
+//!
+//! This module exposes the key as a public alias ([`SweepCacheKey`]) and
+//! folds it into a process-independent 64-bit digest
+//! ([`cache_key_digest`]) suitable for consistent hashing.  The digest
+//! reuses the canonical word encoding the on-disk store
+//! ([`CacheStore`](crate::CacheStore)) writes — the machine discriminant
+//! and the window/MD words are pinned by the store's schema, and
+//! [`TraceHash`] is already deterministic across processes — so two
+//! coordinators (or a coordinator and a future rebalancer) always agree
+//! on where a point lives.
+
+use crate::{Machine, WindowSpec};
+use dae_isa::Cycle;
+use dae_mem::FxHasher;
+use dae_trace::TraceHash;
+use std::hash::Hasher;
+
+/// The sweep-result cache key: the structural content hash of the lowered
+/// program plus the machine parameters of the point.  Identical to the
+/// session cache's internal key — exposed so placement layers can hash
+/// the exact identity the per-backend caches will be queried with.
+pub type SweepCacheKey = (TraceHash, Machine, WindowSpec, Cycle);
+
+/// The `window` word for [`WindowSpec::Unlimited`] in the canonical
+/// encoding (matches the on-disk store's schema).
+const WINDOW_UNLIMITED: u64 = u64::MAX;
+
+/// Folds a sweep-cache key into a deterministic 64-bit placement digest.
+///
+/// The digest is stable across processes and runs: it depends only on the
+/// canonical word encoding of the key (the same one the persistent cache
+/// store uses), never on addresses, hash-map iteration order or random
+/// state.  Equal keys — and therefore points that would hit the same
+/// per-backend cache entry — always produce equal digests.
+#[must_use]
+pub fn cache_key_digest(hash: TraceHash, machine: Machine, window: WindowSpec, md: Cycle) -> u64 {
+    let (hash_hi, hash_lo) = hash.words();
+    let machine = match machine {
+        Machine::Decoupled => 0u64,
+        Machine::Superscalar => 1,
+        Machine::Scalar => 2,
+    };
+    let window = match window {
+        WindowSpec::Entries(n) => n as u64,
+        WindowSpec::Unlimited => WINDOW_UNLIMITED,
+    };
+    let mut hasher = FxHasher::default();
+    hasher.write_u64(hash_hi);
+    hasher.write_u64(hash_lo);
+    hasher.write_u64(machine);
+    hasher.write_u64(window);
+    hasher.write_u64(md);
+    hasher.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_deterministic_and_separates_coordinates() {
+        let h = TraceHash::from_words(0x1234_5678_9abc_def0, 0x0fed_cba9_8765_4321);
+        let base = cache_key_digest(h, Machine::Decoupled, WindowSpec::Entries(16), 60);
+        assert_eq!(
+            base,
+            cache_key_digest(h, Machine::Decoupled, WindowSpec::Entries(16), 60)
+        );
+        // Every coordinate participates in the digest.
+        assert_ne!(
+            base,
+            cache_key_digest(h, Machine::Superscalar, WindowSpec::Entries(16), 60)
+        );
+        assert_ne!(
+            base,
+            cache_key_digest(h, Machine::Decoupled, WindowSpec::Entries(32), 60)
+        );
+        assert_ne!(
+            base,
+            cache_key_digest(h, Machine::Decoupled, WindowSpec::Entries(16), 0)
+        );
+        assert_ne!(
+            base,
+            cache_key_digest(h, Machine::Decoupled, WindowSpec::Unlimited, 60)
+        );
+    }
+}

@@ -93,7 +93,7 @@ use crate::{fault, LoweredTrace, Machine, ScalarMode, WindowSpec};
 use dae_isa::Cycle;
 use dae_machines::{with_abort_token, AbortToken, AbortedSimulation};
 use dae_mem::LruMap;
-use dae_trace::{Trace, TraceHash};
+use dae_trace::Trace;
 use dae_workloads::PerfectProgram;
 use rayon::prelude::*;
 use rayon::Priority;
@@ -233,8 +233,11 @@ impl RequestClass {
 /// which process: that is what lets re-pinned programs and restarted
 /// servers reuse earlier figures, and what makes persisting entries to
 /// disk meaningful.  The differential suite pins the safety direction:
-/// hash-equal lowerings produce bit-for-bit-equal results.
-type CacheKey = (TraceHash, Machine, WindowSpec, Cycle);
+/// hash-equal lowerings produce bit-for-bit-equal results.  The alias is
+/// public as [`crate::SweepCacheKey`] so placement layers (the shard
+/// coordinator in `dae-serve`) hash the exact identity this cache is
+/// queried with.
+type CacheKey = crate::SweepCacheKey;
 
 /// A resident cache entry: the figure plus the measured simulation time
 /// that the cost-aware eviction policy weighs.
@@ -1197,6 +1200,7 @@ impl Iterator for SweepStream {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dae_trace::TraceHash;
     use dae_workloads::stream;
 
     fn grid() -> Vec<(Machine, WindowSpec, Cycle)> {

@@ -108,6 +108,10 @@ impl LintConfig {
                 "crates/serve/src/protocol.rs".to_string(),
                 "crates/serve/src/server.rs".to_string(),
                 "crates/serve/src/main.rs".to_string(),
+                // PR 10: the coordinator forwards malformed backend bytes
+                // through the same guarantee — count or ignore, never
+                // unwind.
+                "crates/serve/src/coordinator.rs".to_string(),
                 // PR 9: the persistent cache store must tolerate any
                 // on-disk corruption without panicking.
                 "crates/core/src/store.rs".to_string(),

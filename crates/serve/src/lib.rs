@@ -14,6 +14,11 @@
 //!   mutex), [`serve_connection`] (one client: concurrent tagged sweeps,
 //!   per-request cancellation), and the stdin / TCP / Unix-socket accept
 //!   loops.
+//! * [`coordinator`] — the shard coordinator: the same wire protocol over
+//!   a fleet of backend `dae-serve` processes, with each grid point placed
+//!   by consistent hashing on its sweep-cache key
+//!   ([`dae_core::cache_key_digest`]) so every shard's result cache stays
+//!   hot, and with undelivered points re-dispatched when a backend dies.
 //!
 //! What the session layer provides, the server inherits: lowered programs
 //! pin once per `(source, iterations)` and are shared by every client, the
@@ -41,8 +46,14 @@
 //! ));
 //! ```
 
+pub mod coordinator;
 pub mod protocol;
 pub mod server;
+
+pub use coordinator::{
+    serve_coordinator_connection, serve_coordinator_tcp, Coordinator, CoordinatorConfig,
+    Partitioner,
+};
 
 pub use protocol::{
     machine_token, parse_kernel, parse_request, parse_response, window_token, CacheAction,

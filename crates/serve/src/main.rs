@@ -17,6 +17,18 @@
 //!                                the resident set is compacted back on
 //!                                clean exit, so a restarted server answers
 //!                                previously-served grids without simulating
+//!       --coordinator B1,B2,…    run as a shard coordinator over the listed
+//!                                backend addresses instead of simulating
+//!                                locally: grids are partitioned across the
+//!                                backends by consistent hashing on each
+//!                                point's sweep-cache key, and points lost to
+//!                                a dead backend are re-dispatched to the
+//!                                survivors (composes with --stdin or --tcp;
+//!                                the session flags do not apply — caching
+//!                                happens on the backends)
+//!       --retry-timeout-ms N     coordinator only: re-dispatch a point that
+//!                                sat undelivered on one backend this long
+//!                                (default 30000)
 //! ```
 //!
 //! The wire format is specified in `docs/PROTOCOL.md`.  Diagnostics go to
@@ -28,7 +40,10 @@
 //! so the protocol verb is the supported shutdown path.
 
 use dae_core::SweepSession;
-use dae_serve::{await_drained, serve_connection, serve_local, serve_tcp, SweepServer};
+use dae_serve::{
+    await_drained, serve_connection, serve_coordinator_connection, serve_coordinator_tcp,
+    serve_local, serve_tcp, Coordinator, CoordinatorConfig, SweepServer,
+};
 use std::io::BufReader;
 use std::net::TcpListener;
 use std::process::ExitCode;
@@ -48,7 +63,8 @@ enum Mode {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: dae-serve [--stdin | --tcp ADDR | --unix PATH | --local FILE] \
-         [--no-cache] [--cache-dir DIR]"
+         [--no-cache] [--cache-dir DIR] \
+         [--coordinator B1,B2,... [--retry-timeout-ms N]]"
     );
     ExitCode::from(2)
 }
@@ -57,6 +73,9 @@ fn main() -> ExitCode {
     let mut mode = Mode::Stdin;
     let mut cache = true;
     let mut cache_dir: Option<String> = None;
+    let mut backends: Option<Vec<String>> = None;
+    let mut retry_timeout_ms: Option<u64> = None;
+    let mut session_flags = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -73,13 +92,60 @@ fn main() -> ExitCode {
                 Some(path) => mode = Mode::Local(path),
                 None => return usage(),
             },
-            "--no-cache" => cache = false,
+            "--no-cache" => {
+                cache = false;
+                session_flags = true;
+            }
             "--cache-dir" => match args.next() {
-                Some(dir) => cache_dir = Some(dir),
+                Some(dir) => {
+                    cache_dir = Some(dir);
+                    session_flags = true;
+                }
                 None => return usage(),
+            },
+            "--coordinator" => match args.next() {
+                Some(list) => {
+                    let addrs: Vec<String> = list
+                        .split(',')
+                        .map(str::trim)
+                        .filter(|a| !a.is_empty())
+                        .map(str::to_string)
+                        .collect();
+                    if addrs.is_empty() {
+                        eprintln!("dae-serve: --coordinator needs at least one backend address");
+                        return ExitCode::from(2);
+                    }
+                    backends = Some(addrs);
+                }
+                None => return usage(),
+            },
+            "--retry-timeout-ms" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(ms) if ms > 0 => retry_timeout_ms = Some(ms),
+                _ => return usage(),
             },
             _ => return usage(),
         }
+    }
+
+    if let Some(backends) = backends {
+        // Coordinator mode owns no session: the session flags belong to the
+        // backends, and the file-driven oracle / unix modes are not wired.
+        if session_flags {
+            eprintln!(
+                "dae-serve: --coordinator composes with --stdin or --tcp only; \
+                 pass --no-cache / --cache-dir to the backends instead"
+            );
+            return ExitCode::from(2);
+        }
+        if matches!(mode, Mode::Unix(_) | Mode::Local(_)) {
+            eprintln!("dae-serve: --coordinator composes with --stdin or --tcp only");
+            return ExitCode::from(2);
+        }
+        return run_coordinator(&backends, retry_timeout_ms, &mode);
+    }
+    if retry_timeout_ms.is_some() {
+        eprintln!("dae-serve: --retry-timeout-ms needs --coordinator");
+        return ExitCode::from(2);
     }
 
     if cache_dir.is_some() && !cache {
@@ -144,6 +210,65 @@ fn main() -> ExitCode {
             eprintln!("dae-serve: cache store compaction failed: {e}");
             return ExitCode::FAILURE;
         }
+    }
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("dae-serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Runs the binary as a shard coordinator over `backends` (see the crate
+/// docs and `docs/PROTOCOL.md` § "Shard coordinator").
+fn run_coordinator(backends: &[String], retry_timeout_ms: Option<u64>, mode: &Mode) -> ExitCode {
+    let mut config = CoordinatorConfig::default();
+    if let Some(ms) = retry_timeout_ms {
+        config.retry_timeout = Duration::from_millis(ms);
+    }
+    let coordinator = match Coordinator::connect_with(backends, config) {
+        Ok(coordinator) => Arc::new(coordinator),
+        Err(e) => {
+            eprintln!("dae-serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match mode {
+        Mode::Stdin => {
+            eprintln!(
+                "dae-serve: coordinating {} backends on stdin",
+                backends.len()
+            );
+            serve_coordinator_connection(&coordinator, std::io::stdin().lock(), std::io::stdout())
+        }
+        Mode::Tcp(addr) => match TcpListener::bind(addr) {
+            Ok(listener) => {
+                eprintln!(
+                    "dae-serve: listening on tcp {} (coordinating {} backends)",
+                    listener
+                        .local_addr()
+                        .map_or_else(|_| addr.clone(), |a| a.to_string()),
+                    backends.len()
+                );
+                serve_coordinator_tcp(&coordinator, &listener)
+            }
+            Err(e) => {
+                eprintln!("dae-serve: cannot bind {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        // main() refused these combinations already.
+        Mode::Unix(_) | Mode::Local(_) => {
+            eprintln!("dae-serve: --coordinator composes with --stdin or --tcp only");
+            return ExitCode::from(2);
+        }
+    };
+    // Mirror the single-server drain: give re-dispatches and in-flight
+    // backend work a bounded window to settle before exiting.
+    if coordinator.is_shutting_down() && !coordinator.await_settled(DRAIN_TIMEOUT) {
+        eprintln!("dae-serve: shutdown drain timed out with points still pending");
+        return ExitCode::FAILURE;
     }
     match result {
         Ok(()) => ExitCode::SUCCESS,

@@ -579,7 +579,7 @@ struct Active {
     finished: Arc<AtomicBool>,
 }
 
-fn write_line<W: Write>(writer: &Mutex<W>, response: &Response) -> bool {
+pub(crate) fn write_line<W: Write>(writer: &Mutex<W>, response: &Response) -> bool {
     // Poison recovery: a writer is a byte sink whose worst torn state is a
     // partial line on a connection that is being abandoned anyway.
     let mut writer = writer.lock().unwrap_or_else(PoisonError::into_inner);

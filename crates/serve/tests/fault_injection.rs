@@ -10,12 +10,13 @@
 
 use dae_core::{fault, SweepSession};
 use dae_serve::{
-    await_drained, parse_request, parse_response, serve_connection, serve_tcp, DoneStatus, Request,
-    Response, ServerLimits, ShutdownMode, SweepServer,
+    await_drained, parse_request, parse_response, serve_connection, serve_coordinator_connection,
+    serve_tcp, Coordinator, DoneStatus, Request, Response, ServerLimits, ShutdownMode, SweepServer,
 };
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
+use std::process::{Child, Command, Stdio};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
@@ -530,6 +531,214 @@ fn shutdown_abort_cancels_in_flight_work_everywhere() {
         .join()
         .expect("accept loop exits")
         .expect("accept loop exits cleanly");
+}
+
+/// Spawns a real `dae-serve` backend process on an ephemeral TCP port,
+/// with `envs` set (the `DAE_FAULT_*` variables arm the fault hooks
+/// inside the child), returning the child and its dialable address.
+fn spawn_backend(envs: &[(&str, &str)]) -> (Child, String) {
+    let mut command = Command::new(env!("CARGO_BIN_EXE_dae-serve"));
+    command
+        .args(["--tcp", "127.0.0.1:0"])
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped());
+    for (name, value) in envs {
+        command.env(name, value);
+    }
+    let mut child = command.spawn().expect("spawn backend process");
+    let stderr = child.stderr.take().expect("stderr is piped");
+    let mut reader = BufReader::new(stderr);
+    let addr = loop {
+        let mut line = String::new();
+        assert!(
+            reader.read_line(&mut line).expect("read backend stderr") > 0,
+            "backend exited before announcing its address"
+        );
+        if let Some(rest) = line.strip_prefix("dae-serve: listening on tcp ") {
+            break rest
+                .split_whitespace()
+                .next()
+                .expect("an address after the banner")
+                .to_string();
+        }
+    };
+    std::thread::spawn(move || {
+        let mut sink = String::new();
+        while reader.read_line(&mut sink).map(|n| n > 0).unwrap_or(false) {
+            sink.clear();
+        }
+    });
+    (child, addr)
+}
+
+/// A connected loopback byte-stream pair (client half, server half), so a
+/// blocking `serve_coordinator_connection` can run on a thread while the
+/// test reads its output incrementally.
+fn socket_pair() -> (TcpStream, TcpStream) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind pair");
+    let addr = listener.local_addr().expect("pair addr");
+    let client = TcpStream::connect(addr).expect("connect pair");
+    let (server, _) = listener.accept().expect("accept pair");
+    (client, server)
+}
+
+/// The sharded fault test: one of two real backend processes is killed
+/// mid-grid (its points are still sleeping on an env-armed slow hook when
+/// the process dies), and the grid must still complete — every point
+/// delivered exactly once, bit-for-bit equal to the in-process oracle,
+/// with balanced `status=ok` accounting — because the coordinator
+/// re-dispatches the dead backend's undelivered points to the survivor.
+/// The coordinator keeps serving afterwards on the one surviving backend,
+/// and its stats record the death and the re-dispatch traffic.
+#[test]
+fn killing_a_backend_mid_grid_completes_the_sweep_bit_for_bit() {
+    let _guard = faults();
+    // The victim sleeps 400 ms per point (armed via the environment, so
+    // the hook fires inside the child process); the survivor is fast.
+    let (mut victim, victim_addr) = spawn_backend(&[("DAE_FAULT_SLOW_POINT_MS", "400")]);
+    let (mut survivor, survivor_addr) = spawn_backend(&[]);
+    let coordinator =
+        Arc::new(Coordinator::connect(&[victim_addr, survivor_addr]).expect("connect the fleet"));
+
+    let grid = "sweep id=resilient trace=TRFD iterations=120 machines=dm,swsm \
+                windows=4,8,16,32 mds=0,20,40,60 mode=stream";
+    let expected = oracle(grid);
+    let follow_up = "sweep id=after-death trace=MDG iterations=100 machines=dm windows=16,64 \
+                     mds=0,60 mode=stream";
+    let follow_up_expected = oracle(follow_up);
+
+    let (mut client, server_half) = socket_pair();
+    let serve = {
+        let coordinator = Arc::clone(&coordinator);
+        let reader = BufReader::new(server_half.try_clone().expect("clone server half"));
+        std::thread::spawn(move || serve_coordinator_connection(&coordinator, reader, server_half))
+    };
+    let mut replies = BufReader::new(client.try_clone().expect("clone client half"));
+
+    writeln!(client, "{grid}").unwrap();
+    // The survivor's share of the grid streams back within milliseconds;
+    // the victim's points are still inside their 400 ms sleeps.  Kill the
+    // victim as soon as the first point proves the grid is in flight.
+    let mut first = String::new();
+    assert!(replies.read_line(&mut first).expect("first point") > 0);
+    assert!(
+        first.starts_with("point "),
+        "unexpected first line: {first}"
+    );
+    victim.kill().expect("kill the victim backend");
+    victim.wait().expect("reap the victim");
+
+    let mut points: HashMap<usize, u64> = HashMap::new();
+    {
+        let Ok(Response::Point { index, cycles, .. }) = parse_response(first.trim_end()) else {
+            panic!("unparsable first point: {first}");
+        };
+        points.insert(index, cycles);
+    }
+    let done = loop {
+        let mut line = String::new();
+        assert!(
+            replies.read_line(&mut line).expect("read reply") > 0,
+            "coordinator connection closed before the done line"
+        );
+        match parse_response(line.trim_end()).expect("well-formed response") {
+            Response::Point { index, cycles, .. } => {
+                assert!(
+                    points.insert(index, cycles).is_none(),
+                    "point {index} delivered twice through the failover"
+                );
+            }
+            done @ Response::Done { .. } => break done,
+            other => panic!("unexpected response: {other:?}"),
+        }
+    };
+    let Response::Done {
+        points: total,
+        delivered,
+        dropped,
+        aborted,
+        failed,
+        status,
+        ..
+    } = done
+    else {
+        unreachable!()
+    };
+    assert_eq!(total, expected.len());
+    assert_eq!(
+        delivered,
+        expected.len(),
+        "every point must survive the backend death"
+    );
+    assert_eq!(delivered + dropped + aborted + failed, total);
+    assert_eq!(status, DoneStatus::Ok);
+    assert_eq!(points.len(), expected.len());
+    for (index, cycles) in expected.iter().enumerate() {
+        assert_eq!(
+            points[&index], *cycles,
+            "failover point {index} must be bit-for-bit the oracle result"
+        );
+    }
+
+    // The coordinator keeps serving on the surviving backend.
+    writeln!(client, "{follow_up}").unwrap();
+    let mut follow_points: HashMap<usize, u64> = HashMap::new();
+    loop {
+        let mut line = String::new();
+        assert!(
+            replies.read_line(&mut line).expect("read follow-up") > 0,
+            "coordinator connection closed before the follow-up done line"
+        );
+        match parse_response(line.trim_end()).expect("well-formed response") {
+            Response::Point { index, cycles, .. } => {
+                follow_points.insert(index, cycles);
+            }
+            Response::Done {
+                delivered, status, ..
+            } => {
+                assert_eq!(delivered, follow_up_expected.len());
+                assert_eq!(status, DoneStatus::Ok);
+                break;
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+    for (index, cycles) in follow_up_expected.iter().enumerate() {
+        assert_eq!(follow_points[&index], *cycles, "post-death point {index}");
+    }
+
+    // The death and the re-dispatch traffic are visible in stats.
+    writeln!(client, "stats").unwrap();
+    let mut line = String::new();
+    assert!(replies.read_line(&mut line).expect("stats reply") > 0);
+    let Ok(Response::Stats { fields }) = parse_response(line.trim_end()) else {
+        panic!("expected a stats line, got '{line}'");
+    };
+    let field = |name: &str| {
+        fields
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("coordinator stats must report {name}: {fields:?}"))
+            .1
+    };
+    assert_eq!(field("backends_total"), 2);
+    assert_eq!(field("backends_alive"), 1);
+    assert_eq!(field("backend_deaths"), 1);
+    assert!(
+        field("redispatched_points") >= 1,
+        "the victim's sleeping points must have been re-dispatched: {fields:?}"
+    );
+    assert_eq!(field("coordinator_pending"), 0, "everything settled");
+
+    drop(client);
+    drop(replies);
+    serve
+        .join()
+        .expect("serve thread")
+        .expect("serve returns cleanly at EOF");
+    survivor.kill().expect("kill the survivor backend");
+    survivor.wait().expect("reap the survivor");
 }
 
 /// The scheduling tentpole, end to end: with a slow 64-point bulk grid

@@ -1,0 +1,105 @@
+//! Property suite for the coordinator's consistent-hash partitioner: every
+//! digest must land on an eligible backend (total coverage), placement
+//! must be a pure function of the configuration (determinism), and
+//! removing one backend must move *only* the keys that lived on it
+//! (minimal reassignment) — the property that keeps the surviving shards'
+//! result caches hot through a backend death.
+
+use dae_serve::Partitioner;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// Total coverage: with at least one eligible backend every digest is
+    /// assigned, the assignment is an eligible backend, and with none the
+    /// partitioner says so instead of inventing one.
+    #[test]
+    fn every_digest_lands_on_an_eligible_backend(
+        backends in 1usize..8,
+        vnodes in 1usize..48,
+        digests in vec(any::<u64>(), 1..64),
+        alive_mask in any::<u8>(),
+    ) {
+        let partitioner = Partitioner::with_vnodes(backends, vnodes);
+        let eligible = |b: usize| alive_mask & (1u8 << b) != 0;
+        let any_eligible = (0..backends).any(eligible);
+        for &digest in &digests {
+            match partitioner.assign_among(digest, eligible) {
+                Some(backend) => {
+                    prop_assert!(any_eligible, "assignment with nobody eligible");
+                    prop_assert!(backend < backends, "assignment out of range");
+                    prop_assert!(eligible(backend), "assignment to an ineligible backend");
+                }
+                None => prop_assert!(!any_eligible, "no assignment despite eligible backends"),
+            }
+        }
+    }
+
+    /// Determinism: two independently built rings over the same
+    /// configuration place every digest identically — the property that
+    /// lets any coordinator (or a restarted one) agree on where a cached
+    /// point lives.
+    #[test]
+    fn placement_is_a_pure_function_of_the_configuration(
+        backends in 1usize..8,
+        vnodes in 1usize..48,
+        digests in vec(any::<u64>(), 1..64),
+    ) {
+        let first = Partitioner::with_vnodes(backends, vnodes);
+        let second = Partitioner::with_vnodes(backends, vnodes);
+        for &digest in &digests {
+            prop_assert_eq!(first.assign(digest), second.assign(digest));
+        }
+    }
+
+    /// Minimal reassignment: excluding one backend moves only the digests
+    /// it owned.  Every digest owned by a survivor keeps its assignment
+    /// bit for bit, and the dead backend's digests land on survivors.
+    #[test]
+    fn removing_a_backend_moves_only_its_own_keys(
+        backends in 2usize..8,
+        vnodes in 1usize..48,
+        digests in vec(any::<u64>(), 1..64),
+        removed_seed in any::<usize>(),
+    ) {
+        let partitioner = Partitioner::with_vnodes(backends, vnodes);
+        let removed = removed_seed % backends;
+        for &digest in &digests {
+            let before = partitioner.assign(digest);
+            let after = partitioner.assign_among(digest, |b| b != removed);
+            let Some(before) = before else {
+                prop_assert!(false, "total coverage is pinned above");
+                unreachable!()
+            };
+            if before == removed {
+                match after {
+                    Some(after) => prop_assert!(
+                        after != removed,
+                        "a removed backend's key must move to a survivor"
+                    ),
+                    None => prop_assert!(false, "survivors exist, the key must land"),
+                }
+            } else {
+                prop_assert_eq!(
+                    after,
+                    Some(before),
+                    "a survivor's key must not move when another backend is removed"
+                );
+            }
+        }
+    }
+
+    /// `assign` is exactly `assign_among` with everyone eligible.
+    #[test]
+    fn assign_is_assign_among_everyone(
+        backends in 1usize..8,
+        digests in vec(any::<u64>(), 1..32),
+    ) {
+        let partitioner = Partitioner::new(backends);
+        for &digest in &digests {
+            prop_assert_eq!(partitioner.assign(digest), partitioner.assign_among(digest, |_| true));
+        }
+    }
+}

@@ -3,8 +3,13 @@
 //! `parse_request` (or `parse_response`) panic.  Malformed lines must come
 //! back as structured `Err`s, and whatever parses must survive a
 //! print/parse round trip.
+//!
+//! The coordinator's backend-reply path is fuzzed on the same inputs: a
+//! malformed, truncated or misdirected backend line must never panic the
+//! coordinator — it is counted or ignored, both of which
+//! `Coordinator::handle_backend_reply` absorbs without routing state.
 
-use dae_serve::{parse_request, parse_response, CacheAction, Request};
+use dae_serve::{parse_request, parse_response, CacheAction, Coordinator, Request};
 use proptest::collection::vec;
 use proptest::prelude::*;
 
@@ -52,6 +57,53 @@ fn vocab() -> impl Strategy<Value = String> {
         Just("=".to_string()),
         Just("==".to_string()),
         Just("sweep=sweep".to_string()),
+        (0u32..0x80)
+            .prop_map(|c| { char::from_u32(c).map_or_else(String::new, |c| c.to_string()) }),
+    ]
+}
+
+/// A fragment drawn from the *response* vocabulary — the lines a backend
+/// sends a coordinator, plus near-miss field values.
+fn response_vocab() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("point".to_string()),
+        Just("done".to_string()),
+        Just("cancelled".to_string()),
+        Just("busy".to_string()),
+        Just("error".to_string()),
+        Just("stats".to_string()),
+        Just("cache".to_string()),
+        Just("shutdown".to_string()),
+        Just("id=x1".to_string()),
+        Just("id=x999999".to_string()),
+        Just("id=".to_string()),
+        Just("index=0".to_string()),
+        Just("index=-3".to_string()),
+        Just("machine=dm".to_string()),
+        Just("machine=toaster".to_string()),
+        Just("window=16".to_string()),
+        Just("window=unlimited".to_string()),
+        Just("md=60".to_string()),
+        Just("cycles=1234".to_string()),
+        Just("cycles=many".to_string()),
+        Just("points=4".to_string()),
+        Just("delivered=4".to_string()),
+        Just("delivered=99999999999999999999".to_string()),
+        Just("dropped=1".to_string()),
+        Just("aborted=1".to_string()),
+        Just("failed=1".to_string()),
+        Just("cached=2".to_string()),
+        Just("status=ok".to_string()),
+        Just("status=error".to_string()),
+        Just("status=timeout".to_string()),
+        Just("message=point 0 failed: injected".to_string()),
+        Just("queued=3".to_string()),
+        Just("limit=2".to_string()),
+        Just("retry_after_ms=10".to_string()),
+        Just("entries=5".to_string()),
+        Just("mode=drain".to_string()),
+        Just("mode=abort".to_string()),
+        Just("=".to_string()),
         (0u32..0x80)
             .prop_map(|c| { char::from_u32(c).map_or_else(String::new, |c| c.to_string()) }),
     ]
@@ -130,6 +182,35 @@ proptest! {
             .collect();
         let line = format!("sweep {}", mutated.join(" "));
         let _ = parse_request(&line);
+    }
+
+    /// Arbitrary bytes through the coordinator's backend-reply path: a
+    /// detached two-backend coordinator absorbs any line sequence without
+    /// panicking (malformed lines count as reply errors, parsable lines
+    /// for unknown subrequest ids are ignored).
+    #[test]
+    fn arbitrary_backend_replies_never_panic_the_coordinator(
+        lines in vec(vec(any::<u8>(), 0..160), 0..8),
+    ) {
+        let coordinator = Coordinator::detached(2);
+        for bytes in &lines {
+            coordinator.handle_backend_reply(&String::from_utf8_lossy(bytes));
+        }
+        prop_assert_eq!(coordinator.pending_points(), 0);
+    }
+
+    /// Token soup from the response vocabulary — the highest-coverage
+    /// near-valid backend replies (truncated `done` lines, misdirected
+    /// control acks, out-of-range counts) — never panics the coordinator.
+    #[test]
+    fn response_soup_never_panics_the_coordinator(
+        batches in vec(vec(response_vocab(), 0..10), 1..4),
+    ) {
+        let coordinator = Coordinator::detached(3);
+        for tokens in &batches {
+            coordinator.handle_backend_reply(&tokens.join(" "));
+        }
+        prop_assert_eq!(coordinator.pending_points(), 0);
     }
 
     /// The `priority=` field specifically: any value either parses as one

@@ -5,13 +5,15 @@
 
 use dae_core::{SweepSession, TraceId};
 use dae_serve::{
-    parse_request, parse_response, serve_connection, serve_local, serve_tcp, Request, Response,
-    SweepServer,
+    parse_request, parse_response, serve_connection, serve_coordinator_connection, serve_local,
+    serve_tcp, Coordinator, Request, Response, SweepServer,
 };
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
+use std::process::{Child, Command, Stdio};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Starts a server on an ephemeral TCP port, returning the port.
 fn start_tcp_server() -> u16 {
@@ -370,6 +372,196 @@ fn stdin_shaped_connections_serve_tagged_requests_and_stats() {
             assert_eq!(got[&index], *cycles, "{line} point {index}");
         }
     }
+}
+
+/// Spawns one real `dae-serve` backend process on an ephemeral TCP port
+/// and returns the child plus its dialable address (parsed from the
+/// binary's "listening on tcp" stderr line).
+fn spawn_backend() -> (Child, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_dae-serve"))
+        .args(["--tcp", "127.0.0.1:0"])
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn backend process");
+    let stderr = child.stderr.take().expect("stderr is piped");
+    let mut reader = BufReader::new(stderr);
+    let addr = loop {
+        let mut line = String::new();
+        assert!(
+            reader.read_line(&mut line).expect("read backend stderr") > 0,
+            "backend exited before announcing its address"
+        );
+        if let Some(rest) = line.strip_prefix("dae-serve: listening on tcp ") {
+            break rest
+                .split_whitespace()
+                .next()
+                .expect("an address after the banner")
+                .to_string();
+        }
+    };
+    // Keep draining stderr so later diagnostics can never fill the pipe
+    // and wedge the backend.
+    std::thread::spawn(move || {
+        let mut sink = String::new();
+        while reader.read_line(&mut sink).map(|n| n > 0).unwrap_or(false) {
+            sink.clear();
+        }
+    });
+    (child, addr)
+}
+
+/// Waits for a child process to exit, panicking after `timeout`.
+fn await_exit(child: &mut Child, timeout: Duration, who: &str) {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if child.try_wait().expect("poll child").is_some() {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "{who} did not exit in {timeout:?}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// The sharded differential test: the same grids run three ways — through
+/// a coordinator over two real backend processes, through a single
+/// in-process server, and on a private `SweepSession` (the oracle) — must
+/// produce bit-for-bit identical cycles with clean accounting; the
+/// coordinator's `stats` reports the fleet; and a `shutdown` through the
+/// coordinator fans out and terminates both backends.
+#[test]
+fn a_two_backend_coordinator_matches_single_server_and_session_bit_for_bit() {
+    let stream_line = "sweep id=shard-s trace=TRFD iterations=120 machines=dm,swsm windows=8,32 \
+                       mds=0,60 mode=stream";
+    let batch_line = "sweep id=shard-b trace=MDG iterations=100 machines=dm,scalar windows=16,64 \
+                      mds=0,60 mode=batch";
+    let input = format!("{stream_line}\n{batch_line}\nstats\n");
+
+    let (mut backend_one, addr_one) = spawn_backend();
+    let (mut backend_two, addr_two) = spawn_backend();
+    let coordinator =
+        Arc::new(Coordinator::connect(&[addr_one, addr_two]).expect("connect the fleet"));
+
+    let mut sharded = Vec::new();
+    serve_coordinator_connection(&coordinator, input.as_bytes(), &mut sharded)
+        .expect("coordinated serve");
+
+    let mut single = Vec::new();
+    let server = Arc::new(SweepServer::new());
+    serve_connection(&server, input.as_bytes(), &mut single).expect("single serve");
+
+    // Group both outputs by request id; any error line is a failure.
+    let collect = |output: &[u8]| {
+        let mut points: HashMap<String, HashMap<usize, u64>> = HashMap::new();
+        let mut dones: HashMap<String, Response> = HashMap::new();
+        let mut stats = None;
+        for line in String::from_utf8(output.to_vec()).expect("utf8").lines() {
+            match parse_response(line).expect("well-formed response") {
+                Response::Point {
+                    id, index, cycles, ..
+                } => {
+                    assert!(
+                        points
+                            .entry(id)
+                            .or_default()
+                            .insert(index, cycles)
+                            .is_none(),
+                        "a point delivered twice"
+                    );
+                }
+                done @ Response::Done { .. } => {
+                    let Response::Done { ref id, .. } = done else {
+                        unreachable!()
+                    };
+                    dones.insert(id.clone(), done);
+                }
+                Response::Stats { fields } => stats = Some(fields),
+                other => panic!("unexpected response: {other:?}"),
+            }
+        }
+        (points, dones, stats)
+    };
+    let (sharded_points, sharded_dones, sharded_stats) = collect(&sharded);
+    let (single_points, _, _) = collect(&single);
+
+    let mut forwarded_total = 0;
+    for line in [stream_line, batch_line] {
+        let Ok(Request::Sweep(request)) = parse_request(line) else {
+            unreachable!()
+        };
+        let expected = oracle(line);
+        forwarded_total += expected.len();
+        let via_coordinator = &sharded_points[&request.id];
+        let via_single = &single_points[&request.id];
+        assert_eq!(via_coordinator.len(), expected.len(), "{line}");
+        for (index, cycles) in expected.iter().enumerate() {
+            assert_eq!(
+                via_coordinator[&index], *cycles,
+                "sharded point {index} of '{line}' vs the session oracle"
+            );
+            assert_eq!(
+                via_single[&index], *cycles,
+                "single-server point {index} of '{line}' vs the session oracle"
+            );
+        }
+        let Some(Response::Done {
+            points,
+            delivered,
+            dropped,
+            aborted,
+            failed,
+            status,
+            ..
+        }) = sharded_dones.get(&request.id)
+        else {
+            panic!("no done line for {line}");
+        };
+        assert_eq!(*points, expected.len());
+        assert_eq!(*delivered, expected.len());
+        assert_eq!(delivered + dropped + aborted + failed, *points);
+        assert_eq!(*status, dae_serve::DoneStatus::Ok);
+    }
+
+    // The aggregated stats name the fleet and the forwarding traffic, and
+    // carry the backends' summed session counters.
+    let fields = sharded_stats.expect("the coordinator answers stats");
+    let field = |name: &str| {
+        fields
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("coordinator stats must report {name}: {fields:?}"))
+            .1
+    };
+    assert_eq!(field("backends_total"), 2);
+    assert_eq!(field("backends_alive"), 2);
+    assert!(field("forwarded_points") >= forwarded_total as u64);
+    assert_eq!(field("backend_deaths"), 0);
+    assert!(
+        fields.iter().any(|(n, _)| n == "cache_entries"),
+        "backend session counters must be aggregated: {fields:?}"
+    );
+
+    // A shutdown through the coordinator is acknowledged and fans out:
+    // both backend processes exit.
+    let mut shutdown_out = Vec::new();
+    serve_coordinator_connection(&coordinator, "shutdown\n".as_bytes(), &mut shutdown_out)
+        .expect("shutdown path");
+    let ack = String::from_utf8(shutdown_out).expect("utf8");
+    assert!(
+        matches!(
+            parse_response(ack.trim_end()),
+            Ok(Response::Shutdown {
+                mode: dae_serve::ShutdownMode::Drain
+            })
+        ),
+        "unexpected shutdown ack: {ack}"
+    );
+    await_exit(&mut backend_one, Duration::from_secs(20), "backend one");
+    await_exit(&mut backend_two, Duration::from_secs(20), "backend two");
 }
 
 /// The `cache` verb and `--cache-dir` persistence, end to end: a cold

@@ -123,4 +123,55 @@ timeout 120 bash -c "
 kill $srv 2>/dev/null || true
 trap - EXIT
 
-echo "serve smoke OK: $(wc -l < target/serve-smoke-got.txt) streamed points match the in-process results; malformed and oversized requests rejected cleanly; a restarted --cache-dir server answered its grid entirely from the persisted cache; concurrent bulk + interactive clients both completed"
+# Sharded serving: the same request file through a coordinator over two
+# real backend processes must produce bit-for-bit the single-server
+# (--local) point lines — placement is by sweep-cache key, so the repeat
+# grid (id=d) re-lands on whichever shard served it first.  The trailing
+# shutdown fans out to the fleet, so both backends exit on their own.
+bp1=7951
+bp2=7952
+"$bin" --tcp 127.0.0.1:$bp1 > target/serve-smoke-shard1.log 2>&1 &
+b1=$!
+"$bin" --tcp 127.0.0.1:$bp2 > target/serve-smoke-shard2.log 2>&1 &
+b2=$!
+trap 'kill $b1 $b2 2>/dev/null || true' EXIT
+for p in $bp1 $bp2; do
+  for _ in $(seq 1 50); do
+    if exec 3<>/dev/tcp/127.0.0.1/$p 2>/dev/null; then exec 3>&-; break; fi
+    sleep 0.1
+  done
+done
+
+req_shard=target/serve-smoke-shard-requests.txt
+{
+  cat "$req"
+  printf 'stats\n'
+  printf 'shutdown\n'
+} > "$req_shard"
+
+timeout 120 "$bin" --coordinator 127.0.0.1:$bp1,127.0.0.1:$bp2 --stdin \
+  < "$req_shard" > target/serve-smoke-shard-raw.txt
+grep '^point' target/serve-smoke-shard-raw.txt | sort > target/serve-smoke-shard-got.txt
+diff -u target/serve-smoke-expected.txt target/serve-smoke-shard-got.txt
+for id in a b c d; do
+  grep -q "^done id=$id .*dropped=0.*status=ok" target/serve-smoke-shard-raw.txt
+done
+shard_stats=$(grep '^stats' target/serve-smoke-shard-raw.txt)
+echo "$shard_stats" | grep -q 'backends_total=2' \
+  || { echo "coordinator stats missing backends_total: $shard_stats"; exit 1; }
+echo "$shard_stats" | grep -q 'backends_alive=2' \
+  || { echo "a backend died during the sharded smoke: $shard_stats"; exit 1; }
+grep -q '^shutdown mode=drain' target/serve-smoke-shard-raw.txt
+
+# The fanned-out shutdown must stop both backends without a kill.
+for _ in $(seq 1 100); do
+  if ! kill -0 $b1 2>/dev/null && ! kill -0 $b2 2>/dev/null; then break; fi
+  sleep 0.1
+done
+if kill -0 $b1 2>/dev/null || kill -0 $b2 2>/dev/null; then
+  echo "backends outlived the coordinator shutdown"; exit 1
+fi
+wait $b1 $b2 2>/dev/null || true
+trap - EXIT
+
+echo "serve smoke OK: $(wc -l < target/serve-smoke-got.txt) streamed points match the in-process results; malformed and oversized requests rejected cleanly; a restarted --cache-dir server answered its grid entirely from the persisted cache; concurrent bulk + interactive clients both completed; a two-backend coordinator reproduced the grid bit for bit and shut its fleet down"
